@@ -1,0 +1,196 @@
+//! Ready-made dataflow graphs of the two case studies for the Blazes
+//! analyzer, reproducing the derivations of the paper's Section VI.
+//!
+//! * [`wordcount_graph`] uses the grey-box Storm adapter with manual
+//!   annotations (Section VI-A).
+//! * [`ad_network_graph`] uses the **white-box** pipeline: the Report
+//!   component's annotations (including gates and lineage) come from
+//!   [`blazes_bloom::analyze::annotate_module`] applied to the query's
+//!   Bloom source, with the Cache annotated manually as in the paper's
+//!   Section VI-B annotation file.
+
+use crate::queries::ReportQuery;
+use blazes_bloom::analyze::annotate_module;
+use blazes_core::annotation::ComponentAnnotation;
+use blazes_core::graph::{DataflowGraph, SinkId};
+use blazes_storm::adapter::{dataflow_graph, TopologyAnnotations};
+use blazes_storm::bolt::IdentityBolt;
+use blazes_storm::grouping::Grouping;
+use blazes_storm::topology::TopologyBuilder;
+use blazes_dataflow::sinks::CollectorSink;
+
+/// The wordcount dataflow with the Section VI-A1 annotations, optionally
+/// sealed on `batch`.
+#[must_use]
+pub fn wordcount_graph(sealed: bool) -> (DataflowGraph, SinkId) {
+    let mut t = TopologyBuilder::new("wordcount", 0);
+    let spout = t.add_spout("tweets", 3);
+    let splitter =
+        t.add_bolt("Splitter", 3, || Box::new(IdentityBolt), vec![(spout, Grouping::Shuffle)]);
+    let count = t.add_bolt(
+        "Count",
+        3,
+        || Box::new(IdentityBolt),
+        vec![(splitter, Grouping::Fields(vec![0]))],
+    );
+    let commit =
+        t.add_bolt("Commit", 2, || Box::new(IdentityBolt), vec![(count, Grouping::Shuffle)]);
+    t.add_collector_sink("store", CollectorSink::new(), commit);
+
+    let mut ann = TopologyAnnotations::new();
+    ann.spout_attrs("tweets", ["word", "batch"])
+        .annotate_bolt("Splitter", ComponentAnnotation::cr())
+        .annotate_bolt("Count", ComponentAnnotation::ow(["word", "batch"]))
+        .annotate_bolt("Commit", ComponentAnnotation::cw());
+    if sealed {
+        ann.seal_spout("tweets", ["batch"]);
+    }
+    let g = dataflow_graph(&t.describe(), &ann).expect("wordcount graph is well-formed");
+    let sink = g.sink_by_name("store").expect("sink exists");
+    (g, sink)
+}
+
+/// The ad-tracking network dataflow (Fig. 4) for the given query, with the
+/// click stream optionally sealed on `seal_key`.
+///
+/// The Report component's path annotations are derived by the white-box
+/// Bloom analysis; the Cache follows the paper's manual annotation file
+/// (CR request hit, CW response update, CR request forward), with both
+/// Report and Cache replicated.
+#[must_use]
+pub fn ad_network_graph(
+    query: ReportQuery,
+    seal_key: Option<&[&str]>,
+) -> (DataflowGraph, SinkId) {
+    let mut g = DataflowGraph::new(format!("ad-report-{}", query.name()));
+    let clicks = g.add_source("clicks", &["id", "campaign", "window"]);
+    if let Some(key) = seal_key {
+        g.seal_source(clicks, key.iter().copied());
+    }
+    let requests = g.add_source("requests", &["id"]);
+
+    // Report: white-box derived annotations.
+    let report = g.add_component("Report");
+    g.set_rep(report, true);
+    let module = query.module();
+    for path in annotate_module(&module).expect("query module analyzable") {
+        g.add_path_with_lineage(
+            report,
+            path.from.clone(),
+            path.to.clone(),
+            path.annotation.clone(),
+            path.lineage.clone(),
+        );
+    }
+
+    // Cache: the paper's manual annotations (Section VI-B1).
+    let cache = g.add_component("Cache");
+    g.set_rep(cache, true);
+    g.add_path(cache, "request", "response", ComponentAnnotation::cr());
+    g.add_path(cache, "response", "response", ComponentAnnotation::cw());
+    g.add_path(cache, "request", "request", ComponentAnnotation::cr());
+
+    let analyst = g.add_sink("analyst");
+    g.connect_source(clicks, report, "click");
+    g.connect_source(requests, cache, "request");
+    g.connect(cache, "request", report, "request");
+    g.connect(report, "response", cache, "response");
+    g.connect(cache, "response", cache, "response"); // cache gossip
+    g.connect_sink(cache, "response", analyst);
+
+    let sink = g.sink_by_name("analyst").expect("sink exists");
+    (g, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazes_core::analysis::Analyzer;
+    use blazes_core::label::Label;
+    use blazes_core::strategy::{plan_for, residual_labels, Strategy};
+
+    #[test]
+    fn wordcount_unsealed_derives_run() {
+        let (g, sink) = wordcount_graph(false);
+        let out = Analyzer::new(&g).run().unwrap();
+        assert_eq!(out.sink_label(sink), Some(&Label::Run));
+    }
+
+    #[test]
+    fn wordcount_sealed_derives_async() {
+        let (g, sink) = wordcount_graph(true);
+        let out = Analyzer::new(&g).run().unwrap();
+        assert_eq!(out.sink_label(sink), Some(&Label::Async));
+    }
+
+    #[test]
+    fn thresh_derives_async_via_white_box() {
+        let (g, sink) = ad_network_graph(ReportQuery::Thresh, None);
+        let out = Analyzer::new(&g).run().unwrap();
+        assert_eq!(out.sink_label(sink), Some(&Label::Async));
+    }
+
+    #[test]
+    fn poor_derives_diverge_via_white_box() {
+        let (g, sink) = ad_network_graph(ReportQuery::Poor, None);
+        let out = Analyzer::new(&g).run().unwrap();
+        assert_eq!(out.sink_label(sink), Some(&Label::Diverge));
+    }
+
+    #[test]
+    fn campaign_sealed_derives_async_via_white_box() {
+        let (g, sink) = ad_network_graph(ReportQuery::Campaign, Some(&["campaign"]));
+        let out = Analyzer::new(&g).run().unwrap();
+        assert_eq!(out.sink_label(sink), Some(&Label::Async));
+    }
+
+    #[test]
+    fn window_sealed_on_window_derives_async() {
+        let (g, sink) = ad_network_graph(ReportQuery::Window, Some(&["window"]));
+        let out = Analyzer::new(&g).run().unwrap();
+        assert_eq!(out.sink_label(sink), Some(&Label::Async));
+    }
+
+    #[test]
+    fn window_sealed_on_id_also_async() {
+        // WINDOW is OR_{id,window}: sealing on id works too (Section IV-A1).
+        let (g, sink) = ad_network_graph(ReportQuery::Window, Some(&["id"]));
+        let out = Analyzer::new(&g).run().unwrap();
+        assert_eq!(out.sink_label(sink), Some(&Label::Async));
+    }
+
+    #[test]
+    fn poor_sealed_on_campaign_still_diverges() {
+        let (g, sink) = ad_network_graph(ReportQuery::Poor, Some(&["campaign"]));
+        let out = Analyzer::new(&g).run().unwrap();
+        assert_eq!(out.sink_label(sink), Some(&Label::Diverge));
+    }
+
+    #[test]
+    fn campaign_unsealed_plan_orders_report() {
+        let (g, _) = ad_network_graph(ReportQuery::Campaign, None);
+        let plan = plan_for(&g, true).unwrap();
+        let report = g.component_by_name("Report").unwrap();
+        assert!(plan
+            .strategies
+            .iter()
+            .any(|s| matches!(s, Strategy::Ordering { component, .. } if *component == report)));
+    }
+
+    #[test]
+    fn campaign_sealed_plan_uses_seal_protocol_only() {
+        let (g, _) = ad_network_graph(ReportQuery::Campaign, Some(&["campaign"]));
+        let plan = plan_for(&g, true).unwrap();
+        assert!(plan.needs_sealing());
+        assert!(!plan.needs_ordering());
+        let residual = residual_labels(&g, &plan).unwrap();
+        assert!(residual.iter().all(|(_, l)| !l.is_anomalous()));
+    }
+
+    #[test]
+    fn thresh_needs_no_coordination_at_all() {
+        let (g, _) = ad_network_graph(ReportQuery::Thresh, None);
+        let plan = plan_for(&g, true).unwrap();
+        assert!(plan.strategies.is_empty());
+    }
+}

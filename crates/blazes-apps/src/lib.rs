@@ -1,0 +1,26 @@
+//! # blazes-apps
+//!
+//! The paper's two case-study applications, built on the simulated
+//! substrates:
+//!
+//! * [`wordcount`] — the Storm streaming wordcount (Sections I-B, VI-A,
+//!   VIII-A): tweet workload, Splitter/Count/Commit bolts, and both the
+//!   *transactional* (coordinated) and *sealed* (uncoordinated but
+//!   consistent) deployments measured in Figure 11.
+//! * [`adreport`] — the Bloom ad-tracking network (Sections I-B, VI-B,
+//!   VIII-B): ad servers, replicated reporting servers running the
+//!   continuous queries of Fig. 6, and the four coordination strategies of
+//!   Figures 12–14 (uncoordinated / ordered / independent seal / seal).
+//! * [`queries`] — the four reporting queries (THRESH / POOR / WINDOW /
+//!   CAMPAIGN) as mini-Bloom modules, plus their white-box-derived
+//!   annotations.
+//! * [`workload`] — synthetic workload generators (Zipf-distributed tweet
+//!   stream, partitioned click logs).
+//! * [`casestudy`] — ready-made dataflow graphs of both systems for the
+//!   Blazes analysis, reproducing the derivations of Section VI.
+
+pub mod adreport;
+pub mod casestudy;
+pub mod queries;
+pub mod wordcount;
+pub mod workload;

@@ -1,0 +1,357 @@
+//! The Storm streaming wordcount (paper Sections I-B, VI-A, VIII-A).
+//!
+//! Tweets `(text, batch)` are shuffle-partitioned to `Splitter` bolts,
+//! words hash-partitioned to `Count` bolts, and per-batch counts committed
+//! by `Commit` bolts to a backing store (the sink). Two deployments:
+//!
+//! * **transactional** — commits serialize in batch order through a
+//!   simulated coordination service (Storm's coordinated baseline);
+//! * **sealed** — batches commit independently as soon as they are locally
+//!   complete, which Blazes proves safe (`Seal_batch` is compatible with
+//!   `OW_{word,batch}`).
+//!
+//! Figure 11 plots the throughput of both as the cluster grows.
+
+use crate::workload::TweetWorkload;
+use blazes_dataflow::channel::ChannelConfig;
+use blazes_dataflow::message::Message;
+use blazes_dataflow::metrics::RunStats;
+use blazes_dataflow::sim::Time;
+use blazes_dataflow::sinks::CollectorSink;
+use blazes_dataflow::value::{Tuple, Value};
+use blazes_storm::bolt::{Bolt, BoltContext};
+use blazes_storm::grouping::Grouping;
+use blazes_storm::runtime::batch_seal;
+use blazes_storm::topology::{TopologyBuilder, TransactionalConfig};
+use std::collections::BTreeMap;
+
+/// Splits tweet text into `(word, batch)` tuples.
+#[derive(Debug, Default)]
+pub struct SplitterBolt;
+
+impl Bolt for SplitterBolt {
+    fn execute(&mut self, tuple: Tuple, ctx: &mut BoltContext) {
+        let (Some(text), Some(batch)) = (
+            tuple.get(0).and_then(Value::as_str).map(str::to_string),
+            tuple.get(1).and_then(Value::as_int),
+        ) else {
+            return;
+        };
+        for word in text.split_whitespace() {
+            ctx.emit(Tuple(vec![Value::str(word), Value::Int(batch)]));
+        }
+    }
+
+    fn name(&self) -> &str {
+        "splitter"
+    }
+}
+
+/// Tallies words per `(word, batch)`; emits `(word, batch, count)` when a
+/// batch completes at this instance.
+#[derive(Debug, Default)]
+pub struct CountBolt {
+    counts: BTreeMap<(String, i64), i64>,
+}
+
+impl Bolt for CountBolt {
+    fn execute(&mut self, tuple: Tuple, _ctx: &mut BoltContext) {
+        let (Some(word), Some(batch)) = (
+            tuple.get(0).and_then(Value::as_str).map(str::to_string),
+            tuple.get(1).and_then(Value::as_int),
+        ) else {
+            return;
+        };
+        *self.counts.entry((word, batch)).or_insert(0) += 1;
+    }
+
+    fn finish_batch(&mut self, batch: i64, ctx: &mut BoltContext) {
+        let keys: Vec<(String, i64)> =
+            self.counts.keys().filter(|(_, b)| *b == batch).cloned().collect();
+        for key in keys {
+            let n = self.counts.remove(&key).expect("key just listed");
+            ctx.emit(Tuple(vec![Value::Str(key.0), Value::Int(key.1), Value::Int(n)]));
+        }
+    }
+
+    fn name(&self) -> &str {
+        "count"
+    }
+}
+
+/// Buffers per-batch counts and "writes them to the store" (emits them
+/// downstream) when the batch may commit — immediately on local completion
+/// in the sealed topology, or upon the coordinator's in-order grant in the
+/// transactional one.
+#[derive(Debug, Default)]
+pub struct CommitBolt {
+    staged: BTreeMap<i64, Vec<Tuple>>,
+}
+
+impl Bolt for CommitBolt {
+    fn execute(&mut self, tuple: Tuple, _ctx: &mut BoltContext) {
+        let Some(batch) = tuple.get(1).and_then(Value::as_int) else { return };
+        self.staged.entry(batch).or_default().push(tuple);
+    }
+
+    fn finish_batch(&mut self, batch: i64, ctx: &mut BoltContext) {
+        for t in self.staged.remove(&batch).unwrap_or_default() {
+            ctx.emit(t);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "commit"
+    }
+}
+
+/// Wordcount deployment parameters.
+#[derive(Debug, Clone)]
+pub struct WordcountScenario {
+    /// Cluster size: parallelism of the Splitter and Count bolts.
+    pub workers: usize,
+    /// Spout instances (tweet sources).
+    pub spouts: usize,
+    /// Committer instances.
+    pub committers: usize,
+    /// The tweet workload per spout instance.
+    pub workload: TweetWorkload,
+    /// Use the transactional (coordinated) topology.
+    pub transactional: bool,
+    /// Per-word service time at Count instances.
+    pub count_service: Time,
+    /// Per-tweet service time at Splitter instances.
+    pub splitter_service: Time,
+    /// Coordinator service time per message (transactional only).
+    pub coordinator_service: Time,
+    /// Committer↔coordinator channel latency (transactional only).
+    pub coordinator_latency: Time,
+    /// Batches in flight for the transactional spout window (Storm's
+    /// max-spout-pending; 0 = open loop).
+    pub max_pending: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for WordcountScenario {
+    fn default() -> Self {
+        WordcountScenario {
+            workers: 5,
+            spouts: 2,
+            committers: 2,
+            workload: TweetWorkload::default(),
+            transactional: false,
+            count_service: 100,
+            splitter_service: 50,
+            coordinator_service: 2_000,
+            coordinator_latency: 15_000,
+            max_pending: 1,
+            seed: 17,
+        }
+    }
+}
+
+/// Result of a wordcount run.
+#[derive(Debug)]
+pub struct WordcountResult {
+    /// Simulator statistics.
+    pub stats: RunStats,
+    /// Committed `(word, batch, count)` tuples.
+    pub committed: CollectorSink,
+    /// Total tweets injected.
+    pub tweets: u64,
+}
+
+impl WordcountResult {
+    /// Committed counts keyed by `(word, batch)`.
+    #[must_use]
+    pub fn counts(&self) -> BTreeMap<(String, i64), i64> {
+        self.committed
+            .messages()
+            .iter()
+            .filter_map(Message::as_data)
+            .filter_map(|t| {
+                Some((
+                    (
+                        t.get(0).and_then(Value::as_str)?.to_string(),
+                        t.get(1).and_then(Value::as_int)?,
+                    ),
+                    t.get(2).and_then(Value::as_int)?,
+                ))
+            })
+            .collect()
+    }
+
+    /// End-to-end throughput in tweets per virtual second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.stats.end_time == 0 {
+            return 0.0;
+        }
+        self.tweets as f64 / (self.stats.end_time as f64 / 1_000_000.0)
+    }
+}
+
+/// Build and run the wordcount topology.
+#[must_use]
+pub fn run_wordcount(sc: &WordcountScenario) -> WordcountResult {
+    let mut t = TopologyBuilder::new("wordcount", sc.seed);
+    t.set_default_channel(ChannelConfig::lan().with_jitter(2_000));
+
+    let spout = t.add_spout("tweets", sc.spouts);
+    for inst in 0..sc.spouts {
+        let mut sched: Vec<(Time, Message)> = Vec::new();
+        let tweets = sc.workload.generate(inst);
+        let mut last_batch: i64 = -1;
+        let mut last_time: Time = 0;
+        for (at, tweet) in tweets {
+            let batch = tweet.get(1).and_then(Value::as_int).expect("batch field");
+            if batch != last_batch && last_batch >= 0 {
+                sched.push((last_time + 1, batch_seal(last_batch)));
+            }
+            last_batch = batch;
+            last_time = at;
+            sched.push((at, Message::Data(tweet)));
+        }
+        if last_batch >= 0 {
+            sched.push((last_time + 1, batch_seal(last_batch)));
+        }
+        t.spout_schedule(spout, inst, sched);
+    }
+
+    let splitter = t.add_bolt(
+        "Splitter",
+        sc.workers,
+        || Box::new(SplitterBolt),
+        vec![(spout, Grouping::Shuffle)],
+    );
+    t.set_service_time(splitter, sc.splitter_service);
+
+    let count = t.add_bolt(
+        "Count",
+        sc.workers,
+        || Box::new(CountBolt::default()),
+        vec![(splitter, Grouping::Fields(vec![0]))],
+    );
+    t.set_service_time(count, sc.count_service);
+
+    let commit = t.add_bolt(
+        "Commit",
+        sc.committers,
+        || Box::new(CommitBolt::default()),
+        vec![(count, Grouping::Shuffle)],
+    );
+    if sc.transactional {
+        t.make_transactional(
+            commit,
+            TransactionalConfig {
+                service_time: sc.coordinator_service,
+                channel: ChannelConfig::lan().with_latency(sc.coordinator_latency),
+                first_batch: 0,
+                max_pending: sc.max_pending,
+            },
+        );
+    }
+
+    let committed = CollectorSink::new();
+    t.add_collector_sink("store", committed.clone(), commit);
+
+    let mut run = t.build();
+    let stats = run.run(None);
+    WordcountResult {
+        stats,
+        committed,
+        tweets: (sc.spouts * sc.workload.tweets_per_instance()) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(workers: usize, transactional: bool, seed: u64) -> WordcountScenario {
+        WordcountScenario {
+            workers,
+            transactional,
+            seed,
+            workload: TweetWorkload {
+                vocabulary: 50,
+                batches: 5,
+                tweets_per_batch: 10,
+                ..TweetWorkload::default()
+            },
+            ..WordcountScenario::default()
+        }
+    }
+
+    #[test]
+    fn counts_are_complete_and_positive() {
+        let res = run_wordcount(&scenario(3, false, 1));
+        let counts = res.counts();
+        assert!(!counts.is_empty());
+        // Total committed count equals total words emitted.
+        let total: i64 = counts.values().sum();
+        assert_eq!(total as u64, res.tweets * 5, "5 words per tweet");
+    }
+
+    #[test]
+    fn sealed_topology_is_deterministic_across_seeds() {
+        // The Blazes guarantee: sealed on batch => same committed counts
+        // for every delivery interleaving.
+        let a = run_wordcount(&scenario(3, false, 1));
+        let b = run_wordcount(&scenario(3, false, 99));
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn transactional_and_sealed_agree_on_outputs() {
+        let plain = run_wordcount(&scenario(3, false, 7));
+        let tx = run_wordcount(&scenario(3, true, 7));
+        assert_eq!(plain.counts(), tx.counts());
+    }
+
+    #[test]
+    fn transactional_topology_is_slower() {
+        let plain = run_wordcount(&scenario(5, false, 7));
+        let tx = run_wordcount(&scenario(5, true, 7));
+        assert!(
+            tx.stats.end_time > plain.stats.end_time,
+            "coordination must cost virtual time: tx={} plain={}",
+            tx.stats.end_time,
+            plain.stats.end_time
+        );
+        assert!(plain.throughput() > tx.throughput());
+    }
+
+    #[test]
+    fn throughput_grows_with_cluster_size() {
+        let small = run_wordcount(&WordcountScenario {
+            count_service: 2_000,
+            splitter_service: 500,
+            ..scenario(2, false, 3)
+        });
+        let large = run_wordcount(&WordcountScenario {
+            count_service: 2_000,
+            splitter_service: 500,
+            ..scenario(8, false, 3)
+        });
+        assert!(
+            large.throughput() > small.throughput(),
+            "more workers, more throughput: {} vs {}",
+            large.throughput(),
+            small.throughput()
+        );
+    }
+
+    #[test]
+    fn commits_in_batch_order_when_transactional() {
+        let res = run_wordcount(&scenario(3, true, 5));
+        let mut max_batch = i64::MIN;
+        for m in res.committed.messages() {
+            let Some(t) = m.as_data() else { continue };
+            let b = t.get(1).and_then(Value::as_int).unwrap();
+            assert!(b >= max_batch, "batch order violated");
+            max_batch = max_batch.max(b);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Ablation: the cost of the Blazes analysis itself as the dataflow grows —
+//! the price a build system would pay to run the analyzer on every change.
+//!
+//! Benchmarks: (a) analysis of synthetic chain dataflows of increasing
+//! size; (b) the white-box extraction for the CAMPAIGN Bloom module; (c)
+//! full plan synthesis on the ad network.
+
+use blazes_apps::casestudy::ad_network_graph;
+use blazes_apps::queries::ReportQuery;
+use blazes_bloom::analyze::annotate_module;
+use blazes_core::analysis::Analyzer;
+use blazes_core::annotation::ComponentAnnotation;
+use blazes_core::graph::DataflowGraph;
+use blazes_core::strategy::plan_for;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A chain of `n` alternating CW / OW components fed by a sealed source.
+fn chain_graph(n: usize) -> DataflowGraph {
+    let mut g = DataflowGraph::new(format!("chain-{n}"));
+    let src = g.add_source("src", &["k", "v"]);
+    g.seal_source(src, ["k"]);
+    let mut prev = None;
+    for i in 0..n {
+        let c = g.add_component(format!("C{i}"));
+        let ann = if i % 2 == 0 {
+            ComponentAnnotation::cw()
+        } else {
+            ComponentAnnotation::ow(["k"])
+        };
+        g.add_path(c, "in", "out", ann);
+        match prev {
+            None => {
+                g.connect_source(src, c, "in");
+            }
+            Some(p) => {
+                g.connect(p, "out", c, "in");
+            }
+        }
+        prev = Some(c);
+    }
+    let sink = g.add_sink("sink");
+    g.connect_sink(prev.expect("n > 0"), "out", sink);
+    g
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_overhead");
+    for n in [10usize, 100, 500] {
+        let g = chain_graph(n);
+        group.bench_with_input(BenchmarkId::new("chain", n), &g, |b, g| {
+            b.iter(|| black_box(Analyzer::new(g).run().expect("analyzable")));
+        });
+    }
+
+    let m = ReportQuery::Campaign.module();
+    group.bench_function("white_box_campaign", |b| {
+        b.iter(|| black_box(annotate_module(&m).expect("analyzable")));
+    });
+
+    let (g, _) = ad_network_graph(ReportQuery::Campaign, Some(&["campaign"]));
+    group.bench_function("plan_ad_network", |b| {
+        b.iter(|| black_box(plan_for(&g, true).expect("plannable")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 11: Storm wordcount throughput vs cluster size, transactional vs
+//! sealed topologies.
+//!
+//! ```text
+//! cargo run -p blazes-bench --release --bin fig11 [runs]
+//! ```
+
+use blazes_bench::fig11_point;
+
+fn main() {
+    let runs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    println!("# Figure 11: wordcount throughput (tweets/virtual-second)");
+    println!("# cluster  transactional  sealed  ratio  (±stddev over {runs} runs)");
+    for workers in [5, 10, 15, 20] {
+        let tx = fig11_point(workers, true, runs);
+        let sealed = fig11_point(workers, false, runs);
+        let ratio = sealed.mean_throughput / tx.mean_throughput;
+        println!(
+            "{workers:7}  {tx:13.0}  {sealed:6.0}  {ratio:5.2}  (tx ±{txs:.0}, sealed ±{ss:.0})",
+            tx = tx.mean_throughput,
+            sealed = sealed.mean_throughput,
+            txs = tx.stddev_throughput,
+            ss = sealed.stddev_throughput,
+        );
+    }
+    println!("# paper shape: sealed/transactional ratio ~1.8x at 5 nodes growing to ~3x at 20");
+}

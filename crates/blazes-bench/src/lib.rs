@@ -1,0 +1,255 @@
+//! # blazes-bench
+//!
+//! The benchmark harness regenerating the Blazes evaluation (paper Section
+//! VIII). Each figure has a binary that prints the same rows/series the
+//! paper plots:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `cargo run -p blazes-bench --release --bin fig11` | Fig. 11: Storm wordcount throughput vs cluster size, transactional vs sealed |
+//! | `cargo run -p blazes-bench --release --bin fig12` | Fig. 12: ad reporting, records processed over time, 5 ad servers |
+//! | `cargo run -p blazes-bench --release --bin fig13` | Fig. 13: same, 10 ad servers |
+//! | `cargo run -p blazes-bench --release --bin fig14` | Fig. 14: seal vs independent seal, 10 ad servers |
+//! | `cargo run -p blazes-bench --release --bin case-studies` | Section VI: the label derivations for both case studies |
+//!
+//! Criterion micro-benchmarks cover the analysis itself
+//! (`analysis_overhead`) and per-figure workloads.
+
+use blazes_apps::adreport::{run_scenario, AdRunResult, AdScenario, StrategyKind};
+use blazes_apps::queries::ReportQuery;
+use blazes_apps::wordcount::{run_wordcount, WordcountResult, WordcountScenario};
+use blazes_apps::workload::{CampaignPlacement, ClickWorkload, TweetWorkload};
+use blazes_dataflow::metrics::TimeSeries;
+use blazes_dataflow::sim::Time;
+
+/// Calibrated wordcount scenario for one Fig. 11 data point.
+///
+/// The shape knobs mirror the paper's setup: a fixed workload processed by
+/// a cluster of `workers` nodes; the transactional variant pays a
+/// coordination round-trip per batch, serialized in batch order.
+#[must_use]
+pub fn fig11_scenario(workers: usize, transactional: bool, seed: u64) -> WordcountScenario {
+    WordcountScenario {
+        workers,
+        spouts: 4,
+        committers: 2,
+        workload: TweetWorkload {
+            vocabulary: 10_000,
+            zipf_exponent: 0.5,
+            words_per_tweet: 5,
+            tweets_per_batch: 50,
+            batches: 40,
+            tweet_interval: 20,
+            seed: 1000 + seed,
+        },
+        transactional,
+        count_service: 120,
+        splitter_service: 40,
+        coordinator_service: 3_000,
+        coordinator_latency: 4_000,
+        max_pending: 1,
+        seed,
+    }
+}
+
+/// One Fig. 11 data point, averaged over `runs` seeds (the paper averages
+/// over three runs).
+#[must_use]
+pub fn fig11_point(workers: usize, transactional: bool, runs: u64) -> Fig11Point {
+    let mut throughputs = Vec::with_capacity(runs as usize);
+    for seed in 0..runs {
+        let res = run_wordcount(&fig11_scenario(workers, transactional, seed));
+        throughputs.push(res.throughput());
+    }
+    Fig11Point {
+        workers,
+        transactional,
+        mean_throughput: mean(&throughputs),
+        stddev_throughput: stddev(&throughputs),
+    }
+}
+
+/// A Fig. 11 sample.
+#[derive(Debug, Clone)]
+pub struct Fig11Point {
+    /// Cluster size.
+    pub workers: usize,
+    /// Transactional or sealed topology.
+    pub transactional: bool,
+    /// Mean throughput (tweets per virtual second).
+    pub mean_throughput: f64,
+    /// Standard deviation across runs (the paper's error bars).
+    pub stddev_throughput: f64,
+}
+
+/// Calibrated ad-reporting scenario for Figures 12–14.
+#[must_use]
+pub fn adreport_scenario(
+    ad_servers: usize,
+    strategy: StrategyKind,
+    placement: CampaignPlacement,
+    seed: u64,
+) -> AdScenario {
+    AdScenario {
+        workload: ClickWorkload {
+            ad_servers,
+            entries_per_server: 1_000,
+            batch_size: 50,
+            sleep_between_batches: 1_000_000,
+            entry_interval: 200,
+            campaigns: 100,
+            ads_per_campaign: 10,
+            placement,
+            seed: 500 + seed,
+        },
+        strategy,
+        replicas: 3,
+        requests: 20,
+        report_service: 150,
+        sequencer_service: 12_000,
+        query: ReportQuery::Campaign,
+        tick_every: 50,
+        seed,
+    }
+}
+
+/// One figure-12/13/14 line: the per-replica-max cumulative series.
+#[derive(Debug)]
+pub struct AdLine {
+    /// Figure legend label.
+    pub label: &'static str,
+    /// Downsampled `(seconds, records)` points of replica 0.
+    pub points: Vec<(f64, u64)>,
+    /// Completion time of the slowest replica, seconds.
+    pub completion_secs: Option<f64>,
+    /// Whether replicas answered queries consistently.
+    pub consistent: bool,
+}
+
+/// Run one ad-reporting configuration and extract its figure line.
+#[must_use]
+pub fn adreport_line(
+    ad_servers: usize,
+    strategy: StrategyKind,
+    placement: CampaignPlacement,
+    seed: u64,
+    buckets: usize,
+) -> AdLine {
+    let sc = adreport_scenario(ad_servers, strategy, placement, seed);
+    let res = run_scenario(&sc);
+    AdLine {
+        label: strategy.label(placement),
+        points: downsample_secs(&res.series[0], buckets),
+        completion_secs: res.completion_time().map(secs),
+        consistent: res.responses_consistent(),
+    }
+}
+
+/// Render a figure line as a gnuplot-style two-column block.
+#[must_use]
+pub fn render_line(line: &AdLine) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {}", line.label);
+    for (t, c) in &line.points {
+        let _ = writeln!(s, "{t:10.2} {c:8}");
+    }
+    if let Some(done) = line.completion_secs {
+        let _ = writeln!(s, "# completed at {done:.2}s, consistent={}", line.consistent);
+    }
+    s
+}
+
+/// The full result of an ad run, for tests that need more detail.
+#[must_use]
+pub fn adreport_run(
+    ad_servers: usize,
+    strategy: StrategyKind,
+    placement: CampaignPlacement,
+    seed: u64,
+) -> AdRunResult {
+    run_scenario(&adreport_scenario(ad_servers, strategy, placement, seed))
+}
+
+/// Convert virtual microseconds to seconds.
+#[must_use]
+pub fn secs(t: Time) -> f64 {
+    t as f64 / 1_000_000.0
+}
+
+fn downsample_secs(series: &TimeSeries, buckets: usize) -> Vec<(f64, u64)> {
+    series.downsample(buckets).into_iter().map(|(t, c)| (secs(t), c)).collect()
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation.
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// A quick low-volume variant of [`fig11_point`] for tests.
+#[must_use]
+pub fn fig11_result_small(workers: usize, transactional: bool) -> WordcountResult {
+    let mut sc = fig11_scenario(workers, transactional, 0);
+    sc.workload.batches = 8;
+    sc.workload.tweets_per_batch = 20;
+    run_wordcount(&sc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-9);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn fig11_sealed_beats_transactional() {
+        let sealed = fig11_result_small(5, false);
+        let tx = fig11_result_small(5, true);
+        assert!(
+            sealed.throughput() > tx.throughput(),
+            "sealed {} must beat transactional {}",
+            sealed.throughput(),
+            tx.throughput()
+        );
+    }
+
+    #[test]
+    fn adreport_line_has_points() {
+        let line = adreport_line(
+            2,
+            StrategyKind::Uncoordinated,
+            CampaignPlacement::Spread,
+            1,
+            20,
+        );
+        assert!(!line.points.is_empty());
+        assert!(line.completion_secs.is_some());
+        let text = render_line(&line);
+        assert!(text.contains("Uncoordinated"));
+    }
+
+    #[test]
+    fn secs_conversion() {
+        assert!((secs(1_500_000) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,446 @@
+//! Abstract syntax for the mini-Bloom dialect.
+//!
+//! A [`Module`] declares collections and rules. Collections are typed by
+//! [`CollectionKind`]: persistent `table`s, per-timestep `scratch`es, and
+//! the `input`/`output` interfaces that connect a module to the dataflow.
+//! Rules merge the result of a body query into a head collection under one
+//! of Bloom's four merge operators.
+
+use std::fmt;
+
+/// A literal value in rules (mirrors the runtime value type).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Str(s) => write!(f, "'{s}'"),
+            Literal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// How a collection persists across timesteps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectionKind {
+    /// Persistent state, survives timesteps.
+    Table,
+    /// Transient, recomputed every timestep.
+    Scratch,
+    /// External input interface (transient).
+    Input,
+    /// External output interface (transient).
+    Output,
+}
+
+impl CollectionKind {
+    /// Does the collection survive across timesteps?
+    #[must_use]
+    pub fn is_persistent(self) -> bool {
+        matches!(self, CollectionKind::Table)
+    }
+}
+
+/// A collection declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionDecl {
+    /// Collection name.
+    pub name: String,
+    /// Kind.
+    pub kind: CollectionKind,
+    /// Column names, in order.
+    pub schema: Vec<String>,
+}
+
+impl CollectionDecl {
+    /// Position of a column in the schema.
+    #[must_use]
+    pub fn col_index(&self, col: &str) -> Option<usize> {
+        self.schema.iter().position(|c| c == col)
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.schema.len()
+    }
+}
+
+/// Bloom's merge operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOp {
+    /// `<=`: merge within the current timestep (instantaneous).
+    Instant,
+    /// `<+`: merge at the next timestep (deferred).
+    Deferred,
+    /// `<-`: delete at the next timestep. Syntactically nonmonotonic.
+    Delete,
+    /// `<~`: merge at some later, nondeterministic time (asynchronous) — in
+    /// practice, emit on the network.
+    Async,
+}
+
+impl fmt::Display for MergeOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MergeOp::Instant => "<=",
+            MergeOp::Deferred => "<+",
+            MergeOp::Delete => "<-",
+            MergeOp::Async => "<~",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A column reference `collection.column` (the collection may be inferred
+/// during resolution when written bare).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ColRef {
+    /// Qualifying collection (empty string until resolved for bare refs).
+    pub collection: String,
+    /// Column name.
+    pub column: String,
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.collection.is_empty() {
+            write!(f, "{}", self.column)
+        } else {
+            write!(f, "{}.{}", self.collection, self.column)
+        }
+    }
+}
+
+/// A projection item: a column or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProjItem {
+    /// A (possibly qualified) column reference.
+    Col(ColRef),
+    /// A literal constant.
+    Lit(Literal),
+}
+
+impl fmt::Display for ProjItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjItem::Col(c) => write!(f, "{c}"),
+            ProjItem::Lit(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on ordered operands.
+    #[must_use]
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less | Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less | Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater | Equal)
+        )
+    }
+
+    /// Is this a lower-bound test (`>` / `>=`)? Lower bounds on monotone
+    /// aggregates preserve monotonicity (the THRESH pattern).
+    #[must_use]
+    pub fn is_lower_bound(self) -> bool {
+        matches!(self, CmpOp::Gt | CmpOp::Ge)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One side of a predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// Column reference (or aggregate alias in `having`).
+    Col(ColRef),
+    /// Literal.
+    Lit(Literal),
+}
+
+/// A comparison predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    /// Left operand.
+    pub lhs: Operand,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Operand,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFun {
+    /// `count(*)` or `count(col)` (rows in the group).
+    Count,
+    /// `sum(col)`.
+    Sum,
+    /// `min(col)`.
+    Min,
+    /// `max(col)`.
+    Max,
+}
+
+impl AggFun {
+    /// Does the aggregate's value grow monotonically as inputs accumulate?
+    /// (`count`/`sum` over insert-only inputs, and `max`, do; `min`
+    /// decreases.)
+    #[must_use]
+    pub fn is_monotone_increasing(self) -> bool {
+        matches!(self, AggFun::Count | AggFun::Sum | AggFun::Max)
+    }
+}
+
+impl fmt::Display for AggFun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFun::Count => "count",
+            AggFun::Sum => "sum",
+            AggFun::Min => "min",
+            AggFun::Max => "max",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The body of a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleBody {
+    /// `head <= src [-> (proj)] [where preds]`
+    Select {
+        /// Source collection.
+        source: String,
+        /// Projection (defaults to all source columns in order).
+        projection: Option<Vec<ProjItem>>,
+        /// Conjunctive predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// `head <= (a * b) on (a.x = b.y, ...) -> (proj) [where preds]`
+    Join {
+        /// Left collection.
+        left: String,
+        /// Right collection.
+        right: String,
+        /// Equality pairs (left column, right column).
+        on: Vec<(ColRef, ColRef)>,
+        /// Projection over both sides (mandatory for joins).
+        projection: Vec<ProjItem>,
+        /// Conjunctive predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// `head <= a not in b on (a.x = b.x) [-> (proj)] [where preds]`
+    AntiJoin {
+        /// Positive side.
+        source: String,
+        /// Negated side.
+        neg: String,
+        /// Equality pairs (source column, neg column) — the theta clause.
+        on: Vec<(ColRef, ColRef)>,
+        /// Projection over the positive side (defaults to all its columns).
+        projection: Option<Vec<ProjItem>>,
+        /// Conjunctive predicates over the positive side.
+        predicates: Vec<Predicate>,
+    },
+    /// `head <= src group by (cols) agg f(col|*) as alias [having pred]
+    ///  [-> (proj)]`
+    GroupBy {
+        /// Source collection.
+        source: String,
+        /// Grouping columns.
+        group_by: Vec<ColRef>,
+        /// Aggregate function.
+        agg: AggFun,
+        /// Aggregated column (`None` = `*`).
+        agg_col: Option<ColRef>,
+        /// Alias for the aggregate value.
+        alias: String,
+        /// Optional `having` predicate (may reference the alias).
+        having: Option<Predicate>,
+        /// Projection over group columns + alias (defaults to group cols
+        /// then alias).
+        projection: Option<Vec<ProjItem>>,
+    },
+}
+
+impl RuleBody {
+    /// Collections read by this body.
+    #[must_use]
+    pub fn sources(&self) -> Vec<&str> {
+        match self {
+            RuleBody::Select { source, .. } | RuleBody::GroupBy { source, .. } => {
+                vec![source]
+            }
+            RuleBody::Join { left, right, .. } => vec![left, right],
+            RuleBody::AntiJoin { source, neg, .. } => vec![source, neg],
+        }
+    }
+
+    /// Collections whose appearance is *negated* (under `not in`).
+    #[must_use]
+    pub fn negated_sources(&self) -> Vec<&str> {
+        match self {
+            RuleBody::AntiJoin { neg, .. } => vec![neg],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A rule: `head OP body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Head collection.
+    pub head: String,
+    /// Merge operator.
+    pub op: MergeOp,
+    /// Body query.
+    pub body: RuleBody,
+}
+
+/// A Bloom module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Collection declarations.
+    pub collections: Vec<CollectionDecl>,
+    /// Rules in program order.
+    pub rules: Vec<Rule>,
+}
+
+impl Module {
+    /// Find a collection by name.
+    #[must_use]
+    pub fn collection(&self, name: &str) -> Option<&CollectionDecl> {
+        self.collections.iter().find(|c| c.name == name)
+    }
+
+    /// Input interface names.
+    #[must_use]
+    pub fn inputs(&self) -> Vec<&str> {
+        self.collections
+            .iter()
+            .filter(|c| c.kind == CollectionKind::Input)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// Output interface names.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<&str> {
+        self.collections
+            .iter()
+            .filter(|c| c.kind == CollectionKind::Output)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Lt.eval(Less));
+        assert!(!CmpOp::Lt.eval(Equal));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Ne.eval(Greater));
+        assert!(CmpOp::Ge.eval(Greater));
+        assert!(!CmpOp::Eq.eval(Less));
+    }
+
+    #[test]
+    fn lower_bound_detection() {
+        assert!(CmpOp::Gt.is_lower_bound());
+        assert!(CmpOp::Ge.is_lower_bound());
+        assert!(!CmpOp::Lt.is_lower_bound());
+        assert!(!CmpOp::Eq.is_lower_bound());
+    }
+
+    #[test]
+    fn agg_monotonicity() {
+        assert!(AggFun::Count.is_monotone_increasing());
+        assert!(AggFun::Sum.is_monotone_increasing());
+        assert!(AggFun::Max.is_monotone_increasing());
+        assert!(!AggFun::Min.is_monotone_increasing());
+    }
+
+    #[test]
+    fn collection_kind_persistence() {
+        assert!(CollectionKind::Table.is_persistent());
+        assert!(!CollectionKind::Scratch.is_persistent());
+        assert!(!CollectionKind::Input.is_persistent());
+    }
+
+    #[test]
+    fn body_sources() {
+        let b = RuleBody::AntiJoin {
+            source: "a".into(),
+            neg: "b".into(),
+            on: vec![],
+            projection: None,
+            predicates: vec![],
+        };
+        assert_eq!(b.sources(), vec!["a", "b"]);
+        assert_eq!(b.negated_sources(), vec!["b"]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MergeOp::Async.to_string(), "<~");
+        assert_eq!(AggFun::Count.to_string(), "count");
+        assert_eq!(CmpOp::Ge.to_string(), ">=");
+        assert_eq!(Literal::Str("x".into()).to_string(), "'x'");
+        let c = ColRef { collection: "log".into(), column: "id".into() };
+        assert_eq!(c.to_string(), "log.id");
+        let bare = ColRef { collection: String::new(), column: "id".into() };
+        assert_eq!(bare.to_string(), "id");
+    }
+}

@@ -1,0 +1,61 @@
+//! Errors for the mini-Bloom front end.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BloomError>;
+
+/// Errors raised by parsing, validation, analysis or evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BloomError {
+    /// Lexical error.
+    Lex {
+        /// 1-based line.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// Semantic validation error (unknown collection, arity mismatch, ...).
+    Validate(String),
+    /// The program has a cycle through a nonmonotonic rule and cannot be
+    /// stratified.
+    Unstratifiable(String),
+    /// Runtime evaluation error.
+    Eval(String),
+}
+
+impl fmt::Display for BloomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BloomError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            BloomError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            BloomError::Validate(m) => write!(f, "validation error: {m}"),
+            BloomError::Unstratifiable(m) => write!(f, "unstratifiable program: {m}"),
+            BloomError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BloomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(BloomError::Validate("x".into()).to_string().contains("validation"));
+        assert!(BloomError::Unstratifiable("c".into()).to_string().contains("unstratifiable"));
+        let e = BloomError::Parse { line: 4, message: "oops".into() };
+        assert!(e.to_string().contains("line 4"));
+    }
+}

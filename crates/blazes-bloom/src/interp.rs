@@ -1,0 +1,741 @@
+//! The timestep interpreter for mini-Bloom modules.
+//!
+//! Bloom evaluates in discrete timesteps. Within a timestep:
+//!
+//! 1. pending deferred merges (`<+`) and deletions (`<-`) from the previous
+//!    timestep are applied to persistent tables;
+//! 2. the timestep's external inputs populate the input interfaces;
+//! 3. the **instantaneous** rules (`<=`) run to fixpoint, stratum by
+//!    stratum (nonmonotonic operators — aggregation, negation — only read
+//!    collections from strictly lower strata, so each evaluates over a
+//!    complete extension);
+//! 4. deferred, deletion and asynchronous (`<~`) rules evaluate once
+//!    against the final state; deferred/deleted tuples take effect next
+//!    timestep, async tuples are handed to the network.
+//!
+//! Collections hold *sets* of tuples (Bloom's set semantics).
+
+use crate::ast::*;
+use crate::catalog;
+use crate::error::{BloomError, Result};
+use blazes_dataflow::value::{Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+type Rel = BTreeSet<Tuple>;
+
+/// The output of one timestep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TickOutput {
+    /// Tuples visible on each output interface this timestep (instant
+    /// derivations and async emissions, deduplicated, in sorted order).
+    pub outputs: BTreeMap<String, Vec<Tuple>>,
+}
+
+impl TickOutput {
+    /// Tuples emitted on one interface (empty slice if none).
+    #[must_use]
+    pub fn on(&self, iface: &str) -> &[Tuple] {
+        self.outputs.get(iface).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// A running instance of a module: persistent tables plus pending deferred
+/// work.
+#[derive(Debug, Clone)]
+pub struct ModuleInstance {
+    module: Module,
+    strata: BTreeMap<String, usize>,
+    max_stratum: usize,
+    tables: BTreeMap<String, Rel>,
+    pending_insert: BTreeMap<String, Rel>,
+    pending_delete: BTreeMap<String, Rel>,
+    ticks: u64,
+}
+
+impl ModuleInstance {
+    /// Instantiate a module (validates stratifiability).
+    pub fn new(module: Module) -> Result<Self> {
+        let strata = catalog::stratify(&module)?;
+        let max_stratum = strata.values().copied().max().unwrap_or(0);
+        let tables = module
+            .collections
+            .iter()
+            .filter(|c| c.kind.is_persistent())
+            .map(|c| (c.name.clone(), Rel::new()))
+            .collect();
+        Ok(ModuleInstance {
+            module,
+            strata,
+            max_stratum,
+            tables,
+            pending_insert: BTreeMap::new(),
+            pending_delete: BTreeMap::new(),
+            ticks: 0,
+        })
+    }
+
+    /// The module definition.
+    #[must_use]
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Number of timesteps executed.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Contents of a persistent table (empty for unknown names).
+    #[must_use]
+    pub fn table(&self, name: &str) -> Vec<Tuple> {
+        self.tables.get(name).map(|r| r.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// Execute one timestep with the given input-interface tuples.
+    pub fn tick(&mut self, inputs: BTreeMap<String, Vec<Tuple>>) -> Result<TickOutput> {
+        self.ticks += 1;
+
+        // 1. Apply pending deferred work to tables.
+        for (name, rel) in std::mem::take(&mut self.pending_delete) {
+            if let Some(t) = self.tables.get_mut(&name) {
+                for tuple in rel {
+                    t.remove(&tuple);
+                }
+            }
+        }
+        let pending = std::mem::take(&mut self.pending_insert);
+
+        // 2. Initialize the timestep state.
+        let mut state: BTreeMap<String, Rel> = BTreeMap::new();
+        for c in &self.module.collections {
+            let mut rel = if c.kind.is_persistent() {
+                self.tables.get(&c.name).cloned().unwrap_or_default()
+            } else {
+                Rel::new()
+            };
+            if let Some(p) = pending.get(&c.name) {
+                rel.extend(p.iter().cloned());
+            }
+            state.insert(c.name.clone(), rel);
+        }
+        for (iface, tuples) in inputs {
+            let decl = self
+                .module
+                .collection(&iface)
+                .ok_or_else(|| BloomError::Eval(format!("unknown input interface {iface:?}")))?;
+            if decl.kind != CollectionKind::Input {
+                return Err(BloomError::Eval(format!("{iface:?} is not an input interface")));
+            }
+            for t in tuples {
+                if t.arity() != decl.arity() {
+                    return Err(BloomError::Eval(format!(
+                        "arity mismatch on {iface:?}: got {}, expected {}",
+                        t.arity(),
+                        decl.arity()
+                    )));
+                }
+                state.get_mut(&iface).expect("declared").insert(t);
+            }
+        }
+
+        // 3. Stratified fixpoint of instantaneous rules.
+        for stratum in 0..=self.max_stratum {
+            loop {
+                let mut changed = false;
+                for rule in &self.module.rules {
+                    if rule.op != MergeOp::Instant || self.strata[&rule.head] != stratum {
+                        continue;
+                    }
+                    let derived = eval_body(&self.module, &state, &rule.body)?;
+                    let head = state.get_mut(&rule.head).expect("declared");
+                    for t in derived {
+                        changed |= head.insert(t);
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        // 4. Deferred / deletion / async rules against the final state.
+        let mut output = TickOutput::default();
+        for rule in &self.module.rules {
+            match rule.op {
+                MergeOp::Instant => {}
+                MergeOp::Deferred => {
+                    let derived = eval_body(&self.module, &state, &rule.body)?;
+                    self.pending_insert.entry(rule.head.clone()).or_default().extend(derived);
+                }
+                MergeOp::Delete => {
+                    let derived = eval_body(&self.module, &state, &rule.body)?;
+                    self.pending_delete.entry(rule.head.clone()).or_default().extend(derived);
+                }
+                MergeOp::Async => {
+                    let derived = eval_body(&self.module, &state, &rule.body)?;
+                    let kind = self.module.collection(&rule.head).map(|c| c.kind);
+                    if kind == Some(CollectionKind::Output) {
+                        let out = output.outputs.entry(rule.head.clone()).or_default();
+                        for t in derived {
+                            if !out.contains(&t) {
+                                out.push(t);
+                            }
+                        }
+                    } else {
+                        // Async into internal state lands next timestep.
+                        self.pending_insert
+                            .entry(rule.head.clone())
+                            .or_default()
+                            .extend(derived);
+                    }
+                }
+            }
+        }
+
+        // Persist table contents (instant merges into tables stick).
+        for c in &self.module.collections {
+            if c.kind.is_persistent() {
+                self.tables.insert(c.name.clone(), state[&c.name].clone());
+            }
+        }
+        // Instantly derived output contents are also visible externally.
+        for out_name in self.module.outputs() {
+            let rel = &state[out_name];
+            if !rel.is_empty() {
+                let out = output.outputs.entry(out_name.to_string()).or_default();
+                for t in rel {
+                    if !out.contains(t) {
+                        out.push(t.clone());
+                    }
+                }
+            }
+        }
+        for v in output.outputs.values_mut() {
+            v.sort();
+        }
+        Ok(output)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Body evaluation
+// ---------------------------------------------------------------------
+
+fn lit_value(l: &Literal) -> Value {
+    match l {
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+    }
+}
+
+/// A row environment: qualified column lookup across one or two bound
+/// collections plus an optional aggregate alias.
+struct Env<'a> {
+    bindings: Vec<(&'a str, &'a CollectionDecl, &'a Tuple)>,
+    alias: Option<(&'a str, Value)>,
+}
+
+impl<'a> Env<'a> {
+    fn lookup(&self, col: &ColRef) -> Result<Value> {
+        if let Some((alias, v)) = &self.alias {
+            if col.collection.is_empty() && col.column == *alias {
+                return Ok(v.clone());
+            }
+        }
+        for (name, decl, tuple) in &self.bindings {
+            if !col.collection.is_empty() && col.collection != *name {
+                continue;
+            }
+            if let Some(i) = decl.col_index(&col.column) {
+                return Ok(tuple.get(i).expect("schema arity").clone());
+            }
+            if !col.collection.is_empty() {
+                return Err(BloomError::Eval(format!(
+                    "collection {:?} has no column {:?}",
+                    name, col.column
+                )));
+            }
+        }
+        Err(BloomError::Eval(format!("unresolved column reference {col}")))
+    }
+
+    fn operand(&self, op: &Operand) -> Result<Value> {
+        match op {
+            Operand::Col(c) => self.lookup(c),
+            Operand::Lit(l) => Ok(lit_value(l)),
+        }
+    }
+
+    fn check(&self, pred: &Predicate) -> Result<bool> {
+        let l = self.operand(&pred.lhs)?;
+        let r = self.operand(&pred.rhs)?;
+        Ok(pred.op.eval(l.cmp(&r)))
+    }
+
+    fn check_all(&self, preds: &[Predicate]) -> Result<bool> {
+        for p in preds {
+            if !self.check(p)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn project(&self, items: &[ProjItem]) -> Result<Tuple> {
+        let mut values = Vec::with_capacity(items.len());
+        for item in items {
+            values.push(match item {
+                ProjItem::Col(c) => self.lookup(c)?,
+                ProjItem::Lit(l) => lit_value(l),
+            });
+        }
+        Ok(Tuple(values))
+    }
+}
+
+fn decl<'m>(m: &'m Module, name: &str) -> Result<&'m CollectionDecl> {
+    m.collection(name)
+        .ok_or_else(|| BloomError::Eval(format!("unknown collection {name:?}")))
+}
+
+fn eval_body(m: &Module, state: &BTreeMap<String, Rel>, body: &RuleBody) -> Result<Rel> {
+    match body {
+        RuleBody::Select { source, projection, predicates } => {
+            let d = decl(m, source)?;
+            let mut out = Rel::new();
+            for t in &state[source] {
+                let env = Env { bindings: vec![(source, d, t)], alias: None };
+                if !env.check_all(predicates)? {
+                    continue;
+                }
+                out.insert(match projection {
+                    Some(items) => env.project(items)?,
+                    None => t.clone(),
+                });
+            }
+            Ok(out)
+        }
+        RuleBody::Join { left, right, on, projection, predicates } => {
+            let dl = decl(m, left)?;
+            let dr = decl(m, right)?;
+            let mut out = Rel::new();
+            for lt in &state[left] {
+                for rt in &state[right] {
+                    let env = Env {
+                        bindings: vec![(left, dl, lt), (right, dr, rt)],
+                        alias: None,
+                    };
+                    let mut matched = true;
+                    for (lc, rc) in on {
+                        if env.lookup(lc)? != env.lookup(rc)? {
+                            matched = false;
+                            break;
+                        }
+                    }
+                    if matched && env.check_all(predicates)? {
+                        out.insert(env.project(projection)?);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        RuleBody::AntiJoin { source, neg, on, projection, predicates } => {
+            let ds = decl(m, source)?;
+            let dn = decl(m, neg)?;
+            let mut out = Rel::new();
+            for t in &state[source] {
+                let mut matched = false;
+                for nt in &state[neg] {
+                    let env = Env {
+                        bindings: vec![(source, ds, t), (neg, dn, nt)],
+                        alias: None,
+                    };
+                    let mut all_eq = true;
+                    for (lc, rc) in on {
+                        if env.lookup(lc)? != env.lookup(rc)? {
+                            all_eq = false;
+                            break;
+                        }
+                    }
+                    if all_eq {
+                        matched = true;
+                        break;
+                    }
+                }
+                if matched {
+                    continue;
+                }
+                let env = Env { bindings: vec![(source, ds, t)], alias: None };
+                if !env.check_all(predicates)? {
+                    continue;
+                }
+                out.insert(match projection {
+                    Some(items) => env.project(items)?,
+                    None => t.clone(),
+                });
+            }
+            Ok(out)
+        }
+        RuleBody::GroupBy { source, group_by, agg, agg_col, alias, having, projection } => {
+            let d = decl(m, source)?;
+            // Group rows by the grouping key.
+            let mut groups: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
+            for t in &state[source] {
+                let env = Env { bindings: vec![(source, d, t)], alias: None };
+                let mut key = Vec::with_capacity(group_by.len());
+                for c in group_by {
+                    key.push(env.lookup(c)?);
+                }
+                groups.entry(key).or_default().push(t);
+            }
+            let mut out = Rel::new();
+            for (key, rows) in groups {
+                let value = aggregate(m, source, d, *agg, agg_col.as_ref(), &rows)?;
+                // Representative row for column resolution.
+                let rep = rows[0];
+                let env = Env {
+                    bindings: vec![(source, d, rep)],
+                    alias: Some((alias.as_str(), value.clone())),
+                };
+                if let Some(h) = having {
+                    if !env.check(h)? {
+                        continue;
+                    }
+                }
+                let tuple = match projection {
+                    Some(items) => env.project(items)?,
+                    None => {
+                        let mut values = key.clone();
+                        values.push(value.clone());
+                        Tuple(values)
+                    }
+                };
+                out.insert(tuple);
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn aggregate(
+    _m: &Module,
+    source: &str,
+    d: &CollectionDecl,
+    agg: AggFun,
+    agg_col: Option<&ColRef>,
+    rows: &[&Tuple],
+) -> Result<Value> {
+    let col_index = |c: &ColRef| -> Result<usize> {
+        if !c.collection.is_empty() && c.collection != source {
+            return Err(BloomError::Eval(format!(
+                "aggregate column {c} does not belong to {source:?}"
+            )));
+        }
+        d.col_index(&c.column)
+            .ok_or_else(|| BloomError::Eval(format!("unknown aggregate column {c}")))
+    };
+    Ok(match agg {
+        AggFun::Count => Value::Int(rows.len() as i64),
+        AggFun::Sum => {
+            let c = agg_col
+                .ok_or_else(|| BloomError::Eval("sum requires a column".to_string()))?;
+            let i = col_index(c)?;
+            let mut sum = 0i64;
+            for r in rows {
+                sum += r
+                    .get(i)
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| BloomError::Eval("sum over non-integer".to_string()))?;
+            }
+            Value::Int(sum)
+        }
+        AggFun::Min | AggFun::Max => {
+            let c = agg_col
+                .ok_or_else(|| BloomError::Eval("min/max require a column".to_string()))?;
+            let i = col_index(c)?;
+            let mut vals: Vec<&Value> = rows.iter().filter_map(|r| r.get(i)).collect();
+            vals.sort();
+            let v = if agg == AggFun::Min {
+                vals.first()
+            } else {
+                vals.last()
+            };
+            (*v.ok_or_else(|| BloomError::Eval("aggregate over empty group".to_string()))?)
+                .clone()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn inputs(pairs: &[(&str, Vec<Tuple>)]) -> BTreeMap<String, Vec<Tuple>> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    fn t2(a: impl Into<Value>, b: impl Into<Value>) -> Tuple {
+        Tuple(vec![a.into(), b.into()])
+    }
+
+    fn t1(a: impl Into<Value>) -> Tuple {
+        Tuple(vec![a.into()])
+    }
+
+    #[test]
+    fn select_relay() {
+        let m = parse_module("module M { input a(x) output o(x) o <= a }").unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        let out = inst.tick(inputs(&[("a", vec![t1(1i64), t1(2i64)])])).unwrap();
+        assert_eq!(out.on("o"), &[t1(1i64), t1(2i64)]);
+    }
+
+    #[test]
+    fn tables_persist_across_ticks() {
+        let m = parse_module(
+            "module M { input a(x) output o(x) table t(x) t <= a o <= t }",
+        )
+        .unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        inst.tick(inputs(&[("a", vec![t1(1i64)])])).unwrap();
+        let out = inst.tick(inputs(&[("a", vec![t1(2i64)])])).unwrap();
+        // Both the old and the new tuple are in the table.
+        assert_eq!(out.on("o"), &[t1(1i64), t1(2i64)]);
+        assert_eq!(inst.table("t").len(), 2);
+    }
+
+    #[test]
+    fn scratches_do_not_persist() {
+        let m = parse_module(
+            "module M { input a(x) output o(x) scratch s(x) s <= a o <= s }",
+        )
+        .unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        inst.tick(inputs(&[("a", vec![t1(1i64)])])).unwrap();
+        let out = inst.tick(inputs(&[])).unwrap();
+        assert!(out.on("o").is_empty());
+    }
+
+    #[test]
+    fn deferred_merge_lands_next_tick() {
+        let m = parse_module(
+            "module M { input a(x) output o(x) table t(x) t <+ a o <= t }",
+        )
+        .unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        let out = inst.tick(inputs(&[("a", vec![t1(1i64)])])).unwrap();
+        assert!(out.on("o").is_empty(), "deferred: not visible this tick");
+        let out = inst.tick(inputs(&[])).unwrap();
+        assert_eq!(out.on("o"), &[t1(1i64)]);
+    }
+
+    #[test]
+    fn deletion_removes_next_tick() {
+        let m = parse_module(
+            r#"
+module M {
+  input a(x)
+  input del(x)
+  output o(x)
+  table t(x)
+  t <= a
+  t <- (t * del) on (t.x = del.x) -> (t.x)
+  o <= t
+}
+"#,
+        )
+        .unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        inst.tick(inputs(&[("a", vec![t1(1i64), t1(2i64)])])).unwrap();
+        let out = inst.tick(inputs(&[("del", vec![t1(1i64)])])).unwrap();
+        // Deletion is deferred: tuple 1 still visible this tick.
+        assert_eq!(out.on("o"), &[t1(1i64), t1(2i64)]);
+        let out = inst.tick(inputs(&[])).unwrap();
+        assert_eq!(out.on("o"), &[t1(2i64)]);
+    }
+
+    #[test]
+    fn transitive_closure_fixpoint() {
+        let m = parse_module(
+            r#"
+module TC {
+  input edge(src, dst)
+  output path(src, dst)
+  table e(src, dst)
+  scratch p(src, dst)
+  e <= edge
+  p <= e
+  p <= (p * e) on (p.dst = e.src) -> (p.src, e.dst)
+  path <= p
+}
+"#,
+        )
+        .unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        let out = inst
+            .tick(inputs(&[(
+                "edge",
+                vec![t2(1i64, 2i64), t2(2i64, 3i64), t2(3i64, 4i64)],
+            )]))
+            .unwrap();
+        // 3 direct + 2 two-hop + 1 three-hop = 6 paths.
+        assert_eq!(out.on("path").len(), 6);
+        assert!(out.on("path").contains(&t2(1i64, 4i64)));
+    }
+
+    #[test]
+    fn groupby_count_and_having() {
+        let m = parse_module(
+            r#"
+module G {
+  input click(id)
+  output poor(id, n)
+  table log(id)
+  log <= click
+  poor <= log group by (log.id) agg count(*) as n having n < 3
+}
+"#,
+        )
+        .unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        // Note set semantics: duplicates collapse, so use distinct tuples.
+        let m_inputs = inputs(&[("click", vec![t1("a"), t1("b")])]);
+        let out = inst.tick(m_inputs).unwrap();
+        assert_eq!(out.on("poor").len(), 2);
+        assert!(out.on("poor").contains(&t2("a", 1i64)));
+    }
+
+    #[test]
+    fn groupby_sum_min_max() {
+        let m = parse_module(
+            r#"
+module G {
+  input obs(k, v)
+  output s(k, total)
+  output lo(k, v)
+  output hi(k, v)
+  s <= obs group by (obs.k) agg sum(obs.v) as total
+  lo <= obs group by (obs.k) agg min(obs.v) as v
+  hi <= obs group by (obs.k) agg max(obs.v) as v
+}
+"#,
+        )
+        .unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        let out = inst
+            .tick(inputs(&[("obs", vec![t2("a", 1i64), t2("a", 5i64), t2("b", 3i64)])]))
+            .unwrap();
+        assert_eq!(out.on("s"), &[t2("a", 6i64), t2("b", 3i64)]);
+        assert_eq!(out.on("lo"), &[t2("a", 1i64), t2("b", 3i64)]);
+        assert_eq!(out.on("hi"), &[t2("a", 5i64), t2("b", 3i64)]);
+    }
+
+    #[test]
+    fn antijoin_evaluation() {
+        let m = parse_module(
+            r#"
+module A {
+  input orders(id)
+  input cancels(id)
+  output live(id)
+  live <= orders not in cancels on (orders.id = cancels.id)
+}
+"#,
+        )
+        .unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        let out = inst
+            .tick(inputs(&[
+                ("orders", vec![t1(1i64), t1(2i64), t1(3i64)]),
+                ("cancels", vec![t1(2i64)]),
+            ]))
+            .unwrap();
+        assert_eq!(out.on("live"), &[t1(1i64), t1(3i64)]);
+    }
+
+    #[test]
+    fn stratified_negation_sees_complete_lower_stratum() {
+        // p is derived transitively; the antijoin over p must observe the
+        // full fixpoint of p, not a partial extension.
+        let m = parse_module(
+            r#"
+module S {
+  input seed(x)
+  output missing(x)
+  input all_vals(x)
+  scratch p(x)
+  p <= seed
+  p <= p where p.x > 100
+  missing <= all_vals not in p on (all_vals.x = p.x)
+}
+"#,
+        )
+        .unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        let out = inst
+            .tick(inputs(&[
+                ("seed", vec![t1(1i64)]),
+                ("all_vals", vec![t1(1i64), t1(2i64)]),
+            ]))
+            .unwrap();
+        assert_eq!(out.on("missing"), &[t1(2i64)]);
+    }
+
+    #[test]
+    fn async_output_emitted() {
+        let m = parse_module("module M { input a(x) output o(x) o <~ a }").unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        let out = inst.tick(inputs(&[("a", vec![t1(9i64)])])).unwrap();
+        assert_eq!(out.on("o"), &[t1(9i64)]);
+    }
+
+    #[test]
+    fn where_predicates_filter() {
+        let m = parse_module(
+            "module M { input a(x, y) output o(x, y) o <= a where a.x > 1 and a.y == 'keep' }",
+        )
+        .unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        let out = inst
+            .tick(inputs(&[(
+                "a",
+                vec![
+                    Tuple(vec![Value::Int(2), Value::str("keep")]),
+                    Tuple(vec![Value::Int(2), Value::str("drop")]),
+                    Tuple(vec![Value::Int(0), Value::str("keep")]),
+                ],
+            )]))
+            .unwrap();
+        assert_eq!(out.on("o").len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_on_input_rejected() {
+        let m = parse_module("module M { input a(x, y) output o(x, y) o <= a }").unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        let err = inst.tick(inputs(&[("a", vec![t1(1i64)])])).unwrap_err();
+        assert!(matches!(err, BloomError::Eval(_)));
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let m = parse_module("module M { input a(x) output o(x) o <= a }").unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        let err = inst.tick(inputs(&[("ghost", vec![t1(1i64)])])).unwrap_err();
+        assert!(matches!(err, BloomError::Eval(_)));
+    }
+
+    #[test]
+    fn projection_with_literals() {
+        let m = parse_module(
+            "module M { input a(x) output o(x, tag) o <= a -> (a.x, 'hit') }",
+        )
+        .unwrap();
+        let mut inst = ModuleInstance::new(m).unwrap();
+        let out = inst.tick(inputs(&[("a", vec![t1(7i64)])])).unwrap();
+        assert_eq!(out.on("o"), &[t2(7i64, "hit")]);
+    }
+}

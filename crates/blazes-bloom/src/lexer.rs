@@ -1,0 +1,331 @@
+//! Tokenizer for the mini-Bloom syntax.
+
+use crate::error::{BloomError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    /// `<=`
+    OpInstant,
+    /// `<+`
+    OpDeferred,
+    /// `<-`
+    OpDelete,
+    /// `<~`
+    OpAsync,
+    /// `->`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=` (in join `on` clauses)
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Tokenize `input`. `#` starts a line comment.
+pub fn lex(input: &str) -> Result<Vec<Spanned>> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::LParen, line });
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::RParen, line });
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::LBrace, line });
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::RBrace, line });
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::Comma, line });
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::Dot, line });
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::Star, line });
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(BloomError::Lex {
+                        line,
+                        message: "unterminated string literal".to_string(),
+                    });
+                }
+                tokens.push(Spanned { token: Token::Str(s), line });
+            }
+            '<' => {
+                chars.next();
+                let token = match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        Token::OpInstant
+                    }
+                    Some('+') => {
+                        chars.next();
+                        Token::OpDeferred
+                    }
+                    Some('-') => {
+                        chars.next();
+                        Token::OpDelete
+                    }
+                    Some('~') => {
+                        chars.next();
+                        Token::OpAsync
+                    }
+                    _ => Token::Lt,
+                };
+                tokens.push(Spanned { token, line });
+            }
+            '>' => {
+                chars.next();
+                let token = if chars.peek() == Some(&'=') {
+                    chars.next();
+                    Token::Ge
+                } else {
+                    Token::Gt
+                };
+                tokens.push(Spanned { token, line });
+            }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        tokens.push(Spanned { token: Token::Arrow, line });
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        let n = lex_int(&mut chars, line)?;
+                        tokens.push(Spanned { token: Token::Int(-n), line });
+                    }
+                    _ => {
+                        return Err(BloomError::Lex {
+                            line,
+                            message: "expected '->' or a negative number after '-'".to_string(),
+                        })
+                    }
+                }
+            }
+            '=' => {
+                chars.next();
+                let token = if chars.peek() == Some(&'=') {
+                    chars.next();
+                    Token::EqEq
+                } else {
+                    Token::Assign
+                };
+                tokens.push(Spanned { token, line });
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Spanned { token: Token::NotEq, line });
+                } else {
+                    return Err(BloomError::Lex {
+                        line,
+                        message: "expected '=' after '!'".to_string(),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let n = lex_int(&mut chars, line)?;
+                tokens.push(Spanned { token: Token::Int(n), line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned { token: Token::Ident(s), line });
+            }
+            other => {
+                return Err(BloomError::Lex {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_int(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, line: usize) -> Result<i64> {
+    let mut s = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() || c == '_' {
+            if c != '_' {
+                s.push(c);
+            }
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    s.parse().map_err(|_| BloomError::Lex {
+        line,
+        message: format!("invalid integer literal {s:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn merge_operators() {
+        assert_eq!(
+            toks("a <= b <+ c <- d <~ e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::OpInstant,
+                Token::Ident("b".into()),
+                Token::OpDeferred,
+                Token::Ident("c".into()),
+                Token::OpDelete,
+                Token::Ident("d".into()),
+                Token::OpAsync,
+                Token::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons_vs_merges() {
+        assert_eq!(toks("n < 100"), vec![Token::Ident("n".into()), Token::Lt, Token::Int(100)]);
+        assert_eq!(toks("n >= 5"), vec![Token::Ident("n".into()), Token::Ge, Token::Int(5)]);
+        assert_eq!(toks("a == b")[1], Token::EqEq);
+        assert_eq!(toks("a != b")[1], Token::NotEq);
+        assert_eq!(toks("a = b")[1], Token::Assign);
+    }
+
+    #[test]
+    fn arrow_and_negative_numbers() {
+        assert_eq!(toks("-> -42"), vec![Token::Arrow, Token::Int(-42)]);
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        assert_eq!(
+            toks("x # comment\n'hello world'"),
+            vec![Token::Ident("x".into()), Token::Str("hello world".into())]
+        );
+    }
+
+    #[test]
+    fn underscored_integers() {
+        assert_eq!(toks("1_000"), vec![Token::Int(1000)]);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let spanned = lex("a\nb\nc").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("'oops"), Err(BloomError::Lex { .. })));
+    }
+
+    #[test]
+    fn stray_bang_errors() {
+        assert!(matches!(lex("!x"), Err(BloomError::Lex { .. })));
+    }
+
+    #[test]
+    fn qualified_names() {
+        assert_eq!(
+            toks("log.id"),
+            vec![Token::Ident("log".into()), Token::Dot, Token::Ident("id".into())]
+        );
+    }
+}

@@ -1,0 +1,595 @@
+//! Recursive-descent parser for the mini-Bloom syntax.
+//!
+//! ```text
+//! module   := "module" IDENT "{" decl* rule* "}"
+//! decl     := ("table"|"scratch"|"input"|"output") IDENT "(" cols ")"
+//! rule     := IDENT OP body
+//! OP       := "<=" | "<+" | "<-" | "<~"
+//! body     := join | antijoin | groupby | select
+//! select   := IDENT [proj] [where]
+//! join     := "(" IDENT "*" IDENT ")" "on" "(" eqs ")" proj [where]
+//! antijoin := IDENT "not" "in" IDENT "on" "(" eqs ")" [proj] [where]
+//! groupby  := IDENT "group" "by" "(" colrefs ")" "agg" AGG "(" (colref|"*") ")"
+//!             "as" IDENT ["having" pred] [proj]
+//! proj     := "->" "(" (colref | literal) ("," ...)* ")"
+//! where    := "where" pred ("and" pred)*
+//! pred     := operand cmp operand
+//! ```
+//!
+//! Declarations and rules may interleave; `module` sections cannot nest.
+
+use crate::ast::*;
+use crate::error::{BloomError, Result};
+use crate::lexer::{lex, Spanned, Token};
+
+/// Parse a single `module { ... }` definition.
+pub fn parse_module(input: &str) -> Result<Module> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let m = p.module()?;
+    p.expect_eof()?;
+    validate(&m)?;
+    Ok(m)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, message: impl Into<String>) -> BloomError {
+        BloomError::Parse { line: self.line(), message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|t| &t.token)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, expected: &Token) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<()> {
+        if self.eat(expected) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing input after module"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn kw(&mut self, word: &str) -> Result<()> {
+        match self.bump() {
+            Some(Token::Ident(s)) if s == word => Ok(()),
+            other => Err(self.err(format!("expected keyword {word:?}, found {other:?}"))),
+        }
+    }
+
+    fn peek_kw(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == word)
+    }
+
+    fn module(&mut self) -> Result<Module> {
+        self.kw("module")?;
+        let name = self.ident("module name")?;
+        self.expect(&Token::LBrace, "'{'")?;
+        let mut collections = Vec::new();
+        let mut rules = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                Some(Token::Ident(word))
+                    if matches!(word.as_str(), "table" | "scratch" | "input" | "output")
+                        // Guard: `table <= ...` would be a rule with an
+                        // unfortunate head name; require ident + '(' shape.
+                        && matches!(self.peek2(), Some(Token::Ident(_))) =>
+                {
+                    collections.push(self.decl()?);
+                }
+                Some(Token::Ident(_)) => rules.push(self.rule()?),
+                other => return Err(self.err(format!("expected declaration, rule or '}}', found {other:?}"))),
+            }
+        }
+        Ok(Module { name, collections, rules })
+    }
+
+    fn decl(&mut self) -> Result<CollectionDecl> {
+        let kind = match self.ident("collection kind")?.as_str() {
+            "table" => CollectionKind::Table,
+            "scratch" => CollectionKind::Scratch,
+            "input" => CollectionKind::Input,
+            "output" => CollectionKind::Output,
+            other => return Err(self.err(format!("unknown collection kind {other:?}"))),
+        };
+        let name = self.ident("collection name")?;
+        self.expect(&Token::LParen, "'('")?;
+        let mut schema = Vec::new();
+        loop {
+            schema.push(self.ident("column name")?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(CollectionDecl { name, kind, schema })
+    }
+
+    fn rule(&mut self) -> Result<Rule> {
+        let head = self.ident("rule head")?;
+        let op = match self.bump() {
+            Some(Token::OpInstant) => MergeOp::Instant,
+            Some(Token::OpDeferred) => MergeOp::Deferred,
+            Some(Token::OpDelete) => MergeOp::Delete,
+            Some(Token::OpAsync) => MergeOp::Async,
+            other => return Err(self.err(format!("expected merge operator, found {other:?}"))),
+        };
+        let body = self.body()?;
+        Ok(Rule { head, op, body })
+    }
+
+    fn body(&mut self) -> Result<RuleBody> {
+        if self.peek() == Some(&Token::LParen) {
+            return self.join();
+        }
+        let source = self.ident("source collection")?;
+        if self.peek_kw("not") {
+            return self.antijoin(source);
+        }
+        if self.peek_kw("group") {
+            return self.groupby(source);
+        }
+        let projection = self.opt_projection()?;
+        let predicates = self.opt_where()?;
+        Ok(RuleBody::Select { source, projection, predicates })
+    }
+
+    fn join(&mut self) -> Result<RuleBody> {
+        self.expect(&Token::LParen, "'('")?;
+        let left = self.ident("left collection")?;
+        self.expect(&Token::Star, "'*'")?;
+        let right = self.ident("right collection")?;
+        self.expect(&Token::RParen, "')'")?;
+        self.kw("on")?;
+        let on = self.eq_list()?;
+        let projection = self
+            .opt_projection()?
+            .ok_or_else(|| self.err("joins require an explicit projection '-> (...)'"))?;
+        let predicates = self.opt_where()?;
+        Ok(RuleBody::Join { left, right, on, projection, predicates })
+    }
+
+    fn antijoin(&mut self, source: String) -> Result<RuleBody> {
+        self.kw("not")?;
+        self.kw("in")?;
+        let neg = self.ident("negated collection")?;
+        self.kw("on")?;
+        let on = self.eq_list()?;
+        let projection = self.opt_projection()?;
+        let predicates = self.opt_where()?;
+        Ok(RuleBody::AntiJoin { source, neg, on, projection, predicates })
+    }
+
+    fn groupby(&mut self, source: String) -> Result<RuleBody> {
+        self.kw("group")?;
+        self.kw("by")?;
+        self.expect(&Token::LParen, "'('")?;
+        let mut group_by = Vec::new();
+        loop {
+            group_by.push(self.colref()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        self.kw("agg")?;
+        let agg = match self.ident("aggregate function")?.as_str() {
+            "count" => AggFun::Count,
+            "sum" => AggFun::Sum,
+            "min" => AggFun::Min,
+            "max" => AggFun::Max,
+            other => return Err(self.err(format!("unknown aggregate {other:?}"))),
+        };
+        self.expect(&Token::LParen, "'('")?;
+        let agg_col = if self.eat(&Token::Star) { None } else { Some(self.colref()?) };
+        self.expect(&Token::RParen, "')'")?;
+        self.kw("as")?;
+        let alias = self.ident("aggregate alias")?;
+        let having = if self.peek_kw("having") {
+            self.bump();
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        let projection = self.opt_projection()?;
+        Ok(RuleBody::GroupBy { source, group_by, agg, agg_col, alias, having, projection })
+    }
+
+    fn eq_list(&mut self) -> Result<Vec<(ColRef, ColRef)>> {
+        self.expect(&Token::LParen, "'('")?;
+        let mut out = Vec::new();
+        loop {
+            let l = self.colref()?;
+            self.expect(&Token::Assign, "'='")?;
+            let r = self.colref()?;
+            out.push((l, r));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(out)
+    }
+
+    fn opt_projection(&mut self) -> Result<Option<Vec<ProjItem>>> {
+        if !self.eat(&Token::Arrow) {
+            return Ok(None);
+        }
+        self.expect(&Token::LParen, "'('")?;
+        let mut items = Vec::new();
+        loop {
+            items.push(match self.peek() {
+                Some(Token::Int(_)) | Some(Token::Str(_)) | Some(Token::Ident(_))
+                    if self.peek_literal() =>
+                {
+                    ProjItem::Lit(self.literal()?)
+                }
+                _ => ProjItem::Col(self.colref()?),
+            });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(Some(items))
+    }
+
+    fn peek_literal(&self) -> bool {
+        match self.peek() {
+            Some(Token::Int(_) | Token::Str(_)) => true,
+            Some(Token::Ident(s)) => s == "true" || s == "false",
+            _ => false,
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        match self.bump() {
+            Some(Token::Int(i)) => Ok(Literal::Int(i)),
+            Some(Token::Str(s)) => Ok(Literal::Str(s)),
+            Some(Token::Ident(s)) if s == "true" => Ok(Literal::Bool(true)),
+            Some(Token::Ident(s)) if s == "false" => Ok(Literal::Bool(false)),
+            other => Err(self.err(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn opt_where(&mut self) -> Result<Vec<Predicate>> {
+        let mut preds = Vec::new();
+        if !self.peek_kw("where") {
+            return Ok(preds);
+        }
+        self.bump();
+        loop {
+            preds.push(self.predicate()?);
+            if self.peek_kw("and") {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(preds)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let lhs = self.operand()?;
+        let op = match self.bump() {
+            Some(Token::EqEq) => CmpOp::Eq,
+            Some(Token::NotEq) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::OpInstant) => CmpOp::Le, // `<=` doubles as less-equal in predicates
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            other => return Err(self.err(format!("expected comparison operator, found {other:?}"))),
+        };
+        let rhs = self.operand()?;
+        Ok(Predicate { lhs, op, rhs })
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        if self.peek_literal() {
+            Ok(Operand::Lit(self.literal()?))
+        } else {
+            Ok(Operand::Col(self.colref()?))
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColRef> {
+        let first = self.ident("column reference")?;
+        if self.eat(&Token::Dot) {
+            let column = self.ident("column name")?;
+            Ok(ColRef { collection: first, column })
+        } else {
+            Ok(ColRef { collection: String::new(), column: first })
+        }
+    }
+}
+
+/// Static validation: every referenced collection is declared, projections
+/// match head arity, group/agg columns belong to the source.
+fn validate(m: &Module) -> Result<()> {
+    use std::collections::BTreeSet;
+    let mut names = BTreeSet::new();
+    for c in &m.collections {
+        if !names.insert(c.name.clone()) {
+            return Err(BloomError::Validate(format!("duplicate collection {:?}", c.name)));
+        }
+        if c.schema.is_empty() {
+            return Err(BloomError::Validate(format!("collection {:?} has no columns", c.name)));
+        }
+    }
+    for r in &m.rules {
+        let head = m
+            .collection(&r.head)
+            .ok_or_else(|| BloomError::Validate(format!("unknown head collection {:?}", r.head)))?;
+        if head.kind == CollectionKind::Input {
+            return Err(BloomError::Validate(format!(
+                "rule writes to input interface {:?}",
+                r.head
+            )));
+        }
+        for s in r.body.sources() {
+            let src = m
+                .collection(s)
+                .ok_or_else(|| BloomError::Validate(format!("unknown collection {s:?}")))?;
+            if src.kind == CollectionKind::Output {
+                return Err(BloomError::Validate(format!(
+                    "rule reads from output interface {s:?}"
+                )));
+            }
+        }
+        let arity = body_arity(m, &r.body)?;
+        if arity != head.arity() {
+            return Err(BloomError::Validate(format!(
+                "rule into {:?} produces {arity} columns, head expects {}",
+                r.head,
+                head.arity()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn body_arity(m: &Module, body: &RuleBody) -> Result<usize> {
+    Ok(match body {
+        RuleBody::Select { source, projection, .. } => match projection {
+            Some(p) => p.len(),
+            None => m.collection(source).map(CollectionDecl::arity).unwrap_or(0),
+        },
+        RuleBody::Join { projection, .. } => projection.len(),
+        RuleBody::AntiJoin { source, projection, .. } => match projection {
+            Some(p) => p.len(),
+            None => m.collection(source).map(CollectionDecl::arity).unwrap_or(0),
+        },
+        RuleBody::GroupBy { group_by, projection, .. } => match projection {
+            Some(p) => p.len(),
+            None => group_by.len() + 1,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"
+# The ad-reporting module (POOR query variant).
+module Report {
+  input click(id, campaign, window)
+  input request(id)
+  output response(id, n)
+  table log(id, campaign, window)
+  scratch poor(id, n)
+
+  log <= click
+  poor <= log group by (log.id) agg count(*) as n having n < 100
+  response <~ (poor * request) on (poor.id = request.id) -> (poor.id, poor.n)
+}
+"#;
+
+    #[test]
+    fn parse_report_module() {
+        let m = parse_module(REPORT).unwrap();
+        assert_eq!(m.name, "Report");
+        assert_eq!(m.collections.len(), 5);
+        assert_eq!(m.rules.len(), 3);
+        assert_eq!(m.inputs(), vec!["click", "request"]);
+        assert_eq!(m.outputs(), vec!["response"]);
+    }
+
+    #[test]
+    fn parse_groupby_shape() {
+        let m = parse_module(REPORT).unwrap();
+        let RuleBody::GroupBy { source, group_by, agg, alias, having, .. } = &m.rules[1].body
+        else {
+            panic!("expected groupby");
+        };
+        assert_eq!(source, "log");
+        assert_eq!(group_by.len(), 1);
+        assert_eq!(*agg, AggFun::Count);
+        assert_eq!(alias, "n");
+        let h = having.as_ref().unwrap();
+        assert_eq!(h.op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn parse_join_shape() {
+        let m = parse_module(REPORT).unwrap();
+        let RuleBody::Join { left, right, on, projection, .. } = &m.rules[2].body else {
+            panic!("expected join");
+        };
+        assert_eq!(left, "poor");
+        assert_eq!(right, "request");
+        assert_eq!(on.len(), 1);
+        assert_eq!(projection.len(), 2);
+        assert_eq!(m.rules[2].op, MergeOp::Async);
+    }
+
+    #[test]
+    fn parse_antijoin() {
+        let m = parse_module(
+            r#"
+module M {
+  input a(x, y)
+  input b(x)
+  output out(x, y)
+  out <= a not in b on (a.x = b.x)
+}
+"#,
+        )
+        .unwrap();
+        let RuleBody::AntiJoin { source, neg, on, .. } = &m.rules[0].body else {
+            panic!("expected antijoin");
+        };
+        assert_eq!(source, "a");
+        assert_eq!(neg, "b");
+        assert_eq!(on[0].0.column, "x");
+    }
+
+    #[test]
+    fn parse_select_with_where_and_projection() {
+        let m = parse_module(
+            r#"
+module M {
+  input a(x, y)
+  output out(y)
+  out <= a -> (a.y) where a.x > 10 and a.y != 'skip'
+}
+"#,
+        )
+        .unwrap();
+        let RuleBody::Select { projection, predicates, .. } = &m.rules[0].body else {
+            panic!("expected select");
+        };
+        assert_eq!(projection.as_ref().unwrap().len(), 1);
+        assert_eq!(predicates.len(), 2);
+    }
+
+    #[test]
+    fn parse_deferred_and_delete_ops() {
+        let m = parse_module(
+            r#"
+module M {
+  input a(x)
+  table t(x)
+  t <+ a
+  t <- a where a.x == 0
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(m.rules[0].op, MergeOp::Deferred);
+        assert_eq!(m.rules[1].op, MergeOp::Delete);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = parse_module(
+            "module M { input a(x, y) output o(x) o <= a }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, BloomError::Validate(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_collection_rejected() {
+        let err = parse_module("module M { input a(x) output o(x) o <= ghost }").unwrap_err();
+        assert!(matches!(err, BloomError::Validate(_)));
+    }
+
+    #[test]
+    fn writing_to_input_rejected() {
+        let err = parse_module("module M { input a(x) a <= a }").unwrap_err();
+        assert!(matches!(err, BloomError::Validate(_)));
+    }
+
+    #[test]
+    fn reading_from_output_rejected() {
+        let err =
+            parse_module("module M { input a(x) output o(x) o <= a o <= o }").unwrap_err();
+        assert!(matches!(err, BloomError::Validate(_)));
+    }
+
+    #[test]
+    fn duplicate_collection_rejected() {
+        let err = parse_module("module M { input a(x) table a(y) }").unwrap_err();
+        assert!(matches!(err, BloomError::Validate(_)));
+    }
+
+    #[test]
+    fn join_without_projection_rejected() {
+        let err = parse_module(
+            "module M { input a(x) input b(x) output o(x) o <= (a * b) on (a.x = b.x) }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, BloomError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_thresh_pattern() {
+        // The THRESH query: lower-bound having, projection drops the count.
+        let m = parse_module(
+            r#"
+module T {
+  input click(id)
+  output thresh(id)
+  table log(id)
+  log <= click
+  thresh <~ log group by (log.id) agg count(*) as n having n > 1000 -> (log.id)
+}
+"#,
+        )
+        .unwrap();
+        let RuleBody::GroupBy { having, projection, .. } = &m.rules[1].body else {
+            panic!()
+        };
+        assert!(having.as_ref().unwrap().op.is_lower_bound());
+        assert_eq!(projection.as_ref().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! The seal protocol: per-partition buffering with unanimous producer
+//! voting (paper Section V-B1).
+//!
+//! A consumer using sealing must
+//!
+//! 1. buffer each partition's records until the partition is known
+//!    complete;
+//! 2. for every producer contributing to the partition, collect that
+//!    producer's seal punctuation (a *unanimous voting protocol* — "local,
+//!    one-way coordination, limited to the stakeholders");
+//! 3. release the partition for processing exactly once.
+//!
+//! When a partition has a single producer ("independent seal"), one seal
+//! suffices and latency drops — the contrast measured in the paper's
+//! Figure 14.
+
+use crate::registry::{ProducerId, ProducerRegistry};
+use blazes_dataflow::value::{Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome of feeding the seal manager one event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealOutcome {
+    /// The event was buffered; the partition is still open.
+    Buffered,
+    /// The partition is now complete: process these tuples (in buffer
+    /// order; the set is what matters — the partition is immutable now).
+    Released(Vec<Tuple>),
+    /// A record or seal arrived for a partition that was already released —
+    /// a protocol violation (e.g. a producer emitting after sealing).
+    LateArrival,
+}
+
+#[derive(Debug, Default)]
+struct PartitionState {
+    buffered: Vec<Tuple>,
+    sealed_by: BTreeSet<ProducerId>,
+    released: bool,
+}
+
+/// Tracks open partitions for one sealed input stream.
+#[derive(Debug)]
+pub struct SealManager {
+    registry: ProducerRegistry,
+    partitions: BTreeMap<Value, PartitionState>,
+    released_count: u64,
+}
+
+impl SealManager {
+    /// Create a manager over the given producer registry.
+    #[must_use]
+    pub fn new(registry: ProducerRegistry) -> Self {
+        SealManager { registry, partitions: BTreeMap::new(), released_count: 0 }
+    }
+
+    /// Feed one data record belonging to `partition`.
+    pub fn on_data(&mut self, partition: Value, tuple: Tuple) -> SealOutcome {
+        let state = self.partitions.entry(partition).or_default();
+        if state.released {
+            return SealOutcome::LateArrival;
+        }
+        state.buffered.push(tuple);
+        SealOutcome::Buffered
+    }
+
+    /// Feed one seal punctuation from `producer` for `partition`. Releases
+    /// the partition when every registered producer has sealed it.
+    pub fn on_seal(&mut self, partition: Value, producer: ProducerId) -> SealOutcome {
+        let required: BTreeSet<ProducerId> =
+            self.registry.producers_of(&partition).iter().copied().collect();
+        let state = self.partitions.entry(partition).or_default();
+        if state.released {
+            return SealOutcome::LateArrival;
+        }
+        state.sealed_by.insert(producer);
+        if !required.is_empty() && required.is_subset(&state.sealed_by) {
+            state.released = true;
+            self.released_count += 1;
+            SealOutcome::Released(std::mem::take(&mut state.buffered))
+        } else {
+            SealOutcome::Buffered
+        }
+    }
+
+    /// Number of partitions released so far.
+    #[must_use]
+    pub fn released_count(&self) -> u64 {
+        self.released_count
+    }
+
+    /// Number of partitions currently open (buffering).
+    #[must_use]
+    pub fn open_count(&self) -> usize {
+        self.partitions.values().filter(|p| !p.released).count()
+    }
+
+    /// Total records currently buffered across open partitions.
+    #[must_use]
+    pub fn buffered_records(&self) -> usize {
+        self.partitions
+            .values()
+            .filter(|p| !p.released)
+            .map(|p| p.buffered.len())
+            .sum()
+    }
+
+    /// Shared view of the registry.
+    #[must_use]
+    pub fn registry(&self) -> &ProducerRegistry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: i64) -> Tuple {
+        Tuple::new([v])
+    }
+
+    #[test]
+    fn single_producer_releases_on_first_seal() {
+        let mut reg = ProducerRegistry::new();
+        reg.register(Value::str("c1"), [0]);
+        let mut mgr = SealManager::new(reg);
+        assert_eq!(mgr.on_data(Value::str("c1"), t(1)), SealOutcome::Buffered);
+        assert_eq!(mgr.on_data(Value::str("c1"), t(2)), SealOutcome::Buffered);
+        assert_eq!(
+            mgr.on_seal(Value::str("c1"), 0),
+            SealOutcome::Released(vec![t(1), t(2)])
+        );
+        assert_eq!(mgr.released_count(), 1);
+    }
+
+    #[test]
+    fn unanimous_vote_required_with_multiple_producers() {
+        let reg = ProducerRegistry::all_produce(0..3);
+        let mut mgr = SealManager::new(reg);
+        mgr.on_data(Value::str("c1"), t(10));
+        assert_eq!(mgr.on_seal(Value::str("c1"), 0), SealOutcome::Buffered);
+        assert_eq!(mgr.on_seal(Value::str("c1"), 1), SealOutcome::Buffered);
+        // Data can still arrive between votes.
+        assert_eq!(mgr.on_data(Value::str("c1"), t(11)), SealOutcome::Buffered);
+        match mgr.on_seal(Value::str("c1"), 2) {
+            SealOutcome::Released(tuples) => assert_eq!(tuples, vec![t(10), t(11)]),
+            other => panic!("expected release, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partitions_are_independent() {
+        let reg = ProducerRegistry::all_produce(0..2);
+        let mut mgr = SealManager::new(reg);
+        mgr.on_data(Value::str("a"), t(1));
+        mgr.on_data(Value::str("b"), t(2));
+        mgr.on_seal(Value::str("a"), 0);
+        mgr.on_seal(Value::str("a"), 1);
+        assert_eq!(mgr.open_count(), 1);
+        assert_eq!(mgr.buffered_records(), 1);
+    }
+
+    #[test]
+    fn late_data_after_release_flagged() {
+        let mut reg = ProducerRegistry::new();
+        reg.register(Value::Int(1), [0]);
+        let mut mgr = SealManager::new(reg);
+        mgr.on_seal(Value::Int(1), 0);
+        assert_eq!(mgr.on_data(Value::Int(1), t(9)), SealOutcome::LateArrival);
+        assert_eq!(mgr.on_seal(Value::Int(1), 0), SealOutcome::LateArrival);
+    }
+
+    #[test]
+    fn duplicate_votes_are_idempotent() {
+        let reg = ProducerRegistry::all_produce(0..2);
+        let mut mgr = SealManager::new(reg);
+        assert_eq!(mgr.on_seal(Value::Int(1), 0), SealOutcome::Buffered);
+        assert_eq!(mgr.on_seal(Value::Int(1), 0), SealOutcome::Buffered);
+        assert!(matches!(mgr.on_seal(Value::Int(1), 1), SealOutcome::Released(_)));
+    }
+
+    #[test]
+    fn no_producers_never_releases() {
+        // An empty producer set means the partition can never be proven
+        // complete; the manager conservatively holds it.
+        let mut mgr = SealManager::new(ProducerRegistry::new());
+        assert_eq!(mgr.on_seal(Value::Int(1), 0), SealOutcome::Buffered);
+        assert_eq!(mgr.released_count(), 0);
+    }
+
+    #[test]
+    fn votes_from_unregistered_producers_do_not_release_early() {
+        let mut reg = ProducerRegistry::new();
+        reg.register(Value::Int(1), [5, 6]);
+        let mut mgr = SealManager::new(reg);
+        assert_eq!(mgr.on_seal(Value::Int(1), 9), SealOutcome::Buffered);
+        assert_eq!(mgr.on_seal(Value::Int(1), 5), SealOutcome::Buffered);
+        assert!(matches!(mgr.on_seal(Value::Int(1), 6), SealOutcome::Released(_)));
+    }
+}

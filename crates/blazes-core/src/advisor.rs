@@ -1,0 +1,289 @@
+//! Dataflow design advice — the paper's Section X ("was it the right
+//! dataflow?") as an implemented extension.
+//!
+//! The conclusions sketch design patterns that a compiler could check:
+//!
+//! > "replication should be placed upstream of confluent components. Since
+//! > they are tolerant of all input orders, inexpensive replication
+//! > strategies (like gossip) are sufficient … Similarly, caches should be
+//! > placed downstream of confluent components."
+//!
+//! plus *coordination locality*: partitions should not be mastered across
+//! many producers when a seal strategy is in play. [`advise`] inspects a
+//! graph and its analysis outcome and emits the corresponding findings.
+
+use crate::analysis::AnalysisOutcome;
+use crate::graph::{ComponentId, DataflowGraph, Endpoint};
+use crate::label::Label;
+use std::fmt;
+
+/// One piece of placement advice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Advice {
+    /// A replicated component has at least one non-confluent path: cheap
+    /// replication (gossip) is unsafe here; move replication upstream of
+    /// confluent components or coordinate.
+    ReplicationOverNonConfluent {
+        /// The offending component.
+        component: ComponentId,
+    },
+    /// A stateful component consumes a stream with nondeterministic
+    /// contents (`Run` or worse): any caching/metering at this point will
+    /// memoize nondeterminism. Place caches downstream of confluent
+    /// components instead.
+    CacheBelowNondeterminism {
+        /// The consuming component.
+        component: ComponentId,
+        /// The offending input interface.
+        input: String,
+        /// The stream's label.
+        label: Label,
+    },
+    /// An order-sensitive component is fed by an unsealed source even
+    /// though its gate names the source's attributes: declaring a seal
+    /// would replace global ordering with local sealing.
+    SealOpportunity {
+        /// The order-sensitive component.
+        component: ComponentId,
+        /// The candidate seal attributes (the gate).
+        attrs: Vec<String>,
+    },
+}
+
+impl Advice {
+    /// Render with component names resolved.
+    #[must_use]
+    pub fn render(&self, graph: &DataflowGraph) -> String {
+        match self {
+            Advice::ReplicationOverNonConfluent { component } => format!(
+                "component {:?} is replicated but not confluent: gossip-style replication \
+                 is unsafe; place replication upstream of confluent components or coordinate",
+                graph.component(*component).name
+            ),
+            Advice::CacheBelowNondeterminism { component, input, label } => format!(
+                "component {:?} accumulates state from input {:?} labeled {label}: caching \
+                 below nondeterministic streams memoizes anomalies; cache downstream of \
+                 confluent components instead",
+                graph.component(*component).name,
+                input
+            ),
+            Advice::SealOpportunity { component, attrs } => format!(
+                "component {:?} is order-sensitive over {{{}}}: declaring a seal on those \
+                 attributes at the source would avoid global ordering",
+                graph.component(*component).name,
+                attrs.join(",")
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Advice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Advice::ReplicationOverNonConfluent { component } => {
+                write!(f, "replication-over-non-confluent at #{}", component.0)
+            }
+            Advice::CacheBelowNondeterminism { component, input, label } => {
+                write!(f, "cache-below-nondeterminism at #{}.{input} ({label})", component.0)
+            }
+            Advice::SealOpportunity { component, attrs } => {
+                write!(f, "seal-opportunity at #{} on {{{}}}", component.0, attrs.join(","))
+            }
+        }
+    }
+}
+
+/// Inspect `graph` + `outcome` and produce placement advice.
+#[must_use]
+pub fn advise(graph: &DataflowGraph, outcome: &AnalysisOutcome) -> Vec<Advice> {
+    let mut advice = Vec::new();
+
+    for (ci, comp) in graph.components().iter().enumerate() {
+        let id = ComponentId(ci);
+        let non_confluent = comp.paths.iter().any(|p| !p.annotation.is_confluent());
+
+        // Pattern 1: replication over non-confluent components.
+        if comp.rep && non_confluent {
+            advice.push(Advice::ReplicationOverNonConfluent { component: id });
+        }
+
+        // Pattern 2: stateful paths fed by nondeterministic-content streams.
+        for p in &comp.paths {
+            if !p.annotation.is_write() {
+                continue;
+            }
+            for (sid, _) in graph.streams_into(id, &p.from) {
+                let label = outcome.stream_label(sid);
+                if label.severity() >= crate::severity::Severity::RUN {
+                    let item = Advice::CacheBelowNondeterminism {
+                        component: id,
+                        input: p.from.clone(),
+                        label: label.clone(),
+                    };
+                    if !advice.contains(&item) {
+                        advice.push(item);
+                    }
+                }
+            }
+        }
+
+        // Pattern 3: seal opportunities — an O-path whose gate names the
+        // attributes of an unsealed source reachable upstream through
+        // confluent components (which would preserve the seal).
+        for p in &comp.paths {
+            let Some(gate) = p.annotation.gate().and_then(|g| g.as_keys()) else {
+                continue;
+            };
+            for src in upstream_sources_via_confluent(graph, id, &p.from) {
+                let source = graph.source(src);
+                if source.annotation.seal.is_none()
+                    && gate.iter().any(|a| source.attrs.contains(a))
+                {
+                    let attrs: Vec<String> = gate
+                        .iter()
+                        .filter(|a| source.attrs.contains(a))
+                        .map(str::to_string)
+                        .collect();
+                    let item = Advice::SealOpportunity { component: id, attrs };
+                    if !advice.contains(&item) {
+                        advice.push(item);
+                    }
+                }
+            }
+        }
+    }
+    advice
+}
+
+/// Sources feeding `(component, input)` either directly or through chains
+/// of fully-confluent components (which a seal would survive).
+fn upstream_sources_via_confluent(
+    graph: &DataflowGraph,
+    component: ComponentId,
+    input: &str,
+) -> Vec<crate::graph::SourceId> {
+    let mut sources = Vec::new();
+    let mut seen: Vec<(ComponentId, String)> = Vec::new();
+    let mut frontier = vec![(component, input.to_string())];
+    while let Some((c, i)) = frontier.pop() {
+        if seen.contains(&(c, i.clone())) {
+            continue;
+        }
+        seen.push((c, i.clone()));
+        for (_, stream) in graph.streams_into(c, &i) {
+            match &stream.from {
+                Endpoint::Source(s) => {
+                    if !sources.contains(s) {
+                        sources.push(*s);
+                    }
+                }
+                Endpoint::Component(up, out_iface) => {
+                    let up_comp = graph.component(*up);
+                    if up_comp.paths.iter().all(|p| p.annotation.is_confluent()) {
+                        for p in up_comp.paths_to(out_iface) {
+                            frontier.push((*up, p.from.clone()));
+                        }
+                    }
+                }
+                Endpoint::Sink(_) => {}
+            }
+        }
+    }
+    sources
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analyzer;
+    use crate::annotation::ComponentAnnotation;
+    use crate::graph::DataflowGraph;
+
+    fn analyzed(g: &DataflowGraph) -> AnalysisOutcome {
+        Analyzer::new(g).run().unwrap()
+    }
+
+    #[test]
+    fn flags_replicated_non_confluent_component() {
+        let mut g = DataflowGraph::new("rep");
+        let s = g.add_source("s", &["id"]);
+        let c = g.add_component("Report");
+        g.set_rep(c, true);
+        g.add_path(c, "in", "out", ComponentAnnotation::or(["id"]));
+        let k = g.add_sink("k");
+        g.connect_source(s, c, "in");
+        g.connect_sink(c, "out", k);
+        let advice = advise(&g, &analyzed(&g));
+        assert!(advice
+            .iter()
+            .any(|a| matches!(a, Advice::ReplicationOverNonConfluent { .. })));
+    }
+
+    #[test]
+    fn flags_cache_below_nondeterminism() {
+        // OW (unsealed) -> Run output feeding a CW "cache".
+        let mut g = DataflowGraph::new("cache");
+        let s = g.add_source("s", &["id"]);
+        let producer = g.add_component("Producer");
+        g.add_path(producer, "in", "out", ComponentAnnotation::ow(["id"]));
+        let cache = g.add_component("Cache");
+        g.add_path(cache, "in", "out", ComponentAnnotation::cw());
+        let k = g.add_sink("k");
+        g.connect_source(s, producer, "in");
+        g.connect(producer, "out", cache, "in");
+        g.connect_sink(cache, "out", k);
+        let advice = advise(&g, &analyzed(&g));
+        let cache_id = g.component_by_name("Cache").unwrap();
+        assert!(advice.iter().any(|a| matches!(
+            a,
+            Advice::CacheBelowNondeterminism { component, .. } if *component == cache_id
+        )));
+    }
+
+    #[test]
+    fn flags_seal_opportunity_on_unsealed_source() {
+        let mut g = DataflowGraph::new("op");
+        let s = g.add_source("clicks", &["id", "campaign"]);
+        let c = g.add_component("Agg");
+        g.add_path(c, "in", "out", ComponentAnnotation::ow(["campaign"]));
+        let k = g.add_sink("k");
+        g.connect_source(s, c, "in");
+        g.connect_sink(c, "out", k);
+        let advice = advise(&g, &analyzed(&g));
+        assert!(advice.iter().any(|a| matches!(
+            a,
+            Advice::SealOpportunity { attrs, .. } if attrs == &vec!["campaign".to_string()]
+        )));
+        // Sealing the source removes the opportunity finding.
+        g.seal_source(s, ["campaign"]);
+        let advice = advise(&g, &analyzed(&g));
+        assert!(!advice.iter().any(|a| matches!(a, Advice::SealOpportunity { .. })));
+    }
+
+    #[test]
+    fn clean_confluent_graph_gets_no_advice() {
+        let mut g = DataflowGraph::new("clean");
+        let s = g.add_source("s", &["a"]);
+        let c = g.add_component("C");
+        g.add_path(c, "in", "out", ComponentAnnotation::cw());
+        let k = g.add_sink("k");
+        g.connect_source(s, c, "in");
+        g.connect_sink(c, "out", k);
+        assert!(advise(&g, &analyzed(&g)).is_empty());
+    }
+
+    #[test]
+    fn advice_renders_with_names() {
+        let mut g = DataflowGraph::new("r");
+        let s = g.add_source("s", &["id"]);
+        let c = g.add_component("Report");
+        g.set_rep(c, true);
+        g.add_path(c, "in", "out", ComponentAnnotation::or(["id"]));
+        let k = g.add_sink("k");
+        g.connect_source(s, c, "in");
+        g.connect_sink(c, "out", k);
+        let advice = advise(&g, &analyzed(&g));
+        let text = advice[0].render(&g);
+        assert!(text.contains("Report"), "{text}");
+    }
+}

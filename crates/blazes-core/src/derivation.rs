@@ -1,0 +1,152 @@
+//! Rendering of analysis derivations in the paper's Section V-A4 notation.
+//!
+//! The paper writes label derivations as proof trees:
+//!
+//! ```text
+//! Async  OW_{word,batch}
+//! ---------------------- (2)
+//!        Taint
+//! Count  ⇒  Run
+//! ```
+//!
+//! We render a linearized form, one line per inference step, grouped by
+//! node, followed by the reconciliation summary for each output interface.
+
+use crate::analysis::AnalysisOutcome;
+use crate::graph::DataflowGraph;
+use std::fmt::Write as _;
+
+/// Render every inference step and reconciliation of `outcome` as a
+/// plain-text report.
+#[must_use]
+pub fn render(graph: &DataflowGraph, outcome: &AnalysisOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Blazes analysis: {} ==", outcome.graph_name());
+
+    let mut current_node: Option<&str> = None;
+    for d in outcome.derivations() {
+        if current_node != Some(d.node.as_str()) {
+            let _ = writeln!(s, "\n[{}]", d.node);
+            current_node = Some(d.node.as_str());
+        }
+        let _ = writeln!(
+            s,
+            "  {}  {}  {}  {}   [{} -> {}]",
+            d.input,
+            d.annotation,
+            d.rule,
+            d.derived,
+            d.from.iface,
+            d.to.iface,
+        );
+    }
+
+    let _ = writeln!(s, "\n-- reconciliation --");
+    for r in outcome.reports() {
+        let comp = graph.component(r.iface.component);
+        let added = if r.reconciliation.added.is_empty() {
+            String::from("-")
+        } else {
+            r.reconciliation
+                .added
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(
+            s,
+            "  {}.{} (node {}{}) added: {added}  =>  {}",
+            comp.name,
+            r.iface.iface,
+            r.node,
+            if r.rep { ", Rep" } else { "" },
+            r.reconciliation.merged,
+        );
+    }
+
+    let _ = writeln!(s, "\n-- sinks --");
+    for (sink, label) in outcome.sink_labels() {
+        let _ = writeln!(s, "  {}  =>  {}", graph.sink(*sink).name, label);
+    }
+    if !outcome.warnings().is_empty() {
+        let _ = writeln!(s, "\n-- warnings --");
+        for w in outcome.warnings() {
+            let _ = writeln!(s, "  {w}");
+        }
+    }
+    s
+}
+
+/// Render a compact one-line-per-sink summary, e.g. for CLI tools.
+#[must_use]
+pub fn render_summary(graph: &DataflowGraph, outcome: &AnalysisOutcome) -> String {
+    let mut s = String::new();
+    for (sink, label) in outcome.sink_labels() {
+        let verdict = if label.is_anomalous() {
+            "coordination REQUIRED"
+        } else {
+            "consistent without coordination"
+        };
+        let _ = writeln!(
+            s,
+            "{}: {} => {} ({verdict})",
+            outcome.graph_name(),
+            graph.sink(*sink).name,
+            label
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analyzer;
+    use crate::annotation::ComponentAnnotation as CA;
+    use crate::graph::DataflowGraph;
+
+    fn graph() -> DataflowGraph {
+        let mut g = DataflowGraph::new("demo");
+        let src = g.add_source("tweets", &["word", "batch"]);
+        let count = g.add_component("Count");
+        g.add_path(count, "words", "counts", CA::ow(["word", "batch"]));
+        let sink = g.add_sink("store");
+        g.connect_source(src, count, "words");
+        g.connect_sink(count, "counts", sink);
+        g
+    }
+
+    #[test]
+    fn render_includes_rule_applications() {
+        let g = graph();
+        let out = Analyzer::new(&g).run().unwrap();
+        let text = render(&g, &out);
+        assert!(text.contains("OW_{batch,word}"), "annotation shown: {text}");
+        assert!(text.contains("(2)"), "rule 2 shown: {text}");
+        assert!(text.contains("Taint"), "internal label shown: {text}");
+        assert!(text.contains("store  =>  Run"), "sink label shown: {text}");
+    }
+
+    #[test]
+    fn summary_includes_verdict() {
+        let g = graph();
+        let out = Analyzer::new(&g).run().unwrap();
+        let text = render_summary(&g, &out);
+        assert!(text.contains("coordination REQUIRED"));
+    }
+
+    #[test]
+    fn summary_for_consistent_graph() {
+        let mut g = DataflowGraph::new("ok");
+        let src = g.add_source("s", &["a"]);
+        let c = g.add_component("C");
+        g.add_path(c, "in", "out", CA::cr());
+        let sink = g.add_sink("k");
+        g.connect_source(src, c, "in");
+        g.connect_sink(c, "out", sink);
+        let out = Analyzer::new(&g).run().unwrap();
+        let text = render_summary(&g, &out);
+        assert!(text.contains("consistent without coordination"));
+    }
+}

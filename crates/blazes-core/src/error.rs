@@ -1,0 +1,83 @@
+//! Error types for the Blazes analysis.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BlazesError>;
+
+/// Errors surfaced by graph construction, spec parsing, analysis and
+/// coordination synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlazesError {
+    /// A component, interface, source or sink referenced by name/id does not
+    /// exist in the graph.
+    UnknownEntity {
+        /// What kind of entity was looked up (component, interface, ...).
+        kind: &'static str,
+        /// The name or rendered id that failed to resolve.
+        name: String,
+    },
+    /// The same stream/path/entity was declared twice.
+    Duplicate {
+        /// What kind of entity collided.
+        kind: &'static str,
+        /// The colliding name.
+        name: String,
+    },
+    /// The dataflow graph is structurally invalid (e.g. a component has an
+    /// output interface that no path feeds, or a source with no consumers).
+    MalformedGraph(String),
+    /// The annotation spec file could not be parsed.
+    SpecParse {
+        /// 1-based line number of the offending input.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Analysis could not complete (e.g. labels failed to converge, which
+    /// indicates an internal bug, or an unlabeled input was encountered).
+    Analysis(String),
+    /// Coordination synthesis failed (e.g. a seal strategy was requested for
+    /// a stream with no producers registered).
+    Synthesis(String),
+}
+
+impl fmt::Display for BlazesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlazesError::UnknownEntity { kind, name } => {
+                write!(f, "unknown {kind}: {name:?}")
+            }
+            BlazesError::Duplicate { kind, name } => {
+                write!(f, "duplicate {kind}: {name:?}")
+            }
+            BlazesError::MalformedGraph(msg) => write!(f, "malformed dataflow graph: {msg}"),
+            BlazesError::SpecParse { line, message } => {
+                write!(f, "spec parse error at line {line}: {message}")
+            }
+            BlazesError::Analysis(msg) => write!(f, "analysis error: {msg}"),
+            BlazesError::Synthesis(msg) => write!(f, "synthesis error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BlazesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = BlazesError::UnknownEntity { kind: "component", name: "Count".into() };
+        assert_eq!(e.to_string(), "unknown component: \"Count\"");
+        let e = BlazesError::SpecParse { line: 3, message: "expected ':'".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<BlazesError>();
+    }
+}

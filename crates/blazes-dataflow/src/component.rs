@@ -1,0 +1,120 @@
+//! The component abstraction executed by the simulator.
+//!
+//! A [`Component`] is the runtime counterpart of the black boxes in the
+//! Blazes system model (paper Section II-A): deterministic message handlers
+//! over named input/output *ports* (interfaces). Determinism is the
+//! component author's obligation — the trait provides no randomness or
+//! wall-clock access, only the virtual time of the current event.
+
+use crate::message::Message;
+use crate::sim::{InstanceId, Time};
+
+/// Execution context handed to a component while it handles one event.
+///
+/// Emissions are buffered and dispatched by the simulator when the handler
+/// returns, at the instance's processing-completion time.
+#[derive(Debug)]
+pub struct Context {
+    /// Virtual time at which processing of the current event *starts*.
+    pub now: Time,
+    /// The instance executing.
+    pub instance: InstanceId,
+    pub(crate) emitted: Vec<(usize, Message)>,
+    pub(crate) ticks: Vec<Time>,
+}
+
+impl Context {
+    /// Build a context (public so component crates can unit-test handlers
+    /// without a full simulation).
+    #[must_use]
+    pub fn new(now: Time, instance: InstanceId) -> Self {
+        Context { now, instance, emitted: Vec::new(), ticks: Vec::new() }
+    }
+
+    /// Messages emitted so far, as `(port, message)` pairs (test hook).
+    #[must_use]
+    pub fn emitted(&self) -> &[(usize, Message)] {
+        &self.emitted
+    }
+
+    /// Emit `msg` on output port `port`. The message leaves the instance at
+    /// its processing-completion time plus channel latency.
+    pub fn emit(&mut self, port: usize, msg: Message) {
+        self.emitted.push((port, msg));
+    }
+
+    /// Request a timer callback (`on_tick`) after `delay` virtual time.
+    pub fn schedule_tick(&mut self, delay: Time) {
+        self.ticks.push(delay);
+    }
+}
+
+/// A deterministic dataflow component.
+pub trait Component: Send {
+    /// Handle one message arriving on input port `port`.
+    fn on_message(&mut self, port: usize, msg: Message, ctx: &mut Context);
+
+    /// Handle a timer scheduled via [`Context::schedule_tick`].
+    fn on_tick(&mut self, _ctx: &mut Context) {}
+
+    /// Human-readable name for stats and traces.
+    fn name(&self) -> &str {
+        "component"
+    }
+}
+
+/// Blanket helper: a component defined by a closure over `(port, msg, ctx)`.
+pub struct FnComponent<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnComponent<F>
+where
+    F: FnMut(usize, Message, &mut Context) + Send,
+{
+    /// Wrap a closure as a component.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnComponent { name: name.into(), f }
+    }
+}
+
+impl<F> Component for FnComponent<F>
+where
+    F: FnMut(usize, Message, &mut Context) + Send,
+{
+    fn on_message(&mut self, port: usize, msg: Message, ctx: &mut Context) {
+        (self.f)(port, msg, ctx);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_buffers_emissions() {
+        let mut ctx = Context::new(5, InstanceId(0));
+        ctx.emit(0, Message::data([1i64]));
+        ctx.emit(1, Message::Eos);
+        ctx.schedule_tick(100);
+        assert_eq!(ctx.emitted.len(), 2);
+        assert_eq!(ctx.ticks, vec![100]);
+        assert_eq!(ctx.now, 5);
+    }
+
+    #[test]
+    fn fn_component_invokes_closure() {
+        let mut c = FnComponent::new("echo", |port, msg, ctx: &mut Context| {
+            ctx.emit(port, msg);
+        });
+        let mut ctx = Context::new(0, InstanceId(3));
+        c.on_message(2, Message::data([7i64]), &mut ctx);
+        assert_eq!(c.name(), "echo");
+        assert_eq!(ctx.emitted, vec![(2, Message::data([7i64]))]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Run statistics and time-series recording.
+//!
+//! The paper's Figures 12–14 plot "log records processed over time"; the
+//! [`TimeSeries`] recorder captures exactly that shape from inside sink
+//! components.
+
+use crate::sim::Time;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Statistics for one instance after a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Component name.
+    pub name: String,
+    /// Messages processed.
+    pub processed: u64,
+    /// Last processing-completion time.
+    pub busy_until: Time,
+}
+
+/// Aggregate statistics for a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Virtual time of the last processed event.
+    pub end_time: Time,
+    /// Total events processed (deliveries + ticks).
+    pub events_processed: u64,
+    /// Messages delivered to instances.
+    pub messages_delivered: u64,
+    /// Channel-level duplicate deliveries.
+    pub duplicates: u64,
+    /// Channel-level retransmissions.
+    pub retransmits: u64,
+    /// Per-instance breakdown.
+    pub per_instance: Vec<InstanceStats>,
+}
+
+impl RunStats {
+    /// Throughput in messages per virtual second over the whole run.
+    #[must_use]
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.end_time == 0 {
+            return 0.0;
+        }
+        self.messages_delivered as f64 / (self.end_time as f64 / 1_000_000.0)
+    }
+}
+
+/// A shared, thread-safe `(time, cumulative count)` recorder.
+///
+/// Cloning shares the underlying buffer, so a sink component can hold one
+/// clone while the test harness holds another.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Arc<Mutex<Vec<(Time, u64)>>>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Record that the cumulative count reached `count` at time `t`.
+    pub fn record(&self, t: Time, count: u64) {
+        self.points.lock().push((t, count));
+    }
+
+    /// Record a single increment: count = previous + 1.
+    pub fn increment(&self, t: Time) {
+        let mut points = self.points.lock();
+        let next = points.last().map_or(1, |&(_, c)| c + 1);
+        points.push((t, next));
+    }
+
+    /// Snapshot of all points.
+    #[must_use]
+    pub fn points(&self) -> Vec<(Time, u64)> {
+        self.points.lock().clone()
+    }
+
+    /// Number of points recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.lock().len()
+    }
+
+    /// Is the series empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.lock().is_empty()
+    }
+
+    /// The final cumulative count.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.points.lock().last().map_or(0, |&(_, c)| c)
+    }
+
+    /// Time at which the cumulative count first reached `target`, if ever.
+    #[must_use]
+    pub fn time_to_reach(&self, target: u64) -> Option<Time> {
+        self.points.lock().iter().find(|&&(_, c)| c >= target).map(|&(t, _)| t)
+    }
+
+    /// Downsample to at most `buckets` evenly spaced (by time) points for
+    /// plotting; always keeps the last point.
+    #[must_use]
+    pub fn downsample(&self, buckets: usize) -> Vec<(Time, u64)> {
+        let points = self.points.lock();
+        if points.len() <= buckets || buckets == 0 {
+            return points.clone();
+        }
+        let start = points.first().map_or(0, |&(t, _)| t);
+        let end = points.last().map_or(0, |&(t, _)| t);
+        let span = (end - start).max(1);
+        let mut out = Vec::with_capacity(buckets + 1);
+        let mut next_bucket = 0usize;
+        for &(t, c) in points.iter() {
+            let bucket = ((t - start) as u128 * buckets as u128 / span as u128) as usize;
+            if bucket >= next_bucket {
+                out.push((t, c));
+                next_bucket = bucket + 1;
+            }
+        }
+        if out.last() != points.last() {
+            out.push(*points.last().expect("non-empty"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_accumulates() {
+        let ts = TimeSeries::new();
+        ts.increment(10);
+        ts.increment(20);
+        ts.increment(30);
+        assert_eq!(ts.total(), 3);
+        assert_eq!(ts.points(), vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn time_to_reach() {
+        let ts = TimeSeries::new();
+        for t in 1..=10u64 {
+            ts.increment(t * 100);
+        }
+        assert_eq!(ts.time_to_reach(5), Some(500));
+        assert_eq!(ts.time_to_reach(11), None);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = TimeSeries::new();
+        let b = a.clone();
+        a.increment(1);
+        b.increment(2);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let ts = TimeSeries::new();
+        for t in 0..1000u64 {
+            ts.increment(t);
+        }
+        let d = ts.downsample(10);
+        assert!(d.len() <= 12, "got {}", d.len());
+        assert_eq!(d.last().copied(), Some((999, 1000)));
+    }
+
+    #[test]
+    fn downsample_small_series_is_identity() {
+        let ts = TimeSeries::new();
+        ts.increment(5);
+        assert_eq!(ts.downsample(10), vec![(5, 1)]);
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let stats = RunStats {
+            end_time: 2_000_000,
+            events_processed: 10,
+            messages_delivered: 100,
+            duplicates: 0,
+            retransmits: 0,
+            per_instance: vec![],
+        };
+        assert!((stats.throughput_per_sec() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Ready-made sink components for tests and benchmarks.
+
+use crate::component::{Component, Context};
+use crate::message::Message;
+use crate::metrics::TimeSeries;
+use crate::sim::Time;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A sink that stores every received message with its arrival time.
+/// Cloning shares the buffer.
+#[derive(Debug, Clone, Default)]
+pub struct CollectorSink {
+    entries: Arc<Mutex<Vec<(Time, Message)>>>,
+}
+
+impl CollectorSink {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        CollectorSink::default()
+    }
+
+    /// Number of messages received.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Is the collector empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Snapshot of `(time, message)` entries in arrival order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(Time, Message)> {
+        self.entries.lock().clone()
+    }
+
+    /// Snapshot of the messages only.
+    #[must_use]
+    pub fn messages(&self) -> Vec<Message> {
+        self.entries.lock().iter().map(|(_, m)| m.clone()).collect()
+    }
+
+    /// Messages as a sorted set (for order-insensitive comparisons, the
+    /// confluence criterion of the paper's Section III-B).
+    #[must_use]
+    pub fn message_set(&self) -> std::collections::BTreeSet<Message> {
+        self.entries.lock().iter().map(|(_, m)| m.clone()).collect()
+    }
+
+    /// Clear the buffer.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+impl Component for CollectorSink {
+    fn on_message(&mut self, _port: usize, msg: Message, ctx: &mut Context) {
+        self.entries.lock().push((ctx.now, msg));
+    }
+
+    fn name(&self) -> &str {
+        "collector-sink"
+    }
+}
+
+/// A sink that counts data tuples and records a cumulative time series —
+/// the "records processed over time" shape of the paper's Figures 12–14.
+#[derive(Debug, Clone, Default)]
+pub struct CountingSink {
+    series: TimeSeries,
+}
+
+impl CountingSink {
+    /// A fresh counting sink.
+    #[must_use]
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// The shared time series (clone to keep after the sim owns the sink).
+    #[must_use]
+    pub fn series(&self) -> TimeSeries {
+        self.series.clone()
+    }
+
+    /// Total data tuples seen.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.series.total()
+    }
+}
+
+impl Component for CountingSink {
+    fn on_message(&mut self, _port: usize, msg: Message, ctx: &mut Context) {
+        if matches!(msg, Message::Data(_)) {
+            self.series.increment(ctx.now);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "counting-sink"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::InstanceId;
+
+    #[test]
+    fn collector_records_time_and_payload() {
+        let sink = CollectorSink::new();
+        let mut c = sink.clone();
+        let mut ctx = Context::new(42, InstanceId(0));
+        c.on_message(0, Message::data([1i64]), &mut ctx);
+        assert_eq!(sink.entries(), vec![(42, Message::data([1i64]))]);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn message_set_ignores_order() {
+        let sink = CollectorSink::new();
+        let mut c = sink.clone();
+        let mut ctx = Context::new(0, InstanceId(0));
+        c.on_message(0, Message::data([2i64]), &mut ctx);
+        c.on_message(0, Message::data([1i64]), &mut ctx);
+        let other = CollectorSink::new();
+        let mut o = other.clone();
+        o.on_message(0, Message::data([1i64]), &mut ctx);
+        o.on_message(0, Message::data([2i64]), &mut ctx);
+        assert_ne!(sink.messages(), other.messages());
+        assert_eq!(sink.message_set(), other.message_set());
+    }
+
+    #[test]
+    fn counting_sink_ignores_control_messages() {
+        let sink = CountingSink::new();
+        let mut c = sink.clone();
+        let mut ctx = Context::new(10, InstanceId(0));
+        c.on_message(0, Message::data([1i64]), &mut ctx);
+        c.on_message(0, Message::Eos, &mut ctx);
+        assert_eq!(sink.total(), 1);
+    }
+}

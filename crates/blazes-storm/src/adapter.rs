@@ -1,0 +1,226 @@
+//! The grey-box Blazes adapter for Storm topologies.
+//!
+//! The paper extracts dataflow metadata from Storm "via a reusable adapter"
+//! and combines it with manually supplied annotations (Section VI). This
+//! module does the same: [`TopologyAnnotations`] holds the programmer's
+//! C.O.W.R. annotations plus spout schemas/seals, and
+//! [`dataflow_graph`] converts a [`TopologyDescription`] into a
+//! `blazes_core::DataflowGraph` ready for analysis.
+
+use crate::topology::TopologyDescription;
+use blazes_core::annotation::ComponentAnnotation;
+use blazes_core::error::{BlazesError, Result};
+use blazes_core::graph::DataflowGraph;
+use std::collections::BTreeMap;
+
+/// Annotations the programmer supplies for a topology.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyAnnotations {
+    bolt_annotations: BTreeMap<String, ComponentAnnotation>,
+    spout_attrs: BTreeMap<String, Vec<String>>,
+    spout_seals: BTreeMap<String, Vec<String>>,
+}
+
+impl TopologyAnnotations {
+    /// Empty annotation set.
+    #[must_use]
+    pub fn new() -> Self {
+        TopologyAnnotations::default()
+    }
+
+    /// Annotate a bolt's single (input→output) path.
+    pub fn annotate_bolt(
+        &mut self,
+        name: impl Into<String>,
+        annotation: ComponentAnnotation,
+    ) -> &mut Self {
+        self.bolt_annotations.insert(name.into(), annotation);
+        self
+    }
+
+    /// Declare the record attributes a spout emits.
+    pub fn spout_attrs<I, S>(&mut self, name: impl Into<String>, attrs: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.spout_attrs
+            .insert(name.into(), attrs.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Declare that a spout's stream is sealed on `key`.
+    pub fn seal_spout<I, S>(&mut self, name: impl Into<String>, key: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.spout_seals
+            .insert(name.into(), key.into_iter().map(Into::into).collect());
+        self
+    }
+}
+
+/// Convert a topology description plus annotations into a logical dataflow
+/// graph for the Blazes analyzer.
+///
+/// Conventions: every bolt becomes a component with one `in` → `out` path;
+/// spouts become sources; sink nodes become graph sinks. Bolts without an
+/// annotation default to `OW_*` (unknown partitions, stateful,
+/// order-sensitive) — the conservative choice for un-reviewed code.
+pub fn dataflow_graph(
+    desc: &TopologyDescription,
+    ann: &TopologyAnnotations,
+) -> Result<DataflowGraph> {
+    let mut g = DataflowGraph::new(desc.name.clone());
+    let mut sources = BTreeMap::new();
+    let mut components = BTreeMap::new();
+    let mut sinks = BTreeMap::new();
+
+    for (i, node) in desc.nodes.iter().enumerate() {
+        match node.kind {
+            "spout" => {
+                let attrs: Vec<&str> = ann
+                    .spout_attrs
+                    .get(&node.name)
+                    .map(|v| v.iter().map(String::as_str).collect())
+                    .unwrap_or_default();
+                let src = g.add_source(&node.name, &attrs);
+                if let Some(key) = ann.spout_seals.get(&node.name) {
+                    g.seal_source(src, key.iter().cloned());
+                }
+                sources.insert(i, src);
+            }
+            "bolt" => {
+                let c = g.add_component(&node.name);
+                let annotation = ann
+                    .bolt_annotations
+                    .get(&node.name)
+                    .cloned()
+                    .unwrap_or_else(ComponentAnnotation::ow_star);
+                g.add_path(c, "in", "out", annotation);
+                components.insert(i, c);
+            }
+            "sink" => {
+                let s = g.add_sink(&node.name);
+                sinks.insert(i, s);
+            }
+            other => {
+                return Err(BlazesError::MalformedGraph(format!(
+                    "unknown node kind {other:?}"
+                )))
+            }
+        }
+    }
+
+    for (i, node) in desc.nodes.iter().enumerate() {
+        for &src in &node.sources {
+            match (sources.get(&src), components.get(&src)) {
+                (Some(&source), _) => {
+                    if let Some(&c) = components.get(&i) {
+                        g.connect_source(source, c, "in");
+                    } else if sinks.contains_key(&i) {
+                        return Err(BlazesError::MalformedGraph(format!(
+                            "sink {:?} subscribed directly to a spout",
+                            node.name
+                        )));
+                    }
+                }
+                (None, Some(&from)) => {
+                    if let Some(&c) = components.get(&i) {
+                        g.connect(from, "out", c, "in");
+                    } else if let Some(&k) = sinks.get(&i) {
+                        g.connect_sink(from, "out", k);
+                    }
+                }
+                (None, None) => {
+                    return Err(BlazesError::MalformedGraph(format!(
+                        "node {:?} subscribes to a sink",
+                        node.name
+                    )))
+                }
+            }
+        }
+    }
+    g.validate()?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bolt::IdentityBolt;
+    use crate::grouping::Grouping;
+    use crate::topology::TopologyBuilder;
+    use blazes_core::analysis::Analyzer;
+    use blazes_core::label::Label;
+    use blazes_dataflow::sinks::CollectorSink;
+
+    fn wordcount_builder() -> TopologyBuilder {
+        let mut t = TopologyBuilder::new("wordcount", 0);
+        let spout = t.add_spout("tweets", 3);
+        let splitter =
+            t.add_bolt("Splitter", 3, || Box::new(IdentityBolt), vec![(spout, Grouping::Shuffle)]);
+        let count = t.add_bolt(
+            "Count",
+            3,
+            || Box::new(IdentityBolt),
+            vec![(splitter, Grouping::Fields(vec![0]))],
+        );
+        let commit =
+            t.add_bolt("Commit", 2, || Box::new(IdentityBolt), vec![(count, Grouping::Shuffle)]);
+        t.add_collector_sink("store", CollectorSink::new(), commit);
+        t
+    }
+
+    fn wordcount_annotations(sealed: bool) -> TopologyAnnotations {
+        let mut ann = TopologyAnnotations::new();
+        ann.spout_attrs("tweets", ["word", "batch"])
+            .annotate_bolt("Splitter", ComponentAnnotation::cr())
+            .annotate_bolt("Count", ComponentAnnotation::ow(["word", "batch"]))
+            .annotate_bolt("Commit", ComponentAnnotation::cw());
+        if sealed {
+            ann.seal_spout("tweets", ["batch"]);
+        }
+        ann
+    }
+
+    #[test]
+    fn unsealed_wordcount_analyzes_to_run() {
+        let desc = wordcount_builder().describe();
+        let g = dataflow_graph(&desc, &wordcount_annotations(false)).unwrap();
+        let out = Analyzer::new(&g).run().unwrap();
+        let sink = g.sink_by_name("store").unwrap();
+        assert_eq!(out.sink_label(sink), Some(&Label::Run));
+    }
+
+    #[test]
+    fn sealed_wordcount_analyzes_to_async() {
+        let desc = wordcount_builder().describe();
+        let g = dataflow_graph(&desc, &wordcount_annotations(true)).unwrap();
+        let out = Analyzer::new(&g).run().unwrap();
+        let sink = g.sink_by_name("store").unwrap();
+        assert_eq!(out.sink_label(sink), Some(&Label::Async));
+    }
+
+    #[test]
+    fn unannotated_bolts_default_conservative() {
+        let desc = wordcount_builder().describe();
+        let mut ann = TopologyAnnotations::new();
+        ann.spout_attrs("tweets", ["word", "batch"]);
+        let g = dataflow_graph(&desc, &ann).unwrap();
+        let c = g.component_by_name("Count").unwrap();
+        assert_eq!(g.component(c).paths[0].annotation, ComponentAnnotation::ow_star());
+    }
+
+    #[test]
+    fn parallelism_is_erased_in_logical_graph() {
+        // The logical dataflow has one component per bolt regardless of
+        // parallelism (paper Section II: logical vs physical dataflow).
+        let desc = wordcount_builder().describe();
+        let g = dataflow_graph(&desc, &wordcount_annotations(false)).unwrap();
+        assert_eq!(g.components().len(), 3);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+}

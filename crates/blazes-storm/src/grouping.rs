@@ -1,0 +1,131 @@
+//! Stream groupings: how a producing instance picks the consuming instance
+//! for each tuple (Storm's partitioning modes).
+
+use blazes_dataflow::value::Tuple;
+use std::hash::{Hash, Hasher};
+
+/// A stream grouping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Grouping {
+    /// Round-robin across consumer instances (Storm's shuffle grouping,
+    /// made deterministic for reproducibility).
+    Shuffle,
+    /// Hash-partition on the tuple fields at the given positions.
+    Fields(Vec<usize>),
+    /// Always instance 0.
+    Global,
+    /// Broadcast to every consumer instance.
+    All,
+}
+
+impl Grouping {
+    /// Pick target instance(s) among `fanout` consumers for `tuple`.
+    /// Returns `None` to broadcast. `rr` is the caller's round-robin
+    /// counter state for shuffle grouping.
+    #[must_use]
+    pub fn route(&self, tuple: &Tuple, fanout: usize, rr: &mut usize) -> Option<usize> {
+        assert!(fanout > 0, "grouping over zero consumers");
+        match self {
+            Grouping::Shuffle => {
+                let t = *rr % fanout;
+                *rr = rr.wrapping_add(1);
+                Some(t)
+            }
+            Grouping::Fields(positions) => {
+                let mut h = Fnv1a::new();
+                for &p in positions {
+                    if let Some(v) = tuple.get(p) {
+                        v.hash(&mut h);
+                    }
+                }
+                Some((h.finish() % fanout as u64) as usize)
+            }
+            Grouping::Global => Some(0),
+            Grouping::All => None,
+        }
+    }
+}
+
+/// A tiny FNV-1a hasher: deterministic across runs and Rust versions
+/// (unlike `DefaultHasher`, whose algorithm is unspecified).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazes_dataflow::value::Value;
+
+    fn t(word: &str, batch: i64) -> Tuple {
+        Tuple::new([Value::str(word), Value::Int(batch)])
+    }
+
+    #[test]
+    fn shuffle_round_robins() {
+        let g = Grouping::Shuffle;
+        let mut rr = 0;
+        let targets: Vec<_> =
+            (0..6).map(|_| g.route(&t("x", 0), 3, &mut rr).unwrap()).collect();
+        assert_eq!(targets, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn fields_grouping_is_stable_per_key() {
+        let g = Grouping::Fields(vec![0]);
+        let mut rr = 0;
+        let a1 = g.route(&t("apple", 1), 4, &mut rr).unwrap();
+        let a2 = g.route(&t("apple", 2), 4, &mut rr).unwrap();
+        assert_eq!(a1, a2, "same key, same target regardless of other fields");
+    }
+
+    #[test]
+    fn fields_grouping_spreads_keys() {
+        let g = Grouping::Fields(vec![0]);
+        let mut rr = 0;
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..100 {
+            let word = format!("word-{i}");
+            seen.insert(g.route(&t(&word, 0), 8, &mut rr).unwrap());
+        }
+        assert!(seen.len() >= 6, "expected most of 8 targets used, got {}", seen.len());
+    }
+
+    #[test]
+    fn global_always_zero() {
+        let g = Grouping::Global;
+        let mut rr = 5;
+        assert_eq!(g.route(&t("x", 0), 7, &mut rr), Some(0));
+    }
+
+    #[test]
+    fn all_broadcasts() {
+        let g = Grouping::All;
+        let mut rr = 0;
+        assert_eq!(g.route(&t("x", 0), 3, &mut rr), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero consumers")]
+    fn zero_fanout_panics() {
+        let mut rr = 0;
+        let _ = Grouping::Shuffle.route(&t("x", 0), 0, &mut rr);
+    }
+}

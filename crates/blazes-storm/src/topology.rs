@@ -1,0 +1,692 @@
+//! Topology construction and execution.
+//!
+//! [`TopologyBuilder`] assembles spouts, bolts and sinks into a simulated
+//! Storm cluster:
+//!
+//! ```
+//! use blazes_storm::prelude_for_tests::*;
+//!
+//! let mut t = TopologyBuilder::new("demo", 42);
+//! let spout = t.add_spout("tweets", 1);
+//! t.spout_schedule(spout, 0, vec![
+//!     (0, Message::data(["hello", "0"])),
+//!     (10, batch_seal(0)),
+//! ]);
+//! let sink = CollectorSink::new();
+//! let bolt = t.add_bolt("echo", 1, || Box::new(IdentityBolt), vec![(spout, Grouping::Shuffle)]);
+//! t.add_collector_sink("out", sink.clone(), bolt);
+//! let mut run = t.build();
+//! run.run(None);
+//! assert_eq!(sink.messages().iter().filter(|m| m.as_data().is_some()).count(), 1);
+//! ```
+
+use crate::bolt::{Bolt, IdentityBolt};
+use crate::grouping::Grouping;
+use crate::runtime::{
+    BatchHandling, BoltAdapter, Downstream, GatedSpout, PORT_GRANT, PORT_UPSTREAM,
+};
+use blazes_coord::CommitCoordinator;
+use blazes_dataflow::channel::ChannelConfig;
+use blazes_dataflow::component::Component;
+use blazes_dataflow::message::Message;
+use blazes_dataflow::metrics::RunStats;
+use blazes_dataflow::sim::{InstanceId, SimBuilder, Simulator, Time};
+
+/// Handle to a topology node (spout, bolt or sink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeHandle(pub usize);
+
+/// Transactional-coordination parameters (the simulated Zookeeper).
+#[derive(Debug, Clone)]
+pub struct TransactionalConfig {
+    /// Coordinator service time per readiness/grant message (the cost of a
+    /// Zookeeper write).
+    pub service_time: Time,
+    /// Channel between committers and the coordinator.
+    pub channel: ChannelConfig,
+    /// First batch id the coordinator will grant.
+    pub first_batch: i64,
+    /// Maximum batches in flight: spouts hold batch `b + max_pending` until
+    /// batch `b` commits (Storm's transactional spout window). `0` disables
+    /// spout gating (commits still serialize, but emission is open-loop).
+    pub max_pending: usize,
+}
+
+impl Default for TransactionalConfig {
+    fn default() -> Self {
+        TransactionalConfig {
+            service_time: 2_000,
+            channel: ChannelConfig::lan(),
+            first_batch: 0,
+            max_pending: 1,
+        }
+    }
+}
+
+enum NodeKind {
+    Spout { schedules: Vec<Vec<(Time, Message)>> },
+    Bolt { factory: Box<dyn FnMut(usize) -> Box<dyn Bolt>>, transactional: bool },
+    Sink { component: Option<Box<dyn Component>> },
+}
+
+struct NodeSpec {
+    name: String,
+    parallelism: usize,
+    kind: NodeKind,
+    subs: Vec<(usize, Grouping, ChannelConfig)>,
+    service_time: Time,
+}
+
+/// A description of the topology structure, used by the grey-box adapter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyDescription {
+    /// Topology name.
+    pub name: String,
+    /// One entry per node.
+    pub nodes: Vec<NodeDescription>,
+}
+
+/// Structure of one node for the grey-box adapter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeDescription {
+    /// Node name.
+    pub name: String,
+    /// Parallelism (instance count).
+    pub parallelism: usize,
+    /// `"spout"`, `"bolt"` or `"sink"`.
+    pub kind: &'static str,
+    /// Indices of subscribed source nodes.
+    pub sources: Vec<usize>,
+}
+
+/// Builder for a simulated Storm topology.
+pub struct TopologyBuilder {
+    name: String,
+    seed: u64,
+    nodes: Vec<NodeSpec>,
+    default_channel: ChannelConfig,
+    transactional: Option<TransactionalConfig>,
+}
+
+impl TopologyBuilder {
+    /// Start a topology with the given simulation seed.
+    #[must_use]
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        TopologyBuilder {
+            name: name.into(),
+            seed,
+            nodes: Vec::new(),
+            default_channel: ChannelConfig::lan(),
+            transactional: None,
+        }
+    }
+
+    /// Override the default channel used by subscriptions.
+    pub fn set_default_channel(&mut self, cfg: ChannelConfig) {
+        self.default_channel = cfg;
+    }
+
+    /// Add a spout with `parallelism` instances (schedule them with
+    /// [`TopologyBuilder::spout_schedule`]).
+    pub fn add_spout(&mut self, name: impl Into<String>, parallelism: usize) -> NodeHandle {
+        assert!(parallelism > 0);
+        let h = NodeHandle(self.nodes.len());
+        self.nodes.push(NodeSpec {
+            name: name.into(),
+            parallelism,
+            kind: NodeKind::Spout { schedules: vec![Vec::new(); parallelism] },
+            subs: Vec::new(),
+            service_time: 0,
+        });
+        h
+    }
+
+    /// Set the injection schedule of one spout instance: `(time, message)`
+    /// pairs. Use [`crate::runtime::batch_seal`] to close batches.
+    pub fn spout_schedule(
+        &mut self,
+        spout: NodeHandle,
+        instance: usize,
+        schedule: Vec<(Time, Message)>,
+    ) {
+        match &mut self.nodes[spout.0].kind {
+            NodeKind::Spout { schedules } => schedules[instance] = schedule,
+            _ => panic!("node {:?} is not a spout", self.nodes[spout.0].name),
+        }
+    }
+
+    /// Add a bolt; `factory` builds one `Bolt` per instance.
+    pub fn add_bolt<F>(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: usize,
+        mut factory: F,
+        subs: Vec<(NodeHandle, Grouping)>,
+    ) -> NodeHandle
+    where
+        F: FnMut() -> Box<dyn Bolt> + 'static,
+    {
+        assert!(parallelism > 0);
+        let h = NodeHandle(self.nodes.len());
+        let channel = self.default_channel.clone();
+        self.nodes.push(NodeSpec {
+            name: name.into(),
+            parallelism,
+            kind: NodeKind::Bolt { factory: Box::new(move |_| factory()), transactional: false },
+            subs: subs
+                .into_iter()
+                .map(|(src, g)| (src.0, g, channel.clone()))
+                .collect(),
+            service_time: 0,
+        });
+        h
+    }
+
+    /// Add a sink node hosting an arbitrary dataflow component (e.g. a
+    /// `CollectorSink` or `CountingSink` clone).
+    pub fn add_sink(
+        &mut self,
+        name: impl Into<String>,
+        component: Box<dyn Component>,
+        source: NodeHandle,
+    ) -> NodeHandle {
+        let h = NodeHandle(self.nodes.len());
+        let channel = self.default_channel.clone();
+        self.nodes.push(NodeSpec {
+            name: name.into(),
+            parallelism: 1,
+            kind: NodeKind::Sink { component: Some(component) },
+            subs: vec![(source.0, Grouping::Global, channel)],
+            service_time: 0,
+        });
+        h
+    }
+
+    /// Convenience: add a `CollectorSink` clone as a sink node.
+    pub fn add_collector_sink(
+        &mut self,
+        name: impl Into<String>,
+        sink: blazes_dataflow::sinks::CollectorSink,
+        source: NodeHandle,
+    ) -> NodeHandle {
+        self.add_sink(name, Box::new(sink), source)
+    }
+
+    /// Set the per-message service time of every instance of a node.
+    pub fn set_service_time(&mut self, node: NodeHandle, service: Time) {
+        self.nodes[node.0].service_time = service;
+    }
+
+    /// Override the channel of a node's subscription to `source`.
+    pub fn set_channel(&mut self, node: NodeHandle, source: NodeHandle, cfg: ChannelConfig) {
+        for (src, _, ch) in &mut self.nodes[node.0].subs {
+            if *src == source.0 {
+                *ch = cfg.clone();
+            }
+        }
+    }
+
+    /// Make `node` a transactional committer: its batches commit in strict
+    /// batch order through a simulated coordination service.
+    pub fn make_transactional(&mut self, node: NodeHandle, cfg: TransactionalConfig) {
+        match &mut self.nodes[node.0].kind {
+            NodeKind::Bolt { transactional, .. } => *transactional = true,
+            _ => panic!("only bolts can be transactional"),
+        }
+        self.transactional = Some(cfg);
+    }
+
+    /// Structure description for the grey-box Blazes adapter.
+    #[must_use]
+    pub fn describe(&self) -> TopologyDescription {
+        TopologyDescription {
+            name: self.name.clone(),
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| NodeDescription {
+                    name: n.name.clone(),
+                    parallelism: n.parallelism,
+                    kind: match n.kind {
+                        NodeKind::Spout { .. } => "spout",
+                        NodeKind::Bolt { .. } => "bolt",
+                        NodeKind::Sink { .. } => "sink",
+                    },
+                    sources: n.subs.iter().map(|(s, _, _)| *s).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Instantiate the topology into a runnable simulation.
+    #[must_use]
+    pub fn build(mut self) -> StormRun {
+        let n = self.nodes.len();
+        // Downstream registration: for node i, the list of (consumer node,
+        // grouping, channel).
+        let mut downstreams: Vec<Vec<(usize, Grouping, ChannelConfig)>> = vec![Vec::new(); n];
+        for (j, node) in self.nodes.iter().enumerate() {
+            for (src, grouping, channel) in &node.subs {
+                downstreams[*src].push((j, grouping.clone(), channel.clone()));
+            }
+        }
+        // Expected distinct upstream producers per node: spouts have the
+        // injector; others sum their sources' parallelism.
+        let expected: Vec<usize> = self
+            .nodes
+            .iter()
+            .map(|node| match node.kind {
+                NodeKind::Spout { .. } => 1,
+                _ => node
+                    .subs
+                    .iter()
+                    .map(|(src, _, _)| self.nodes[*src].parallelism)
+                    .sum::<usize>()
+                    .max(1),
+            })
+            .collect();
+
+        let parallelism: Vec<usize> = self.nodes.iter().map(|x| x.parallelism).collect();
+        let mut sim = SimBuilder::new(self.seed);
+        let mut instances: Vec<Vec<InstanceId>> = Vec::with_capacity(n);
+        let mut producer_base: Vec<i64> = Vec::with_capacity(n);
+        let mut next_producer: i64 = 0;
+        let mut injections: Vec<(Time, usize, usize, Message)> = Vec::new();
+        let mut committers: Vec<(usize, usize)> = Vec::new(); // (node, coord_port)
+        let mut gated_spouts: Vec<InstanceId> = Vec::new();
+
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            producer_base.push(next_producer);
+            next_producer += node.parallelism as i64;
+
+            // Output port layout: one block per downstream subscription.
+            let mut ds: Vec<Downstream> = Vec::new();
+            let mut next_port = 0usize;
+            for (j, grouping, _) in &downstreams[i] {
+                ds.push(Downstream {
+                    base_port: next_port,
+                    fanout: parallelism[*j],
+                    grouping: grouping.clone(),
+                });
+                next_port += parallelism[*j];
+            }
+
+            let mut ids = Vec::with_capacity(node.parallelism);
+            let gated = self
+                .transactional
+                .as_ref()
+                .map(|cfg| cfg.max_pending > 0)
+                .unwrap_or(false);
+            match &mut node.kind {
+                NodeKind::Spout { schedules } if gated => {
+                    // Commit-gated spouts: hold the schedule internally and
+                    // pace batches by the coordinator's grants.
+                    let max_pending =
+                        self.transactional.as_ref().expect("gated implies tx").max_pending;
+                    for (k, schedule) in schedules.iter().enumerate() {
+                        let spout = GatedSpout::new(
+                            format!("{}[{k}]", node.name),
+                            producer_base[i] + k as i64,
+                            ds.clone(),
+                            GatedSpout::group_schedule(schedule),
+                            max_pending,
+                        );
+                        let id = sim.add_instance(Box::new(spout));
+                        sim.set_service_time(id, node.service_time);
+                        // Kick emission at t=0.
+                        injections.push((0, i, k, Message::Eos));
+                        ids.push(id);
+                        gated_spouts.push(id);
+                    }
+                }
+                NodeKind::Spout { schedules } => {
+                    for (k, schedule) in schedules.iter().enumerate() {
+                        let adapter = BoltAdapter::new(
+                            Box::new(IdentityBolt),
+                            format!("{}[{k}]", node.name),
+                            producer_base[i] + k as i64,
+                            k,
+                            1,
+                            BatchHandling::Streaming,
+                            ds.clone(),
+                            None,
+                        );
+                        let id = sim.add_instance(Box::new(adapter));
+                        sim.set_service_time(id, node.service_time);
+                        for (at, msg) in schedule.iter().cloned() {
+                            injections.push((at, i, k, msg));
+                        }
+                        ids.push(id);
+                    }
+                }
+                NodeKind::Bolt { factory, transactional } => {
+                    let mode = if *transactional {
+                        BatchHandling::Transactional
+                    } else {
+                        BatchHandling::Streaming
+                    };
+                    let coord_port = if *transactional { Some(next_port) } else { None };
+                    if *transactional {
+                        committers.push((i, next_port));
+                    }
+                    for k in 0..node.parallelism {
+                        let adapter = BoltAdapter::new(
+                            factory(k),
+                            format!("{}[{k}]", node.name),
+                            producer_base[i] + k as i64,
+                            k,
+                            expected[i],
+                            mode,
+                            ds.clone(),
+                            coord_port,
+                        );
+                        let id = sim.add_instance(Box::new(adapter));
+                        sim.set_service_time(id, node.service_time);
+                        ids.push(id);
+                    }
+                }
+                NodeKind::Sink { component } => {
+                    let comp = component.take().expect("sink component consumed twice");
+                    let id = sim.add_instance(comp);
+                    sim.set_service_time(id, node.service_time);
+                    ids.push(id);
+                }
+            }
+            instances.push(ids);
+        }
+
+        // Wire subscriptions.
+        for i in 0..n {
+            let mut next_port = 0usize;
+            let ds = downstreams[i].clone();
+            for (j, _, channel) in ds {
+                let ch = sim.add_channel(channel);
+                let fanout = instances[j].len();
+                for a in 0..instances[i].len() {
+                    for b in 0..fanout {
+                        sim.connect(
+                            instances[i][a],
+                            next_port + b,
+                            instances[j][b],
+                            PORT_UPSTREAM,
+                            ch,
+                        );
+                    }
+                }
+                next_port += fanout;
+            }
+        }
+
+        // Transactional coordinator wiring.
+        if let Some(cfg) = &self.transactional {
+            for (node, coord_port) in &committers {
+                let coord = sim.add_instance(Box::new(CommitCoordinator::new(
+                    instances[*node].len(),
+                    cfg.first_batch,
+                )));
+                sim.set_service_time(coord, cfg.service_time);
+                let to_coord = sim.add_channel(cfg.channel.clone());
+                let grants = sim.add_channel(ChannelConfig::ordered(cfg.channel.base_latency));
+                for &inst in &instances[*node] {
+                    sim.connect(inst, *coord_port, coord, PORT_UPSTREAM, to_coord);
+                    sim.connect(coord, 0, inst, PORT_GRANT, grants);
+                }
+                // Gated spouts also listen for grants to advance their
+                // emission window.
+                for &spout in &gated_spouts {
+                    sim.connect(coord, 0, spout, PORT_GRANT, grants);
+                }
+            }
+        }
+
+        // Inject spout schedules.
+        for (at, node, k, msg) in injections {
+            sim.inject(at, instances[node][k], PORT_UPSTREAM, msg);
+        }
+
+        StormRun { sim: sim.build(), instances, name: self.name }
+    }
+}
+
+/// A built topology ready to run.
+pub struct StormRun {
+    sim: Simulator,
+    instances: Vec<Vec<InstanceId>>,
+    /// Topology name.
+    pub name: String,
+}
+
+impl StormRun {
+    /// Run the simulation to quiescence (or until the given virtual time).
+    pub fn run(&mut self, until: Option<Time>) -> RunStats {
+        self.sim.run(until)
+    }
+
+    /// Simulator instance ids per node.
+    #[must_use]
+    pub fn instances(&self) -> &[Vec<InstanceId>] {
+        &self.instances
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+}
+
+/// Re-exports used by the module doctest.
+pub mod prelude_for_tests {
+    pub use crate::bolt::IdentityBolt;
+    pub use crate::grouping::Grouping;
+    pub use crate::runtime::batch_seal;
+    pub use crate::topology::TopologyBuilder;
+    pub use blazes_dataflow::message::Message;
+    pub use blazes_dataflow::sinks::CollectorSink;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bolt::{BoltContext, FnBolt};
+    use crate::runtime::batch_seal;
+    use blazes_dataflow::sinks::CollectorSink;
+    use blazes_dataflow::value::{Tuple, Value};
+
+    /// A bolt that counts words per batch and emits (word, batch, count) on
+    /// finish_batch.
+    struct CountBolt {
+        counts: std::collections::BTreeMap<(String, i64), i64>,
+    }
+
+    impl CountBolt {
+        fn new() -> Self {
+            CountBolt { counts: std::collections::BTreeMap::new() }
+        }
+    }
+
+    impl Bolt for CountBolt {
+        fn execute(&mut self, tuple: Tuple, _ctx: &mut BoltContext) {
+            let word = tuple.get(0).and_then(Value::as_str).unwrap_or("").to_string();
+            let batch = tuple.get(1).and_then(Value::as_int).unwrap_or(0);
+            *self.counts.entry((word, batch)).or_insert(0) += 1;
+        }
+
+        fn finish_batch(&mut self, batch: i64, ctx: &mut BoltContext) {
+            let keys: Vec<_> = self
+                .counts
+                .keys()
+                .filter(|(_, b)| *b == batch)
+                .cloned()
+                .collect();
+            for (word, b) in keys {
+                let count = self.counts.remove(&(word.clone(), b)).unwrap();
+                ctx.emit(Tuple::new([
+                    Value::Str(word),
+                    Value::Int(b),
+                    Value::Int(count),
+                ]));
+            }
+        }
+
+        fn name(&self) -> &str {
+            "count"
+        }
+    }
+
+    fn word_tuple(word: &str, batch: i64) -> Message {
+        Message::Data(Tuple::new([Value::str(word), Value::Int(batch)]))
+    }
+
+    /// Build a tiny wordcount: 2 spout instances -> 2 counters (fields
+    /// grouping on word) -> collector.
+    fn wordcount_run(seed: u64, transactional: bool) -> (StormRun, CollectorSink) {
+        let mut t = TopologyBuilder::new("wc", seed);
+        let spout = t.add_spout("tweets", 2);
+        for inst in 0..2usize {
+            let mut sched = Vec::new();
+            for b in 0..3i64 {
+                for w in ["a", "b", "c"] {
+                    sched.push((b as u64 * 100, word_tuple(w, b)));
+                }
+                sched.push((b as u64 * 100 + 50, batch_seal(b)));
+            }
+            t.spout_schedule(spout, inst, sched);
+        }
+        let count = t.add_bolt(
+            "count",
+            2,
+            || Box::new(CountBolt::new()),
+            vec![(spout, Grouping::Fields(vec![0]))],
+        );
+        if transactional {
+            t.make_transactional(count, TransactionalConfig::default());
+        }
+        let sink = CollectorSink::new();
+        t.add_collector_sink("store", sink.clone(), count);
+        (t.build(), sink)
+    }
+
+    fn counts_from(sink: &CollectorSink) -> std::collections::BTreeMap<(String, i64), i64> {
+        sink.messages()
+            .iter()
+            .filter_map(Message::as_data)
+            .map(|t| {
+                (
+                    (
+                        t.get(0).and_then(Value::as_str).unwrap().to_string(),
+                        t.get(1).and_then(Value::as_int).unwrap(),
+                    ),
+                    t.get(2).and_then(Value::as_int).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wordcount_produces_correct_counts() {
+        let (mut run, sink) = wordcount_run(11, false);
+        run.run(None);
+        let counts = counts_from(&sink);
+        // 2 spout instances × 1 occurrence per word per batch = count 2.
+        assert_eq!(counts.len(), 9, "3 words × 3 batches");
+        assert!(counts.values().all(|&c| c == 2), "{counts:?}");
+    }
+
+    #[test]
+    fn counts_identical_across_seeds() {
+        // Confluent outcome: the sealed topology produces the same count
+        // sets regardless of delivery interleaving.
+        let (mut r1, s1) = wordcount_run(1, false);
+        let (mut r2, s2) = wordcount_run(2, false);
+        r1.run(None);
+        r2.run(None);
+        assert_eq!(counts_from(&s1), counts_from(&s2));
+    }
+
+    #[test]
+    fn transactional_produces_same_outputs() {
+        let (mut plain, s1) = wordcount_run(5, false);
+        let (mut tx, s2) = wordcount_run(5, true);
+        plain.run(None);
+        tx.run(None);
+        assert_eq!(counts_from(&s1), counts_from(&s2));
+    }
+
+    #[test]
+    fn transactional_is_slower() {
+        let (mut plain, _s1) = wordcount_run(5, false);
+        let (mut tx, _s2) = wordcount_run(5, true);
+        let p = plain.run(None);
+        let t = tx.run(None);
+        assert!(
+            t.end_time > p.end_time,
+            "transactional {} must exceed sealed {}",
+            t.end_time,
+            p.end_time
+        );
+    }
+
+    #[test]
+    fn transactional_commits_in_batch_order() {
+        let (mut run, sink) = wordcount_run(13, true);
+        run.run(None);
+        let batches: Vec<i64> = sink
+            .messages()
+            .iter()
+            .filter_map(Message::as_data)
+            .filter_map(|t| t.get(1).and_then(Value::as_int))
+            .collect();
+        let mut max_seen = i64::MIN;
+        for b in batches {
+            assert!(b >= max_seen, "commit order violated");
+            max_seen = max_seen.max(b);
+        }
+    }
+
+    #[test]
+    fn fn_bolt_pipeline() {
+        let mut t = TopologyBuilder::new("pipe", 0);
+        let spout = t.add_spout("src", 1);
+        t.spout_schedule(
+            spout,
+            0,
+            vec![(0, Message::data([1i64, 0])), (1, Message::data([2i64, 0])), (2, batch_seal(0))],
+        );
+        let double = t.add_bolt(
+            "double",
+            1,
+            || {
+                Box::new(FnBolt::new("double", |t: Tuple, ctx: &mut BoltContext| {
+                    let v = t.get(0).and_then(Value::as_int).unwrap();
+                    ctx.emit(Tuple::new([Value::Int(v * 2)]));
+                }))
+            },
+            vec![(spout, Grouping::Shuffle)],
+        );
+        let sink = CollectorSink::new();
+        t.add_collector_sink("out", sink.clone(), double);
+        t.build().run(None);
+        let vals: std::collections::BTreeSet<i64> = sink
+            .messages()
+            .iter()
+            .filter_map(Message::as_data)
+            .filter_map(|t| t.get(0).and_then(Value::as_int))
+            .collect();
+        assert_eq!(vals, [2i64, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn describe_reports_structure() {
+        let mut t = TopologyBuilder::new("wc", 0);
+        let spout = t.add_spout("tweets", 3);
+        let bolt =
+            t.add_bolt("count", 2, || Box::new(IdentityBolt), vec![(spout, Grouping::Shuffle)]);
+        t.add_collector_sink("store", CollectorSink::new(), bolt);
+        let d = t.describe();
+        assert_eq!(d.nodes.len(), 3);
+        assert_eq!(d.nodes[0].kind, "spout");
+        assert_eq!(d.nodes[1].sources, vec![0]);
+        assert_eq!(d.nodes[2].kind, "sink");
+    }
+}

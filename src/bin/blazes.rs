@@ -1,0 +1,106 @@
+//! `blazes` — the command-line analyzer.
+//!
+//! Reads a spec file in the paper's annotation format (with the `streams:`
+//! / `connections:` / `sinks:` topology extensions), runs the analysis, and
+//! prints the derivations, the synthesized coordination plan and placement
+//! advice.
+//!
+//! ```text
+//! cargo run --bin blazes -- path/to/topology.blz [--static-order]
+//! cargo run --bin blazes -- --demo            # built-in wordcount demo
+//! ```
+
+use blazes::core::advisor;
+use blazes::core::analysis::Analyzer;
+use blazes::core::derivation;
+use blazes::core::spec::Spec;
+use blazes::core::strategy::{plan_for, residual_labels};
+
+const DEMO: &str = r#"
+Splitter:
+  annotation:
+    - { from: tweets, to: words, label: CR }
+Count:
+  annotation:
+    - { from: words, to: counts, label: OW, subscript: [word, batch] }
+Commit:
+  annotation: { from: counts, to: db, label: CW }
+streams:
+  - { name: tweets, attrs: [word, batch], to: Splitter.tweets }
+connections:
+  - { from: Splitter.words, to: Count.words }
+  - { from: Count.counts, to: Commit.counts }
+sinks:
+  - { name: store, from: Commit.db }
+"#;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dynamic = !args.iter().any(|a| a == "--static-order");
+    let path = args.iter().find(|a| !a.starts_with("--"));
+
+    let (name, text) = match (path, args.iter().any(|a| a == "--demo")) {
+        (Some(p), _) => match std::fs::read_to_string(p) {
+            Ok(t) => (p.clone(), t),
+            Err(e) => {
+                eprintln!("error: cannot read {p:?}: {e}");
+                std::process::exit(1);
+            }
+        },
+        (None, true) => ("wordcount-demo".to_string(), DEMO.to_string()),
+        (None, false) => {
+            eprintln!("usage: blazes <spec-file> [--static-order] | blazes --demo");
+            std::process::exit(2);
+        }
+    };
+
+    let spec = match Spec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let graph = match spec.to_graph(&name) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let outcome = match Analyzer::new(&graph).run() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("analysis error: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", derivation::render(&graph, &outcome));
+
+    match plan_for(&graph, dynamic) {
+        Ok(plan) => {
+            println!("\n-- synthesized coordination ({}) --",
+                if dynamic { "dynamic ordering" } else { "static ordering" });
+            print!("{}", plan.render(&graph));
+            match residual_labels(&graph, &plan) {
+                Ok(residual) => {
+                    println!("-- residual labels after deployment --");
+                    for (sink, label) in residual {
+                        println!("  {sink}  =>  {label}");
+                    }
+                }
+                Err(e) => eprintln!("residual computation failed: {e}"),
+            }
+        }
+        Err(e) => eprintln!("synthesis error: {e}"),
+    }
+
+    let advice = advisor::advise(&graph, &outcome);
+    if !advice.is_empty() {
+        println!("\n-- placement advice --");
+        for a in advice {
+            println!("  {}", a.render(&graph));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # blazes
+//!
+//! Facade crate for the Blazes workspace — a Rust reproduction of
+//! *"Blazes: Coordination Analysis for Distributed Programs"* (Alvaro,
+//! Conway, Hellerstein, Maier — ICDE 2014).
+//!
+//! This crate re-exports the workspace members under stable module names:
+//!
+//! * [`core`] — the Blazes analysis: annotations, labels, inference,
+//!   reconciliation, coordination synthesis.
+//! * [`dataflow`] — the discrete-event simulated dataflow runtime.
+//! * [`coord`] — coordination substrates (sequencer, seal manager,
+//!   barriers).
+//! * [`storm`] — the mini Storm engine and its grey-box adapter.
+//! * [`bloom`] — the mini Bloom language and its white-box analysis.
+//! * [`apps`] — the paper's two case-study applications.
+//!
+//! See `examples/` for runnable walkthroughs and `DESIGN.md` for the system
+//! inventory.
+
+pub use blazes_apps as apps;
+pub use blazes_bloom as bloom;
+pub use blazes_coord as coord;
+pub use blazes_core as core;
+pub use blazes_dataflow as dataflow;
+pub use blazes_storm as storm;

@@ -1,0 +1,195 @@
+//! Property-based tests for the Blazes analysis: invariants that must hold
+//! on *arbitrary* annotated dataflows, checked with proptest.
+
+use blazes::core::analysis::Analyzer;
+use blazes::core::annotation::ComponentAnnotation;
+use blazes::core::graph::DataflowGraph;
+use blazes::core::label::Label;
+use blazes::core::severity::Severity;
+use blazes::core::strategy::{plan_for, residual_labels};
+use proptest::prelude::*;
+
+const ATTRS: [&str; 4] = ["a", "b", "c", "d"];
+
+#[derive(Debug, Clone)]
+struct RandomChain {
+    annotations: Vec<ComponentAnnotation>,
+    seal: Option<Vec<&'static str>>,
+    rep_mask: u8,
+}
+
+fn arb_annotation() -> impl Strategy<Value = ComponentAnnotation> {
+    prop_oneof![
+        Just(ComponentAnnotation::cr()),
+        Just(ComponentAnnotation::cw()),
+        proptest::sample::subsequence(ATTRS.to_vec(), 1..=3)
+            .prop_map(ComponentAnnotation::or),
+        proptest::sample::subsequence(ATTRS.to_vec(), 1..=3)
+            .prop_map(ComponentAnnotation::ow),
+        Just(ComponentAnnotation::or_star()),
+        Just(ComponentAnnotation::ow_star()),
+    ]
+}
+
+fn arb_chain() -> impl Strategy<Value = RandomChain> {
+    (
+        proptest::collection::vec(arb_annotation(), 1..6),
+        proptest::option::of(proptest::sample::subsequence(ATTRS.to_vec(), 1..=2)),
+        any::<u8>(),
+    )
+        .prop_map(|(annotations, seal, rep_mask)| RandomChain { annotations, seal, rep_mask })
+}
+
+/// Build a linear dataflow from a chain description.
+fn build(chain: &RandomChain, with_seal: bool) -> DataflowGraph {
+    let mut g = DataflowGraph::new("prop-chain");
+    let src = g.add_source("src", &ATTRS);
+    if with_seal {
+        if let Some(seal) = &chain.seal {
+            g.seal_source(src, seal.iter().copied());
+        }
+    }
+    let mut prev = None;
+    for (i, ann) in chain.annotations.iter().enumerate() {
+        let c = g.add_component(format!("C{i}"));
+        g.set_rep(c, chain.rep_mask & (1 << (i % 8)) != 0);
+        g.add_path(c, "in", "out", ann.clone());
+        match prev {
+            None => {
+                g.connect_source(src, c, "in");
+            }
+            Some(p) => {
+                g.connect(p, "out", c, "in");
+            }
+        }
+        prev = Some(c);
+    }
+    let sink = g.add_sink("sink");
+    g.connect_sink(prev.expect("non-empty"), "out", sink);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The analysis never fails on well-formed graphs and always produces a
+    /// publishable (non-internal) sink label.
+    #[test]
+    fn analysis_total_and_labels_publishable(chain in arb_chain()) {
+        let g = build(&chain, true);
+        let out = Analyzer::new(&g).run().expect("analysis must succeed");
+        let sink = g.sink_by_name("sink").unwrap();
+        let label = out.sink_label(sink).expect("sink labeled");
+        prop_assert!(!label.is_internal(), "published label must not be internal: {label}");
+    }
+
+    /// Determinism: analyzing the same graph twice gives identical labels.
+    #[test]
+    fn analysis_is_deterministic(chain in arb_chain()) {
+        let g = build(&chain, true);
+        let a = Analyzer::new(&g).run().unwrap();
+        let b = Analyzer::new(&g).run().unwrap();
+        let sink = g.sink_by_name("sink").unwrap();
+        prop_assert_eq!(a.sink_label(sink), b.sink_label(sink));
+    }
+
+    /// Monotonicity of seals: adding a seal annotation never makes the
+    /// verdict *worse* (sealing can only rule out anomalies).
+    #[test]
+    fn seals_never_hurt(chain in arb_chain()) {
+        let sealed = build(&chain, true);
+        let unsealed = build(&chain, false);
+        let sink_s = sealed.sink_by_name("sink").unwrap();
+        let sink_u = unsealed.sink_by_name("sink").unwrap();
+        let ls = Analyzer::new(&sealed).run().unwrap().sink_label(sink_s).cloned().unwrap();
+        let lu = Analyzer::new(&unsealed).run().unwrap().sink_label(sink_u).cloned().unwrap();
+        prop_assert!(
+            ls.severity() <= lu.severity(),
+            "seal worsened the label: sealed {ls} vs unsealed {lu}"
+        );
+    }
+
+    /// Confluent-only dataflows never require coordination (CALM).
+    #[test]
+    fn confluent_chains_are_calm(n in 1usize..6, writes in any::<u8>()) {
+        let chain = RandomChain {
+            annotations: (0..n)
+                .map(|i| if writes & (1 << (i % 8)) != 0 {
+                    ComponentAnnotation::cw()
+                } else {
+                    ComponentAnnotation::cr()
+                })
+                .collect(),
+            seal: None,
+            rep_mask: writes,
+        };
+        let g = build(&chain, false);
+        let out = Analyzer::new(&g).run().unwrap();
+        prop_assert!(!out.requires_coordination());
+        prop_assert!(out.program_label().severity() <= Severity::ASYNC);
+    }
+
+    /// Plan soundness: after deploying the synthesized plan (with *static*
+    /// ordering), no sink remains anomalous.
+    #[test]
+    fn plans_restore_consistency(chain in arb_chain()) {
+        let g = build(&chain, true);
+        let plan = plan_for(&g, false).unwrap();
+        let residual = residual_labels(&g, &plan).unwrap();
+        for (name, label) in residual {
+            prop_assert!(!label.is_anomalous(), "sink {name} still {label} after plan");
+        }
+    }
+
+    /// Plan necessity: a graph whose analysis is clean gets an empty plan.
+    #[test]
+    fn clean_graphs_get_empty_plans(chain in arb_chain()) {
+        let g = build(&chain, true);
+        let out = Analyzer::new(&g).run().unwrap();
+        let plan = plan_for(&g, false).unwrap();
+        if !out.requires_coordination() {
+            prop_assert!(
+                !plan.needs_ordering(),
+                "consistent graph must not be ordered"
+            );
+        }
+    }
+
+    /// Replication monotonicity: marking components replicated never
+    /// *lowers* severity.
+    #[test]
+    fn replication_never_helps(chain in arb_chain()) {
+        let base = build(&RandomChain { rep_mask: 0, ..chain.clone() }, true);
+        let replicated = build(&RandomChain { rep_mask: 0xFF, ..chain }, true);
+        let lb = Analyzer::new(&base).run().unwrap().program_label();
+        let lr = Analyzer::new(&replicated).run().unwrap().program_label();
+        prop_assert!(lb.severity() <= lr.severity(), "rep lowered severity: {lb} vs {lr}");
+    }
+}
+
+/// Severity lattice laws for the full label set (exhaustive, not random).
+#[test]
+fn label_join_is_a_semilattice() {
+    let labels = [
+        Label::Taint,
+        Label::nd_read(["a"]),
+        Label::seal(["a"]),
+        Label::Async,
+        Label::Run,
+        Label::Inst,
+        Label::Diverge,
+    ];
+    for a in &labels {
+        assert_eq!(a.clone().join(a.clone()).severity(), a.severity(), "idempotent");
+        for b in &labels {
+            let ab = a.clone().join(b.clone());
+            let ba = b.clone().join(a.clone());
+            assert_eq!(ab.severity(), ba.severity(), "commutative severity");
+            for c in &labels {
+                let l = a.clone().join(b.clone()).join(c.clone());
+                let r = a.clone().join(b.clone().join(c.clone()));
+                assert_eq!(l.severity(), r.severity(), "associative severity");
+            }
+        }
+    }
+}
