@@ -25,6 +25,7 @@
 
 use crate::queries::ReportQuery;
 use crate::workload::{CampaignPlacement, ClickWorkload};
+use blazes_bloom::interp::ModuleInstance;
 use blazes_coord::registry::ProducerRegistry;
 use blazes_coord::seal::{SealManager, SealOutcome};
 use blazes_coord::sequencer::Sequencer;
@@ -35,7 +36,6 @@ use blazes_dataflow::metrics::{RunStats, TimeSeries};
 use blazes_dataflow::sim::{SimBuilder, Time};
 use blazes_dataflow::sinks::CollectorSink;
 use blazes_dataflow::value::{Tuple, Value};
-use blazes_bloom::interp::ModuleInstance;
 use std::collections::BTreeMap;
 
 /// Coordination strategy for a run.
@@ -131,7 +131,11 @@ impl AdRunResult {
     /// Do all replicas report identical response sets?
     #[must_use]
     pub fn responses_consistent(&self) -> bool {
-        let sets: Vec<_> = self.responses.iter().map(CollectorSink::message_set).collect();
+        let sets: Vec<_> = self
+            .responses
+            .iter()
+            .map(CollectorSink::message_set)
+            .collect();
         sets.windows(2).all(|w| w[0] == w[1])
     }
 
@@ -247,8 +251,7 @@ impl Component for ReportServer {
                 match &mut self.seal {
                     None => self.ingest_click(tuple, ctx),
                     Some(mgr) => {
-                        let campaign =
-                            tuple.get(1).cloned().expect("click tuple has a campaign");
+                        let campaign = tuple.get(1).cloned().expect("click tuple has a campaign");
                         match mgr.on_data(campaign, tuple) {
                             SealOutcome::Buffered => {}
                             SealOutcome::Released(tuples) => {
@@ -276,9 +279,7 @@ impl Component for ReportServer {
                 ) else {
                     return;
                 };
-                if let SealOutcome::Released(tuples) =
-                    mgr.on_seal(campaign, producer as usize)
-                {
+                if let SealOutcome::Released(tuples) = mgr.on_seal(campaign, producer as usize) {
                     for t in tuples {
                         self.ingest_click(t, ctx);
                     }
@@ -367,7 +368,9 @@ pub fn run_scenario(sc: &AdScenario) -> AdRunResult {
     let click_channel = ChannelConfig::lan().with_jitter(5_000);
     let mut latest: Time = 0;
     for s in 0..sc.workload.ad_servers {
-        let ad = b.add_instance(Box::new(Broadcast { name: format!("adserver[{s}]") }));
+        let ad = b.add_instance(Box::new(Broadcast {
+            name: format!("adserver[{s}]"),
+        }));
         match sequencer {
             Some(seq) => b.connect_with(ad, 0, seq, 0, ChannelConfig::lan()),
             None => {
@@ -456,7 +459,10 @@ mod tests {
 
     #[test]
     fn uncoordinated_processes_everything() {
-        let res = run_scenario(&scenario(StrategyKind::Uncoordinated, CampaignPlacement::Spread));
+        let res = run_scenario(&scenario(
+            StrategyKind::Uncoordinated,
+            CampaignPlacement::Spread,
+        ));
         assert_eq!(res.expected_records, 180);
         for s in &res.series {
             assert_eq!(s.total(), 180, "every replica sees every record");
@@ -474,8 +480,10 @@ mod tests {
 
     #[test]
     fn sealed_independent_processes_everything() {
-        let res =
-            run_scenario(&scenario(StrategyKind::Sealed, CampaignPlacement::Independent));
+        let res = run_scenario(&scenario(
+            StrategyKind::Sealed,
+            CampaignPlacement::Independent,
+        ));
         for s in &res.series {
             assert_eq!(s.total(), 180);
         }
@@ -502,8 +510,10 @@ mod tests {
 
     #[test]
     fn ordered_is_slower_than_uncoordinated() {
-        let fast =
-            run_scenario(&scenario(StrategyKind::Uncoordinated, CampaignPlacement::Spread));
+        let fast = run_scenario(&scenario(
+            StrategyKind::Uncoordinated,
+            CampaignPlacement::Spread,
+        ));
         let slow = run_scenario(&scenario(StrategyKind::Ordered, CampaignPlacement::Spread));
         assert!(
             slow.completion_time().unwrap() > fast.completion_time().unwrap(),
@@ -515,8 +525,10 @@ mod tests {
 
     #[test]
     fn independent_seals_release_earlier_than_spread() {
-        let ind =
-            run_scenario(&scenario(StrategyKind::Sealed, CampaignPlacement::Independent));
+        let ind = run_scenario(&scenario(
+            StrategyKind::Sealed,
+            CampaignPlacement::Independent,
+        ));
         let spread = run_scenario(&scenario(StrategyKind::Sealed, CampaignPlacement::Spread));
         // Under spread placement, each campaign waits for *every* server's
         // seal, which only happens at end-of-log: releases cluster late.
@@ -536,7 +548,13 @@ mod tests {
             StrategyKind::Sealed.label(CampaignPlacement::Independent),
             "Independent Seal"
         );
-        assert_eq!(StrategyKind::Sealed.label(CampaignPlacement::Spread), "Seal");
-        assert_eq!(StrategyKind::Ordered.label(CampaignPlacement::Spread), "Ordered");
+        assert_eq!(
+            StrategyKind::Sealed.label(CampaignPlacement::Spread),
+            "Seal"
+        );
+        assert_eq!(
+            StrategyKind::Ordered.label(CampaignPlacement::Spread),
+            "Ordered"
+        );
     }
 }

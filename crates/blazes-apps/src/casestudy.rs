@@ -13,11 +13,11 @@ use crate::queries::ReportQuery;
 use blazes_bloom::analyze::annotate_module;
 use blazes_core::annotation::ComponentAnnotation;
 use blazes_core::graph::{DataflowGraph, SinkId};
+use blazes_dataflow::sinks::CollectorSink;
 use blazes_storm::adapter::{dataflow_graph, TopologyAnnotations};
 use blazes_storm::bolt::IdentityBolt;
 use blazes_storm::grouping::Grouping;
 use blazes_storm::topology::TopologyBuilder;
-use blazes_dataflow::sinks::CollectorSink;
 
 /// The wordcount dataflow with the Section VI-A1 annotations, optionally
 /// sealed on `batch`.
@@ -25,16 +25,24 @@ use blazes_dataflow::sinks::CollectorSink;
 pub fn wordcount_graph(sealed: bool) -> (DataflowGraph, SinkId) {
     let mut t = TopologyBuilder::new("wordcount", 0);
     let spout = t.add_spout("tweets", 3);
-    let splitter =
-        t.add_bolt("Splitter", 3, || Box::new(IdentityBolt), vec![(spout, Grouping::Shuffle)]);
+    let splitter = t.add_bolt(
+        "Splitter",
+        3,
+        || Box::new(IdentityBolt),
+        vec![(spout, Grouping::Shuffle)],
+    );
     let count = t.add_bolt(
         "Count",
         3,
         || Box::new(IdentityBolt),
         vec![(splitter, Grouping::Fields(vec![0]))],
     );
-    let commit =
-        t.add_bolt("Commit", 2, || Box::new(IdentityBolt), vec![(count, Grouping::Shuffle)]);
+    let commit = t.add_bolt(
+        "Commit",
+        2,
+        || Box::new(IdentityBolt),
+        vec![(count, Grouping::Shuffle)],
+    );
     t.add_collector_sink("store", CollectorSink::new(), commit);
 
     let mut ann = TopologyAnnotations::new();
@@ -58,10 +66,7 @@ pub fn wordcount_graph(sealed: bool) -> (DataflowGraph, SinkId) {
 /// (CR request hit, CW response update, CR request forward), with both
 /// Report and Cache replicated.
 #[must_use]
-pub fn ad_network_graph(
-    query: ReportQuery,
-    seal_key: Option<&[&str]>,
-) -> (DataflowGraph, SinkId) {
+pub fn ad_network_graph(query: ReportQuery, seal_key: Option<&[&str]>) -> (DataflowGraph, SinkId) {
     let mut g = DataflowGraph::new(format!("ad-report-{}", query.name()));
     let clicks = g.add_source("clicks", &["id", "campaign", "window"]);
     if let Some(key) = seal_key {

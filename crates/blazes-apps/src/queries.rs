@@ -30,8 +30,12 @@ pub enum ReportQuery {
 
 impl ReportQuery {
     /// All four queries.
-    pub const ALL: [ReportQuery; 4] =
-        [ReportQuery::Thresh, ReportQuery::Poor, ReportQuery::Window, ReportQuery::Campaign];
+    pub const ALL: [ReportQuery; 4] = [
+        ReportQuery::Thresh,
+        ReportQuery::Poor,
+        ReportQuery::Window,
+        ReportQuery::Campaign,
+    ];
 
     /// Display name matching the paper.
     #[must_use]
@@ -110,14 +114,21 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn click(id: i64, campaign: i64, window: i64) -> Tuple {
-        Tuple(vec![Value::Int(id), Value::Int(campaign), Value::Int(window)])
+        Tuple(vec![
+            Value::Int(id),
+            Value::Int(campaign),
+            Value::Int(window),
+        ])
     }
 
     fn run_query(q: ReportQuery, clicks: Vec<Tuple>, request_id: i64) -> Vec<Tuple> {
         let mut inst = ModuleInstance::new(q.module()).unwrap();
         let mut inputs = BTreeMap::new();
         inputs.insert("click".to_string(), clicks);
-        inputs.insert("request".to_string(), vec![Tuple(vec![Value::Int(request_id)])]);
+        inputs.insert(
+            "request".to_string(),
+            vec![Tuple(vec![Value::Int(request_id)])],
+        );
         inst.tick(inputs).unwrap().on("response").to_vec()
     }
 
@@ -133,11 +144,7 @@ mod tests {
     #[test]
     fn poor_reports_low_click_ads() {
         // Ad 1 has 2 distinct clicks (< 100): reported.
-        let out = run_query(
-            ReportQuery::Poor,
-            vec![click(1, 0, 0), click(1, 0, 1)],
-            1,
-        );
+        let out = run_query(ReportQuery::Poor, vec![click(1, 0, 0), click(1, 0, 1)], 1);
         assert_eq!(out, vec![Tuple(vec![Value::Int(1), Value::Int(2)])]);
     }
 
@@ -197,8 +204,14 @@ mod tests {
         let expect = [
             (ReportQuery::Thresh, ComponentAnnotation::cr()),
             (ReportQuery::Poor, ComponentAnnotation::or(["id"])),
-            (ReportQuery::Window, ComponentAnnotation::or(["id", "window"])),
-            (ReportQuery::Campaign, ComponentAnnotation::or(["campaign", "id"])),
+            (
+                ReportQuery::Window,
+                ComponentAnnotation::or(["id", "window"]),
+            ),
+            (
+                ReportQuery::Campaign,
+                ComponentAnnotation::or(["campaign", "id"]),
+            ),
         ];
         for (q, want) in expect {
             let anns = annotate_module(&q.module()).unwrap();

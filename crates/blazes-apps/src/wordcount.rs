@@ -66,11 +66,19 @@ impl Bolt for CountBolt {
     }
 
     fn finish_batch(&mut self, batch: i64, ctx: &mut BoltContext) {
-        let keys: Vec<(String, i64)> =
-            self.counts.keys().filter(|(_, b)| *b == batch).cloned().collect();
+        let keys: Vec<(String, i64)> = self
+            .counts
+            .keys()
+            .filter(|(_, b)| *b == batch)
+            .cloned()
+            .collect();
         for key in keys {
             let n = self.counts.remove(&key).expect("key just listed");
-            ctx.emit(Tuple(vec![Value::Str(key.0), Value::Int(key.1), Value::Int(n)]));
+            ctx.emit(Tuple(vec![
+                Value::Str(key.0),
+                Value::Int(key.1),
+                Value::Int(n),
+            ]));
         }
     }
 
@@ -90,7 +98,9 @@ pub struct CommitBolt {
 
 impl Bolt for CommitBolt {
     fn execute(&mut self, tuple: Tuple, _ctx: &mut BoltContext) {
-        let Some(batch) = tuple.get(1).and_then(Value::as_int) else { return };
+        let Some(batch) = tuple.get(1).and_then(Value::as_int) else {
+            return;
+        };
         self.staged.entry(batch).or_default().push(tuple);
     }
 

@@ -8,7 +8,7 @@
 use blazes_dataflow::sim::Time;
 use blazes_dataflow::value::{Tuple, Value};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// A Zipf sampler over ranks `0..n` with exponent `s`, via inverse-CDF
 /// table lookup (we avoid a `rand_distr` dependency).
@@ -39,7 +39,10 @@ impl Zipf {
     /// Sample a rank in `0..n`.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.random();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }
     }
@@ -84,7 +87,8 @@ impl TweetWorkload {
     /// the caller appends seal punctuations where its topology needs them.
     #[must_use]
     pub fn generate(&self, spout_instance: usize) -> Vec<(Time, Tuple)> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (spout_instance as u64).wrapping_mul(0x9e37_79b9));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (spout_instance as u64).wrapping_mul(0x9e37_79b9));
         let zipf = Zipf::new(self.vocabulary, self.zipf_exponent);
         let mut out = Vec::with_capacity(self.batches * self.tweets_per_batch);
         let mut t: Time = 0;
@@ -210,8 +214,7 @@ impl ClickWorkload {
     #[must_use]
     pub fn generate(&self, server: usize) -> AdServerLog {
         assert!(server < self.ad_servers);
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ (server as u64).wrapping_mul(0x517c_c1b7));
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (server as u64).wrapping_mul(0x517c_c1b7));
         let my_campaigns = self.campaigns_of(server);
         let per_campaign = (self.entries_per_server / my_campaigns.len().max(1)).max(1);
         let mut clicks = Vec::with_capacity(self.entries_per_server);
@@ -225,7 +228,7 @@ impl ClickWorkload {
                 per_campaign
             };
             for _ in 0..count {
-                if i > 0 && i % self.batch_size == 0 {
+                if i > 0 && i.is_multiple_of(self.batch_size) {
                     t += self.sleep_between_batches;
                 }
                 let ad = rng.random_range(0..self.ads_per_campaign as i64);
@@ -233,14 +236,22 @@ impl ClickWorkload {
                 let window = (t / 1_000_000) as i64; // 1-second windows
                 clicks.push((
                     t,
-                    Tuple(vec![Value::Int(id), Value::Int(campaign), Value::Int(window)]),
+                    Tuple(vec![
+                        Value::Int(id),
+                        Value::Int(campaign),
+                        Value::Int(window),
+                    ]),
                 ));
                 t += self.entry_interval;
                 i += 1;
             }
             seals.push((t, campaign));
         }
-        AdServerLog { clicks, seals, end_time: t }
+        AdServerLog {
+            clicks,
+            seals,
+            end_time: t,
+        }
     }
 
     /// Total click records across all servers.
@@ -277,11 +288,17 @@ mod tests {
 
     #[test]
     fn tweets_have_batch_structure() {
-        let w = TweetWorkload { batches: 3, tweets_per_batch: 4, ..TweetWorkload::default() };
+        let w = TweetWorkload {
+            batches: 3,
+            tweets_per_batch: 4,
+            ..TweetWorkload::default()
+        };
         let sched = w.generate(0);
         assert_eq!(sched.len(), 12);
-        let batches: Vec<i64> =
-            sched.iter().map(|(_, t)| t.get(1).and_then(Value::as_int).unwrap()).collect();
+        let batches: Vec<i64> = sched
+            .iter()
+            .map(|(_, t)| t.get(1).and_then(Value::as_int).unwrap())
+            .collect();
         assert_eq!(batches.iter().filter(|&&b| b == 0).count(), 4);
         assert!(batches.windows(2).all(|w| w[0] <= w[1]), "batch-ordered");
     }
@@ -313,7 +330,10 @@ mod tests {
 
     #[test]
     fn spread_placement_shares_all_campaigns() {
-        let w = ClickWorkload { placement: CampaignPlacement::Spread, ..ClickWorkload::default() };
+        let w = ClickWorkload {
+            placement: CampaignPlacement::Spread,
+            ..ClickWorkload::default()
+        };
         // Same campaign *set* for every server, rotated starting points.
         let mut a = w.campaigns_of(0);
         let mut b = w.campaigns_of(1);
@@ -379,7 +399,10 @@ mod tests {
         for (t, click) in &log.clicks {
             let c = click.get(1).and_then(Value::as_int).unwrap();
             let (seal_t, _) = log.seals.iter().find(|(_, sc)| *sc == c).unwrap();
-            assert!(t < seal_t, "click at {t} after its campaign sealed at {seal_t}");
+            assert!(
+                t < seal_t,
+                "click at {t} after its campaign sealed at {seal_t}"
+            );
         }
     }
 

@@ -13,17 +13,13 @@ fn bench_fig11(c: &mut Criterion) {
     group.sample_size(10);
     for workers in [5usize, 20] {
         for (label, transactional) in [("sealed", false), ("transactional", true)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, workers),
-                &workers,
-                |b, &w| {
-                    b.iter(|| {
-                        let mut sc = fig11_scenario(w, transactional, 0);
-                        sc.workload.batches = 10;
-                        black_box(run_wordcount(&sc).stats.end_time)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, workers), &workers, |b, &w| {
+                b.iter(|| {
+                    let mut sc = fig11_scenario(w, transactional, 0);
+                    sc.workload.batches = 10;
+                    black_box(run_wordcount(&sc).stats.end_time)
+                });
+            });
         }
     }
     group.finish();

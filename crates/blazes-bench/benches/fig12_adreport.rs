@@ -13,21 +13,21 @@ fn bench_adreport(c: &mut Criterion) {
     group.sample_size(10);
     for servers in [5usize, 10] {
         for (label, strategy, placement) in [
-            ("uncoordinated", StrategyKind::Uncoordinated, CampaignPlacement::Spread),
+            (
+                "uncoordinated",
+                StrategyKind::Uncoordinated,
+                CampaignPlacement::Spread,
+            ),
             ("ordered", StrategyKind::Ordered, CampaignPlacement::Spread),
             ("seal", StrategyKind::Sealed, CampaignPlacement::Spread),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, servers),
-                &servers,
-                |b, &n| {
-                    b.iter(|| {
-                        let mut sc = adreport_scenario(n, strategy, placement, 0);
-                        sc.workload.entries_per_server = 200;
-                        black_box(run_scenario(&sc).stats.end_time)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, servers), &servers, |b, &n| {
+                b.iter(|| {
+                    let mut sc = adreport_scenario(n, strategy, placement, 0);
+                    sc.workload.entries_per_server = 200;
+                    black_box(run_scenario(&sc).stats.end_time)
+                });
+            });
         }
     }
     group.finish();

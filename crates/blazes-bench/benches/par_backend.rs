@@ -1,0 +1,62 @@
+//! Criterion bench comparing the discrete-event simulator with the
+//! multi-worker parallel executor on an identical fan-out/fan-in topology.
+
+use blazes_dataflow::channel::ChannelConfig;
+use blazes_dataflow::component::{Component, Context, FnComponent};
+use blazes_dataflow::message::Message;
+use blazes_dataflow::par::ParBuilder;
+use blazes_dataflow::sim::SimBuilder;
+use blazes_dataflow::sinks::CollectorSink;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn echo() -> Box<dyn Component> {
+    Box::new(FnComponent::new("echo", |_, msg, ctx: &mut Context| {
+        ctx.emit(0, msg)
+    }))
+}
+
+const MESSAGES: usize = 2_000;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_backend");
+    group.sample_size(10);
+    for stages in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("sim", stages), &stages, |b, &stages| {
+            b.iter(|| {
+                let mut builder = SimBuilder::new(7);
+                let sink = CollectorSink::new();
+                let sink_id = builder.add_instance(Box::new(sink.clone()));
+                for _ in 0..stages {
+                    let e = builder.add_instance(echo());
+                    builder.connect_with(e, 0, sink_id, 0, ChannelConfig::instant());
+                    for i in 0..MESSAGES / stages {
+                        builder.inject(0, e, 0, Message::data([i as i64]));
+                    }
+                }
+                builder.build().run(None);
+                black_box(sink.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("par", stages), &stages, |b, &stages| {
+            b.iter(|| {
+                let mut builder = ParBuilder::new(7).with_workers(4);
+                let sink = CollectorSink::new();
+                let sink_id = builder.add_instance(Box::new(sink.clone()));
+                for _ in 0..stages {
+                    let e = builder.add_instance(echo());
+                    builder.connect_with(e, 0, sink_id, 0, ChannelConfig::instant());
+                    for i in 0..MESSAGES / stages {
+                        builder.inject(0, e, 0, Message::data([i as i64]));
+                    }
+                }
+                let _ = builder.build().run();
+                black_box(sink.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

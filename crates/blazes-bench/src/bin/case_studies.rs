@@ -34,7 +34,10 @@ fn main() {
     for sealed in [false, true] {
         let (g, _) = wordcount_graph(sealed);
         show(
-            &format!("Storm wordcount ({})", if sealed { "Seal_batch" } else { "unsealed" }),
+            &format!(
+                "Storm wordcount ({})",
+                if sealed { "Seal_batch" } else { "unsealed" }
+            ),
             &g,
         );
     }

@@ -8,7 +8,10 @@
 use blazes_bench::fig11_point;
 
 fn main() {
-    let runs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let runs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     println!("# Figure 11: wordcount throughput (tweets/virtual-second)");
     println!("# cluster  transactional  sealed  ratio  (±stddev over {runs} runs)");
     for workers in [5, 10, 15, 20] {

@@ -155,7 +155,11 @@ pub fn render_line(line: &AdLine) -> String {
         let _ = writeln!(s, "{t:10.2} {c:8}");
     }
     if let Some(done) = line.completion_secs {
-        let _ = writeln!(s, "# completed at {done:.2}s, consistent={}", line.consistent);
+        let _ = writeln!(
+            s,
+            "# completed at {done:.2}s, consistent={}",
+            line.consistent
+        );
     }
     s
 }
@@ -178,7 +182,11 @@ pub fn secs(t: Time) -> f64 {
 }
 
 fn downsample_secs(series: &TimeSeries, buckets: usize) -> Vec<(f64, u64)> {
-    series.downsample(buckets).into_iter().map(|(t, c)| (secs(t), c)).collect()
+    series
+        .downsample(buckets)
+        .into_iter()
+        .map(|(t, c)| (secs(t), c))
+        .collect()
 }
 
 /// Arithmetic mean.

@@ -123,8 +123,7 @@ fn charged_nonmonotonic_rules<'m>(
                     RuleBody::AntiJoin { source, neg, .. } => vec![source, neg],
                     _ => continue,
                 };
-                let in_derived: Vec<bool> =
-                    sides.iter().map(|s| derived.contains(*s)).collect();
+                let in_derived: Vec<bool> = sides.iter().map(|s| derived.contains(*s)).collect();
                 for (k, side) in sides.iter().enumerate() {
                     // `side` is the probe: not R-derived, but in this
                     // input's closure, joined against R-derived data.
@@ -175,7 +174,9 @@ fn gate_of(m: &Module, nonmono: &[&Rule]) -> Gate {
     let mut attrs = KeySet::new();
     for rule in nonmono {
         let cols: Vec<(String, String)> = match &rule.body {
-            RuleBody::GroupBy { source, group_by, .. } => group_by
+            RuleBody::GroupBy {
+                source, group_by, ..
+            } => group_by
                 .iter()
                 .map(|c| {
                     let coll = if c.collection.is_empty() {
@@ -272,7 +273,10 @@ module Report {{
     fn poor_derives_or_id() {
         // POOR: upper-bound having -> order-sensitive over {id}.
         let m = report("q <= log group by (log.id) agg count(*) as n having n < 100");
-        assert_eq!(annotation_of(&m, "request"), ComponentAnnotation::or(["id"]));
+        assert_eq!(
+            annotation_of(&m, "request"),
+            ComponentAnnotation::or(["id"])
+        );
         assert_eq!(annotation_of(&m, "click"), ComponentAnnotation::cw());
     }
 
@@ -423,10 +427,8 @@ module M {
 
     #[test]
     fn table_relay_is_cw() {
-        let m = parse_module(
-            "module M { input a(x) output o(x) table t(x) t <= a o <= t }",
-        )
-        .unwrap();
+        let m =
+            parse_module("module M { input a(x) output o(x) table t(x) t <= a o <= t }").unwrap();
         assert_eq!(annotation_of(&m, "a"), ComponentAnnotation::cw());
     }
 

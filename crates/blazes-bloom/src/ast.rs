@@ -438,9 +438,15 @@ mod tests {
         assert_eq!(AggFun::Count.to_string(), "count");
         assert_eq!(CmpOp::Ge.to_string(), ">=");
         assert_eq!(Literal::Str("x".into()).to_string(), "'x'");
-        let c = ColRef { collection: "log".into(), column: "id".into() };
+        let c = ColRef {
+            collection: "log".into(),
+            column: "id".into(),
+        };
         assert_eq!(c.to_string(), "log.id");
-        let bare = ColRef { collection: String::new(), column: "id".into() };
+        let bare = ColRef {
+            collection: String::new(),
+            column: "id".into(),
+        };
         assert_eq!(bare.to_string(), "id");
     }
 }

@@ -31,9 +31,13 @@ pub fn is_nonmonotonic(rule: &Rule) -> bool {
     match &rule.body {
         RuleBody::Select { .. } | RuleBody::Join { .. } => false,
         RuleBody::AntiJoin { .. } => true,
-        RuleBody::GroupBy { agg, alias, having, projection, .. } => {
-            !is_monotone_threshold(*agg, alias, having.as_ref(), projection.as_ref())
-        }
+        RuleBody::GroupBy {
+            agg,
+            alias,
+            having,
+            projection,
+            ..
+        } => !is_monotone_threshold(*agg, alias, having.as_ref(), projection.as_ref()),
     }
 }
 
@@ -190,8 +194,12 @@ pub fn trace_to_inputs(m: &Module, collection: &str, column: &str) -> BTreeSet<(
         }
         // Find rules producing `coll` and the body column that lands in
         // position of `col`.
-        let Some(decl) = m.collection(&coll) else { continue };
-        let Some(pos) = decl.col_index(&col) else { continue };
+        let Some(decl) = m.collection(&coll) else {
+            continue;
+        };
+        let Some(pos) = decl.col_index(&col) else {
+            continue;
+        };
         for r in m.rules.iter().filter(|r| r.head == coll) {
             for (src_coll, src_col) in body_column_origin(m, &r.body, pos) {
                 if seen.insert((src_coll.clone(), src_col.clone())) {
@@ -220,8 +228,12 @@ fn body_column_origin(m: &Module, body: &RuleBody, pos: usize) -> Vec<(String, S
         }
     };
     match body {
-        RuleBody::Select { source, projection, .. }
-        | RuleBody::AntiJoin { source, projection, .. } => match projection {
+        RuleBody::Select {
+            source, projection, ..
+        }
+        | RuleBody::AntiJoin {
+            source, projection, ..
+        } => match projection {
             Some(items) => items
                 .get(pos)
                 .and_then(|i| resolve(i, source))
@@ -236,12 +248,20 @@ fn body_column_origin(m: &Module, body: &RuleBody, pos: usize) -> Vec<(String, S
                     .collect()
             }
         },
-        RuleBody::Join { left, projection, .. } => projection
+        RuleBody::Join {
+            left, projection, ..
+        } => projection
             .get(pos)
             .and_then(|i| resolve(i, left))
             .into_iter()
             .collect(),
-        RuleBody::GroupBy { source, group_by, alias, projection, .. } => {
+        RuleBody::GroupBy {
+            source,
+            group_by,
+            alias,
+            projection,
+            ..
+        } => {
             let default_items: Vec<ProjItem>;
             let items: &[ProjItem] = match projection {
                 Some(p) => p,
@@ -418,7 +438,10 @@ module Ok {
         let m = parse_module(REPORT).unwrap();
         // response.id <- poor.id <- log.id (group key) <- click.id
         let origins = trace_to_inputs(&m, "response", "id");
-        assert!(origins.contains(&("click".to_string(), "id".to_string())), "{origins:?}");
+        assert!(
+            origins.contains(&("click".to_string(), "id".to_string())),
+            "{origins:?}"
+        );
         // ... and requests also flow into the join's left side? No: the
         // projection takes poor.id, so request.id is not an origin.
         assert!(!origins.contains(&("request".to_string(), "id".to_string())));
@@ -428,7 +451,10 @@ module Ok {
     fn aggregate_value_has_no_lineage() {
         let m = parse_module(REPORT).unwrap();
         let origins = trace_to_inputs(&m, "response", "n");
-        assert!(origins.is_empty(), "count(*) is computed, not copied: {origins:?}");
+        assert!(
+            origins.is_empty(),
+            "count(*) is computed, not copied: {origins:?}"
+        );
     }
 
     #[test]

@@ -30,7 +30,12 @@ impl BloomComponent {
         let inputs = module.inputs().iter().map(|s| s.to_string()).collect();
         let outputs = module.outputs().iter().map(|s| s.to_string()).collect();
         let name = module.name.clone();
-        Ok(BloomComponent { instance: ModuleInstance::new(module)?, inputs, outputs, name })
+        Ok(BloomComponent {
+            instance: ModuleInstance::new(module)?,
+            inputs,
+            outputs,
+            name,
+        })
     }
 
     /// Port index of an input interface.
@@ -56,7 +61,9 @@ impl Component for BloomComponent {
     fn on_message(&mut self, port: usize, msg: Message, ctx: &mut Context) {
         match msg {
             Message::Data(tuple) => {
-                let Some(iface) = self.inputs.get(port) else { return };
+                let Some(iface) = self.inputs.get(port) else {
+                    return;
+                };
                 let mut inputs = BTreeMap::new();
                 inputs.insert(iface.clone(), vec![tuple]);
                 match self.instance.tick(inputs) {

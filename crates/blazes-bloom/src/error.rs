@@ -53,9 +53,16 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(BloomError::Validate("x".into()).to_string().contains("validation"));
-        assert!(BloomError::Unstratifiable("c".into()).to_string().contains("unstratifiable"));
-        let e = BloomError::Parse { line: 4, message: "oops".into() };
+        assert!(BloomError::Validate("x".into())
+            .to_string()
+            .contains("validation"));
+        assert!(BloomError::Unstratifiable("c".into())
+            .to_string()
+            .contains("unstratifiable"));
+        let e = BloomError::Parse {
+            line: 4,
+            message: "oops".into(),
+        };
         assert!(e.to_string().contains("line 4"));
     }
 }

@@ -89,7 +89,10 @@ impl ModuleInstance {
     /// Contents of a persistent table (empty for unknown names).
     #[must_use]
     pub fn table(&self, name: &str) -> Vec<Tuple> {
-        self.tables.get(name).map(|r| r.iter().cloned().collect()).unwrap_or_default()
+        self.tables
+            .get(name)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Execute one timestep with the given input-interface tuples.
@@ -125,7 +128,9 @@ impl ModuleInstance {
                 .collection(&iface)
                 .ok_or_else(|| BloomError::Eval(format!("unknown input interface {iface:?}")))?;
             if decl.kind != CollectionKind::Input {
-                return Err(BloomError::Eval(format!("{iface:?} is not an input interface")));
+                return Err(BloomError::Eval(format!(
+                    "{iface:?} is not an input interface"
+                )));
             }
             for t in tuples {
                 if t.arity() != decl.arity() {
@@ -166,11 +171,17 @@ impl ModuleInstance {
                 MergeOp::Instant => {}
                 MergeOp::Deferred => {
                     let derived = eval_body(&self.module, &state, &rule.body)?;
-                    self.pending_insert.entry(rule.head.clone()).or_default().extend(derived);
+                    self.pending_insert
+                        .entry(rule.head.clone())
+                        .or_default()
+                        .extend(derived);
                 }
                 MergeOp::Delete => {
                     let derived = eval_body(&self.module, &state, &rule.body)?;
-                    self.pending_delete.entry(rule.head.clone()).or_default().extend(derived);
+                    self.pending_delete
+                        .entry(rule.head.clone())
+                        .or_default()
+                        .extend(derived);
                 }
                 MergeOp::Async => {
                     let derived = eval_body(&self.module, &state, &rule.body)?;
@@ -258,7 +269,9 @@ impl<'a> Env<'a> {
                 )));
             }
         }
-        Err(BloomError::Eval(format!("unresolved column reference {col}")))
+        Err(BloomError::Eval(format!(
+            "unresolved column reference {col}"
+        )))
     }
 
     fn operand(&self, op: &Operand) -> Result<Value> {
@@ -302,11 +315,18 @@ fn decl<'m>(m: &'m Module, name: &str) -> Result<&'m CollectionDecl> {
 
 fn eval_body(m: &Module, state: &BTreeMap<String, Rel>, body: &RuleBody) -> Result<Rel> {
     match body {
-        RuleBody::Select { source, projection, predicates } => {
+        RuleBody::Select {
+            source,
+            projection,
+            predicates,
+        } => {
             let d = decl(m, source)?;
             let mut out = Rel::new();
             for t in &state[source] {
-                let env = Env { bindings: vec![(source, d, t)], alias: None };
+                let env = Env {
+                    bindings: vec![(source, d, t)],
+                    alias: None,
+                };
                 if !env.check_all(predicates)? {
                     continue;
                 }
@@ -317,7 +337,13 @@ fn eval_body(m: &Module, state: &BTreeMap<String, Rel>, body: &RuleBody) -> Resu
             }
             Ok(out)
         }
-        RuleBody::Join { left, right, on, projection, predicates } => {
+        RuleBody::Join {
+            left,
+            right,
+            on,
+            projection,
+            predicates,
+        } => {
             let dl = decl(m, left)?;
             let dr = decl(m, right)?;
             let mut out = Rel::new();
@@ -341,7 +367,13 @@ fn eval_body(m: &Module, state: &BTreeMap<String, Rel>, body: &RuleBody) -> Resu
             }
             Ok(out)
         }
-        RuleBody::AntiJoin { source, neg, on, projection, predicates } => {
+        RuleBody::AntiJoin {
+            source,
+            neg,
+            on,
+            projection,
+            predicates,
+        } => {
             let ds = decl(m, source)?;
             let dn = decl(m, neg)?;
             let mut out = Rel::new();
@@ -367,7 +399,10 @@ fn eval_body(m: &Module, state: &BTreeMap<String, Rel>, body: &RuleBody) -> Resu
                 if matched {
                     continue;
                 }
-                let env = Env { bindings: vec![(source, ds, t)], alias: None };
+                let env = Env {
+                    bindings: vec![(source, ds, t)],
+                    alias: None,
+                };
                 if !env.check_all(predicates)? {
                     continue;
                 }
@@ -378,12 +413,23 @@ fn eval_body(m: &Module, state: &BTreeMap<String, Rel>, body: &RuleBody) -> Resu
             }
             Ok(out)
         }
-        RuleBody::GroupBy { source, group_by, agg, agg_col, alias, having, projection } => {
+        RuleBody::GroupBy {
+            source,
+            group_by,
+            agg,
+            agg_col,
+            alias,
+            having,
+            projection,
+        } => {
             let d = decl(m, source)?;
             // Group rows by the grouping key.
             let mut groups: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
             for t in &state[source] {
-                let env = Env { bindings: vec![(source, d, t)], alias: None };
+                let env = Env {
+                    bindings: vec![(source, d, t)],
+                    alias: None,
+                };
                 let mut key = Vec::with_capacity(group_by.len());
                 for c in group_by {
                     key.push(env.lookup(c)?);
@@ -439,8 +485,7 @@ fn aggregate(
     Ok(match agg {
         AggFun::Count => Value::Int(rows.len() as i64),
         AggFun::Sum => {
-            let c = agg_col
-                .ok_or_else(|| BloomError::Eval("sum requires a column".to_string()))?;
+            let c = agg_col.ok_or_else(|| BloomError::Eval("sum requires a column".to_string()))?;
             let i = col_index(c)?;
             let mut sum = 0i64;
             for r in rows {
@@ -452,8 +497,8 @@ fn aggregate(
             Value::Int(sum)
         }
         AggFun::Min | AggFun::Max => {
-            let c = agg_col
-                .ok_or_else(|| BloomError::Eval("min/max require a column".to_string()))?;
+            let c =
+                agg_col.ok_or_else(|| BloomError::Eval("min/max require a column".to_string()))?;
             let i = col_index(c)?;
             let mut vals: Vec<&Value> = rows.iter().filter_map(|r| r.get(i)).collect();
             vals.sort();
@@ -462,8 +507,7 @@ fn aggregate(
             } else {
                 vals.last()
             };
-            (*v.ok_or_else(|| BloomError::Eval("aggregate over empty group".to_string()))?)
-                .clone()
+            (*v.ok_or_else(|| BloomError::Eval("aggregate over empty group".to_string()))?).clone()
         }
     })
 }
@@ -474,7 +518,10 @@ mod tests {
     use crate::parser::parse_module;
 
     fn inputs(pairs: &[(&str, Vec<Tuple>)]) -> BTreeMap<String, Vec<Tuple>> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn t2(a: impl Into<Value>, b: impl Into<Value>) -> Tuple {
@@ -489,16 +536,16 @@ mod tests {
     fn select_relay() {
         let m = parse_module("module M { input a(x) output o(x) o <= a }").unwrap();
         let mut inst = ModuleInstance::new(m).unwrap();
-        let out = inst.tick(inputs(&[("a", vec![t1(1i64), t1(2i64)])])).unwrap();
+        let out = inst
+            .tick(inputs(&[("a", vec![t1(1i64), t1(2i64)])]))
+            .unwrap();
         assert_eq!(out.on("o"), &[t1(1i64), t1(2i64)]);
     }
 
     #[test]
     fn tables_persist_across_ticks() {
-        let m = parse_module(
-            "module M { input a(x) output o(x) table t(x) t <= a o <= t }",
-        )
-        .unwrap();
+        let m =
+            parse_module("module M { input a(x) output o(x) table t(x) t <= a o <= t }").unwrap();
         let mut inst = ModuleInstance::new(m).unwrap();
         inst.tick(inputs(&[("a", vec![t1(1i64)])])).unwrap();
         let out = inst.tick(inputs(&[("a", vec![t1(2i64)])])).unwrap();
@@ -509,10 +556,8 @@ mod tests {
 
     #[test]
     fn scratches_do_not_persist() {
-        let m = parse_module(
-            "module M { input a(x) output o(x) scratch s(x) s <= a o <= s }",
-        )
-        .unwrap();
+        let m =
+            parse_module("module M { input a(x) output o(x) scratch s(x) s <= a o <= s }").unwrap();
         let mut inst = ModuleInstance::new(m).unwrap();
         inst.tick(inputs(&[("a", vec![t1(1i64)])])).unwrap();
         let out = inst.tick(inputs(&[])).unwrap();
@@ -521,10 +566,8 @@ mod tests {
 
     #[test]
     fn deferred_merge_lands_next_tick() {
-        let m = parse_module(
-            "module M { input a(x) output o(x) table t(x) t <+ a o <= t }",
-        )
-        .unwrap();
+        let m =
+            parse_module("module M { input a(x) output o(x) table t(x) t <+ a o <= t }").unwrap();
         let mut inst = ModuleInstance::new(m).unwrap();
         let out = inst.tick(inputs(&[("a", vec![t1(1i64)])])).unwrap();
         assert!(out.on("o").is_empty(), "deferred: not visible this tick");
@@ -549,7 +592,8 @@ module M {
         )
         .unwrap();
         let mut inst = ModuleInstance::new(m).unwrap();
-        inst.tick(inputs(&[("a", vec![t1(1i64), t1(2i64)])])).unwrap();
+        inst.tick(inputs(&[("a", vec![t1(1i64), t1(2i64)])]))
+            .unwrap();
         let out = inst.tick(inputs(&[("del", vec![t1(1i64)])])).unwrap();
         // Deletion is deferred: tuple 1 still visible this tick.
         assert_eq!(out.on("o"), &[t1(1i64), t1(2i64)]);
@@ -626,7 +670,10 @@ module G {
         .unwrap();
         let mut inst = ModuleInstance::new(m).unwrap();
         let out = inst
-            .tick(inputs(&[("obs", vec![t2("a", 1i64), t2("a", 5i64), t2("b", 3i64)])]))
+            .tick(inputs(&[(
+                "obs",
+                vec![t2("a", 1i64), t2("a", 5i64), t2("b", 3i64)],
+            )]))
             .unwrap();
         assert_eq!(out.on("s"), &[t2("a", 6i64), t2("b", 3i64)]);
         assert_eq!(out.on("lo"), &[t2("a", 1i64), t2("b", 3i64)]);
@@ -730,10 +777,8 @@ module S {
 
     #[test]
     fn projection_with_literals() {
-        let m = parse_module(
-            "module M { input a(x) output o(x, tag) o <= a -> (a.x, 'hit') }",
-        )
-        .unwrap();
+        let m = parse_module("module M { input a(x) output o(x, tag) o <= a -> (a.x, 'hit') }")
+            .unwrap();
         let mut inst = ModuleInstance::new(m).unwrap();
         let out = inst.tick(inputs(&[("a", vec![t1(7i64)])])).unwrap();
         assert_eq!(out.on("o"), &[t2(7i64, "hit")]);

@@ -83,31 +83,52 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
             }
             '(' => {
                 chars.next();
-                tokens.push(Spanned { token: Token::LParen, line });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    line,
+                });
             }
             ')' => {
                 chars.next();
-                tokens.push(Spanned { token: Token::RParen, line });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    line,
+                });
             }
             '{' => {
                 chars.next();
-                tokens.push(Spanned { token: Token::LBrace, line });
+                tokens.push(Spanned {
+                    token: Token::LBrace,
+                    line,
+                });
             }
             '}' => {
                 chars.next();
-                tokens.push(Spanned { token: Token::RBrace, line });
+                tokens.push(Spanned {
+                    token: Token::RBrace,
+                    line,
+                });
             }
             ',' => {
                 chars.next();
-                tokens.push(Spanned { token: Token::Comma, line });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    line,
+                });
             }
             '.' => {
                 chars.next();
-                tokens.push(Spanned { token: Token::Dot, line });
+                tokens.push(Spanned {
+                    token: Token::Dot,
+                    line,
+                });
             }
             '*' => {
                 chars.next();
-                tokens.push(Spanned { token: Token::Star, line });
+                tokens.push(Spanned {
+                    token: Token::Star,
+                    line,
+                });
             }
             '\'' => {
                 chars.next();
@@ -129,7 +150,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                         message: "unterminated string literal".to_string(),
                     });
                 }
-                tokens.push(Spanned { token: Token::Str(s), line });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    line,
+                });
             }
             '<' => {
                 chars.next();
@@ -169,11 +193,17 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                 match chars.peek() {
                     Some('>') => {
                         chars.next();
-                        tokens.push(Spanned { token: Token::Arrow, line });
+                        tokens.push(Spanned {
+                            token: Token::Arrow,
+                            line,
+                        });
                     }
                     Some(d) if d.is_ascii_digit() => {
                         let n = lex_int(&mut chars, line)?;
-                        tokens.push(Spanned { token: Token::Int(-n), line });
+                        tokens.push(Spanned {
+                            token: Token::Int(-n),
+                            line,
+                        });
                     }
                     _ => {
                         return Err(BloomError::Lex {
@@ -197,7 +227,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                 chars.next();
                 if chars.peek() == Some(&'=') {
                     chars.next();
-                    tokens.push(Spanned { token: Token::NotEq, line });
+                    tokens.push(Spanned {
+                        token: Token::NotEq,
+                        line,
+                    });
                 } else {
                     return Err(BloomError::Lex {
                         line,
@@ -207,7 +240,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
             }
             c if c.is_ascii_digit() => {
                 let n = lex_int(&mut chars, line)?;
-                tokens.push(Spanned { token: Token::Int(n), line });
+                tokens.push(Spanned {
+                    token: Token::Int(n),
+                    line,
+                });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -219,7 +255,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                         break;
                     }
                 }
-                tokens.push(Spanned { token: Token::Ident(s), line });
+                tokens.push(Spanned {
+                    token: Token::Ident(s),
+                    line,
+                });
             }
             other => {
                 return Err(BloomError::Lex {
@@ -278,8 +317,14 @@ mod tests {
 
     #[test]
     fn comparisons_vs_merges() {
-        assert_eq!(toks("n < 100"), vec![Token::Ident("n".into()), Token::Lt, Token::Int(100)]);
-        assert_eq!(toks("n >= 5"), vec![Token::Ident("n".into()), Token::Ge, Token::Int(5)]);
+        assert_eq!(
+            toks("n < 100"),
+            vec![Token::Ident("n".into()), Token::Lt, Token::Int(100)]
+        );
+        assert_eq!(
+            toks("n >= 5"),
+            vec![Token::Ident("n".into()), Token::Ge, Token::Int(5)]
+        );
         assert_eq!(toks("a == b")[1], Token::EqEq);
         assert_eq!(toks("a != b")[1], Token::NotEq);
         assert_eq!(toks("a = b")[1], Token::Assign);
@@ -325,7 +370,11 @@ mod tests {
     fn qualified_names() {
         assert_eq!(
             toks("log.id"),
-            vec![Token::Ident("log".into()), Token::Dot, Token::Ident("id".into())]
+            vec![
+                Token::Ident("log".into()),
+                Token::Dot,
+                Token::Ident("id".into())
+            ]
         );
     }
 }

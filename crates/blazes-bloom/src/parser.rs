@@ -45,7 +45,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> BloomError {
-        BloomError::Parse { line: self.line(), message: message.into() }
+        BloomError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -126,10 +129,18 @@ impl Parser {
                     collections.push(self.decl()?);
                 }
                 Some(Token::Ident(_)) => rules.push(self.rule()?),
-                other => return Err(self.err(format!("expected declaration, rule or '}}', found {other:?}"))),
+                other => {
+                    return Err(self.err(format!(
+                        "expected declaration, rule or '}}', found {other:?}"
+                    )))
+                }
             }
         }
-        Ok(Module { name, collections, rules })
+        Ok(Module {
+            name,
+            collections,
+            rules,
+        })
     }
 
     fn decl(&mut self) -> Result<CollectionDecl> {
@@ -179,7 +190,11 @@ impl Parser {
         }
         let projection = self.opt_projection()?;
         let predicates = self.opt_where()?;
-        Ok(RuleBody::Select { source, projection, predicates })
+        Ok(RuleBody::Select {
+            source,
+            projection,
+            predicates,
+        })
     }
 
     fn join(&mut self) -> Result<RuleBody> {
@@ -194,7 +209,13 @@ impl Parser {
             .opt_projection()?
             .ok_or_else(|| self.err("joins require an explicit projection '-> (...)'"))?;
         let predicates = self.opt_where()?;
-        Ok(RuleBody::Join { left, right, on, projection, predicates })
+        Ok(RuleBody::Join {
+            left,
+            right,
+            on,
+            projection,
+            predicates,
+        })
     }
 
     fn antijoin(&mut self, source: String) -> Result<RuleBody> {
@@ -205,7 +226,13 @@ impl Parser {
         let on = self.eq_list()?;
         let projection = self.opt_projection()?;
         let predicates = self.opt_where()?;
-        Ok(RuleBody::AntiJoin { source, neg, on, projection, predicates })
+        Ok(RuleBody::AntiJoin {
+            source,
+            neg,
+            on,
+            projection,
+            predicates,
+        })
     }
 
     fn groupby(&mut self, source: String) -> Result<RuleBody> {
@@ -229,7 +256,11 @@ impl Parser {
             other => return Err(self.err(format!("unknown aggregate {other:?}"))),
         };
         self.expect(&Token::LParen, "'('")?;
-        let agg_col = if self.eat(&Token::Star) { None } else { Some(self.colref()?) };
+        let agg_col = if self.eat(&Token::Star) {
+            None
+        } else {
+            Some(self.colref()?)
+        };
         self.expect(&Token::RParen, "')'")?;
         self.kw("as")?;
         let alias = self.ident("aggregate alias")?;
@@ -240,7 +271,15 @@ impl Parser {
             None
         };
         let projection = self.opt_projection()?;
-        Ok(RuleBody::GroupBy { source, group_by, agg, agg_col, alias, having, projection })
+        Ok(RuleBody::GroupBy {
+            source,
+            group_by,
+            agg,
+            agg_col,
+            alias,
+            having,
+            projection,
+        })
     }
 
     fn eq_list(&mut self) -> Result<Vec<(ColRef, ColRef)>> {
@@ -344,9 +383,15 @@ impl Parser {
         let first = self.ident("column reference")?;
         if self.eat(&Token::Dot) {
             let column = self.ident("column name")?;
-            Ok(ColRef { collection: first, column })
+            Ok(ColRef {
+                collection: first,
+                column,
+            })
         } else {
-            Ok(ColRef { collection: String::new(), column: first })
+            Ok(ColRef {
+                collection: String::new(),
+                column: first,
+            })
         }
     }
 }
@@ -358,10 +403,16 @@ fn validate(m: &Module) -> Result<()> {
     let mut names = BTreeSet::new();
     for c in &m.collections {
         if !names.insert(c.name.clone()) {
-            return Err(BloomError::Validate(format!("duplicate collection {:?}", c.name)));
+            return Err(BloomError::Validate(format!(
+                "duplicate collection {:?}",
+                c.name
+            )));
         }
         if c.schema.is_empty() {
-            return Err(BloomError::Validate(format!("collection {:?} has no columns", c.name)));
+            return Err(BloomError::Validate(format!(
+                "collection {:?} has no columns",
+                c.name
+            )));
         }
     }
     for r in &m.rules {
@@ -398,16 +449,24 @@ fn validate(m: &Module) -> Result<()> {
 
 fn body_arity(m: &Module, body: &RuleBody) -> Result<usize> {
     Ok(match body {
-        RuleBody::Select { source, projection, .. } => match projection {
+        RuleBody::Select {
+            source, projection, ..
+        } => match projection {
             Some(p) => p.len(),
             None => m.collection(source).map(CollectionDecl::arity).unwrap_or(0),
         },
         RuleBody::Join { projection, .. } => projection.len(),
-        RuleBody::AntiJoin { source, projection, .. } => match projection {
+        RuleBody::AntiJoin {
+            source, projection, ..
+        } => match projection {
             Some(p) => p.len(),
             None => m.collection(source).map(CollectionDecl::arity).unwrap_or(0),
         },
-        RuleBody::GroupBy { group_by, projection, .. } => match projection {
+        RuleBody::GroupBy {
+            group_by,
+            projection,
+            ..
+        } => match projection {
             Some(p) => p.len(),
             None => group_by.len() + 1,
         },
@@ -446,7 +505,14 @@ module Report {
     #[test]
     fn parse_groupby_shape() {
         let m = parse_module(REPORT).unwrap();
-        let RuleBody::GroupBy { source, group_by, agg, alias, having, .. } = &m.rules[1].body
+        let RuleBody::GroupBy {
+            source,
+            group_by,
+            agg,
+            alias,
+            having,
+            ..
+        } = &m.rules[1].body
         else {
             panic!("expected groupby");
         };
@@ -461,7 +527,14 @@ module Report {
     #[test]
     fn parse_join_shape() {
         let m = parse_module(REPORT).unwrap();
-        let RuleBody::Join { left, right, on, projection, .. } = &m.rules[2].body else {
+        let RuleBody::Join {
+            left,
+            right,
+            on,
+            projection,
+            ..
+        } = &m.rules[2].body
+        else {
             panic!("expected join");
         };
         assert_eq!(left, "poor");
@@ -484,7 +557,10 @@ module M {
 "#,
         )
         .unwrap();
-        let RuleBody::AntiJoin { source, neg, on, .. } = &m.rules[0].body else {
+        let RuleBody::AntiJoin {
+            source, neg, on, ..
+        } = &m.rules[0].body
+        else {
             panic!("expected antijoin");
         };
         assert_eq!(source, "a");
@@ -504,7 +580,12 @@ module M {
 "#,
         )
         .unwrap();
-        let RuleBody::Select { projection, predicates, .. } = &m.rules[0].body else {
+        let RuleBody::Select {
+            projection,
+            predicates,
+            ..
+        } = &m.rules[0].body
+        else {
             panic!("expected select");
         };
         assert_eq!(projection.as_ref().unwrap().len(), 1);
@@ -530,10 +611,7 @@ module M {
 
     #[test]
     fn arity_mismatch_rejected() {
-        let err = parse_module(
-            "module M { input a(x, y) output o(x) o <= a }",
-        )
-        .unwrap_err();
+        let err = parse_module("module M { input a(x, y) output o(x) o <= a }").unwrap_err();
         assert!(matches!(err, BloomError::Validate(_)), "{err}");
     }
 
@@ -551,8 +629,7 @@ module M {
 
     #[test]
     fn reading_from_output_rejected() {
-        let err =
-            parse_module("module M { input a(x) output o(x) o <= a o <= o }").unwrap_err();
+        let err = parse_module("module M { input a(x) output o(x) o <= a o <= o }").unwrap_err();
         assert!(matches!(err, BloomError::Validate(_)));
     }
 
@@ -586,7 +663,10 @@ module T {
 "#,
         )
         .unwrap();
-        let RuleBody::GroupBy { having, projection, .. } = &m.rules[1].body else {
+        let RuleBody::GroupBy {
+            having, projection, ..
+        } = &m.rules[1].body
+        else {
             panic!()
         };
         assert!(having.as_ref().unwrap().op.is_lower_bound());

@@ -50,7 +50,11 @@ impl SealManager {
     /// Create a manager over the given producer registry.
     #[must_use]
     pub fn new(registry: ProducerRegistry) -> Self {
-        SealManager { registry, partitions: BTreeMap::new(), released_count: 0 }
+        SealManager {
+            registry,
+            partitions: BTreeMap::new(),
+            released_count: 0,
+        }
     }
 
     /// Feed one data record belonging to `partition`.
@@ -66,8 +70,12 @@ impl SealManager {
     /// Feed one seal punctuation from `producer` for `partition`. Releases
     /// the partition when every registered producer has sealed it.
     pub fn on_seal(&mut self, partition: Value, producer: ProducerId) -> SealOutcome {
-        let required: BTreeSet<ProducerId> =
-            self.registry.producers_of(&partition).iter().copied().collect();
+        let required: BTreeSet<ProducerId> = self
+            .registry
+            .producers_of(&partition)
+            .iter()
+            .copied()
+            .collect();
         let state = self.partitions.entry(partition).or_default();
         if state.released {
             return SealOutcome::LateArrival;
@@ -176,7 +184,10 @@ mod tests {
         let mut mgr = SealManager::new(reg);
         assert_eq!(mgr.on_seal(Value::Int(1), 0), SealOutcome::Buffered);
         assert_eq!(mgr.on_seal(Value::Int(1), 0), SealOutcome::Buffered);
-        assert!(matches!(mgr.on_seal(Value::Int(1), 1), SealOutcome::Released(_)));
+        assert!(matches!(
+            mgr.on_seal(Value::Int(1), 1),
+            SealOutcome::Released(_)
+        ));
     }
 
     #[test]
@@ -195,6 +206,9 @@ mod tests {
         let mut mgr = SealManager::new(reg);
         assert_eq!(mgr.on_seal(Value::Int(1), 9), SealOutcome::Buffered);
         assert_eq!(mgr.on_seal(Value::Int(1), 5), SealOutcome::Buffered);
-        assert!(matches!(mgr.on_seal(Value::Int(1), 6), SealOutcome::Released(_)));
+        assert!(matches!(
+            mgr.on_seal(Value::Int(1), 6),
+            SealOutcome::Released(_)
+        ));
     }
 }

@@ -36,7 +36,10 @@ impl Sequencer {
     /// A sequencer that prepends a global sequence number to data tuples.
     #[must_use]
     pub fn stamping() -> Self {
-        Sequencer { stamp: true, ..Sequencer::default() }
+        Sequencer {
+            stamp: true,
+            ..Sequencer::default()
+        }
     }
 
     /// Messages forwarded so far.
@@ -145,6 +148,11 @@ mod tests {
         }
         let mut sim = b.build();
         let stats = sim.run(None);
-        assert!(stats.end_time >= n * service, "end={} < {}", stats.end_time, n * service);
+        assert!(
+            stats.end_time >= n * service,
+            "end={} < {}",
+            stats.end_time,
+            n * service
+        );
     }
 }

@@ -60,7 +60,11 @@ impl Advice {
                  is unsafe; place replication upstream of confluent components or coordinate",
                 graph.component(*component).name
             ),
-            Advice::CacheBelowNondeterminism { component, input, label } => format!(
+            Advice::CacheBelowNondeterminism {
+                component,
+                input,
+                label,
+            } => format!(
                 "component {:?} accumulates state from input {:?} labeled {label}: caching \
                  below nondeterministic streams memoizes anomalies; cache downstream of \
                  confluent components instead",
@@ -83,11 +87,24 @@ impl fmt::Display for Advice {
             Advice::ReplicationOverNonConfluent { component } => {
                 write!(f, "replication-over-non-confluent at #{}", component.0)
             }
-            Advice::CacheBelowNondeterminism { component, input, label } => {
-                write!(f, "cache-below-nondeterminism at #{}.{input} ({label})", component.0)
+            Advice::CacheBelowNondeterminism {
+                component,
+                input,
+                label,
+            } => {
+                write!(
+                    f,
+                    "cache-below-nondeterminism at #{}.{input} ({label})",
+                    component.0
+                )
             }
             Advice::SealOpportunity { component, attrs } => {
-                write!(f, "seal-opportunity at #{} on {{{}}}", component.0, attrs.join(","))
+                write!(
+                    f,
+                    "seal-opportunity at #{} on {{{}}}",
+                    component.0,
+                    attrs.join(",")
+                )
             }
         }
     }
@@ -136,15 +153,17 @@ pub fn advise(graph: &DataflowGraph, outcome: &AnalysisOutcome) -> Vec<Advice> {
             };
             for src in upstream_sources_via_confluent(graph, id, &p.from) {
                 let source = graph.source(src);
-                if source.annotation.seal.is_none()
-                    && gate.iter().any(|a| source.attrs.contains(a))
+                if source.annotation.seal.is_none() && gate.iter().any(|a| source.attrs.contains(a))
                 {
                     let attrs: Vec<String> = gate
                         .iter()
                         .filter(|a| source.attrs.contains(a))
                         .map(str::to_string)
                         .collect();
-                    let item = Advice::SealOpportunity { component: id, attrs };
+                    let item = Advice::SealOpportunity {
+                        component: id,
+                        attrs,
+                    };
                     if !advice.contains(&item) {
                         advice.push(item);
                     }
@@ -257,7 +276,9 @@ mod tests {
         // Sealing the source removes the opportunity finding.
         g.seal_source(s, ["campaign"]);
         let advice = advise(&g, &analyzed(&g));
-        assert!(!advice.iter().any(|a| matches!(a, Advice::SealOpportunity { .. })));
+        assert!(!advice
+            .iter()
+            .any(|a| matches!(a, Advice::SealOpportunity { .. })));
     }
 
     #[test]

@@ -83,8 +83,10 @@ impl AnalysisOutcome {
     /// Label of a component output interface, if it was derived.
     #[must_use]
     pub fn interface_label(&self, component: ComponentId, iface: &str) -> Option<&Label> {
-        self.interface_labels
-            .get(&InterfaceRef { component, iface: iface.to_string() })
+        self.interface_labels.get(&InterfaceRef {
+            component,
+            iface: iface.to_string(),
+        })
     }
 
     /// Merged label of all streams arriving at a sink.
@@ -184,7 +186,11 @@ impl<'g> Analyzer<'g> {
         for (i, stream) in self.graph.streams().iter().enumerate() {
             if let Endpoint::Source(sid) = &stream.from {
                 let src = self.graph.source(*sid);
-                let seal = stream.annotation.seal.as_ref().or(src.annotation.seal.as_ref());
+                let seal = stream
+                    .annotation
+                    .seal
+                    .as_ref()
+                    .or(src.annotation.seal.as_ref());
                 out.stream_labels[i] = match seal {
                     Some(key) => Label::Seal(key.clone()),
                     None => Label::Async,
@@ -248,8 +254,10 @@ impl<'g> Analyzer<'g> {
         let comp = self.graph.component(oref.component);
         let mut derived_labels: Vec<Derived> = Vec::new();
         for path in comp.paths_to(&oref.iface) {
-            let from_ref =
-                InterfaceRef { component: oref.component, iface: path.from.clone() };
+            let from_ref = InterfaceRef {
+                component: oref.component,
+                iface: path.from.clone(),
+            };
             let mut fed = false;
             for (stream_id, _) in self.graph.streams_into(oref.component, &path.from) {
                 fed = true;
@@ -274,14 +282,20 @@ impl<'g> Analyzer<'g> {
                     derived: derived.clone(),
                     rule,
                 });
-                derived_labels.push(Derived { label: derived, input_seal });
+                derived_labels.push(Derived {
+                    label: derived,
+                    input_seal,
+                });
                 // A Run input's *content* nondeterminism survives an
                 // order-sensitive read: the NDRead models the racing reads,
                 // but no seal can protect contents that differ across runs
                 // (a Run stream is never punctuated). Keep the Run label in
                 // the entry list so protection cannot mask it.
                 if input == Label::Run && rule == Rule::R1 {
-                    derived_labels.push(Derived { label: Label::Run, input_seal: None });
+                    derived_labels.push(Derived {
+                        label: Label::Run,
+                        input_seal: None,
+                    });
                 }
             }
             if !fed {
@@ -291,7 +305,14 @@ impl<'g> Analyzer<'g> {
                 ));
             }
         }
-        self.finish_interface(scc.name.clone(), scc.rep, oref.clone(), derived_labels, out, labeled);
+        self.finish_interface(
+            scc.name.clone(),
+            scc.rep,
+            oref.clone(),
+            derived_labels,
+            out,
+            labeled,
+        );
         Ok(())
     }
 
@@ -325,8 +346,10 @@ impl<'g> Analyzer<'g> {
         for oref in &out_refs {
             let comp = self.graph.component(oref.component);
             for path in comp.paths_to(&oref.iface) {
-                let from_ref =
-                    InterfaceRef { component: oref.component, iface: path.from.clone() };
+                let from_ref = InterfaceRef {
+                    component: oref.component,
+                    iface: path.from.clone(),
+                };
                 // Synthesize the collapsed path: cycle annotation, empty
                 // lineage so chased seals are dropped.
                 let collapsed_spec = PathSpec {
@@ -335,9 +358,7 @@ impl<'g> Analyzer<'g> {
                     annotation: annotation.clone(),
                     lineage: Some(BTreeMap::new()),
                 };
-                for (stream_id, stream) in
-                    self.graph.streams_into(oref.component, &path.from)
-                {
+                for (stream_id, stream) in self.graph.streams_into(oref.component, &path.from) {
                     // Skip intra-cycle streams: collapsed away.
                     if let Endpoint::Component(pc, piface) = &stream.from {
                         let producer = IfaceNode::Out(InterfaceRef {
@@ -370,9 +391,15 @@ impl<'g> Analyzer<'g> {
                         derived: derived.clone(),
                         rule,
                     });
-                    derived_labels.push(Derived { label: derived, input_seal });
+                    derived_labels.push(Derived {
+                        label: derived,
+                        input_seal,
+                    });
                     if input == Label::Run && rule == Rule::R1 {
-                        derived_labels.push(Derived { label: Label::Run, input_seal: None });
+                        derived_labels.push(Derived {
+                            label: Label::Run,
+                            input_seal: None,
+                        });
                     }
                 }
             }
@@ -388,9 +415,7 @@ impl<'g> Analyzer<'g> {
                 reconciliation: rec.clone(),
             });
             out.interface_labels.insert(oref.clone(), merged.clone());
-            for (stream_id, stream) in
-                self.graph.streams_out_of(oref.component, &oref.iface)
-            {
+            for (stream_id, stream) in self.graph.streams_out_of(oref.component, &oref.iface) {
                 let mut label = merged.clone();
                 if let Some(key) = &stream.annotation.seal {
                     if label.severity() <= crate::severity::Severity::ASYNC {

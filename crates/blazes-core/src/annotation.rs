@@ -221,9 +221,7 @@ mod tests {
     fn cowr_severity_ordering() {
         // Fig. 7: CR < CW < OR < OW.
         assert!(ComponentAnnotation::cr().severity() < ComponentAnnotation::cw().severity());
-        assert!(
-            ComponentAnnotation::cw().severity() < ComponentAnnotation::or(["x"]).severity()
-        );
+        assert!(ComponentAnnotation::cw().severity() < ComponentAnnotation::or(["x"]).severity());
         assert!(
             ComponentAnnotation::or(["x"]).severity() < ComponentAnnotation::ow(["x"]).severity()
         );
@@ -260,7 +258,9 @@ mod tests {
             "Seal_{campaign}"
         );
         assert_eq!(
-            StreamAnnotation::sealed(["campaign"]).replicated().to_string(),
+            StreamAnnotation::sealed(["campaign"])
+                .replicated()
+                .to_string(),
             "Seal_{campaign},Rep"
         );
     }

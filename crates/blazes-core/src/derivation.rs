@@ -32,12 +32,7 @@ pub fn render(graph: &DataflowGraph, outcome: &AnalysisOutcome) -> String {
         let _ = writeln!(
             s,
             "  {}  {}  {}  {}   [{} -> {}]",
-            d.input,
-            d.annotation,
-            d.rule,
-            d.derived,
-            d.from.iface,
-            d.to.iface,
+            d.input, d.annotation, d.rule, d.derived, d.from.iface, d.to.iface,
         );
     }
 

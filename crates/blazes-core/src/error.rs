@@ -69,9 +69,15 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = BlazesError::UnknownEntity { kind: "component", name: "Count".into() };
+        let e = BlazesError::UnknownEntity {
+            kind: "component",
+            name: "Count".into(),
+        };
         assert_eq!(e.to_string(), "unknown component: \"Count\"");
-        let e = BlazesError::SpecParse { line: 3, message: "expected ':'".into() };
+        let e = BlazesError::SpecParse {
+            line: 3,
+            message: "expected ':'".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

@@ -431,14 +431,15 @@ impl DataflowGraph {
         input: &str,
     ) -> impl Iterator<Item = (StreamId, &'a Stream)> + 'a {
         let input = input.to_string();
-        self.streams.iter().enumerate().filter_map(move |(i, s)| {
-            match &s.to {
+        self.streams
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| match &s.to {
                 Endpoint::Component(c, iface) if *c == component && *iface == input => {
                     Some((StreamId(i), s))
                 }
                 _ => None,
-            }
-        })
+            })
     }
 
     /// Streams produced by a given component output interface.
@@ -448,22 +449,26 @@ impl DataflowGraph {
         output: &str,
     ) -> impl Iterator<Item = (StreamId, &'a Stream)> + 'a {
         let output = output.to_string();
-        self.streams.iter().enumerate().filter_map(move |(i, s)| {
-            match &s.from {
+        self.streams
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| match &s.from {
                 Endpoint::Component(c, iface) if *c == component && *iface == output => {
                     Some((StreamId(i), s))
                 }
                 _ => None,
-            }
-        })
+            })
     }
 
     /// Streams arriving at a sink.
     pub fn streams_into_sink(&self, sink: SinkId) -> impl Iterator<Item = (StreamId, &Stream)> {
-        self.streams.iter().enumerate().filter_map(move |(i, s)| match &s.to {
-            Endpoint::Sink(k) if *k == sink => Some((StreamId(i), s)),
-            _ => None,
-        })
+        self.streams
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| match &s.to {
+                Endpoint::Sink(k) if *k == sink => Some((StreamId(i), s)),
+                _ => None,
+            })
     }
 
     // ------------------------------------------------------------------
@@ -477,7 +482,10 @@ impl DataflowGraph {
         let mut names = std::collections::BTreeSet::new();
         for c in &self.components {
             if !names.insert(c.name.clone()) {
-                return Err(BlazesError::Duplicate { kind: "component", name: c.name.clone() });
+                return Err(BlazesError::Duplicate {
+                    kind: "component",
+                    name: c.name.clone(),
+                });
             }
             if c.paths.is_empty() {
                 return Err(BlazesError::MalformedGraph(format!(
@@ -488,7 +496,10 @@ impl DataflowGraph {
         }
         for s in &self.sources {
             if !names.insert(s.name.clone()) {
-                return Err(BlazesError::Duplicate { kind: "source", name: s.name.clone() });
+                return Err(BlazesError::Duplicate {
+                    kind: "source",
+                    name: s.name.clone(),
+                });
             }
             if let Some(seal) = &s.annotation.seal {
                 if !seal.is_subset(&s.attrs) {
@@ -498,10 +509,9 @@ impl DataflowGraph {
                     )));
                 }
             }
-            let feeds_any = self
-                .streams
-                .iter()
-                .any(|st| matches!(&st.from, Endpoint::Source(id) if self.sources[id.0].name == s.name));
+            let feeds_any = self.streams.iter().any(
+                |st| matches!(&st.from, Endpoint::Source(id) if self.sources[id.0].name == s.name),
+            );
             if !feeds_any {
                 return Err(BlazesError::MalformedGraph(format!(
                     "source {:?} feeds no component",
@@ -511,7 +521,10 @@ impl DataflowGraph {
         }
         for s in &self.sinks {
             if !names.insert(s.name.clone()) {
-                return Err(BlazesError::Duplicate { kind: "sink", name: s.name.clone() });
+                return Err(BlazesError::Duplicate {
+                    kind: "sink",
+                    name: s.name.clone(),
+                });
             }
         }
         for stream in &self.streams {
@@ -564,7 +577,11 @@ impl DataflowGraph {
                 };
                 if !known {
                     return Err(BlazesError::UnknownEntity {
-                        kind: if producing { "output interface" } else { "input interface" },
+                        kind: if producing {
+                            "output interface"
+                        } else {
+                            "input interface"
+                        },
                         name: format!("{}.{}", c.name, iface),
                     });
                 }
@@ -579,7 +596,14 @@ mod tests {
     use super::*;
     use crate::annotation::ComponentAnnotation as CA;
 
-    fn wordcount() -> (DataflowGraph, SourceId, ComponentId, ComponentId, ComponentId, SinkId) {
+    fn wordcount() -> (
+        DataflowGraph,
+        SourceId,
+        ComponentId,
+        ComponentId,
+        ComponentId,
+        SinkId,
+    ) {
         let mut g = DataflowGraph::new("wordcount");
         let tweets = g.add_source("tweets", &["word", "batch"]);
         let splitter = g.add_component("Splitter");
@@ -656,7 +680,10 @@ mod tests {
         let c = g.add_component("C");
         g.add_path(c, "in", "out", CA::cr());
         g.connect_source(s, c, "not-an-input");
-        assert!(matches!(g.validate(), Err(BlazesError::UnknownEntity { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(BlazesError::UnknownEntity { .. })
+        ));
     }
 
     #[test]

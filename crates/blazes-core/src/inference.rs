@@ -121,7 +121,12 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn path(ann: CA) -> PathSpec {
-        PathSpec { from: "in".into(), to: "out".into(), annotation: ann, lineage: None }
+        PathSpec {
+            from: "in".into(),
+            to: "out".into(),
+            annotation: ann,
+            lineage: None,
+        }
     }
 
     fn fds() -> FdStore {

@@ -157,10 +157,7 @@ mod tests {
         let mut map = BTreeMap::new();
         map.insert("id".to_string(), "ad_id".to_string());
         map.insert("window".to_string(), "hour".to_string());
-        assert_eq!(
-            k.rename(&map),
-            Some(KeySet::from_attrs(["ad_id", "hour"]))
-        );
+        assert_eq!(k.rename(&map), Some(KeySet::from_attrs(["ad_id", "hour"])));
     }
 
     #[test]

@@ -204,7 +204,13 @@ mod tests {
     fn internal_labels_flagged() {
         assert!(Label::nd_read(["g"]).is_internal());
         assert!(Label::Taint.is_internal());
-        for l in [Label::seal(["k"]), Label::Async, Label::Run, Label::Inst, Label::Diverge] {
+        for l in [
+            Label::seal(["k"]),
+            Label::Async,
+            Label::Run,
+            Label::Inst,
+            Label::Diverge,
+        ] {
             assert!(!l.is_internal(), "{l} must not be internal");
         }
     }
@@ -252,7 +258,10 @@ mod tests {
 
     #[test]
     fn display_notation() {
-        assert_eq!(Label::nd_read(["campaign"]).to_string(), "NDRead_{campaign}");
+        assert_eq!(
+            Label::nd_read(["campaign"]).to_string(),
+            "NDRead_{campaign}"
+        );
         assert_eq!(Label::seal(["batch"]).to_string(), "Seal_{batch}");
         assert_eq!(Label::Async.to_string(), "Async");
     }

@@ -81,7 +81,7 @@ pub mod strategy;
 /// Convenient re-exports of the types used in almost every interaction with
 /// the analyzer.
 pub mod prelude {
-    pub use crate::analysis::{Analyzer, AnalysisOutcome};
+    pub use crate::analysis::{AnalysisOutcome, Analyzer};
     pub use crate::annotation::{ComponentAnnotation, Gate, StreamAnnotation};
     pub use crate::error::{BlazesError, Result};
     pub use crate::fd::FdStore;

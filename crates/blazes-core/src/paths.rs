@@ -115,14 +115,20 @@ pub fn condense(graph: &DataflowGraph) -> Condensation {
     for (ci, comp) in graph.components().iter().enumerate() {
         let cid = ComponentId(ci);
         for iface in comp.input_interfaces() {
-            let n = IfaceNode::In(InterfaceRef { component: cid, iface: iface.to_string() });
+            let n = IfaceNode::In(InterfaceRef {
+                component: cid,
+                iface: iface.to_string(),
+            });
             index_of.entry(n.clone()).or_insert_with(|| {
                 nodes.push(n);
                 nodes.len() - 1
             });
         }
         for iface in comp.output_interfaces() {
-            let n = IfaceNode::Out(InterfaceRef { component: cid, iface: iface.to_string() });
+            let n = IfaceNode::Out(InterfaceRef {
+                component: cid,
+                iface: iface.to_string(),
+            });
             index_of.entry(n.clone()).or_insert_with(|| {
                 nodes.push(n);
                 nodes.len() - 1
@@ -135,10 +141,14 @@ pub fn condense(graph: &DataflowGraph) -> Condensation {
     for (ci, comp) in graph.components().iter().enumerate() {
         let cid = ComponentId(ci);
         for p in &comp.paths {
-            let from = index_of
-                [&IfaceNode::In(InterfaceRef { component: cid, iface: p.from.clone() })];
-            let to = index_of
-                [&IfaceNode::Out(InterfaceRef { component: cid, iface: p.to.clone() })];
+            let from = index_of[&IfaceNode::In(InterfaceRef {
+                component: cid,
+                iface: p.from.clone(),
+            })];
+            let to = index_of[&IfaceNode::Out(InterfaceRef {
+                component: cid,
+                iface: p.to.clone(),
+            })];
             adj[from].push(to);
         }
     }
@@ -146,10 +156,14 @@ pub fn condense(graph: &DataflowGraph) -> Condensation {
         if let (Endpoint::Component(a, out), Endpoint::Component(b, inp)) =
             (&stream.from, &stream.to)
         {
-            let from = index_of
-                [&IfaceNode::Out(InterfaceRef { component: *a, iface: out.clone() })];
-            let to =
-                index_of[&IfaceNode::In(InterfaceRef { component: *b, iface: inp.clone() })];
+            let from = index_of[&IfaceNode::Out(InterfaceRef {
+                component: *a,
+                iface: out.clone(),
+            })];
+            let to = index_of[&IfaceNode::In(InterfaceRef {
+                component: *b,
+                iface: inp.clone(),
+            })];
             adj[from].push(to);
         }
     }
@@ -173,8 +187,10 @@ pub fn condense(graph: &DataflowGraph) -> Condensation {
         comps.dedup();
         let rep = comps.iter().any(|&c| graph.component(c).rep);
         let name = if collapsed {
-            let mut names: Vec<&str> =
-                comps.iter().map(|&c| graph.component(c).name.as_str()).collect();
+            let mut names: Vec<&str> = comps
+                .iter()
+                .map(|&c| graph.component(c).name.as_str())
+                .collect();
             names.sort_unstable();
             names.dedup();
             format!("scc({})", names.join(","))
@@ -186,7 +202,14 @@ pub fn condense(graph: &DataflowGraph) -> Condensation {
         } else {
             None
         };
-        sccs.push(IfaceScc { nodes: members, components: comps, collapsed, name, rep, collapsed_annotation });
+        sccs.push(IfaceScc {
+            nodes: members,
+            components: comps,
+            collapsed,
+            name,
+            rep,
+            collapsed_annotation,
+        });
     }
 
     // Kahn topological sort over the condensation.
@@ -227,8 +250,14 @@ fn cycle_annotation(graph: &DataflowGraph, members: &[IfaceNode]) -> ComponentAn
     for (ci, comp) in graph.components().iter().enumerate() {
         let cid = ComponentId(ci);
         for p in &comp.paths {
-            let from = IfaceNode::In(InterfaceRef { component: cid, iface: p.from.clone() });
-            let to = IfaceNode::Out(InterfaceRef { component: cid, iface: p.to.clone() });
+            let from = IfaceNode::In(InterfaceRef {
+                component: cid,
+                iface: p.from.clone(),
+            });
+            let to = IfaceNode::Out(InterfaceRef {
+                component: cid,
+                iface: p.to.clone(),
+            });
             if !(contains(&from) && contains(&to)) {
                 continue;
             }
@@ -345,17 +374,20 @@ pub fn enumerate_paths(
     let mut starts: Vec<usize> = Vec::new();
     let mut ends: Vec<usize> = Vec::new();
     for stream in graph.streams() {
-        if let (Endpoint::Source(_), Endpoint::Component(c, iface)) = (&stream.from, &stream.to)
-        {
-            let n = cond.scc_of
-                [&IfaceNode::In(InterfaceRef { component: *c, iface: iface.clone() })];
+        if let (Endpoint::Source(_), Endpoint::Component(c, iface)) = (&stream.from, &stream.to) {
+            let n = cond.scc_of[&IfaceNode::In(InterfaceRef {
+                component: *c,
+                iface: iface.clone(),
+            })];
             if !starts.contains(&n) {
                 starts.push(n);
             }
         }
         if let (Endpoint::Component(c, iface), Endpoint::Sink(_)) = (&stream.from, &stream.to) {
-            let n = cond.scc_of
-                [&IfaceNode::Out(InterfaceRef { component: *c, iface: iface.clone() })];
+            let n = cond.scc_of[&IfaceNode::Out(InterfaceRef {
+                component: *c,
+                iface: iface.clone(),
+            })];
             if !ends.contains(&n) {
                 ends.push(n);
             }
@@ -372,21 +404,27 @@ pub fn enumerate_paths(
     for (ci, comp) in graph.components().iter().enumerate() {
         let cid = ComponentId(ci);
         for p in &comp.paths {
-            let a = cond.scc_of
-                [&IfaceNode::In(InterfaceRef { component: cid, iface: p.from.clone() })];
-            let b = cond.scc_of
-                [&IfaceNode::Out(InterfaceRef { component: cid, iface: p.to.clone() })];
+            let a = cond.scc_of[&IfaceNode::In(InterfaceRef {
+                component: cid,
+                iface: p.from.clone(),
+            })];
+            let b = cond.scc_of[&IfaceNode::Out(InterfaceRef {
+                component: cid,
+                iface: p.to.clone(),
+            })];
             add_edge(a, b);
         }
     }
     for stream in graph.streams() {
-        if let (Endpoint::Component(a, o), Endpoint::Component(b, i)) =
-            (&stream.from, &stream.to)
-        {
-            let na =
-                cond.scc_of[&IfaceNode::Out(InterfaceRef { component: *a, iface: o.clone() })];
-            let nb =
-                cond.scc_of[&IfaceNode::In(InterfaceRef { component: *b, iface: i.clone() })];
+        if let (Endpoint::Component(a, o), Endpoint::Component(b, i)) = (&stream.from, &stream.to) {
+            let na = cond.scc_of[&IfaceNode::Out(InterfaceRef {
+                component: *a,
+                iface: o.clone(),
+            })];
+            let nb = cond.scc_of[&IfaceNode::In(InterfaceRef {
+                component: *b,
+                iface: i.clone(),
+            })];
             add_edge(na, nb);
         }
     }
@@ -447,10 +485,14 @@ mod tests {
         let cond = condense(&g);
         let x = g.component_by_name("X").unwrap();
         let y = g.component_by_name("Y").unwrap();
-        let out_x = cond.scc_of
-            [&IfaceNode::Out(InterfaceRef { component: x, iface: "out".into() })];
-        let in_y =
-            cond.scc_of[&IfaceNode::In(InterfaceRef { component: y, iface: "in".into() })];
+        let out_x = cond.scc_of[&IfaceNode::Out(InterfaceRef {
+            component: x,
+            iface: "out".into(),
+        })];
+        let in_y = cond.scc_of[&IfaceNode::In(InterfaceRef {
+            component: y,
+            iface: "in".into(),
+        })];
         let px = cond.topo.iter().position(|&n| n == out_x).unwrap();
         let py = cond.topo.iter().position(|&n| n == in_y).unwrap();
         assert!(px < py, "X.out must precede Y.in");

@@ -103,7 +103,7 @@ pub fn reconcile(entries: Vec<Derived>, rep: bool, fds: &FdStore) -> Reconciliat
     let mut protected_labels = Vec::new();
 
     // Rule: Taint ∈ Labels ⇒ Rep ? Diverge : Run.
-    if derived.iter().any(|l| *l == Label::Taint) {
+    if derived.contains(&Label::Taint) {
         added.push(if rep { Label::Diverge } else { Label::Run });
     }
 
@@ -146,7 +146,12 @@ pub fn reconcile(entries: Vec<Derived>, rep: bool, fds: &FdStore) -> Reconciliat
     }
     let merged = merged.unwrap_or(Label::Async);
 
-    Reconciliation { derived, added, protected: protected_labels, merged }
+    Reconciliation {
+        derived,
+        added,
+        protected: protected_labels,
+        merged,
+    }
 }
 
 #[cfg(test)]

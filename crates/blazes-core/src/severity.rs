@@ -74,7 +74,10 @@ mod tests {
     fn join_is_max() {
         assert_eq!(Severity::ASYNC.join(Severity::RUN), Severity::RUN);
         assert_eq!(Severity::RUN.join(Severity::ASYNC), Severity::RUN);
-        assert_eq!(Severity::DIVERGE.join(Severity::INTERNAL), Severity::DIVERGE);
+        assert_eq!(
+            Severity::DIVERGE.join(Severity::INTERNAL),
+            Severity::DIVERGE
+        );
     }
 
     #[test]

@@ -159,10 +159,12 @@ impl Spec {
             }
             for target in &s.to {
                 let (comp, iface) = split_ref(target)?;
-                let id = *comp_ids.get(comp).ok_or_else(|| BlazesError::UnknownEntity {
-                    kind: "component",
-                    name: comp.to_string(),
-                })?;
+                let id = *comp_ids
+                    .get(comp)
+                    .ok_or_else(|| BlazesError::UnknownEntity {
+                        kind: "component",
+                        name: comp.to_string(),
+                    })?;
                 g.connect_source(src, id, iface);
             }
         }
@@ -315,7 +317,10 @@ impl<'a> Parser<'a> {
 
     /// Parse the indented body of a component section.
     fn parse_component(&mut self, name: &str) -> Result<ComponentSpec> {
-        let mut comp = ComponentSpec { name: name.to_string(), ..ComponentSpec::default() };
+        let mut comp = ComponentSpec {
+            name: name.to_string(),
+            ..ComponentSpec::default()
+        };
         while let Some((line_no, line)) = self.peek() {
             if indent_of(line) == 0 {
                 break;
@@ -344,7 +349,8 @@ impl<'a> Parser<'a> {
                 } else {
                     // Inline form: `annotation: { ... }`.
                     let map = parse_flow_map(line_no, rest)?;
-                    comp.annotations.push(parse_annotation_entry(line_no, &map)?);
+                    comp.annotations
+                        .push(parse_annotation_entry(line_no, &map)?);
                 }
             } else if let Some((query, rest)) = trimmed.split_once(':') {
                 // Named query alternative, as in the paper's Report section:
@@ -358,7 +364,8 @@ impl<'a> Parser<'a> {
                     });
                 }
                 let map = parse_flow_map(line_no, rest)?;
-                comp.annotations.push(parse_annotation_entry(line_no, &map)?);
+                comp.annotations
+                    .push(parse_annotation_entry(line_no, &map)?);
             } else {
                 return Err(BlazesError::SpecParse {
                     line: line_no,
@@ -413,10 +420,12 @@ fn parse_flow_map(line: usize, s: &str) -> Result<BTreeMap<String, FlowValue>> {
         let key = key.trim().to_string();
         let value = value.trim();
         let parsed = if let Some(list) = value.strip_prefix('[') {
-            let list = list.strip_suffix(']').ok_or_else(|| BlazesError::SpecParse {
-                line,
-                message: format!("unterminated list in {pair:?}"),
-            })?;
+            let list = list
+                .strip_suffix(']')
+                .ok_or_else(|| BlazesError::SpecParse {
+                    line,
+                    message: format!("unterminated list in {pair:?}"),
+                })?;
             FlowValue::List(
                 list.split(',')
                     .map(|x| x.trim().to_string())
@@ -479,7 +488,11 @@ fn parse_annotation_entry(
             })
         }
     };
-    Ok(AnnotationSpec { from, to, annotation })
+    Ok(AnnotationSpec {
+        from,
+        to,
+        annotation,
+    })
 }
 
 fn parse_stream_entry(line: usize, map: &BTreeMap<String, FlowValue>) -> Result<StreamSpec> {
@@ -514,7 +527,10 @@ fn parse_connection_entry(
 }
 
 fn parse_sink_entry(line: usize, map: &BTreeMap<String, FlowValue>) -> Result<SinkSpec> {
-    Ok(SinkSpec { name: get_scalar(line, map, "name")?, from: get_scalar(line, map, "from")? })
+    Ok(SinkSpec {
+        name: get_scalar(line, map, "name")?,
+        from: get_scalar(line, map, "from")?,
+    })
 }
 
 fn get_scalar(line: usize, map: &BTreeMap<String, FlowValue>, key: &str) -> Result<String> {
@@ -605,16 +621,16 @@ Report:
         let comp = &spec.components[0];
         assert!(comp.rep);
         assert_eq!(comp.annotations.len(), 3);
-        assert_eq!(comp.annotations[1].annotation, ComponentAnnotation::or(["id"]));
+        assert_eq!(
+            comp.annotations[1].annotation,
+            ComponentAnnotation::or(["id"])
+        );
         assert_eq!(comp.annotations[2].annotation, ComponentAnnotation::CR);
     }
 
     #[test]
     fn wildcard_subscript() {
-        let spec = Spec::parse(
-            "C:\n  annotation: { from: a, to: b, label: OW }\n",
-        )
-        .unwrap();
+        let spec = Spec::parse("C:\n  annotation: { from: a, to: b, label: OW }\n").unwrap();
         assert_eq!(
             spec.components[0].annotations[0].annotation,
             ComponentAnnotation::ow_star()
@@ -629,10 +645,8 @@ Report:
 
     #[test]
     fn subscript_on_confluent_rejected() {
-        let err = Spec::parse(
-            "C:\n  annotation: { from: a, to: b, label: CR, subscript: [x] }\n",
-        )
-        .unwrap_err();
+        let err = Spec::parse("C:\n  annotation: { from: a, to: b, label: CR, subscript: [x] }\n")
+            .unwrap_err();
         assert!(matches!(err, BlazesError::SpecParse { .. }));
     }
 
@@ -667,8 +681,7 @@ Report:
     #[test]
     fn annotate_unknown_component_errors() {
         let mut g = DataflowGraph::new("g");
-        let spec =
-            Spec::parse("Ghost:\n  annotation: { from: a, to: b, label: CR }\n").unwrap();
+        let spec = Spec::parse("Ghost:\n  annotation: { from: a, to: b, label: CR }\n").unwrap();
         assert!(spec.annotate(&mut g).is_err());
     }
 

@@ -71,7 +71,9 @@ impl CoordinationPlan {
     /// Does the plan involve any global ordering?
     #[must_use]
     pub fn needs_ordering(&self) -> bool {
-        self.strategies.iter().any(|s| matches!(s, Strategy::Ordering { .. }))
+        self.strategies
+            .iter()
+            .any(|s| matches!(s, Strategy::Ordering { .. }))
     }
 
     /// Does the plan involve any seal protocol?
@@ -105,7 +107,11 @@ impl CoordinationPlan {
         }
         for strat in &self.strategies {
             match strat {
-                Strategy::SealProtocol { component, input, key } => {
+                Strategy::SealProtocol {
+                    component,
+                    input,
+                    key,
+                } => {
                     let _ = writeln!(
                         s,
                         "seal-protocol at {}.{}: buffer partitions keyed {{{key}}}, release on seal + unanimous producer vote",
@@ -113,7 +119,11 @@ impl CoordinationPlan {
                         input
                     );
                 }
-                Strategy::Ordering { component, inputs, dynamic } => {
+                Strategy::Ordering {
+                    component,
+                    inputs,
+                    dynamic,
+                } => {
                     let _ = writeln!(
                         s,
                         "{} ordering at {}: totally order delivery on [{}]",
@@ -188,10 +198,16 @@ pub fn synthesize(
             .into_iter()
             .map(str::to_string)
             .collect();
-        strategies.insert(Strategy::Ordering { component, inputs, dynamic: dynamic_ordering });
+        strategies.insert(Strategy::Ordering {
+            component,
+            inputs,
+            dynamic: dynamic_ordering,
+        });
     }
 
-    CoordinationPlan { strategies: strategies.into_iter().collect() }
+    CoordinationPlan {
+        strategies: strategies.into_iter().collect(),
+    }
 }
 
 /// Analyze `graph` and synthesize a plan, iterating to a fixpoint.
@@ -212,10 +228,14 @@ pub fn plan_for(graph: &DataflowGraph, dynamic_ordering: bool) -> Result<Coordin
         if strategies.len() == before {
             break;
         }
-        let plan = CoordinationPlan { strategies: strategies.iter().cloned().collect() };
+        let plan = CoordinationPlan {
+            strategies: strategies.iter().cloned().collect(),
+        };
         current = apply_plan(graph, &plan);
     }
-    Ok(CoordinationPlan { strategies: strategies.into_iter().collect() })
+    Ok(CoordinationPlan {
+        strategies: strategies.into_iter().collect(),
+    })
 }
 
 /// Rewrite `graph` as if `plan` were deployed:
@@ -234,7 +254,9 @@ pub fn apply_plan(graph: &DataflowGraph, plan: &CoordinationPlan) -> DataflowGra
     for strat in &plan.strategies {
         if let Strategy::Ordering { component, .. } = strat {
             let comp_name = graph.component(*component).name.clone();
-            let id = g.component_by_name(&comp_name).expect("component preserved by clone");
+            let id = g
+                .component_by_name(&comp_name)
+                .expect("component preserved by clone");
             // Convert order-sensitive annotations to their confluent
             // counterparts in place.
             let paths: Vec<_> = g.component(id).paths.clone();
@@ -269,7 +291,11 @@ pub fn residual_labels(
         .strategies
         .iter()
         .filter_map(|s| match s {
-            Strategy::Ordering { component, dynamic: true, .. } => Some(*component),
+            Strategy::Ordering {
+                component,
+                dynamic: true,
+                ..
+            } => Some(*component),
             _ => None,
         })
         .collect();
@@ -424,6 +450,10 @@ mod tests {
         let plan = plan_for(&g, false).unwrap();
         let t = apply_plan(&g, &plan);
         let count = t.component_by_name("Count").unwrap();
-        assert!(t.component(count).paths.iter().all(|p| p.annotation == CA::cw()));
+        assert!(t
+            .component(count)
+            .paths
+            .iter()
+            .all(|p| p.annotation == CA::cw()));
     }
 }

@@ -1,0 +1,117 @@
+//! The backend abstraction shared by the execution substrates.
+//!
+//! Higher layers (the mini Storm engine, the case studies) assemble a
+//! topology by calling the same five operations whatever the backend:
+//! adding instances, registering channels, wiring ports, setting service
+//! times and injecting external inputs. [`ExecutorBuilder`] captures that
+//! surface so a topology can be compiled once and executed either on the
+//! deterministic discrete-event simulator ([`crate::sim::SimBuilder`]) or
+//! on the multi-worker parallel executor ([`crate::par::ParBuilder`]).
+
+use crate::channel::ChannelConfig;
+use crate::component::Component;
+use crate::message::Message;
+use crate::sim::{InstanceId, SimBuilder, Time};
+
+/// A builder for an execution backend: the assembly surface shared by the
+/// simulator and the parallel executor.
+pub trait ExecutorBuilder {
+    /// Add a component instance; returns its id.
+    fn add_instance(&mut self, component: Box<dyn Component>) -> InstanceId;
+
+    /// Set the per-message service time of an instance. Virtual-time
+    /// backends model queueing with this; wall-clock backends may ignore
+    /// it (real processing costs are paid for real).
+    fn set_service_time(&mut self, id: InstanceId, service: Time);
+
+    /// Register a channel configuration, returning a reusable handle.
+    fn add_channel(&mut self, cfg: ChannelConfig) -> usize;
+
+    /// Wire output `out_port` of `from` to input `in_port` of `to` over
+    /// the channel registered as `channel`.
+    fn connect(
+        &mut self,
+        from: InstanceId,
+        out_port: usize,
+        to: InstanceId,
+        in_port: usize,
+        channel: usize,
+    );
+
+    /// Inject an external message. `at` is a virtual timestamp for the
+    /// simulator; wall-clock backends use it only as an ordering key.
+    fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message);
+
+    /// Convenience: wire with a fresh channel config.
+    fn connect_with(
+        &mut self,
+        from: InstanceId,
+        out_port: usize,
+        to: InstanceId,
+        in_port: usize,
+        cfg: ChannelConfig,
+    ) {
+        let ch = self.add_channel(cfg);
+        self.connect(from, out_port, to, in_port, ch);
+    }
+}
+
+/// Forward through mutable references so assembly functions generic over
+/// `B: ExecutorBuilder` also accept `&mut dyn ExecutorBuilder`.
+impl<B: ExecutorBuilder + ?Sized> ExecutorBuilder for &mut B {
+    fn add_instance(&mut self, component: Box<dyn Component>) -> InstanceId {
+        (**self).add_instance(component)
+    }
+
+    fn set_service_time(&mut self, id: InstanceId, service: Time) {
+        (**self).set_service_time(id, service);
+    }
+
+    fn add_channel(&mut self, cfg: ChannelConfig) -> usize {
+        (**self).add_channel(cfg)
+    }
+
+    fn connect(
+        &mut self,
+        from: InstanceId,
+        out_port: usize,
+        to: InstanceId,
+        in_port: usize,
+        channel: usize,
+    ) {
+        (**self).connect(from, out_port, to, in_port, channel);
+    }
+
+    fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
+        (**self).inject(at, to, port, msg);
+    }
+}
+
+impl ExecutorBuilder for SimBuilder {
+    fn add_instance(&mut self, component: Box<dyn Component>) -> InstanceId {
+        SimBuilder::add_instance(self, component)
+    }
+
+    fn set_service_time(&mut self, id: InstanceId, service: Time) {
+        SimBuilder::set_service_time(self, id, service);
+    }
+
+    fn add_channel(&mut self, cfg: ChannelConfig) -> usize {
+        SimBuilder::add_channel(self, cfg)
+    }
+
+    fn connect(
+        &mut self,
+        from: InstanceId,
+        out_port: usize,
+        to: InstanceId,
+        in_port: usize,
+        channel: usize,
+    ) {
+        SimBuilder::connect(self, from, out_port, to, in_port, channel);
+    }
+
+    fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
+        SimBuilder::inject(self, at, to, port, msg);
+    }
+}

@@ -129,7 +129,10 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let c = ChannelConfig::instant().with_latency(5).with_jitter(7).with_duplicates(0.1);
+        let c = ChannelConfig::instant()
+            .with_latency(5)
+            .with_jitter(7)
+            .with_duplicates(0.1);
         assert_eq!(c.base_latency, 5);
         assert_eq!(c.jitter, 7);
         assert!((c.duplicate_prob - 0.1).abs() < f64::EPSILON);

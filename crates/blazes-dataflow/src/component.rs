@@ -28,7 +28,12 @@ impl Context {
     /// without a full simulation).
     #[must_use]
     pub fn new(now: Time, instance: InstanceId) -> Self {
-        Context { now, instance, emitted: Vec::new(), ticks: Vec::new() }
+        Context {
+            now,
+            instance,
+            emitted: Vec::new(),
+            ticks: Vec::new(),
+        }
     }
 
     /// Messages emitted so far, as `(port, message)` pairs (test hook).
@@ -75,7 +80,10 @@ where
 {
     /// Wrap a closure as a component.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        FnComponent { name: name.into(), f }
+        FnComponent {
+            name: name.into(),
+            f,
+        }
     }
 }
 

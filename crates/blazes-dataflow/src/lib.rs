@@ -25,20 +25,24 @@
 //! into a [`sim::SimBuilder`]. See `blazes-storm` and `blazes-apps` for the
 //! engines and applications built on top.
 
+pub mod backend;
 pub mod channel;
 pub mod component;
 pub mod message;
 pub mod metrics;
+pub mod par;
 pub mod sim;
 pub mod sinks;
 pub mod value;
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::backend::ExecutorBuilder;
     pub use crate::channel::ChannelConfig;
     pub use crate::component::{Component, Context};
     pub use crate::message::{Message, SealKey};
     pub use crate::metrics::{RunStats, TimeSeries};
+    pub use crate::par::{ParBuilder, ParExecutor, ParStats};
     pub use crate::sim::{InstanceId, SimBuilder, Simulator, Time};
     pub use crate::sinks::{CollectorSink, CountingSink};
     pub use crate::value::{Tuple, Value};

@@ -25,8 +25,10 @@ impl SealKey {
         S: Into<String>,
         V: Into<Value>,
     {
-        let mut parts: Vec<(String, Value)> =
-            parts.into_iter().map(|(k, v)| (k.into(), v.into())).collect();
+        let mut parts: Vec<(String, Value)> = parts
+            .into_iter()
+            .map(|(k, v)| (k.into(), v.into()))
+            .collect();
         parts.sort();
         SealKey { parts }
     }

@@ -102,7 +102,11 @@ impl TimeSeries {
     /// Time at which the cumulative count first reached `target`, if ever.
     #[must_use]
     pub fn time_to_reach(&self, target: u64) -> Option<Time> {
-        self.points.lock().iter().find(|&&(_, c)| c >= target).map(|&(t, _)| t)
+        self.points
+            .lock()
+            .iter()
+            .find(|&&(_, c)| c >= target)
+            .map(|&(t, _)| t)
     }
 
     /// Downsample to at most `buckets` evenly spaced (by time) points for

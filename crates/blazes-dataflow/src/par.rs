@@ -1,0 +1,776 @@
+//! The multi-worker parallel executor.
+//!
+//! Where [`crate::sim`] *models* concurrency in virtual time, this backend
+//! *runs* it: component instances are sharded across OS worker threads,
+//! messages travel in batches over MPMC channels, and delivery order across
+//! producers is whatever the scheduler produces. This is exactly the
+//! execution regime the Blazes analysis reasons about — confluent
+//! (order-insensitive) topologies reach the same final state as any
+//! sequential interleaving, which the differential tests assert against the
+//! seeded simulator.
+//!
+//! Guarantees:
+//!
+//! * **Per-wire FIFO — always.** A wire's messages are processed in send
+//!   order: a wire's source instance lives on one worker, emissions are
+//!   enqueued in emission order, and the channels are FIFO. Seal and EOS
+//!   punctuations therefore never overtake the records they cover — the
+//!   invariant the sealing protocol needs (paper Section V-B1). Note this
+//!   is *stronger* than the simulator for channels configured with
+//!   [`ChannelConfig::with_fifo`]`(false)`: the datagram-like single-wire
+//!   reordering the simulator models is not reproduced here (cross-wire
+//!   interleaving remains nondeterministic), so ordering anomalies that
+//!   only arise from non-FIFO wires will not surface on this backend.
+//! * **At-least-once faults.** Channel `duplicate_prob` injects duplicate
+//!   deliveries and `loss_prob` counts a retransmission (the message is
+//!   still delivered — losses are retried, as in the simulator). Fault
+//!   draws come from per-worker seeded RNGs; unlike the simulator they are
+//!   *not* reproducible across runs, because draw order depends on thread
+//!   scheduling.
+//! * **Quiescence.** `run` returns once every injected and derived message
+//!   has been processed, detected by a global in-flight counter.
+//!
+//! `Context::now` under this backend is a worker-local event ordinal, not
+//! virtual microseconds: it orders the events one instance observed but is
+//! not comparable across workers.
+
+use crate::backend::ExecutorBuilder;
+use crate::channel::ChannelConfig;
+use crate::component::{Component, Context};
+use crate::message::Message;
+use crate::metrics::InstanceStats;
+use crate::sim::{InstanceId, Time};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default cap on worker threads when the builder does not pin a count.
+const DEFAULT_MAX_WORKERS: usize = 8;
+
+/// Default number of envelopes per cross-worker batch.
+const DEFAULT_BATCH_SIZE: usize = 64;
+
+#[derive(Debug)]
+enum Work {
+    Deliver {
+        dst: InstanceId,
+        port: usize,
+        msg: Message,
+    },
+    Tick {
+        dst: InstanceId,
+    },
+}
+
+enum WorkerMsg {
+    Batch(Vec<Work>),
+    Shutdown,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Wire {
+    dst: InstanceId,
+    dst_port: usize,
+    channel: usize,
+}
+
+struct ParInstance {
+    component: Box<dyn Component>,
+    wires: Vec<Vec<Wire>>,
+}
+
+/// Builder for a parallel run: add instances, wire ports, inject inputs —
+/// the same assembly surface as [`crate::sim::SimBuilder`].
+pub struct ParBuilder {
+    instances: Vec<ParInstance>,
+    channels: Vec<ChannelConfig>,
+    injected: Vec<(Time, InstanceId, usize, Message)>,
+    seed: u64,
+    workers: Option<usize>,
+    batch_size: usize,
+}
+
+impl ParBuilder {
+    /// Start a new parallel run description. `seed` drives the per-worker
+    /// fault-injection RNGs.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        ParBuilder {
+            instances: Vec::new(),
+            channels: Vec::new(),
+            injected: Vec::new(),
+            seed,
+            workers: None,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Pin the worker-thread count (default: available parallelism, capped
+    /// at 8, never more than the instance count).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Set the cross-worker delivery batch size (default 64). Larger
+    /// batches amortize channel synchronization; smaller ones reduce
+    /// latency skew between workers.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Add a component instance.
+    pub fn add_instance(&mut self, component: Box<dyn Component>) -> InstanceId {
+        let id = InstanceId(self.instances.len());
+        self.instances.push(ParInstance {
+            component,
+            wires: Vec::new(),
+        });
+        id
+    }
+
+    /// Register a channel configuration and return its handle for reuse.
+    pub fn add_channel(&mut self, cfg: ChannelConfig) -> usize {
+        self.channels.push(cfg);
+        self.channels.len() - 1
+    }
+
+    /// Wire output `out_port` of `from` to input `in_port` of `to` over the
+    /// channel registered as `channel`.
+    pub fn connect(
+        &mut self,
+        from: InstanceId,
+        out_port: usize,
+        to: InstanceId,
+        in_port: usize,
+        channel: usize,
+    ) {
+        assert!(channel < self.channels.len(), "unknown channel handle");
+        assert!(to.0 < self.instances.len(), "unknown destination instance");
+        let wires = &mut self.instances[from.0].wires;
+        if wires.len() <= out_port {
+            wires.resize_with(out_port + 1, Vec::new);
+        }
+        wires[out_port].push(Wire {
+            dst: to,
+            dst_port: in_port,
+            channel,
+        });
+    }
+
+    /// Convenience: wire with a fresh channel config.
+    pub fn connect_with(
+        &mut self,
+        from: InstanceId,
+        out_port: usize,
+        to: InstanceId,
+        in_port: usize,
+        cfg: ChannelConfig,
+    ) {
+        let ch = self.add_channel(cfg);
+        self.connect(from, out_port, to, in_port, ch);
+    }
+
+    /// Inject an external message. `at` is an ordering key only (the
+    /// parallel backend has no virtual clock): injections are dispatched
+    /// in ascending `at`, ties in insertion order — the same order the
+    /// simulator's event queue would open with.
+    pub fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
+        self.injected.push((at, to, port, msg));
+    }
+
+    /// Finalize into a runnable [`ParExecutor`].
+    #[must_use]
+    pub fn build(mut self) -> ParExecutor {
+        // An explicitly pinned count is honored as-is; only the derived
+        // default is capped and clamped to the instance count.
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map_or(2, std::num::NonZeroUsize::get)
+                .min(DEFAULT_MAX_WORKERS)
+                .min(self.instances.len().max(1))
+        });
+        // Dispatch order: ascending injection time, insertion order on ties
+        // (stable sort), mirroring the simulator's opening event order.
+        self.injected.sort_by_key(|&(at, _, _, _)| at);
+        ParExecutor {
+            instances: self.instances,
+            channels: Arc::from(self.channels),
+            injected: self.injected,
+            seed: self.seed,
+            workers,
+            batch_size: self.batch_size,
+        }
+    }
+}
+
+impl ExecutorBuilder for ParBuilder {
+    fn add_instance(&mut self, component: Box<dyn Component>) -> InstanceId {
+        ParBuilder::add_instance(self, component)
+    }
+
+    fn set_service_time(&mut self, _id: InstanceId, _service: Time) {
+        // Wall-clock backend: processing costs are whatever the component
+        // actually costs; modeled service times do not apply.
+    }
+
+    fn add_channel(&mut self, cfg: ChannelConfig) -> usize {
+        ParBuilder::add_channel(self, cfg)
+    }
+
+    fn connect(
+        &mut self,
+        from: InstanceId,
+        out_port: usize,
+        to: InstanceId,
+        in_port: usize,
+        channel: usize,
+    ) {
+        ParBuilder::connect(self, from, out_port, to, in_port, channel);
+    }
+
+    fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
+        ParBuilder::inject(self, at, to, port, msg);
+    }
+}
+
+/// Aggregate statistics of one parallel run.
+#[derive(Debug, Clone)]
+pub struct ParStats {
+    /// Total events processed (deliveries + ticks).
+    pub events_processed: u64,
+    /// Messages delivered to instances.
+    pub messages_delivered: u64,
+    /// Channel-level duplicate deliveries injected.
+    pub duplicates: u64,
+    /// Channel-level retransmissions counted (message still delivered).
+    pub retransmits: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+    /// Per-instance breakdown (`busy_until` is 0: no virtual clock).
+    pub per_instance: Vec<InstanceStats>,
+}
+
+impl ParStats {
+    /// Throughput in messages per wall-clock second.
+    #[must_use]
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.messages_delivered as f64 / secs
+    }
+}
+
+struct Counters {
+    in_flight: AtomicI64,
+    events: AtomicU64,
+    deliveries: AtomicU64,
+    duplicates: AtomicU64,
+    retransmits: AtomicU64,
+}
+
+/// A runnable parallel execution.
+pub struct ParExecutor {
+    instances: Vec<ParInstance>,
+    channels: Arc<[ChannelConfig]>,
+    injected: Vec<(Time, InstanceId, usize, Message)>,
+    seed: u64,
+    workers: usize,
+    batch_size: usize,
+}
+
+impl ParExecutor {
+    /// Execute to quiescence and return run statistics.
+    ///
+    /// # Panics
+    /// Re-raises the first panic of any component handler.
+    #[must_use]
+    pub fn run(self) -> ParStats {
+        let started = Instant::now();
+        let workers = self.workers;
+        let counters = Arc::new(Counters {
+            in_flight: AtomicI64::new(self.injected.len() as i64),
+            events: AtomicU64::new(0),
+            deliveries: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            retransmits: AtomicU64::new(0),
+        });
+
+        let (txs, rxs): (Vec<Sender<WorkerMsg>>, Vec<Receiver<WorkerMsg>>) =
+            (0..workers).map(|_| unbounded()).unzip();
+
+        // Shard instances: worker w owns instance slots with id % workers == w.
+        let total_instances = self.instances.len();
+        let mut shards: Vec<Vec<Option<ParInstance>>> = (0..workers)
+            .map(|_| {
+                std::iter::repeat_with(|| None)
+                    .take(total_instances)
+                    .collect()
+            })
+            .collect();
+        let worker_of = |i: usize| i % workers;
+        for (i, inst) in self.instances.into_iter().enumerate() {
+            shards[worker_of(i)][i] = Some(inst);
+        }
+
+        // Per-worker injection batches, in global dispatch order.
+        let mut inject_batches: Vec<Vec<Work>> = (0..workers).map(|_| Vec::new()).collect();
+        let injected_empty = self.injected.is_empty();
+        for (_, to, port, msg) in self.injected {
+            inject_batches[worker_of(to.0)].push(Work::Deliver { dst: to, port, msg });
+        }
+
+        let mut handles = Vec::with_capacity(workers);
+        for (w, (shard, rx)) in shards.into_iter().zip(rxs).enumerate() {
+            let ctx = WorkerCtx {
+                idx: w,
+                workers,
+                batch_size: self.batch_size,
+                rx,
+                txs: txs.clone(),
+                channels: Arc::clone(&self.channels),
+                counters: Arc::clone(&counters),
+                rng: StdRng::seed_from_u64(
+                    self.seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                ),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("blazes-par-{w}"))
+                    .spawn(move || ctx.run(shard))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        // Dispatch injections (workers are already listening).
+        for (w, batch) in inject_batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                let _ = txs[w].send(WorkerMsg::Batch(batch));
+            }
+        }
+        if injected_empty {
+            // Nothing will ever decrement the counter to trigger shutdown.
+            for tx in &txs {
+                let _ = tx.send(WorkerMsg::Shutdown);
+            }
+        }
+        drop(txs);
+
+        let mut per_instance: Vec<(usize, InstanceStats)> = Vec::with_capacity(total_instances);
+        let mut panic_payload = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(stats) => per_instance.extend(stats),
+                Err(payload) => {
+                    // Keep the first worker's payload: later panics are
+                    // usually cascades of the originating failure.
+                    if panic_payload.is_none() {
+                        panic_payload = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        per_instance.sort_by_key(|&(i, _)| i);
+
+        ParStats {
+            events_processed: counters.events.load(Ordering::SeqCst),
+            messages_delivered: counters.deliveries.load(Ordering::SeqCst),
+            duplicates: counters.duplicates.load(Ordering::SeqCst),
+            retransmits: counters.retransmits.load(Ordering::SeqCst),
+            workers,
+            wall_time: started.elapsed(),
+            per_instance: per_instance.into_iter().map(|(_, s)| s).collect(),
+        }
+    }
+}
+
+/// Broadcasts shutdown if the owning worker unwinds, so sibling workers
+/// (and the joining coordinator) cannot deadlock on a dead peer.
+struct PanicGuard {
+    txs: Vec<Sender<WorkerMsg>>,
+}
+
+impl Drop for PanicGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            for tx in &self.txs {
+                let _ = tx.send(WorkerMsg::Shutdown);
+            }
+        }
+    }
+}
+
+struct WorkerCtx {
+    idx: usize,
+    workers: usize,
+    batch_size: usize,
+    rx: Receiver<WorkerMsg>,
+    txs: Vec<Sender<WorkerMsg>>,
+    channels: Arc<[ChannelConfig]>,
+    counters: Arc<Counters>,
+    rng: StdRng,
+}
+
+impl WorkerCtx {
+    fn run(mut self, mut shard: Vec<Option<ParInstance>>) -> Vec<(usize, InstanceStats)> {
+        let guard = PanicGuard {
+            txs: self.txs.clone(),
+        };
+        let mut local: VecDeque<Work> = VecDeque::new();
+        let mut out_bufs: Vec<Vec<Work>> = (0..self.workers).map(|_| Vec::new()).collect();
+        let mut processed: Vec<u64> = vec![0; shard.len()];
+        let mut now: Time = 0;
+
+        'outer: loop {
+            match self.rx.recv() {
+                Ok(WorkerMsg::Batch(batch)) => {
+                    local.extend(batch);
+                    while let Some(work) = local.pop_front() {
+                        now += 1;
+                        self.process(
+                            work,
+                            now,
+                            &mut shard,
+                            &mut processed,
+                            &mut local,
+                            &mut out_bufs,
+                        );
+                        // This event and everything it spawned are now
+                        // accounted; if the global counter hits zero the
+                        // whole run is quiescent.
+                        if self.counters.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+                            for tx in &self.txs {
+                                let _ = tx.send(WorkerMsg::Shutdown);
+                            }
+                            break 'outer;
+                        }
+                    }
+                    self.flush_all(&mut out_bufs);
+                }
+                Ok(WorkerMsg::Shutdown) | Err(_) => break 'outer,
+            }
+        }
+        drop(guard);
+
+        shard
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.map(|inst| {
+                    (
+                        i,
+                        InstanceStats {
+                            name: inst.component.name().to_string(),
+                            processed: processed[i],
+                            busy_until: 0,
+                        },
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn process(
+        &mut self,
+        work: Work,
+        now: Time,
+        shard: &mut [Option<ParInstance>],
+        processed: &mut [u64],
+        local: &mut VecDeque<Work>,
+        out_bufs: &mut [Vec<Work>],
+    ) {
+        self.counters.events.fetch_add(1, Ordering::Relaxed);
+        let (instance, ctx) = match work {
+            Work::Deliver { dst, port, msg } => {
+                self.counters.deliveries.fetch_add(1, Ordering::Relaxed);
+                let inst = shard[dst.0]
+                    .as_mut()
+                    .expect("delivery routed to owning worker");
+                let mut ctx = Context::new(now, dst);
+                inst.component.on_message(port, msg, &mut ctx);
+                processed[dst.0] += 1;
+                (dst, ctx)
+            }
+            Work::Tick { dst } => {
+                let inst = shard[dst.0].as_mut().expect("tick routed to owning worker");
+                let mut ctx = Context::new(now, dst);
+                inst.component.on_tick(&mut ctx);
+                (dst, ctx)
+            }
+        };
+
+        let Context { emitted, ticks, .. } = ctx;
+        for (out_port, msg) in emitted {
+            self.route(instance, out_port, msg, shard, local, out_bufs);
+        }
+        for _delay in ticks {
+            // No virtual clock: a tick fires as the instance's next
+            // self-event, preserving order relative to its own emissions.
+            self.enqueue(Work::Tick { dst: instance }, local, out_bufs);
+        }
+    }
+
+    /// Route one emission along every wire of `(instance, out_port)`.
+    fn route(
+        &mut self,
+        from: InstanceId,
+        out_port: usize,
+        msg: Message,
+        shard: &[Option<ParInstance>],
+        local: &mut VecDeque<Work>,
+        out_bufs: &mut [Vec<Work>],
+    ) {
+        let wires = shard[from.0]
+            .as_ref()
+            .expect("emitting instance is local")
+            .wires
+            .get(out_port)
+            .map_or(&[][..], Vec::as_slice);
+        for &wire in wires {
+            let cfg = &self.channels[wire.channel];
+            if cfg.loss_prob > 0.0 && self.rng.random::<f64>() < cfg.loss_prob {
+                // The first transmission is lost and retried; delivery
+                // still happens (at-least-once), just counted.
+                self.counters.retransmits.fetch_add(1, Ordering::Relaxed);
+            }
+            let duplicate =
+                cfg.duplicate_prob > 0.0 && self.rng.random::<f64>() < cfg.duplicate_prob;
+            self.enqueue(
+                Work::Deliver {
+                    dst: wire.dst,
+                    port: wire.dst_port,
+                    msg: msg.clone(),
+                },
+                local,
+                out_bufs,
+            );
+            if duplicate {
+                self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                self.enqueue(
+                    Work::Deliver {
+                        dst: wire.dst,
+                        port: wire.dst_port,
+                        msg: msg.clone(),
+                    },
+                    local,
+                    out_bufs,
+                );
+            }
+        }
+    }
+
+    /// Account one in-flight unit and queue the work item for its owner.
+    fn enqueue(&self, work: Work, local: &mut VecDeque<Work>, out_bufs: &mut [Vec<Work>]) {
+        self.counters.in_flight.fetch_add(1, Ordering::SeqCst);
+        let dst_worker = match &work {
+            Work::Deliver { dst, .. } | Work::Tick { dst } => dst.0 % self.workers,
+        };
+        if dst_worker == self.idx {
+            local.push_back(work);
+        } else {
+            let buf = &mut out_bufs[dst_worker];
+            buf.push(work);
+            // Batch-size trigger lives here — the only place a buffer
+            // grows — so it costs O(1) per emission, not O(workers) per
+            // processed event.
+            if buf.len() >= self.batch_size {
+                let _ = self.txs[dst_worker].send(WorkerMsg::Batch(std::mem::take(buf)));
+            }
+        }
+    }
+
+    /// Flush every non-empty cross-worker buffer (must run before the
+    /// worker blocks on its receive channel again).
+    fn flush_all(&self, out_bufs: &mut [Vec<Work>]) {
+        for (w, buf) in out_bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                let _ = self.txs[w].send(WorkerMsg::Batch(std::mem::take(buf)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::FnComponent;
+    use crate::sinks::CollectorSink;
+
+    fn echo() -> Box<dyn Component> {
+        Box::new(FnComponent::new("echo", |_, msg, ctx: &mut Context| {
+            ctx.emit(0, msg)
+        }))
+    }
+
+    #[test]
+    fn delivers_every_message_exactly_once() {
+        let mut b = ParBuilder::new(1).with_workers(4);
+        let e = b.add_instance(echo());
+        let sink = CollectorSink::new();
+        let s = b.add_instance(Box::new(sink.clone()));
+        b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+        for i in 0..500i64 {
+            b.inject(0, e, 0, Message::data([i]));
+        }
+        let stats = b.build().run();
+        assert_eq!(sink.len(), 500);
+        assert_eq!(stats.messages_delivered, 1_000); // 500 at echo + 500 at sink
+        let expected: std::collections::BTreeSet<Message> =
+            (0..500i64).map(|i| Message::data([i])).collect();
+        assert_eq!(sink.message_set(), expected);
+    }
+
+    #[test]
+    fn single_wire_preserves_send_order() {
+        // One producer, one sink, possibly on different workers: per-wire
+        // FIFO must hold whatever the thread interleaving.
+        let mut b = ParBuilder::new(3).with_workers(2).with_batch_size(7);
+        let e = b.add_instance(echo());
+        let sink = CollectorSink::new();
+        let s = b.add_instance(Box::new(sink.clone()));
+        b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+        for i in 0..200i64 {
+            b.inject(0, e, 0, Message::data([i]));
+        }
+        let _ = b.build().run();
+        let expected: Vec<Message> = (0..200i64).map(|i| Message::data([i])).collect();
+        assert_eq!(sink.messages(), expected);
+    }
+
+    #[test]
+    fn fan_out_reaches_every_wire() {
+        let mut b = ParBuilder::new(0).with_workers(3);
+        let e = b.add_instance(echo());
+        let s1 = CollectorSink::new();
+        let s2 = CollectorSink::new();
+        let i1 = b.add_instance(Box::new(s1.clone()));
+        let i2 = b.add_instance(Box::new(s2.clone()));
+        let ch = b.add_channel(ChannelConfig::instant());
+        b.connect(e, 0, i1, 0, ch);
+        b.connect(e, 0, i2, 0, ch);
+        b.inject(0, e, 0, Message::data([9i64]));
+        let _ = b.build().run();
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s2.len(), 1);
+    }
+
+    #[test]
+    fn multi_hop_pipeline_terminates() {
+        // A chain long enough to bounce between workers repeatedly.
+        let mut b = ParBuilder::new(5).with_workers(4).with_batch_size(3);
+        let sink = CollectorSink::new();
+        let mut prev = b.add_instance(echo());
+        let first = prev;
+        for _ in 0..10 {
+            let next = b.add_instance(echo());
+            b.connect_with(prev, 0, next, 0, ChannelConfig::lan());
+            prev = next;
+        }
+        let s = b.add_instance(Box::new(sink.clone()));
+        b.connect_with(prev, 0, s, 0, ChannelConfig::lan());
+        for i in 0..50i64 {
+            b.inject(0, first, 0, Message::data([i]));
+        }
+        let stats = b.build().run();
+        assert_eq!(sink.len(), 50);
+        assert_eq!(stats.messages_delivered, 50 * 12);
+    }
+
+    #[test]
+    fn duplicates_are_injected_and_counted() {
+        let mut b = ParBuilder::new(11).with_workers(2);
+        let e = b.add_instance(echo());
+        let sink = CollectorSink::new();
+        let s = b.add_instance(Box::new(sink.clone()));
+        b.connect_with(e, 0, s, 0, ChannelConfig::instant().with_duplicates(1.0));
+        for i in 0..10i64 {
+            b.inject(0, e, 0, Message::data([i]));
+        }
+        let stats = b.build().run();
+        assert_eq!(stats.duplicates, 10);
+        assert_eq!(sink.len(), 20);
+    }
+
+    #[test]
+    fn lossy_channels_still_deliver() {
+        let mut b = ParBuilder::new(13).with_workers(2);
+        let e = b.add_instance(echo());
+        let sink = CollectorSink::new();
+        let s = b.add_instance(Box::new(sink.clone()));
+        b.connect_with(e, 0, s, 0, ChannelConfig::lan().with_loss(1.0));
+        for i in 0..25i64 {
+            b.inject(0, e, 0, Message::data([i]));
+        }
+        let stats = b.build().run();
+        assert_eq!(stats.retransmits, 25);
+        assert_eq!(sink.len(), 25, "losses are retransmitted, never dropped");
+    }
+
+    #[test]
+    fn ticks_fire_and_terminate() {
+        struct Ticker {
+            fired: Arc<AtomicU64>,
+        }
+        impl Component for Ticker {
+            fn on_message(&mut self, _: usize, _: Message, ctx: &mut Context) {
+                ctx.schedule_tick(5_000);
+            }
+            fn on_tick(&mut self, _ctx: &mut Context) {
+                self.fired.fetch_add(1, Ordering::SeqCst);
+            }
+            fn name(&self) -> &str {
+                "ticker"
+            }
+        }
+        let fired = Arc::new(AtomicU64::new(0));
+        let mut b = ParBuilder::new(0).with_workers(2);
+        let t = b.add_instance(Box::new(Ticker {
+            fired: fired.clone(),
+        }));
+        b.inject(0, t, 0, Message::Eos);
+        let stats = b.build().run();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(stats.events_processed, 2); // delivery + tick
+    }
+
+    #[test]
+    fn empty_run_terminates() {
+        let mut b = ParBuilder::new(0).with_workers(2);
+        let _ = b.add_instance(echo());
+        let stats = b.build().run();
+        assert_eq!(stats.messages_delivered, 0);
+    }
+
+    #[test]
+    fn per_instance_stats_cover_all_instances() {
+        let mut b = ParBuilder::new(2).with_workers(3);
+        let e = b.add_instance(echo());
+        let sink = CollectorSink::new();
+        let s = b.add_instance(Box::new(sink.clone()));
+        b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+        for i in 0..7i64 {
+            b.inject(0, e, 0, Message::data([i]));
+        }
+        let stats = b.build().run();
+        assert_eq!(stats.per_instance.len(), 2);
+        assert_eq!(stats.per_instance[0].name, "echo");
+        assert_eq!(stats.per_instance[0].processed, 7);
+        assert_eq!(stats.per_instance[1].processed, 7);
+    }
+}

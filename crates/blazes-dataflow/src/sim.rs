@@ -17,7 +17,7 @@ use crate::component::{Component, Context};
 use crate::message::Message;
 use crate::metrics::{InstanceStats, RunStats};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -30,8 +30,14 @@ pub struct InstanceId(pub usize);
 
 #[derive(Debug)]
 enum EventKind {
-    Deliver { instance: InstanceId, port: usize, msg: Message },
-    Tick { instance: InstanceId },
+    Deliver {
+        instance: InstanceId,
+        port: usize,
+        msg: Message,
+    },
+    Tick {
+        instance: InstanceId,
+    },
 }
 
 #[derive(Debug)]
@@ -87,7 +93,12 @@ impl SimBuilder {
     /// Start a new simulation with the given RNG seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        SimBuilder { instances: Vec::new(), channels: Vec::new(), injected: Vec::new(), seed }
+        SimBuilder {
+            instances: Vec::new(),
+            channels: Vec::new(),
+            injected: Vec::new(),
+            seed,
+        }
     }
 
     /// Add a component instance with the default (zero) service time.
@@ -129,7 +140,12 @@ impl SimBuilder {
         if wires.len() <= out_port {
             wires.resize_with(out_port + 1, Vec::new);
         }
-        wires[out_port].push(Wire { dst: to, dst_port: in_port, channel, last_delivery: 0 });
+        wires[out_port].push(Wire {
+            dst: to,
+            dst_port: in_port,
+            channel,
+            last_delivery: 0,
+        });
     }
 
     /// Convenience: wire with a fresh channel config.
@@ -166,7 +182,14 @@ impl SimBuilder {
             retransmits: 0,
         };
         for (at, to, port, msg) in self.injected {
-            sim.push_event(at, EventKind::Deliver { instance: to, port, msg });
+            sim.push_event(
+                at,
+                EventKind::Deliver {
+                    instance: to,
+                    port,
+                    msg,
+                },
+            );
         }
         sim
     }
@@ -202,7 +225,14 @@ impl Simulator {
     /// Inject a message while running (e.g. from an external driver).
     pub fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
         let at = at.max(self.now);
-        self.push_event(at, EventKind::Deliver { instance: to, port, msg });
+        self.push_event(
+            at,
+            EventKind::Deliver {
+                instance: to,
+                port,
+                msg,
+            },
+        );
     }
 
     /// Run until the event queue drains or virtual time exceeds `until`
@@ -219,7 +249,11 @@ impl Simulator {
             self.now = ev.time;
             self.events_processed += 1;
             match ev.kind {
-                EventKind::Deliver { instance, port, msg } => {
+                EventKind::Deliver {
+                    instance,
+                    port,
+                    msg,
+                } => {
                     self.deliver(instance, port, msg, ev.time);
                 }
                 EventKind::Tick { instance } => {
@@ -237,7 +271,9 @@ impl Simulator {
         self.messages_delivered += 1;
         let start = self.instances[instance.0].busy_until.max(at);
         let mut ctx = Context::new(start, instance);
-        self.instances[instance.0].component.on_message(port, msg, &mut ctx);
+        self.instances[instance.0]
+            .component
+            .on_message(port, msg, &mut ctx);
         self.instances[instance.0].processed += 1;
         self.finish_processing(instance, start, ctx);
     }
@@ -260,8 +296,7 @@ impl Simulator {
     /// Route a message along every wire of `(instance, out_port)`.
     fn send(&mut self, from: InstanceId, out_port: usize, msg: Message, at: Time) {
         // Collect routing decisions first (borrow discipline).
-        let wire_count = self
-            .instances[from.0]
+        let wire_count = self.instances[from.0]
             .wires
             .get(out_port)
             .map_or(0, Vec::len);
@@ -289,7 +324,11 @@ impl Simulator {
             }
             self.push_event(
                 deliver_at,
-                EventKind::Deliver { instance: dst, port: dst_port, msg: msg.clone() },
+                EventKind::Deliver {
+                    instance: dst,
+                    port: dst_port,
+                    msg: msg.clone(),
+                },
             );
             if cfg.duplicate_prob > 0.0 && self.rng.random::<f64>() < cfg.duplicate_prob {
                 self.duplicates += 1;
@@ -298,12 +337,15 @@ impl Simulator {
                     // A duplicate (retransmitted copy) cannot overtake the
                     // stream position either; it does not advance the
                     // watermark.
-                    dup_at =
-                        dup_at.max(self.instances[from.0].wires[out_port][w].last_delivery);
+                    dup_at = dup_at.max(self.instances[from.0].wires[out_port][w].last_delivery);
                 }
                 self.push_event(
                     dup_at,
-                    EventKind::Deliver { instance: dst, port: dst_port, msg: msg.clone() },
+                    EventKind::Deliver {
+                        instance: dst,
+                        port: dst_port,
+                        msg: msg.clone(),
+                    },
                 );
             }
         }
@@ -528,7 +570,9 @@ mod tests {
         }
         let fired = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let mut b = SimBuilder::new(0);
-        let t = b.add_instance(Box::new(Ticker { fired: fired.clone() }));
+        let t = b.add_instance(Box::new(Ticker {
+            fired: fired.clone(),
+        }));
         b.inject(0, t, 0, Message::Eos);
         b.build().run(None);
         assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 1);
@@ -545,7 +589,12 @@ mod tests {
         let ch = b.add_channel(ChannelConfig::instant());
         b.connect(e, 0, i1, 0, ch);
         b.connect(e, 0, i2, 0, ch);
-        b.inject(0, e, 0, Message::Data(crate::value::Tuple::new([Value::Int(9)])));
+        b.inject(
+            0,
+            e,
+            0,
+            Message::Data(crate::value::Tuple::new([Value::Int(9)])),
+        );
         b.build().run(None);
         assert_eq!(s1.len(), 1);
         assert_eq!(s2.len(), 1);

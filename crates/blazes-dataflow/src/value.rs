@@ -115,7 +115,12 @@ impl Tuple {
     /// Project positions into a new tuple.
     #[must_use]
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple(positions.iter().filter_map(|&i| self.0.get(i).cloned()).collect())
+        Tuple(
+            positions
+                .iter()
+                .filter_map(|&i| self.0.get(i).cloned())
+                .collect(),
+        )
     }
 }
 
@@ -157,7 +162,10 @@ mod tests {
     fn tuple_project() {
         let t = Tuple::new([Value::Int(1), Value::str("a"), Value::Int(3)]);
         assert_eq!(t.arity(), 3);
-        assert_eq!(t.project(&[2, 0]), Tuple::new([Value::Int(3), Value::Int(1)]));
+        assert_eq!(
+            t.project(&[2, 0]),
+            Tuple::new([Value::Int(3), Value::Int(1)])
+        );
         // Out-of-range positions are dropped.
         assert_eq!(t.project(&[9]).arity(), 0);
     }

@@ -159,16 +159,24 @@ mod tests {
     fn wordcount_builder() -> TopologyBuilder {
         let mut t = TopologyBuilder::new("wordcount", 0);
         let spout = t.add_spout("tweets", 3);
-        let splitter =
-            t.add_bolt("Splitter", 3, || Box::new(IdentityBolt), vec![(spout, Grouping::Shuffle)]);
+        let splitter = t.add_bolt(
+            "Splitter",
+            3,
+            || Box::new(IdentityBolt),
+            vec![(spout, Grouping::Shuffle)],
+        );
         let count = t.add_bolt(
             "Count",
             3,
             || Box::new(IdentityBolt),
             vec![(splitter, Grouping::Fields(vec![0]))],
         );
-        let commit =
-            t.add_bolt("Commit", 2, || Box::new(IdentityBolt), vec![(count, Grouping::Shuffle)]);
+        let commit = t.add_bolt(
+            "Commit",
+            2,
+            || Box::new(IdentityBolt),
+            vec![(count, Grouping::Shuffle)],
+        );
         t.add_collector_sink("store", CollectorSink::new(), commit);
         t
     }
@@ -210,7 +218,10 @@ mod tests {
         ann.spout_attrs("tweets", ["word", "batch"]);
         let g = dataflow_graph(&desc, &ann).unwrap();
         let c = g.component_by_name("Count").unwrap();
-        assert_eq!(g.component(c).paths[0].annotation, ComponentAnnotation::ow_star());
+        assert_eq!(
+            g.component(c).paths[0].annotation,
+            ComponentAnnotation::ow_star()
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct BoltContext {
 
 impl BoltContext {
     pub(crate) fn new(now: Time, instance_index: usize) -> Self {
-        BoltContext { now, instance_index, ..BoltContext::default() }
+        BoltContext {
+            now,
+            instance_index,
+            ..BoltContext::default()
+        }
     }
 
     /// Emit a tuple downstream.
@@ -77,7 +81,10 @@ where
 {
     /// Wrap a closure as a bolt.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        FnBolt { name: name.into(), f }
+        FnBolt {
+            name: name.into(),
+            f,
+        }
     }
 }
 

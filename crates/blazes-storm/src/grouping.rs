@@ -82,8 +82,9 @@ mod tests {
     fn shuffle_round_robins() {
         let g = Grouping::Shuffle;
         let mut rr = 0;
-        let targets: Vec<_> =
-            (0..6).map(|_| g.route(&t("x", 0), 3, &mut rr).unwrap()).collect();
+        let targets: Vec<_> = (0..6)
+            .map(|_| g.route(&t("x", 0), 3, &mut rr).unwrap())
+            .collect();
         assert_eq!(targets, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -105,7 +106,11 @@ mod tests {
             let word = format!("word-{i}");
             seen.insert(g.route(&t(&word, 0), 8, &mut rr).unwrap());
         }
-        assert!(seen.len() >= 6, "expected most of 8 targets used, got {}", seen.len());
+        assert!(
+            seen.len() >= 6,
+            "expected most of 8 targets used, got {}",
+            seen.len()
+        );
     }
 
     #[test]

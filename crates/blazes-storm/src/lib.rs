@@ -33,8 +33,8 @@ pub mod runtime;
 pub mod topology;
 
 pub use adapter::TopologyAnnotations;
-pub use topology::prelude_for_tests;
 pub use bolt::{Bolt, BoltContext};
 pub use grouping::Grouping;
 pub use runtime::{BatchHandling, BoltAdapter};
-pub use topology::{NodeHandle, StormRun, TopologyBuilder, TransactionalConfig};
+pub use topology::prelude_for_tests;
+pub use topology::{NodeHandle, ParStormRun, StormRun, TopologyBuilder, TransactionalConfig};

@@ -116,7 +116,11 @@ impl BoltAdapter {
     }
 
     fn route_outputs(&mut self, bctx: BoltContext, ctx: &mut Context) {
-        let BoltContext { emitted, emitted_seals, .. } = bctx;
+        let BoltContext {
+            emitted,
+            emitted_seals,
+            ..
+        } = bctx;
         for tuple in emitted {
             for (di, d) in self.downstream.iter().enumerate() {
                 match d.grouping.route(&tuple, d.fanout, &mut self.rr[di]) {
@@ -188,21 +192,14 @@ impl BoltAdapter {
                     let port = self
                         .coord_port
                         .expect("transactional bolt requires a coordinator port");
-                    ctx.emit(
-                        port,
-                        Message::data([batch, self.instance_index as i64]),
-                    );
+                    ctx.emit(port, Message::data([batch, self.instance_index as i64]));
                 }
             }
         }
     }
 
     fn on_grant(&mut self, msg: &Message, ctx: &mut Context) {
-        let Some(batch) = msg
-            .as_data()
-            .and_then(|t| t.get(0))
-            .and_then(Value::as_int)
-        else {
+        let Some(batch) = msg.as_data().and_then(|t| t.get(0)).and_then(Value::as_int) else {
             return;
         };
         let state = self.batches.entry(batch).or_default();
@@ -290,7 +287,9 @@ impl GatedSpout {
     /// Group a flat spout schedule into batches: data tuples accumulate
     /// until a `batch_seal` closes the batch.
     #[must_use]
-    pub fn group_schedule(schedule: &[(blazes_dataflow::sim::Time, Message)]) -> Vec<(i64, Vec<Tuple>)> {
+    pub fn group_schedule(
+        schedule: &[(blazes_dataflow::sim::Time, Message)],
+    ) -> Vec<(i64, Vec<Tuple>)> {
         let mut batches = Vec::new();
         let mut current: Vec<Tuple> = Vec::new();
         for (_, msg) in schedule {
@@ -377,7 +376,11 @@ mod tests {
             0,
             expected,
             mode,
-            vec![Downstream { base_port: 0, fanout: 2, grouping: Grouping::All }],
+            vec![Downstream {
+                base_port: 0,
+                fanout: 2,
+                grouping: Grouping::All,
+            }],
             coord,
         )
     }
@@ -416,7 +419,10 @@ mod tests {
                 &mut c,
             );
         }
-        assert!(!a.batches[&0].finished, "one producer cannot complete a 2-producer batch");
+        assert!(
+            !a.batches[&0].finished,
+            "one producer cannot complete a 2-producer batch"
+        );
     }
 
     #[test]
@@ -443,7 +449,9 @@ mod tests {
 
     #[test]
     fn batch_seal_helper_shape() {
-        let Message::Seal(k) = batch_seal(5) else { panic!() };
+        let Message::Seal(k) = batch_seal(5) else {
+            panic!()
+        };
         assert_eq!(k.value_of(BATCH_ATTR), Some(&Value::Int(5)));
     }
 }

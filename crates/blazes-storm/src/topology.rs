@@ -26,10 +26,12 @@ use crate::runtime::{
     BatchHandling, BoltAdapter, Downstream, GatedSpout, PORT_GRANT, PORT_UPSTREAM,
 };
 use blazes_coord::CommitCoordinator;
+use blazes_dataflow::backend::ExecutorBuilder;
 use blazes_dataflow::channel::ChannelConfig;
 use blazes_dataflow::component::Component;
 use blazes_dataflow::message::Message;
 use blazes_dataflow::metrics::RunStats;
+use blazes_dataflow::par::{ParBuilder, ParExecutor, ParStats};
 use blazes_dataflow::sim::{InstanceId, SimBuilder, Simulator, Time};
 
 /// Handle to a topology node (spout, bolt or sink).
@@ -64,9 +66,16 @@ impl Default for TransactionalConfig {
 }
 
 enum NodeKind {
-    Spout { schedules: Vec<Vec<(Time, Message)>> },
-    Bolt { factory: Box<dyn FnMut(usize) -> Box<dyn Bolt>>, transactional: bool },
-    Sink { component: Option<Box<dyn Component>> },
+    Spout {
+        schedules: Vec<Vec<(Time, Message)>>,
+    },
+    Bolt {
+        factory: Box<dyn FnMut(usize) -> Box<dyn Bolt>>,
+        transactional: bool,
+    },
+    Sink {
+        component: Option<Box<dyn Component>>,
+    },
 }
 
 struct NodeSpec {
@@ -134,7 +143,9 @@ impl TopologyBuilder {
         self.nodes.push(NodeSpec {
             name: name.into(),
             parallelism,
-            kind: NodeKind::Spout { schedules: vec![Vec::new(); parallelism] },
+            kind: NodeKind::Spout {
+                schedules: vec![Vec::new(); parallelism],
+            },
             subs: Vec::new(),
             service_time: 0,
         });
@@ -172,7 +183,10 @@ impl TopologyBuilder {
         self.nodes.push(NodeSpec {
             name: name.into(),
             parallelism,
-            kind: NodeKind::Bolt { factory: Box::new(move |_| factory()), transactional: false },
+            kind: NodeKind::Bolt {
+                factory: Box::new(move |_| factory()),
+                transactional: false,
+            },
             subs: subs
                 .into_iter()
                 .map(|(src, g)| (src.0, g, channel.clone()))
@@ -195,7 +209,9 @@ impl TopologyBuilder {
         self.nodes.push(NodeSpec {
             name: name.into(),
             parallelism: 1,
-            kind: NodeKind::Sink { component: Some(component) },
+            kind: NodeKind::Sink {
+                component: Some(component),
+            },
             subs: vec![(source.0, Grouping::Global, channel)],
             service_time: 0,
         });
@@ -258,9 +274,40 @@ impl TopologyBuilder {
         }
     }
 
-    /// Instantiate the topology into a runnable simulation.
+    /// Instantiate the topology into a runnable discrete-event simulation.
     #[must_use]
-    pub fn build(mut self) -> StormRun {
+    pub fn build(self) -> StormRun {
+        let seed = self.seed;
+        let mut sim = SimBuilder::new(seed);
+        let (instances, name) = self.assemble(&mut sim);
+        StormRun {
+            sim: sim.build(),
+            instances,
+            name,
+        }
+    }
+
+    /// Instantiate the topology onto the multi-worker parallel executor:
+    /// the same components and wiring, executed on `workers` OS threads
+    /// instead of in virtual time. Spout schedule times become dispatch
+    /// ordering keys; modeled service times do not apply (real processing
+    /// costs are paid for real). Only confluent (order-insensitive)
+    /// topologies are guaranteed to reproduce the simulator's final state.
+    #[must_use]
+    pub fn build_parallel(self, workers: usize) -> ParStormRun {
+        let seed = self.seed;
+        let mut par = ParBuilder::new(seed).with_workers(workers);
+        let (instances, name) = self.assemble(&mut par);
+        ParStormRun {
+            exec: Some(par.build()),
+            instances,
+            name,
+        }
+    }
+
+    /// Compile the node specs onto an execution backend. Shared by
+    /// [`TopologyBuilder::build`] and [`TopologyBuilder::build_parallel`].
+    fn assemble<B: ExecutorBuilder>(mut self, backend: &mut B) -> (Vec<Vec<InstanceId>>, String) {
         let n = self.nodes.len();
         // Downstream registration: for node i, the list of (consumer node,
         // grouping, channel).
@@ -287,7 +334,6 @@ impl TopologyBuilder {
             .collect();
 
         let parallelism: Vec<usize> = self.nodes.iter().map(|x| x.parallelism).collect();
-        let mut sim = SimBuilder::new(self.seed);
         let mut instances: Vec<Vec<InstanceId>> = Vec::with_capacity(n);
         let mut producer_base: Vec<i64> = Vec::with_capacity(n);
         let mut next_producer: i64 = 0;
@@ -321,8 +367,11 @@ impl TopologyBuilder {
                 NodeKind::Spout { schedules } if gated => {
                     // Commit-gated spouts: hold the schedule internally and
                     // pace batches by the coordinator's grants.
-                    let max_pending =
-                        self.transactional.as_ref().expect("gated implies tx").max_pending;
+                    let max_pending = self
+                        .transactional
+                        .as_ref()
+                        .expect("gated implies tx")
+                        .max_pending;
                     for (k, schedule) in schedules.iter().enumerate() {
                         let spout = GatedSpout::new(
                             format!("{}[{k}]", node.name),
@@ -331,8 +380,8 @@ impl TopologyBuilder {
                             GatedSpout::group_schedule(schedule),
                             max_pending,
                         );
-                        let id = sim.add_instance(Box::new(spout));
-                        sim.set_service_time(id, node.service_time);
+                        let id = backend.add_instance(Box::new(spout));
+                        backend.set_service_time(id, node.service_time);
                         // Kick emission at t=0.
                         injections.push((0, i, k, Message::Eos));
                         ids.push(id);
@@ -351,21 +400,28 @@ impl TopologyBuilder {
                             ds.clone(),
                             None,
                         );
-                        let id = sim.add_instance(Box::new(adapter));
-                        sim.set_service_time(id, node.service_time);
+                        let id = backend.add_instance(Box::new(adapter));
+                        backend.set_service_time(id, node.service_time);
                         for (at, msg) in schedule.iter().cloned() {
                             injections.push((at, i, k, msg));
                         }
                         ids.push(id);
                     }
                 }
-                NodeKind::Bolt { factory, transactional } => {
+                NodeKind::Bolt {
+                    factory,
+                    transactional,
+                } => {
                     let mode = if *transactional {
                         BatchHandling::Transactional
                     } else {
                         BatchHandling::Streaming
                     };
-                    let coord_port = if *transactional { Some(next_port) } else { None };
+                    let coord_port = if *transactional {
+                        Some(next_port)
+                    } else {
+                        None
+                    };
                     if *transactional {
                         committers.push((i, next_port));
                     }
@@ -380,15 +436,15 @@ impl TopologyBuilder {
                             ds.clone(),
                             coord_port,
                         );
-                        let id = sim.add_instance(Box::new(adapter));
-                        sim.set_service_time(id, node.service_time);
+                        let id = backend.add_instance(Box::new(adapter));
+                        backend.set_service_time(id, node.service_time);
                         ids.push(id);
                     }
                 }
                 NodeKind::Sink { component } => {
                     let comp = component.take().expect("sink component consumed twice");
-                    let id = sim.add_instance(comp);
-                    sim.set_service_time(id, node.service_time);
+                    let id = backend.add_instance(comp);
+                    backend.set_service_time(id, node.service_time);
                     ids.push(id);
                 }
             }
@@ -400,11 +456,11 @@ impl TopologyBuilder {
             let mut next_port = 0usize;
             let ds = downstreams[i].clone();
             for (j, _, channel) in ds {
-                let ch = sim.add_channel(channel);
+                let ch = backend.add_channel(channel);
                 let fanout = instances[j].len();
                 for a in 0..instances[i].len() {
                     for b in 0..fanout {
-                        sim.connect(
+                        backend.connect(
                             instances[i][a],
                             next_port + b,
                             instances[j][b],
@@ -420,31 +476,31 @@ impl TopologyBuilder {
         // Transactional coordinator wiring.
         if let Some(cfg) = &self.transactional {
             for (node, coord_port) in &committers {
-                let coord = sim.add_instance(Box::new(CommitCoordinator::new(
+                let coord = backend.add_instance(Box::new(CommitCoordinator::new(
                     instances[*node].len(),
                     cfg.first_batch,
                 )));
-                sim.set_service_time(coord, cfg.service_time);
-                let to_coord = sim.add_channel(cfg.channel.clone());
-                let grants = sim.add_channel(ChannelConfig::ordered(cfg.channel.base_latency));
+                backend.set_service_time(coord, cfg.service_time);
+                let to_coord = backend.add_channel(cfg.channel.clone());
+                let grants = backend.add_channel(ChannelConfig::ordered(cfg.channel.base_latency));
                 for &inst in &instances[*node] {
-                    sim.connect(inst, *coord_port, coord, PORT_UPSTREAM, to_coord);
-                    sim.connect(coord, 0, inst, PORT_GRANT, grants);
+                    backend.connect(inst, *coord_port, coord, PORT_UPSTREAM, to_coord);
+                    backend.connect(coord, 0, inst, PORT_GRANT, grants);
                 }
                 // Gated spouts also listen for grants to advance their
                 // emission window.
                 for &spout in &gated_spouts {
-                    sim.connect(coord, 0, spout, PORT_GRANT, grants);
+                    backend.connect(coord, 0, spout, PORT_GRANT, grants);
                 }
             }
         }
 
         // Inject spout schedules.
         for (at, node, k, msg) in injections {
-            sim.inject(at, instances[node][k], PORT_UPSTREAM, msg);
+            backend.inject(at, instances[node][k], PORT_UPSTREAM, msg);
         }
 
-        StormRun { sim: sim.build(), instances, name: self.name }
+        (instances, self.name)
     }
 }
 
@@ -475,6 +531,33 @@ impl StormRun {
     }
 }
 
+/// A topology instantiated onto the multi-worker parallel executor.
+pub struct ParStormRun {
+    exec: Option<ParExecutor>,
+    instances: Vec<Vec<InstanceId>>,
+    /// Topology name.
+    pub name: String,
+}
+
+impl ParStormRun {
+    /// Execute to quiescence on the worker threads. May only run once.
+    ///
+    /// # Panics
+    /// Panics when called a second time, and re-raises component panics.
+    pub fn run(&mut self) -> ParStats {
+        self.exec
+            .take()
+            .expect("ParStormRun::run may only be called once")
+            .run()
+    }
+
+    /// Executor instance ids per node.
+    #[must_use]
+    pub fn instances(&self) -> &[Vec<InstanceId>] {
+        &self.instances
+    }
+}
+
 /// Re-exports used by the module doctest.
 pub mod prelude_for_tests {
     pub use crate::bolt::IdentityBolt;
@@ -501,13 +584,19 @@ mod tests {
 
     impl CountBolt {
         fn new() -> Self {
-            CountBolt { counts: std::collections::BTreeMap::new() }
+            CountBolt {
+                counts: std::collections::BTreeMap::new(),
+            }
         }
     }
 
     impl Bolt for CountBolt {
         fn execute(&mut self, tuple: Tuple, _ctx: &mut BoltContext) {
-            let word = tuple.get(0).and_then(Value::as_str).unwrap_or("").to_string();
+            let word = tuple
+                .get(0)
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string();
             let batch = tuple.get(1).and_then(Value::as_int).unwrap_or(0);
             *self.counts.entry((word, batch)).or_insert(0) += 1;
         }
@@ -538,9 +627,10 @@ mod tests {
         Message::Data(Tuple::new([Value::str(word), Value::Int(batch)]))
     }
 
-    /// Build a tiny wordcount: 2 spout instances -> 2 counters (fields
-    /// grouping on word) -> collector.
-    fn wordcount_run(seed: u64, transactional: bool) -> (StormRun, CollectorSink) {
+    /// Describe a tiny wordcount: 2 spout instances -> 2 counters (fields
+    /// grouping on word) -> collector. Build with `.build()` (simulator)
+    /// or `.build_parallel(n)` (threads).
+    fn wordcount_topology(seed: u64, transactional: bool) -> (TopologyBuilder, CollectorSink) {
         let mut t = TopologyBuilder::new("wc", seed);
         let spout = t.add_spout("tweets", 2);
         for inst in 0..2usize {
@@ -564,6 +654,11 @@ mod tests {
         }
         let sink = CollectorSink::new();
         t.add_collector_sink("store", sink.clone(), count);
+        (t, sink)
+    }
+
+    fn wordcount_run(seed: u64, transactional: bool) -> (StormRun, CollectorSink) {
+        let (t, sink) = wordcount_topology(seed, transactional);
         (t.build(), sink)
     }
 
@@ -651,7 +746,11 @@ mod tests {
         t.spout_schedule(
             spout,
             0,
-            vec![(0, Message::data([1i64, 0])), (1, Message::data([2i64, 0])), (2, batch_seal(0))],
+            vec![
+                (0, Message::data([1i64, 0])),
+                (1, Message::data([2i64, 0])),
+                (2, batch_seal(0)),
+            ],
         );
         let double = t.add_bolt(
             "double",
@@ -677,11 +776,45 @@ mod tests {
     }
 
     #[test]
+    fn parallel_backend_matches_simulator_counts() {
+        // The sealed wordcount is confluent: whatever interleaving the OS
+        // scheduler produces, the released per-batch counts must equal the
+        // simulator's.
+        let (mut sim_run, sim_sink) = wordcount_run(21, false);
+        sim_run.run(None);
+        let (t, par_sink) = wordcount_topology(21, false);
+        let mut par_run = t.build_parallel(3);
+        let stats = par_run.run();
+        assert!(stats.messages_delivered > 0);
+        assert_eq!(counts_from(&par_sink), counts_from(&sim_sink));
+    }
+
+    #[test]
+    fn parallel_backend_seals_complete_batches() {
+        // Every batch's seal must release exactly the words of that batch,
+        // under the threaded executor as in the simulator.
+        let (t, sink) = wordcount_topology(33, false);
+        let mut run = t.build_parallel(4);
+        run.run();
+        let counts = counts_from(&sink);
+        assert_eq!(
+            counts.len(),
+            9,
+            "3 words × 3 batches all released: {counts:?}"
+        );
+        assert!(counts.values().all(|&c| c == 2), "{counts:?}");
+    }
+
+    #[test]
     fn describe_reports_structure() {
         let mut t = TopologyBuilder::new("wc", 0);
         let spout = t.add_spout("tweets", 3);
-        let bolt =
-            t.add_bolt("count", 2, || Box::new(IdentityBolt), vec![(spout, Grouping::Shuffle)]);
+        let bolt = t.add_bolt(
+            "count",
+            2,
+            || Box::new(IdentityBolt),
+            vec![(spout, Grouping::Shuffle)],
+        );
         t.add_collector_sink("store", CollectorSink::new(), bolt);
         let d = t.describe();
         assert_eq!(d.nodes.len(), 3);

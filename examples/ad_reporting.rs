@@ -52,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<18} {:>7.2}s     {}",
             strategy.label(placement),
-            res.completion_time().map(|t| t as f64 / 1e6).unwrap_or(f64::NAN),
+            res.completion_time()
+                .map(|t| t as f64 / 1e6)
+                .unwrap_or(f64::NAN),
             res.responses_consistent(),
         );
     }

@@ -42,7 +42,10 @@ fn main() {
             inconsistent_seed = Some(seed);
             println!(
                 "seed {seed}: UNCOORDINATED replicas disagree — replica response-set sizes: {:?}",
-                res.responses.iter().map(|r| r.message_set().len()).collect::<Vec<_>>()
+                res.responses
+                    .iter()
+                    .map(|r| r.message_set().len())
+                    .collect::<Vec<_>>()
             );
             break;
         }
@@ -61,7 +64,11 @@ fn main() {
     println!(
         "seed {seed}: ORDERED replicas agree: {} (response-set sizes {:?})",
         ordered.responses_consistent(),
-        ordered.responses.iter().map(|r| r.message_set().len()).collect::<Vec<_>>()
+        ordered
+            .responses
+            .iter()
+            .map(|r| r.message_set().len())
+            .collect::<Vec<_>>()
     );
     assert!(ordered.responses_consistent());
     println!("\nthis is the paper's Section III-A cross-instance nondeterminism, live.");

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // input — monotonicity, state and subscripts read off the syntax.
     println!("derived annotations for module {}:", module.name);
     for ann in annotate_module(&module)? {
-        println!("  {{ from: {}, to: {}, label: {} }}", ann.from, ann.to, ann.annotation);
+        println!(
+            "  {{ from: {}, to: {}, label: {} }}",
+            ann.from, ann.to, ann.annotation
+        );
     }
 
     // Run it: insert clicks, pose a request.

@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let splitter = g.add_component("Splitter");
     g.add_path(splitter, "tweets", "words", ComponentAnnotation::cr());
     let count = g.add_component("Count");
-    g.add_path(count, "words", "counts", ComponentAnnotation::ow(["word", "batch"]));
+    g.add_path(
+        count,
+        "words",
+        "counts",
+        ComponentAnnotation::ow(["word", "batch"]),
+    );
     let commit = g.add_component("Commit");
     g.add_path(commit, "counts", "db", ComponentAnnotation::cw());
     let sink = g.add_sink("store");

@@ -27,18 +27,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Execution: same workload under both coordination regimes.
     let base = WordcountScenario {
         workers: 8,
-        workload: TweetWorkload { batches: 20, tweets_per_batch: 30, ..TweetWorkload::default() },
+        workload: TweetWorkload {
+            batches: 20,
+            tweets_per_batch: 30,
+            ..TweetWorkload::default()
+        },
         ..WordcountScenario::default()
     };
 
-    let sealed = run_wordcount(&WordcountScenario { transactional: false, ..base.clone() });
-    let tx = run_wordcount(&WordcountScenario { transactional: true, ..base });
+    let sealed = run_wordcount(&WordcountScenario {
+        transactional: false,
+        ..base.clone()
+    });
+    let tx = run_wordcount(&WordcountScenario {
+        transactional: true,
+        ..base
+    });
 
-    println!("\nsealed topology:        {:>8.0} tweets/s (virtual)", sealed.throughput());
-    println!("transactional topology: {:>8.0} tweets/s (virtual)", tx.throughput());
-    println!("speedup from avoiding global ordering: {:.2}x", sealed.throughput() / tx.throughput());
+    println!(
+        "\nsealed topology:        {:>8.0} tweets/s (virtual)",
+        sealed.throughput()
+    );
+    println!(
+        "transactional topology: {:>8.0} tweets/s (virtual)",
+        tx.throughput()
+    );
+    println!(
+        "speedup from avoiding global ordering: {:.2}x",
+        sealed.throughput() / tx.throughput()
+    );
 
-    assert_eq!(sealed.counts(), tx.counts(), "both deployments commit identical counts");
-    println!("\nboth deployments committed identical counts for {} (word, batch) keys", sealed.counts().len());
+    assert_eq!(
+        sealed.counts(),
+        tx.counts(),
+        "both deployments commit identical counts"
+    );
+    println!(
+        "\nboth deployments committed identical counts for {} (word, batch) keys",
+        sealed.counts().len()
+    );
     Ok(())
 }

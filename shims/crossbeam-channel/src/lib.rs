@@ -1,0 +1,370 @@
+//! Minimal stand-in for `crossbeam-channel`, vendored so the workspace
+//! builds offline. Implements MPMC FIFO channels (`unbounded` / `bounded`)
+//! over a `Mutex<VecDeque>` + two `Condvar`s. Semantics mirror the real
+//! crate where the workspace relies on them:
+//!
+//! * cloneable `Sender` / `Receiver`;
+//! * per-sender FIFO delivery (a global FIFO here, which is stronger);
+//! * `recv` returns `Err(RecvError)` once the channel is empty and every
+//!   sender is gone; `send` fails once every receiver is gone;
+//! * `bounded(n)` applies backpressure by blocking `send`.
+//!
+//! Performance is adequate for the batched executor (batches amortize the
+//! lock), not competitive with the real lock-free implementation.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+/// Carries the unsent message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty (senders still connected).
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: Option<usize>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// The sending half of a channel. Clone freely; the channel disconnects
+/// for receivers when the last clone drops.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Clone freely (MPMC); each message is
+/// delivered to exactly one receiver.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create an unbounded FIFO channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Create a bounded FIFO channel: `send` blocks while `cap` messages are
+/// queued.
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send `msg`, blocking if the channel is bounded and full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut q = shared.lock();
+        loop {
+            if shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(msg));
+            }
+            match shared.capacity {
+                Some(cap) if q.len() >= cap => {
+                    q = shared
+                        .not_full
+                        .wait(q)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        q.push_back(msg);
+        drop(q);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of queued messages (racy snapshot).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// Whether the queue is empty (racy snapshot).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive one message, blocking until one arrives or every sender is
+    /// dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let shared = &*self.shared;
+        let mut q = shared.lock();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                drop(q);
+                shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            q = shared
+                .not_empty
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Receive one message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let shared = &*self.shared;
+        let mut q = shared.lock();
+        if let Some(msg) = q.pop_front() {
+            drop(q);
+            shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if shared.senders.load(Ordering::SeqCst) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receive one message, giving up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let shared = &*self.shared;
+        let deadline = Instant::now() + timeout;
+        let mut q = shared.lock();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                drop(q);
+                shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) = shared
+                .not_empty
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            q = guard;
+            if res.timed_out() && q.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Number of queued messages (racy snapshot).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// Whether the queue is empty (racy snapshot).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake blocked receivers so they observe
+            // disconnection.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn mpmc_delivers_each_message_once() {
+        let (tx, rx) = unbounded::<u64>();
+        let n_workers = 4;
+        let n_msgs = 1000u64;
+        let mut handles = Vec::new();
+        for _ in 0..n_workers {
+            let rx = rx.clone();
+            handles.push(thread::spawn(move || {
+                let mut sum = 0u64;
+                while let Ok(v) = rx.recv() {
+                    sum += v;
+                }
+                sum
+            }));
+        }
+        drop(rx);
+        for i in 1..=n_msgs {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, n_msgs * (n_msgs + 1) / 2);
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until a recv frees a slot
+            "sent"
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(t.join().unwrap(), "sent");
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u32>();
+        let err = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(err, Err(RecvTimeoutError::Timeout));
+    }
+}

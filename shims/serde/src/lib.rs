@@ -1,0 +1,16 @@
+//! Minimal stand-in for `serde`, vendored so the workspace builds offline.
+//!
+//! Only the surface the workspace uses is provided: the `Serialize` /
+//! `Deserialize` derive macros (re-exported from the local no-op
+//! `serde_derive`) and the marker traits of the same names. Nothing in the
+//! repo serializes at runtime yet; the annotations are kept so the real
+//! serde can be dropped in via `[workspace.dependencies]` without touching
+//! source files.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! No-op stand-in for `serde_derive`, vendored so the workspace builds
+//! offline. The real derives generate `Serialize`/`Deserialize` impls; the
+//! codebase only uses the derives as structural markers (no serialization
+//! happens at runtime yet), so emitting nothing is sufficient. Swap this
+//! shim for the real crate in `[workspace.dependencies]` once the build
+//! environment has registry access.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

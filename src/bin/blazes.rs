@@ -80,8 +80,14 @@ fn main() {
 
     match plan_for(&graph, dynamic) {
         Ok(plan) => {
-            println!("\n-- synthesized coordination ({}) --",
-                if dynamic { "dynamic ordering" } else { "static ordering" });
+            println!(
+                "\n-- synthesized coordination ({}) --",
+                if dynamic {
+                    "dynamic ordering"
+                } else {
+                    "static ordering"
+                }
+            );
             print!("{}", plan.render(&graph));
             match residual_labels(&graph, &plan) {
                 Ok(residual) => {

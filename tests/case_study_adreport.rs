@@ -83,7 +83,11 @@ fn sealed_campaign_is_deterministic_across_interleavings() {
     // response sets must not depend on the delivery interleaving.
     let sets: Vec<_> = (0..3)
         .map(|seed| {
-            let res = run_scenario(&scenario(StrategyKind::Sealed, CampaignPlacement::Spread, seed));
+            let res = run_scenario(&scenario(
+                StrategyKind::Sealed,
+                CampaignPlacement::Spread,
+                seed,
+            ));
             assert!(res.responses_consistent(), "replicas agree within a run");
             res.responses[0].message_set()
         })
@@ -92,23 +96,42 @@ fn sealed_campaign_is_deterministic_across_interleavings() {
     // jitter; the request schedule itself is fixed, so final response sets
     // agree.
     for s in &sets[1..] {
-        assert_eq!(&sets[0], s, "sealed responses must be interleaving-insensitive");
+        assert_eq!(
+            &sets[0], s,
+            "sealed responses must be interleaving-insensitive"
+        );
     }
 }
 
 #[test]
 fn ordered_replicas_always_agree() {
     for seed in 0..3 {
-        let res = run_scenario(&scenario(StrategyKind::Ordered, CampaignPlacement::Spread, seed));
+        let res = run_scenario(&scenario(
+            StrategyKind::Ordered,
+            CampaignPlacement::Spread,
+            seed,
+        ));
         assert!(res.responses_consistent());
     }
 }
 
 #[test]
 fn ordering_is_the_slowest_strategy() {
-    let unc = run_scenario(&scenario(StrategyKind::Uncoordinated, CampaignPlacement::Spread, 5));
-    let ord = run_scenario(&scenario(StrategyKind::Ordered, CampaignPlacement::Spread, 5));
-    let seal = run_scenario(&scenario(StrategyKind::Sealed, CampaignPlacement::Spread, 5));
+    let unc = run_scenario(&scenario(
+        StrategyKind::Uncoordinated,
+        CampaignPlacement::Spread,
+        5,
+    ));
+    let ord = run_scenario(&scenario(
+        StrategyKind::Ordered,
+        CampaignPlacement::Spread,
+        5,
+    ));
+    let seal = run_scenario(&scenario(
+        StrategyKind::Sealed,
+        CampaignPlacement::Spread,
+        5,
+    ));
     let t = |r: &blazes::apps::adreport::AdRunResult| r.completion_time().unwrap();
     assert!(t(&ord) > t(&unc), "ordering must cost time");
     // Sealing stays close to uncoordinated (within 2x here; the paper's

@@ -37,11 +37,16 @@ fn spec_file_and_adapter_agree() {
     let from_spec = spec.to_graph("wordcount").unwrap();
     let spec_label = {
         let out = Analyzer::new(&from_spec).run().unwrap();
-        out.sink_label(from_spec.sink_by_name("store").unwrap()).cloned()
+        out.sink_label(from_spec.sink_by_name("store").unwrap())
+            .cloned()
     };
 
     let (from_adapter, sink) = wordcount_graph(false);
-    let adapter_label = Analyzer::new(&from_adapter).run().unwrap().sink_label(sink).cloned();
+    let adapter_label = Analyzer::new(&from_adapter)
+        .run()
+        .unwrap()
+        .sink_label(sink)
+        .cloned();
 
     assert_eq!(spec_label, adapter_label);
     assert_eq!(spec_label, Some(Label::Run));
@@ -56,7 +61,10 @@ fn sealed_spec_derives_async() {
     let spec = Spec::parse(&sealed_spec).unwrap();
     let g = spec.to_graph("wordcount").unwrap();
     let out = Analyzer::new(&g).run().unwrap();
-    assert_eq!(out.sink_label(g.sink_by_name("store").unwrap()), Some(&Label::Async));
+    assert_eq!(
+        out.sink_label(g.sink_by_name("store").unwrap()),
+        Some(&Label::Async)
+    );
 }
 
 #[test]
@@ -100,9 +108,14 @@ fn scenario(transactional: bool, seed: u64) -> WordcountScenario {
 fn runtime_confirms_the_analysis_verdict() {
     // The analysis says the *sealed* topology is deterministic (Async): the
     // committed counts must be identical across delivery interleavings.
-    let counts: Vec<_> = (0..4).map(|seed| run_wordcount(&scenario(false, seed)).counts()).collect();
+    let counts: Vec<_> = (0..4)
+        .map(|seed| run_wordcount(&scenario(false, seed)).counts())
+        .collect();
     for c in &counts[1..] {
-        assert_eq!(&counts[0], c, "sealed topology must be interleaving-insensitive");
+        assert_eq!(
+            &counts[0], c,
+            "sealed topology must be interleaving-insensitive"
+        );
     }
 }
 

@@ -10,7 +10,9 @@ use blazes::dataflow::sim::SimBuilder;
 use blazes::dataflow::sinks::CollectorSink;
 
 fn echo() -> Box<dyn Component> {
-    Box::new(FnComponent::new("echo", |_, msg, ctx: &mut Context| ctx.emit(0, msg)))
+    Box::new(FnComponent::new("echo", |_, msg, ctx: &mut Context| {
+        ctx.emit(0, msg)
+    }))
 }
 
 /// Duplicate delivery (Storm-style replay) inflates stateful counts when no
@@ -85,11 +87,11 @@ fn batch_completion_survives_duplication() {
     // topology by hand since the scenario fixes channels; the point is the
     // engine-level dedup of seals.)
     use blazes::apps::wordcount::{CommitBolt, CountBolt, SplitterBolt};
+    use blazes::dataflow::sim::Time;
+    use blazes::dataflow::value::Value;
     use blazes::storm::grouping::Grouping;
     use blazes::storm::runtime::batch_seal;
     use blazes::storm::topology::TopologyBuilder;
-    use blazes::dataflow::sim::Time;
-    use blazes::dataflow::value::Value;
 
     let mut t = TopologyBuilder::new("wc-dup", 5);
     t.set_default_channel(ChannelConfig::lan().with_duplicates(0.25));
@@ -112,16 +114,24 @@ fn batch_completion_survives_duplication() {
         }
         t.spout_schedule(spout, inst, sched);
     }
-    let splitter =
-        t.add_bolt("Splitter", 3, || Box::new(SplitterBolt), vec![(spout, Grouping::Shuffle)]);
+    let splitter = t.add_bolt(
+        "Splitter",
+        3,
+        || Box::new(SplitterBolt),
+        vec![(spout, Grouping::Shuffle)],
+    );
     let count = t.add_bolt(
         "Count",
         3,
         || Box::new(CountBolt::default()),
         vec![(splitter, Grouping::Fields(vec![0]))],
     );
-    let commit =
-        t.add_bolt("Commit", 2, || Box::new(CommitBolt::default()), vec![(count, Grouping::Shuffle)]);
+    let commit = t.add_bolt(
+        "Commit",
+        2,
+        || Box::new(CommitBolt::default()),
+        vec![(count, Grouping::Shuffle)],
+    );
     let committed = CollectorSink::new();
     t.add_collector_sink("store", committed.clone(), commit);
     let stats = t.build().run(None);
@@ -143,7 +153,10 @@ fn batch_completion_survives_duplication() {
         })
         .collect();
     for key in clean_counts.keys() {
-        assert!(dup_counts.contains_key(key), "batch content committed despite duplicates");
+        assert!(
+            dup_counts.contains_key(key),
+            "batch content committed despite duplicates"
+        );
     }
     // ...but counts are inflated — the accuracy anomaly replay causes when
     // the topology is not transactional and tuples are not deduplicated.

@@ -1,0 +1,282 @@
+//! Differential tests: the multi-worker parallel executor must agree with
+//! the seeded discrete-event simulator on every *confluent*
+//! (order-insensitive) topology — the paper's CALM argument made
+//! executable. Each topology is assembled once, generically over
+//! [`ExecutorBuilder`], and run on both backends.
+
+use blazes::coord::registry::ProducerRegistry;
+use blazes::coord::seal::{SealManager, SealOutcome};
+use blazes::dataflow::backend::ExecutorBuilder;
+use blazes::dataflow::channel::ChannelConfig;
+use blazes::dataflow::component::{Component, Context, FnComponent};
+use blazes::dataflow::message::{Message, SealKey};
+use blazes::dataflow::par::ParBuilder;
+use blazes::dataflow::sim::SimBuilder;
+use blazes::dataflow::sinks::CollectorSink;
+use blazes::dataflow::value::{Tuple, Value};
+use std::collections::BTreeSet;
+
+fn echo() -> Box<dyn Component> {
+    Box::new(FnComponent::new("echo", |_, msg, ctx: &mut Context| {
+        ctx.emit(0, msg)
+    }))
+}
+
+/// Topology 1: three producers fan in to one sink (cross-producer
+/// interleaving is the only nondeterminism).
+fn fan_in<B: ExecutorBuilder>(b: &mut B, sink: CollectorSink) {
+    let producers: Vec<_> = (0..3).map(|_| b.add_instance(echo())).collect();
+    let s = b.add_instance(Box::new(sink));
+    for (k, &p) in producers.iter().enumerate() {
+        b.connect_with(p, 0, s, 0, ChannelConfig::lan().with_jitter(20_000));
+        for i in 0..40i64 {
+            b.inject(0, p, 0, Message::data([k as i64 * 1_000 + i]));
+        }
+    }
+}
+
+/// Topology 2: a map pipeline — echo -> doubler -> sink.
+fn pipeline<B: ExecutorBuilder>(b: &mut B, sink: CollectorSink) {
+    let src = b.add_instance(echo());
+    let doubler = b.add_instance(Box::new(FnComponent::new(
+        "doubler",
+        |_, msg: Message, ctx: &mut Context| {
+            if let Some(t) = msg.as_data() {
+                let v = t.get(0).and_then(Value::as_int).expect("int tuple");
+                ctx.emit(0, Message::data([v * 2]));
+            } else {
+                ctx.emit(0, msg);
+            }
+        },
+    )));
+    let s = b.add_instance(Box::new(sink));
+    b.connect_with(src, 0, doubler, 0, ChannelConfig::lan().with_jitter(5_000));
+    b.connect_with(doubler, 0, s, 0, ChannelConfig::lan().with_jitter(5_000));
+    for i in 0..60i64 {
+        b.inject(0, src, 0, Message::data([i]));
+    }
+}
+
+/// An EOS-punctuated aggregator: sums tuples from `expected` upstream
+/// producers and emits the grand total once every producer has signalled
+/// end-of-stream. Commutative in the data, gated by punctuations.
+struct EosSum {
+    expected: usize,
+    seen_eos: usize,
+    sum: i64,
+}
+
+impl Component for EosSum {
+    fn on_message(&mut self, _port: usize, msg: Message, ctx: &mut Context) {
+        match msg {
+            Message::Data(t) => {
+                self.sum += t.get(0).and_then(Value::as_int).expect("int tuple");
+            }
+            Message::Eos => {
+                self.seen_eos += 1;
+                if self.seen_eos == self.expected {
+                    ctx.emit(0, Message::data([self.sum]));
+                }
+            }
+            Message::Seal(_) => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "eos-sum"
+    }
+}
+
+/// Topology 3: a diamond — two producers feed an EOS-gated aggregate which
+/// publishes a single total.
+fn diamond<B: ExecutorBuilder>(b: &mut B, sink: CollectorSink) {
+    let p1 = b.add_instance(echo());
+    let p2 = b.add_instance(echo());
+    let agg = b.add_instance(Box::new(EosSum {
+        expected: 2,
+        seen_eos: 0,
+        sum: 0,
+    }));
+    let s = b.add_instance(Box::new(sink));
+    b.connect_with(p1, 0, agg, 0, ChannelConfig::lan().with_jitter(10_000));
+    b.connect_with(p2, 0, agg, 0, ChannelConfig::lan().with_jitter(10_000));
+    b.connect_with(agg, 0, s, 0, ChannelConfig::instant());
+    for i in 1..=30i64 {
+        b.inject(0, p1, 0, Message::data([i]));
+        b.inject(0, p2, 0, Message::data([100 + i]));
+    }
+    // Punctuations close each producer's stream; per-wire FIFO guarantees
+    // they arrive after the data they cover.
+    b.inject(1, p1, 0, Message::Eos);
+    b.inject(1, p2, 0, Message::Eos);
+}
+
+/// Assemble on the simulator and the parallel executor, run both, compare
+/// final sink sets.
+fn assert_backends_agree(name: &str, assemble: impl Fn(&mut dyn ExecutorBuilder, CollectorSink)) {
+    let sim_sink = CollectorSink::new();
+    let mut sim = SimBuilder::new(42);
+    assemble(&mut sim, sim_sink.clone());
+    sim.build().run(None);
+    assert!(!sim_sink.is_empty(), "{name}: simulator produced no output");
+
+    for workers in [1usize, 2, 4] {
+        let par_sink = CollectorSink::new();
+        let mut par = ParBuilder::new(42).with_workers(workers).with_batch_size(8);
+        assemble(&mut par, par_sink.clone());
+        let stats = par.build().run();
+        assert!(
+            stats.messages_delivered > 0,
+            "{name}: no deliveries under par"
+        );
+        assert_eq!(
+            par_sink.message_set(),
+            sim_sink.message_set(),
+            "{name}: parallel ({workers} workers) diverged from simulator"
+        );
+        // Sets cannot see duplicate deliveries — counts must match too.
+        assert_eq!(
+            par_sink.len(),
+            sim_sink.len(),
+            "{name}: parallel ({workers} workers) duplicated or dropped deliveries"
+        );
+    }
+}
+
+#[test]
+fn fan_in_matches_simulator() {
+    assert_backends_agree("fan-in", |mut b, sink| fan_in(&mut b, sink));
+}
+
+#[test]
+fn pipeline_matches_simulator() {
+    assert_backends_agree("pipeline", |mut b, sink| pipeline(&mut b, sink));
+}
+
+#[test]
+fn diamond_matches_simulator() {
+    assert_backends_agree("diamond", |mut b, sink| diamond(&mut b, sink));
+}
+
+/// A sealing consumer: buffers per-campaign tuples in a [`SealManager`]
+/// and, when a partition's seal votes complete, emits one summary tuple
+/// `(campaign, buffered_count)`.
+struct SealingConsumer {
+    mgr: SealManager,
+}
+
+impl Component for SealingConsumer {
+    fn on_message(&mut self, port: usize, msg: Message, ctx: &mut Context) {
+        match msg {
+            Message::Data(t) => {
+                let campaign = t.get(0).cloned().expect("campaign column");
+                let out = self.mgr.on_data(campaign, t);
+                assert!(
+                    matches!(out, SealOutcome::Buffered),
+                    "data after release: {out:?}"
+                );
+            }
+            Message::Seal(key) => {
+                let campaign = key.value_of("campaign").cloned().expect("campaign seal");
+                if let SealOutcome::Released(tuples) = self.mgr.on_seal(campaign.clone(), port) {
+                    ctx.emit(
+                        0,
+                        Message::Data(Tuple(vec![campaign, Value::Int(tuples.len() as i64)])),
+                    );
+                }
+            }
+            Message::Eos => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "sealing-consumer"
+    }
+}
+
+/// The sealing workload: `producers` servers each emit `per_partition`
+/// records for every campaign, then seal it. Producer `k` feeds consumer
+/// port `k` (its producer id in the registry).
+fn sealed_topology<B: ExecutorBuilder>(
+    b: &mut B,
+    sink: CollectorSink,
+    producers: usize,
+    campaigns: i64,
+    per_partition: usize,
+) {
+    let consumer = b.add_instance(Box::new(SealingConsumer {
+        mgr: SealManager::new(ProducerRegistry::all_produce(0..producers)),
+    }));
+    let s = b.add_instance(Box::new(sink));
+    b.connect_with(consumer, 0, s, 0, ChannelConfig::instant());
+    for k in 0..producers {
+        let p = b.add_instance(echo());
+        b.connect_with(p, 0, consumer, k, ChannelConfig::lan().with_jitter(15_000));
+        for c in 0..campaigns {
+            for i in 0..per_partition {
+                b.inject(0, p, 0, Message::data([c, k as i64, i as i64]));
+            }
+            // Seal follows the partition's data on the same wire.
+            b.inject(1, p, 0, Message::Seal(SealKey::new([("campaign", c)])));
+        }
+    }
+}
+
+/// Sealing under the threaded executor: every partition is released
+/// exactly once, only after unanimous votes, with its full buffer — the
+/// same outcome the simulator produces.
+#[test]
+fn sealing_punctuations_complete_batches_under_threads() {
+    let producers = 3usize;
+    let campaigns = 5i64;
+    let per_partition = 8usize;
+
+    let expected: BTreeSet<Message> = (0..campaigns)
+        .map(|c| {
+            Message::Data(Tuple(vec![
+                Value::Int(c),
+                Value::Int((producers * per_partition) as i64),
+            ]))
+        })
+        .collect();
+
+    let sim_sink = CollectorSink::new();
+    let mut sim = SimBuilder::new(7);
+    sealed_topology(
+        &mut sim,
+        sim_sink.clone(),
+        producers,
+        campaigns,
+        per_partition,
+    );
+    sim.build().run(None);
+    assert_eq!(sim_sink.message_set(), expected, "simulator baseline");
+    assert_eq!(
+        sim_sink.len(),
+        campaigns as usize,
+        "released exactly once (sim)"
+    );
+
+    for workers in [2usize, 4] {
+        let par_sink = CollectorSink::new();
+        let mut par = ParBuilder::new(7).with_workers(workers).with_batch_size(4);
+        sealed_topology(
+            &mut par,
+            par_sink.clone(),
+            producers,
+            campaigns,
+            per_partition,
+        );
+        let _ = par.build().run();
+        assert_eq!(
+            par_sink.message_set(),
+            expected,
+            "parallel ({workers} workers) seal outcome"
+        );
+        assert_eq!(
+            par_sink.len(),
+            campaigns as usize,
+            "released exactly once ({workers} workers)"
+        );
+    }
+}

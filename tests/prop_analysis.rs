@@ -22,10 +22,8 @@ fn arb_annotation() -> impl Strategy<Value = ComponentAnnotation> {
     prop_oneof![
         Just(ComponentAnnotation::cr()),
         Just(ComponentAnnotation::cw()),
-        proptest::sample::subsequence(ATTRS.to_vec(), 1..=3)
-            .prop_map(ComponentAnnotation::or),
-        proptest::sample::subsequence(ATTRS.to_vec(), 1..=3)
-            .prop_map(ComponentAnnotation::ow),
+        proptest::sample::subsequence(ATTRS.to_vec(), 1..=3).prop_map(ComponentAnnotation::or),
+        proptest::sample::subsequence(ATTRS.to_vec(), 1..=3).prop_map(ComponentAnnotation::ow),
         Just(ComponentAnnotation::or_star()),
         Just(ComponentAnnotation::ow_star()),
     ]
@@ -37,7 +35,11 @@ fn arb_chain() -> impl Strategy<Value = RandomChain> {
         proptest::option::of(proptest::sample::subsequence(ATTRS.to_vec(), 1..=2)),
         any::<u8>(),
     )
-        .prop_map(|(annotations, seal, rep_mask)| RandomChain { annotations, seal, rep_mask })
+        .prop_map(|(annotations, seal, rep_mask)| RandomChain {
+            annotations,
+            seal,
+            rep_mask,
+        })
 }
 
 /// Build a linear dataflow from a chain description.
@@ -180,7 +182,11 @@ fn label_join_is_a_semilattice() {
         Label::Diverge,
     ];
     for a in &labels {
-        assert_eq!(a.clone().join(a.clone()).severity(), a.severity(), "idempotent");
+        assert_eq!(
+            a.clone().join(a.clone()).severity(),
+            a.severity(),
+            "idempotent"
+        );
         for b in &labels {
             let ab = a.clone().join(b.clone());
             let ba = b.clone().join(a.clone());

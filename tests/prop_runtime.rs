@@ -16,7 +16,9 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn echo() -> Box<dyn Component> {
-    Box::new(FnComponent::new("echo", |_, msg, ctx: &mut Context| ctx.emit(0, msg)))
+    Box::new(FnComponent::new("echo", |_, msg, ctx: &mut Context| {
+        ctx.emit(0, msg)
+    }))
 }
 
 proptest! {
