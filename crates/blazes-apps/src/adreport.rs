@@ -29,10 +29,12 @@ use blazes_bloom::interp::ModuleInstance;
 use blazes_coord::registry::ProducerRegistry;
 use blazes_coord::seal::{SealManager, SealOutcome};
 use blazes_coord::sequencer::Sequencer;
+use blazes_dataflow::backend::ExecutorBuilder;
 use blazes_dataflow::channel::ChannelConfig;
 use blazes_dataflow::component::{Component, Context};
 use blazes_dataflow::message::{Message, SealKey};
 use blazes_dataflow::metrics::{RunStats, TimeSeries};
+use blazes_dataflow::par::{ParBuilder, ParStats, ParTuning};
 use blazes_dataflow::sim::{SimBuilder, Time};
 use blazes_dataflow::sinks::CollectorSink;
 use blazes_dataflow::value::{Tuple, Value};
@@ -326,11 +328,12 @@ fn registry_for(workload: &ClickWorkload) -> ProducerRegistry {
     }
 }
 
-/// Run one scenario to quiescence.
-#[must_use]
-pub fn run_scenario(sc: &AdScenario) -> AdRunResult {
-    let mut b = SimBuilder::new(sc.seed);
-
+/// Assemble the ad-reporting topology on any backend. Returns the
+/// per-replica processed-records series and response sinks.
+pub fn assemble_scenario<B: ExecutorBuilder>(
+    sc: &AdScenario,
+    b: &mut B,
+) -> (Vec<TimeSeries>, Vec<CollectorSink>) {
     // Reporting replicas + response sinks.
     let registry = (sc.strategy == StrategyKind::Sealed).then(|| registry_for(&sc.workload));
     let mut replica_ids = Vec::with_capacity(sc.replicas);
@@ -415,9 +418,76 @@ pub fn run_scenario(sc: &AdScenario) -> AdRunResult {
         }
     }
 
+    (series, responses)
+}
+
+/// Run one scenario to quiescence on the discrete-event simulator.
+#[must_use]
+pub fn run_scenario(sc: &AdScenario) -> AdRunResult {
+    let mut b = SimBuilder::new(sc.seed);
+    let (series, responses) = assemble_scenario(sc, &mut b);
     let mut sim = b.build();
     let stats = sim.run(None);
     AdRunResult {
+        series,
+        responses,
+        stats,
+        expected_records: sc.workload.total_entries() as u64,
+    }
+}
+
+/// Result of one scenario run on the parallel executor. Series totals are
+/// meaningful (records processed); series *times* are per-instance event
+/// ordinals, not virtual microseconds.
+#[derive(Debug)]
+pub struct AdParResult {
+    /// Per-replica cumulative processed-records series.
+    pub series: Vec<TimeSeries>,
+    /// Per-replica response collections.
+    pub responses: Vec<CollectorSink>,
+    /// Parallel-executor statistics.
+    pub stats: ParStats,
+    /// Records each replica was expected to process.
+    pub expected_records: u64,
+}
+
+impl AdParResult {
+    /// Did every replica process every record?
+    #[must_use]
+    pub fn processed_everything(&self) -> bool {
+        self.series
+            .iter()
+            .all(|s| s.total() == self.expected_records)
+    }
+
+    /// Do all replicas report identical response sets?
+    #[must_use]
+    pub fn responses_consistent(&self) -> bool {
+        let sets: Vec<_> = self
+            .responses
+            .iter()
+            .map(CollectorSink::message_set)
+            .collect();
+        sets.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// Run one scenario to quiescence on the multi-worker parallel executor.
+/// The sequencer (ordered strategy) and seal managers are ordinary
+/// components, so every strategy runs threaded; service times do not apply.
+///
+/// # Panics
+/// Panics when `tuning` is invalid (zero batch size, capacity or spill
+/// threshold).
+#[must_use]
+pub fn run_scenario_parallel(sc: &AdScenario, workers: usize, tuning: ParTuning) -> AdParResult {
+    let mut b = ParBuilder::new(sc.seed)
+        .with_workers(workers)
+        .with_tuning(tuning)
+        .expect("valid parallel tuning");
+    let (series, responses) = assemble_scenario(sc, &mut b);
+    let stats = b.build().run();
+    AdParResult {
         series,
         responses,
         stats,
@@ -505,6 +575,47 @@ mod tests {
         // CAMPAIGN query a replica only answers from *released* partitions,
         // which every replica releases with identical contents.
         let res = run_scenario(&scenario(StrategyKind::Sealed, CampaignPlacement::Spread));
+        assert!(res.responses_consistent());
+    }
+
+    #[test]
+    fn parallel_backend_processes_everything_under_every_strategy() {
+        // Figures 12–14's scenarios, threaded: every strategy must still
+        // deliver all records to all replicas, under both schedulers.
+        for strategy in [
+            StrategyKind::Uncoordinated,
+            StrategyKind::Ordered,
+            StrategyKind::Sealed,
+        ] {
+            for stealing in [true, false] {
+                let tuning = ParTuning {
+                    stealing,
+                    ..ParTuning::default()
+                };
+                let res = run_scenario_parallel(
+                    &scenario(strategy, CampaignPlacement::Spread),
+                    3,
+                    tuning,
+                );
+                assert!(
+                    res.processed_everything(),
+                    "{strategy:?} stealing={stealing}: {:?}",
+                    res.series.iter().map(TimeSeries::total).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sealed_responses_are_consistent() {
+        // Replicas only answer from released (seal-complete) partitions,
+        // so agreement must survive real thread nondeterminism.
+        let res = run_scenario_parallel(
+            &scenario(StrategyKind::Sealed, CampaignPlacement::Spread),
+            4,
+            ParTuning::default(),
+        );
+        assert!(res.processed_everything());
         assert!(res.responses_consistent());
     }
 

@@ -16,11 +16,15 @@
 //!   annotations.
 //! * [`workload`] — synthetic workload generators (Zipf-distributed tweet
 //!   stream, partitioned click logs).
+//! * [`heavy`] — the heavy-compute hashing wordcount family (uniform and
+//!   skewed key distributions) that makes parallel-backend speedups
+//!   measurable.
 //! * [`casestudy`] — ready-made dataflow graphs of both systems for the
 //!   Blazes analysis, reproducing the derivations of Section VI.
 
 pub mod adreport;
 pub mod casestudy;
+pub mod heavy;
 pub mod queries;
 pub mod wordcount;
 pub mod workload;

@@ -16,6 +16,7 @@ use crate::workload::TweetWorkload;
 use blazes_dataflow::channel::ChannelConfig;
 use blazes_dataflow::message::Message;
 use blazes_dataflow::metrics::RunStats;
+use blazes_dataflow::par::{ParStats, ParTuning};
 use blazes_dataflow::sim::Time;
 use blazes_dataflow::sinks::CollectorSink;
 use blazes_dataflow::value::{Tuple, Value};
@@ -176,20 +177,7 @@ impl WordcountResult {
     /// Committed counts keyed by `(word, batch)`.
     #[must_use]
     pub fn counts(&self) -> BTreeMap<(String, i64), i64> {
-        self.committed
-            .messages()
-            .iter()
-            .filter_map(Message::as_data)
-            .filter_map(|t| {
-                Some((
-                    (
-                        t.get(0).and_then(Value::as_str)?.to_string(),
-                        t.get(1).and_then(Value::as_int)?,
-                    ),
-                    t.get(2).and_then(Value::as_int)?,
-                ))
-            })
-            .collect()
+        counts_of(&self.committed)
     }
 
     /// End-to-end throughput in tweets per virtual second.
@@ -202,9 +190,55 @@ impl WordcountResult {
     }
 }
 
-/// Build and run the wordcount topology.
+/// Result of a wordcount run on the parallel executor.
+#[derive(Debug)]
+pub struct WordcountParResult {
+    /// Parallel-executor statistics (wall clock, per-worker skew).
+    pub stats: ParStats,
+    /// Committed `(word, batch, count)` tuples.
+    pub committed: CollectorSink,
+    /// Total tweets injected.
+    pub tweets: u64,
+}
+
+impl WordcountParResult {
+    /// Committed counts keyed by `(word, batch)`.
+    #[must_use]
+    pub fn counts(&self) -> BTreeMap<(String, i64), i64> {
+        counts_of(&self.committed)
+    }
+
+    /// End-to-end throughput in tweets per wall-clock second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.stats.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.tweets as f64 / secs
+    }
+}
+
+fn counts_of(sink: &CollectorSink) -> BTreeMap<(String, i64), i64> {
+    sink.messages()
+        .iter()
+        .filter_map(Message::as_data)
+        .filter_map(|t| {
+            Some((
+                (
+                    t.get(0).and_then(Value::as_str)?.to_string(),
+                    t.get(1).and_then(Value::as_int)?,
+                ),
+                t.get(2).and_then(Value::as_int)?,
+            ))
+        })
+        .collect()
+}
+
+/// Assemble the wordcount topology (shared by both backends). Returns the
+/// builder plus the committed-tuples sink.
 #[must_use]
-pub fn run_wordcount(sc: &WordcountScenario) -> WordcountResult {
+pub fn wordcount_topology(sc: &WordcountScenario) -> (TopologyBuilder, CollectorSink) {
     let mut t = TopologyBuilder::new("wordcount", sc.seed);
     t.set_default_channel(ChannelConfig::lan().with_jitter(2_000));
 
@@ -265,10 +299,36 @@ pub fn run_wordcount(sc: &WordcountScenario) -> WordcountResult {
 
     let committed = CollectorSink::new();
     t.add_collector_sink("store", committed.clone(), commit);
+    (t, committed)
+}
 
+/// Build and run the wordcount topology on the discrete-event simulator.
+#[must_use]
+pub fn run_wordcount(sc: &WordcountScenario) -> WordcountResult {
+    let (t, committed) = wordcount_topology(sc);
     let mut run = t.build();
     let stats = run.run(None);
     WordcountResult {
+        stats,
+        committed,
+        tweets: (sc.spouts * sc.workload.tweets_per_instance()) as u64,
+    }
+}
+
+/// Build and run the wordcount topology on the multi-worker parallel
+/// executor: the same components and wiring, on `workers` OS threads.
+/// Modeled service times do not apply (real processing costs are paid for
+/// real), so throughput here is wall-clock, not virtual.
+#[must_use]
+pub fn run_wordcount_parallel(
+    sc: &WordcountScenario,
+    workers: usize,
+    tuning: ParTuning,
+) -> WordcountParResult {
+    let (t, committed) = wordcount_topology(sc);
+    let mut run = t.build_parallel_tuned(workers, tuning);
+    let stats = run.run();
+    WordcountParResult {
         stats,
         committed,
         tweets: (sc.spouts * sc.workload.tweets_per_instance()) as u64,
@@ -331,6 +391,27 @@ mod tests {
             plain.stats.end_time
         );
         assert!(plain.throughput() > tx.throughput());
+    }
+
+    #[test]
+    fn parallel_backend_commits_the_same_counts() {
+        // Figure 11's scenario on both backends: the sealed topology is
+        // confluent, so the threaded executor must commit exactly the
+        // simulator's counts, whatever the scheduler.
+        let sc = scenario(3, false, 13);
+        let sim = run_wordcount(&sc);
+        for tuning in [
+            ParTuning::default(),
+            ParTuning {
+                stealing: false,
+                ..ParTuning::default()
+            },
+        ] {
+            let par = run_wordcount_parallel(&sc, 4, tuning);
+            assert_eq!(par.counts(), sim.counts(), "{tuning:?}");
+            assert_eq!(par.tweets, sim.tweets);
+            assert!(par.throughput() > 0.0);
+        }
     }
 
     #[test]

@@ -2,21 +2,50 @@
 //! sealed topologies.
 //!
 //! ```text
-//! cargo run -p blazes-bench --release --bin fig11 [runs]
+//! cargo run -p blazes-bench --release --bin fig11 [runs] [--backend sim|par]
 //! ```
+//!
+//! With `--backend par` the same topologies execute on the multi-worker
+//! parallel backend (threads capped at 8) and throughput is tweets per
+//! *wall-clock* second; modeled service times do not apply, so magnitudes
+//! are not comparable to the simulator's virtual-time numbers — the
+//! sealed-over-transactional *ratio* is the comparable shape.
 
-use blazes_bench::fig11_point;
+use blazes_bench::{fig11_point, fig11_point_par, Fig11Point};
 
 fn main() {
-    let runs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The positional runs argument is any token that is neither a flag nor
+    // a flag's value, whatever the ordering.
+    let backend_pos = args.iter().position(|a| a == "--backend");
+    let runs: u64 = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && backend_pos != Some(i.wrapping_sub(1)))
+        .find_map(|(_, s)| s.parse().ok())
         .unwrap_or(3);
-    println!("# Figure 11: wordcount throughput (tweets/virtual-second)");
+    let backend = backend_pos
+        .and_then(|i| args.get(i + 1))
+        .map_or("sim", String::as_str);
+    let point: fn(usize, bool, u64) -> Fig11Point = match backend {
+        "sim" => fig11_point,
+        "par" => fig11_point_par,
+        other => {
+            eprintln!("unknown backend {other:?}: expected sim or par");
+            std::process::exit(2);
+        }
+    };
+
+    let unit = if backend == "par" {
+        "tweets/wall-second"
+    } else {
+        "tweets/virtual-second"
+    };
+    println!("# Figure 11: wordcount throughput ({unit}, backend={backend})");
     println!("# cluster  transactional  sealed  ratio  (±stddev over {runs} runs)");
     for workers in [5, 10, 15, 20] {
-        let tx = fig11_point(workers, true, runs);
-        let sealed = fig11_point(workers, false, runs);
+        let tx = point(workers, true, runs);
+        let sealed = point(workers, false, runs);
         let ratio = sealed.mean_throughput / tx.mean_throughput;
         println!(
             "{workers:7}  {tx:13.0}  {sealed:6.0}  {ratio:5.2}  (tx ±{txs:.0}, sealed ±{ss:.0})",

@@ -1,0 +1,103 @@
+//! `par_scaling`: heavy-compute scaling sweep of the parallel executor
+//! against the simulator, with a CI-gateable speedup floor.
+//!
+//! ```text
+//! cargo run -p blazes-bench --release --bin par_scaling -- \
+//!     [--records N] [--rounds N] [--reps N] [--out FILE] [--check FLOOR]
+//! ```
+//!
+//! `--out` writes the results as JSON (default `BENCH_par_scaling.json`
+//! when `--out` is given without a value via CI). `--check FLOOR` exits
+//! nonzero when the 4-worker work-stealing speedup over the simulator on
+//! the uniform workload falls below `effective_floor(FLOOR, cores)` — the
+//! floor is scaled by core count, since parallel speedup is bounded by the
+//! hardware (see `blazes_bench::scaling::effective_floor`). `--check` also
+//! fails on any digest mismatch, making the bench double as a correctness
+//! gate.
+
+use blazes_bench::scaling::{effective_floor, run_scaling, ScalingConfig};
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// `--out [FILE]`: present with a value uses it; present with the next
+/// token being another flag (or nothing) falls back to the default path.
+fn parse_out(args: &[String], default: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == "--out")?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => Some(default.to_string()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ScalingConfig::default();
+    if let Some(records) = parse_flag(&args, "--records") {
+        cfg.records = records;
+    }
+    if let Some(rounds) = parse_flag(&args, "--rounds") {
+        cfg.hash_rounds = rounds;
+    }
+    if let Some(reps) = parse_flag(&args, "--reps") {
+        cfg.reps = reps;
+    }
+    let out = parse_out(&args, "BENCH_par_scaling.json");
+    let check: Option<f64> = parse_flag(&args, "--check");
+
+    let report = run_scaling(&cfg);
+    print!("{}", report.render_table());
+    println!(
+        "# headline: {:.2}x vs sim at 4 workers (uniform); stealing/static on skewed: {:.2}x",
+        report.headline_speedup(),
+        report.stealing_over_static_skewed()
+    );
+
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json()).expect("write bench JSON");
+        println!("# wrote {path}");
+    }
+
+    if let Some(floor) = check {
+        let mut failed = false;
+        if !report.all_correct() {
+            eprintln!("FAIL: a parallel run diverged from the expected digest");
+            failed = true;
+        }
+        let need = effective_floor(floor, report.cores);
+        let got = report.headline_speedup();
+        if got < need {
+            eprintln!(
+                "FAIL: speedup {got:.2}x below floor {need:.2}x \
+                 (requested {floor:.2}x, scaled for {} core(s))",
+                report.cores
+            );
+            failed = true;
+        } else {
+            println!(
+                "# check passed: {got:.2}x >= floor {need:.2}x \
+                 (requested {floor:.2}x, {} core(s))",
+                report.cores
+            );
+        }
+        // The skew gate needs >= 2 cores: with a single core there is no
+        // wall-clock win to be had from balancing, only parity.
+        if report.cores >= 2 {
+            let skew = report.stealing_over_static_skewed();
+            if skew < 1.0 {
+                eprintln!(
+                    "FAIL: work stealing lost to static sharding on the skewed \
+                     workload ({skew:.2}x)"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -17,10 +17,15 @@
 
 use blazes_apps::adreport::{run_scenario, AdRunResult, AdScenario, StrategyKind};
 use blazes_apps::queries::ReportQuery;
-use blazes_apps::wordcount::{run_wordcount, WordcountResult, WordcountScenario};
+use blazes_apps::wordcount::{
+    run_wordcount, run_wordcount_parallel, WordcountResult, WordcountScenario,
+};
 use blazes_apps::workload::{CampaignPlacement, ClickWorkload, TweetWorkload};
 use blazes_dataflow::metrics::TimeSeries;
+use blazes_dataflow::par::ParTuning;
 use blazes_dataflow::sim::Time;
+
+pub mod scaling;
 
 /// Calibrated wordcount scenario for one Fig. 11 data point.
 ///
@@ -59,6 +64,30 @@ pub fn fig11_point(workers: usize, transactional: bool, runs: u64) -> Fig11Point
     let mut throughputs = Vec::with_capacity(runs as usize);
     for seed in 0..runs {
         let res = run_wordcount(&fig11_scenario(workers, transactional, seed));
+        throughputs.push(res.throughput());
+    }
+    Fig11Point {
+        workers,
+        transactional,
+        mean_throughput: mean(&throughputs),
+        stddev_throughput: stddev(&throughputs),
+    }
+}
+
+/// One Fig. 11 data point on the multi-worker parallel executor: the same
+/// scenario, executed on OS threads (capped at 8), with throughput in
+/// tweets per *wall-clock* second — comparable in shape, not in magnitude,
+/// to the simulator's virtual-time points.
+#[must_use]
+pub fn fig11_point_par(workers: usize, transactional: bool, runs: u64) -> Fig11Point {
+    let threads = workers.clamp(1, 8);
+    let mut throughputs = Vec::with_capacity(runs as usize);
+    for seed in 0..runs {
+        let res = run_wordcount_parallel(
+            &fig11_scenario(workers, transactional, seed),
+            threads,
+            ParTuning::default(),
+        );
         throughputs.push(res.throughput());
     }
     Fig11Point {

@@ -1,0 +1,328 @@
+//! The `par_scaling` benchmark harness: heavy-compute workloads swept over
+//! worker counts and scheduler modes, with the seeded simulator as the
+//! single-threaded baseline.
+//!
+//! Two workloads from [`blazes_apps::heavy`]:
+//!
+//! * **uniform** — evenly distributed keys; measures how the parallel
+//!   executor scales with workers against the simulator.
+//! * **skewed** — one Zipf-dominated key partition; measures what dynamic
+//!   load balancing (work stealing) buys over static round-robin sharding.
+//!
+//! Results render as `BENCH_par_scaling.json` and gate CI: the speedup of
+//! the 4-worker work-stealing run over the simulator must not drop below a
+//! recorded floor. The floor is scaled by the machine's core count
+//! ([`effective_floor`]): parallel speedup is physics-bound by available
+//! cores, so a 1-core runner only checks for parity with the simulator
+//! while a 4-core runner enforces the real multiple.
+
+use blazes_apps::heavy::{expected_digest, run_heavy_par, run_heavy_sim, HeavyConfig};
+use blazes_dataflow::message::Message;
+use blazes_dataflow::par::ParTuning;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Configuration of one scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingConfig {
+    /// Total records per workload.
+    pub records: usize,
+    /// Hash rounds per record (per-record CPU weight).
+    pub hash_rounds: u32,
+    /// Worker counts to sweep.
+    pub worker_counts: Vec<usize>,
+    /// Timed repetitions per point (best-of).
+    pub reps: u32,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            records: 60_000,
+            hash_rounds: 384,
+            worker_counts: vec![1, 2, 4, 8],
+            reps: 2,
+        }
+    }
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// `"uniform"` or `"skewed"`.
+    pub workload: &'static str,
+    /// Worker threads.
+    pub workers: usize,
+    /// `"stealing"` or `"static"`.
+    pub mode: &'static str,
+    /// Best wall-clock milliseconds over the configured repetitions.
+    pub millis: f64,
+    /// Simulator wall time of the same workload over this point's time.
+    pub speedup_vs_sim: f64,
+    /// Max-over-mean worker event balance (1.0 = even).
+    pub balance: f64,
+    /// Total tasks obtained by stealing.
+    pub steals: u64,
+    /// Did the run produce exactly the expected digest?
+    pub correct: bool,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Cores the machine reported (`std::thread::available_parallelism`).
+    pub cores: usize,
+    /// Records per workload.
+    pub records: usize,
+    /// Hash rounds per record.
+    pub hash_rounds: u32,
+    /// Simulator baseline for the uniform workload, milliseconds.
+    pub sim_uniform_ms: f64,
+    /// Simulator baseline for the skewed workload, milliseconds.
+    pub sim_skewed_ms: f64,
+    /// All measured parallel points.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingReport {
+    /// Look up a point.
+    #[must_use]
+    pub fn point(&self, workload: &str, workers: usize, mode: &str) -> Option<&ScalingPoint> {
+        self.points
+            .iter()
+            .find(|p| p.workload == workload && p.workers == workers && p.mode == mode)
+    }
+
+    /// The headline metric: work-stealing speedup over the simulator on
+    /// the uniform heavy-compute workload at 4 workers.
+    #[must_use]
+    pub fn headline_speedup(&self) -> f64 {
+        self.point("uniform", 4, "stealing")
+            .map_or(0.0, |p| p.speedup_vs_sim)
+    }
+
+    /// Work-stealing wall time over static-sharding wall time on the
+    /// skewed workload at 4 workers (>1.0 = stealing wins).
+    #[must_use]
+    pub fn stealing_over_static_skewed(&self) -> f64 {
+        match (
+            self.point("skewed", 4, "static"),
+            self.point("skewed", 4, "stealing"),
+        ) {
+            (Some(st), Some(ws)) if ws.millis > 0.0 => st.millis / ws.millis,
+            _ => 0.0,
+        }
+    }
+
+    /// Did every measured point reproduce the expected digest?
+    #[must_use]
+    pub fn all_correct(&self) -> bool {
+        self.points.iter().all(|p| p.correct)
+    }
+
+    /// Render as pretty-printed JSON (hand-rolled; the vendored serde shim
+    /// has no serializer).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"par_scaling\",");
+        let _ = writeln!(s, "  \"cores\": {},", self.cores);
+        let _ = writeln!(s, "  \"records\": {},", self.records);
+        let _ = writeln!(s, "  \"hash_rounds\": {},", self.hash_rounds);
+        let _ = writeln!(s, "  \"sim_uniform_ms\": {:.3},", self.sim_uniform_ms);
+        let _ = writeln!(s, "  \"sim_skewed_ms\": {:.3},", self.sim_skewed_ms);
+        let _ = writeln!(
+            s,
+            "  \"headline_speedup_vs_sim_4w\": {:.3},",
+            self.headline_speedup()
+        );
+        let _ = writeln!(
+            s,
+            "  \"stealing_over_static_skewed_4w\": {:.3},",
+            self.stealing_over_static_skewed()
+        );
+        let _ = writeln!(s, "  \"all_correct\": {},", self.all_correct());
+        let _ = writeln!(s, "  \"points\": [");
+        for (i, p) in self.points.iter().enumerate() {
+            let comma = if i + 1 == self.points.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"workload\": \"{}\", \"workers\": {}, \"mode\": \"{}\", \
+                 \"millis\": {:.3}, \"speedup_vs_sim\": {:.3}, \"balance\": {:.3}, \
+                 \"steals\": {}, \"correct\": {}}}{comma}",
+                p.workload,
+                p.workers,
+                p.mode,
+                p.millis,
+                p.speedup_vs_sim,
+                p.balance,
+                p.steals,
+                p.correct
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Render the human-readable table the bin prints.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "# par_scaling: heavy-compute workload, {} records x {} hash rounds, {} core(s)",
+            self.records, self.hash_rounds, self.cores
+        );
+        let _ = writeln!(
+            s,
+            "# sim baseline: uniform {:.1} ms, skewed {:.1} ms",
+            self.sim_uniform_ms, self.sim_skewed_ms
+        );
+        let _ = writeln!(
+            s,
+            "# workload  workers  mode      ms        vs-sim  balance  steals"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                s,
+                "{:9} {:8} {:9} {:9.1} {:7.2}x {:8.2} {:7}{}",
+                p.workload,
+                p.workers,
+                p.mode,
+                p.millis,
+                p.speedup_vs_sim,
+                p.balance,
+                p.steals,
+                if p.correct { "" } else { "  DIGEST MISMATCH" },
+            );
+        }
+        s
+    }
+}
+
+/// Scale a requested speedup floor to what the machine can physically
+/// deliver: a 1-core box can only be asked for rough parity with the
+/// simulator, while 4+ cores must show a real multiple. The formula is
+/// `min(requested, max(0.85, 0.45 * cores))`.
+#[must_use]
+pub fn effective_floor(requested: f64, cores: usize) -> f64 {
+    requested.min((0.45 * cores as f64).max(0.85))
+}
+
+fn timed_sim(cfg: &HeavyConfig, expected: &BTreeSet<Message>, reps: u32) -> (f64, bool) {
+    let mut best = f64::INFINITY;
+    let mut correct = true;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let (digest, _) = run_heavy_sim(cfg);
+        best = best.min(started.elapsed().as_secs_f64() * 1e3);
+        correct &= digest == *expected;
+    }
+    (best, correct)
+}
+
+/// Run the full sweep.
+#[must_use]
+pub fn run_scaling(cfg: &ScalingConfig) -> ScalingReport {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workloads: [(&'static str, HeavyConfig); 2] = [
+        (
+            "uniform",
+            HeavyConfig::uniform(cfg.records, cfg.hash_rounds),
+        ),
+        ("skewed", HeavyConfig::skewed(cfg.records, cfg.hash_rounds)),
+    ];
+
+    let mut sim_ms = [0.0f64; 2];
+    let mut points = Vec::new();
+    for (wi, (name, heavy)) in workloads.iter().enumerate() {
+        // One sequential reference fold per workload, shared by the sim
+        // check and every parallel point.
+        let expected = expected_digest(heavy);
+        let (ms, sim_ok) = timed_sim(heavy, &expected, cfg.reps);
+        assert!(sim_ok, "simulator digest mismatch on {name}");
+        sim_ms[wi] = ms;
+        for &workers in &cfg.worker_counts {
+            for (mode, stealing) in [("stealing", true), ("static", false)] {
+                let tuning = ParTuning {
+                    stealing,
+                    batch_size: 32,
+                    ..ParTuning::default()
+                };
+                let mut best = f64::INFINITY;
+                let mut balance = 0.0;
+                let mut steals = 0;
+                let mut correct = true;
+                for _ in 0..cfg.reps.max(1) {
+                    let started = Instant::now();
+                    let (digest, stats) = run_heavy_par(heavy, workers, tuning);
+                    let elapsed = started.elapsed().as_secs_f64() * 1e3;
+                    if elapsed < best {
+                        best = elapsed;
+                        balance = stats.balance();
+                        steals = stats.total_steals();
+                    }
+                    correct &= digest == expected;
+                }
+                points.push(ScalingPoint {
+                    workload: name,
+                    workers,
+                    mode,
+                    millis: best,
+                    speedup_vs_sim: if best > 0.0 { ms / best } else { 0.0 },
+                    balance,
+                    steals,
+                    correct,
+                });
+            }
+        }
+    }
+
+    ScalingReport {
+        cores,
+        records: cfg.records,
+        hash_rounds: cfg.hash_rounds,
+        sim_uniform_ms: sim_ms[0],
+        sim_skewed_ms: sim_ms[1],
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_scales_with_cores() {
+        assert!((effective_floor(2.0, 1) - 0.85).abs() < 1e-12);
+        assert!((effective_floor(2.0, 2) - 0.9).abs() < 1e-12);
+        assert!((effective_floor(2.0, 4) - 1.8).abs() < 1e-12);
+        assert!(
+            (effective_floor(2.0, 8) - 2.0).abs() < 1e-12,
+            "capped at the request"
+        );
+        assert!((effective_floor(1.5, 16) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_sweep_produces_a_complete_report() {
+        let report = run_scaling(&ScalingConfig {
+            records: 2_000,
+            hash_rounds: 16,
+            worker_counts: vec![1, 4],
+            reps: 1,
+        });
+        assert_eq!(report.points.len(), 2 * 2 * 2); // workloads x workers x modes
+        assert!(report.all_correct());
+        assert!(report.headline_speedup() > 0.0);
+        assert!(report.stealing_over_static_skewed() > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"par_scaling\""));
+        assert!(json.contains("\"workload\": \"skewed\""));
+        let table = report.render_table();
+        assert!(table.contains("uniform"));
+    }
+}

@@ -7,6 +7,7 @@
 use crate::sim::Time;
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Statistics for one instance after a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +18,54 @@ pub struct InstanceStats {
     pub processed: u64,
     /// Last processing-completion time.
     pub busy_until: Time,
+}
+
+/// Per-worker scheduling statistics of one parallel run. These expose the
+/// skew-awareness of the work-stealing scheduler: differential tests can
+/// assert not only that backends agree on outputs, but that load actually
+/// balanced (and that static sharding did not).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Events (deliveries + ticks) this worker processed.
+    pub events: u64,
+    /// Instance activations (mailbox drain sessions) this worker ran.
+    pub activations: u64,
+    /// Tasks obtained by stealing from a sibling worker's deque.
+    pub steals: u64,
+    /// Tasks obtained from the global injector.
+    pub injector_pops: u64,
+    /// Tasks this worker spilled from its local deque to the injector
+    /// because the local queue exceeded the spill threshold.
+    pub spills: u64,
+    /// Times a bounded send parked waiting for mailbox space.
+    pub backpressure_parks: u64,
+    /// Bounded sends that overshot the capacity rather than park, because
+    /// parking would have left no runnable worker (the no-deadlock escape).
+    pub overflow_sends: u64,
+    /// Total time parked waiting for mailbox space.
+    pub backpressure_park_time: Duration,
+    /// Total time parked idle, waiting for runnable instances.
+    pub idle_park_time: Duration,
+    /// High-water mark of this worker's local run-queue length.
+    pub max_local_queue: usize,
+}
+
+/// Skew summary over per-worker event counts: `max / mean`, where `1.0`
+/// means perfectly balanced. Returns `0.0` when no events were processed.
+#[must_use]
+pub fn event_balance(workers: &[WorkerStats]) -> f64 {
+    if workers.is_empty() {
+        return 0.0;
+    }
+    let max = workers.iter().map(|w| w.events).max().unwrap_or(0);
+    let total: u64 = workers.iter().map(|w| w.events).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / workers.len() as f64;
+    max as f64 / mean
 }
 
 /// Aggregate statistics for a run.
@@ -185,6 +234,21 @@ mod tests {
         let ts = TimeSeries::new();
         ts.increment(5);
         assert_eq!(ts.downsample(10), vec![(5, 1)]);
+    }
+
+    #[test]
+    fn event_balance_summarizes_skew() {
+        let mk = |worker, events| WorkerStats {
+            worker,
+            events,
+            ..WorkerStats::default()
+        };
+        assert_eq!(event_balance(&[]), 0.0);
+        assert_eq!(event_balance(&[mk(0, 0), mk(1, 0)]), 0.0);
+        let even = event_balance(&[mk(0, 50), mk(1, 50)]);
+        assert!((even - 1.0).abs() < 1e-12);
+        let skewed = event_balance(&[mk(0, 90), mk(1, 10)]);
+        assert!((skewed - 1.8).abs() < 1e-12);
     }
 
     #[test]

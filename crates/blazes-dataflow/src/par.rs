@@ -1,116 +1,390 @@
 //! The multi-worker parallel executor.
 //!
 //! Where [`crate::sim`] *models* concurrency in virtual time, this backend
-//! *runs* it: component instances are sharded across OS worker threads,
-//! messages travel in batches over MPMC channels, and delivery order across
+//! *runs* it: component instances execute on OS worker threads, messages
+//! travel through per-instance FIFO mailboxes, and delivery order across
 //! producers is whatever the scheduler produces. This is exactly the
 //! execution regime the Blazes analysis reasons about — confluent
 //! (order-insensitive) topologies reach the same final state as any
 //! sequential interleaving, which the differential tests assert against the
 //! seeded simulator.
 //!
-//! Guarantees:
+//! # Scheduling
 //!
-//! * **Per-wire FIFO — always.** A wire's messages are processed in send
-//!   order: a wire's source instance lives on one worker, emissions are
-//!   enqueued in emission order, and the channels are FIFO. Seal and EOS
-//!   punctuations therefore never overtake the records they cover — the
-//!   invariant the sealing protocol needs (paper Section V-B1). Note this
-//!   is *stronger* than the simulator for channels configured with
-//!   [`ChannelConfig::with_fifo`]`(false)`: the datagram-like single-wire
-//!   reordering the simulator models is not reproduced here (cross-wire
-//!   interleaving remains nondeterministic), so ordering anomalies that
-//!   only arise from non-FIFO wires will not surface on this backend.
-//! * **At-least-once faults.** Channel `duplicate_prob` injects duplicate
-//!   deliveries and `loss_prob` counts a retransmission (the message is
-//!   still delivered — losses are retried, as in the simulator). Fault
-//!   draws come from per-worker seeded RNGs; unlike the simulator they are
-//!   *not* reproducible across runs, because draw order depends on thread
-//!   scheduling.
+//! The runtime is an actor-style scheduler with two modes, selected by
+//! [`ParBuilder::with_stealing`]:
+//!
+//! * **Work stealing** (default). Every instance has a mailbox and an
+//!   atomic *scheduled* flag. A sender that transitions the flag makes the
+//!   instance runnable by pushing its id onto the sending worker's local
+//!   deque (or the global injector, for external injections). Workers pop
+//!   their own deque first, then the injector, then steal from siblings
+//!   (Chase-Lev-style deques via the `crossbeam-deque` shim). A runnable
+//!   instance is drained up to [`ParBuilder::with_batch_size`] messages per
+//!   activation, then rescheduled if work remains — so a hot instance's
+//!   activations migrate to whichever worker is free, and skewed workloads
+//!   balance dynamically. [`ParBuilder::with_spill_threshold`] bounds the
+//!   local deque: beyond it, half spills to the injector for idle workers.
+//! * **Static sharding** (the pre-stealing scheduler, kept as a baseline).
+//!   Instance `i` is only ever run by worker `i % workers`; runnable ids go
+//!   to the owner's dedicated queue and are never stolen.
+//!
+//! # Backpressure
+//!
+//! [`ParBuilder::with_channel_capacity`] bounds every mailbox. A sender
+//! whose destination is full *parks* until the destination drains, instead
+//! of growing the queue without bound. Two rules keep this deadlock-free:
+//!
+//! 1. a worker never parks on a mailbox only it can drain (its own current
+//!    instance, or — under static sharding — any instance of its shard);
+//! 2. a worker never parks if it would be the last runnable worker: it
+//!    overshoots the capacity instead (counted in
+//!    [`WorkerStats::overflow_sends`]).
+//!
+//! So at least one worker is always runnable and quiescence is reached even
+//! for cyclic topologies; the bound is strict in steady state and soft only
+//! in the escape case.
+//!
+//! # Guarantees
+//!
+//! * **Per-wire FIFO — always.** The scheduled flag makes instance
+//!   execution exclusive: however activations migrate between workers, a
+//!   producer's emissions are routed into destination mailboxes *before*
+//!   the producer can be re-activated elsewhere, and mailboxes are FIFO.
+//!   Seal and EOS punctuations therefore never overtake the records they
+//!   cover — the invariant the sealing protocol needs (paper Section V-B1)
+//!   — including under bounded channels, where a parked send completes
+//!   before the producer proceeds. Note this is *stronger* than the
+//!   simulator for channels configured with [`ChannelConfig::with_fifo`]
+//!   `(false)`: single-wire reordering is not reproduced here.
+//! * **At-least-once faults, with reproducible schedules.** Channel
+//!   `duplicate_prob` injects duplicate deliveries and `loss_prob` counts
+//!   a retransmission (the message is still delivered — losses are
+//!   retried, as in the simulator). Fault draws come from *per-wire*
+//!   seeded RNG streams: the k-th *send* on a wire sees the same
+//!   loss/duplicate decisions whatever the worker count or thread
+//!   interleaving (unlike the per-worker RNGs this replaced, where even
+//!   the decision sequence depended on thread timing). Which *record*
+//!   occupies position k is deterministic only where the producer's
+//!   emission order is — always true for single-input pipelines, but at a
+//!   fan-in component the interleaving of its inputs still decides which
+//!   record each draw lands on.
 //! * **Quiescence.** `run` returns once every injected and derived message
 //!   has been processed, detected by a global in-flight counter.
 //!
-//! `Context::now` under this backend is a worker-local event ordinal, not
+//! `Context::now` under this backend is a per-instance event ordinal, not
 //! virtual microseconds: it orders the events one instance observed but is
-//! not comparable across workers.
+//! not comparable across instances.
 
 use crate::backend::ExecutorBuilder;
 use crate::channel::ChannelConfig;
 use crate::component::{Component, Context};
 use crate::message::Message;
-use crate::metrics::InstanceStats;
+use crate::metrics::{event_balance, InstanceStats, WorkerStats};
 use crate::sim::{InstanceId, Time};
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as TaskQueue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Default cap on worker threads when the builder does not pin a count.
 const DEFAULT_MAX_WORKERS: usize = 8;
 
-/// Default number of envelopes per cross-worker batch.
-const DEFAULT_BATCH_SIZE: usize = 64;
+/// Default number of messages drained per instance activation.
+pub const DEFAULT_BATCH_SIZE: usize = 64;
 
+/// How long a parked thread sleeps before re-checking its wake condition.
+/// Parks are also woken eagerly; the timeout only bounds lost-wakeup races.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Error returned by [`ParBuilder`] setters on invalid configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParConfigError {
+    /// Batch size must be at least 1.
+    ZeroBatchSize,
+    /// Channel capacity must be at least 1.
+    ZeroChannelCapacity,
+    /// Spill threshold must be at least 1.
+    ZeroSpillThreshold,
+}
+
+impl fmt::Display for ParConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParConfigError::ZeroBatchSize => f.write_str("batch size must be at least 1"),
+            ParConfigError::ZeroChannelCapacity => {
+                f.write_str("channel capacity must be at least 1")
+            }
+            ParConfigError::ZeroSpillThreshold => f.write_str("spill threshold must be at least 1"),
+        }
+    }
+}
+
+impl Error for ParConfigError {}
+
+/// Scheduler selection for a parallel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// Instance `i` is pinned to worker `i % workers` (the pre-stealing
+    /// scheduler, kept as a measurable baseline).
+    StaticShard,
+    /// Dynamic load balancing: runnable instances migrate to idle workers.
+    WorkStealing,
+}
+
+/// Tuning knobs for the parallel executor, bundled so higher layers (the
+/// Storm topology builder, benches) can thread them through without
+/// depending on every individual setter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParTuning {
+    /// Use the work-stealing scheduler (`false` = static sharding).
+    pub stealing: bool,
+    /// Messages drained per instance activation.
+    pub batch_size: usize,
+    /// Mailbox capacity; `None` = unbounded.
+    pub channel_capacity: Option<usize>,
+    /// Local-deque spill threshold; `None` = never spill.
+    pub spill_threshold: Option<usize>,
+}
+
+impl Default for ParTuning {
+    fn default() -> Self {
+        ParTuning {
+            stealing: true,
+            batch_size: DEFAULT_BATCH_SIZE,
+            channel_capacity: None,
+            spill_threshold: None,
+        }
+    }
+}
+
+/// One mailbox entry.
 #[derive(Debug)]
-enum Work {
-    Deliver {
-        dst: InstanceId,
-        port: usize,
-        msg: Message,
-    },
-    Tick {
-        dst: InstanceId,
-    },
+enum MailItem {
+    Deliver { port: usize, msg: Message },
+    Tick,
 }
 
-enum WorkerMsg {
-    Batch(Vec<Work>),
-    Shutdown,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Wire {
-    dst: InstanceId,
+/// A wire resolved for execution: destination plus the fault behavior and
+/// the wire's private RNG stream (present only when faults are configured).
+struct WireRt {
+    dst: usize,
     dst_port: usize,
-    channel: usize,
+    loss_prob: f64,
+    duplicate_prob: f64,
+    rng: Option<StdRng>,
 }
 
-struct ParInstance {
+/// Mutable per-instance state, owned by whichever worker holds the
+/// instance's scheduled flag (the mutex is uncontended by protocol; it
+/// exists so the compiler can prove the sharing safe).
+struct Cell {
     component: Box<dyn Component>,
-    wires: Vec<Vec<Wire>>,
+    wires: Vec<Vec<WireRt>>,
+    processed: u64,
+    now: Time,
 }
+
+struct Mailbox {
+    queue: Mutex<VecDeque<MailItem>>,
+    /// Signaled when the queue shrinks and senders are parked on it.
+    space: Condvar,
+    waiting_senders: AtomicUsize,
+    /// True while the instance is in a run queue or being executed.
+    scheduled: AtomicBool,
+    /// High-water mark of the queue length (stats).
+    depth_max: AtomicUsize,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            space: Condvar::new(),
+            waiting_senders: AtomicUsize::new(0),
+            scheduled: AtomicBool::new(false),
+            depth_max: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<MailItem>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn push_locked(&self, q: &mut VecDeque<MailItem>, item: MailItem) {
+        q.push_back(item);
+        let len = q.len();
+        if len > self.depth_max.load(Ordering::Relaxed) {
+            self.depth_max.store(len, Ordering::Relaxed);
+        }
+    }
+
+    fn pop(&self) -> Option<MailItem> {
+        let item = self.lock().pop_front();
+        if item.is_some() && self.waiting_senders.load(Ordering::SeqCst) > 0 {
+            self.space.notify_all();
+        }
+        item
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+struct Slot {
+    cell: Mutex<Cell>,
+    mailbox: Mailbox,
+}
+
+struct Counters {
+    in_flight: AtomicI64,
+    events: AtomicU64,
+    deliveries: AtomicU64,
+    duplicates: AtomicU64,
+    retransmits: AtomicU64,
+}
+
+/// State shared by all workers and the coordinating thread.
+struct Shared {
+    slots: Vec<Slot>,
+    mode: SchedulerMode,
+    workers: usize,
+    batch_size: usize,
+    capacity: Option<usize>,
+    spill_threshold: usize,
+    /// Global run queue (work-stealing mode; also external injections).
+    injector: Injector<usize>,
+    /// Per-worker run queues (static mode).
+    static_queues: Vec<Injector<usize>>,
+    /// Steal handles to every worker's local deque (work-stealing mode).
+    stealers: Vec<Stealer<usize>>,
+    counters: Counters,
+    done: AtomicBool,
+    /// Workers currently runnable (not parked). A sender refuses to park
+    /// when it would drop this to zero — the no-deadlock escape.
+    active: AtomicUsize,
+    /// Workers parked idle (lets senders skip the wake syscall when zero).
+    sleepers: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl Shared {
+    /// Mark the run finished and wake every parked thread.
+    fn finish(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        let guard = self
+            .idle_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.idle_cv.notify_all();
+        drop(guard);
+        for slot in &self.slots {
+            if slot.mailbox.waiting_senders.load(Ordering::SeqCst) > 0 {
+                slot.mailbox.space.notify_all();
+            }
+        }
+    }
+
+    /// Wake one parked worker if any are sleeping.
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let guard = self
+                .idle_lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // notify_all, not notify_one: under static sharding the task is
+            // only runnable by its owner, which may not be the thread a
+            // notify_one would pick.
+            self.idle_cv.notify_all();
+            drop(guard);
+        }
+    }
+
+    fn owner_of(&self, inst: usize) -> usize {
+        inst % self.workers
+    }
+
+    /// Push a mailbox item from the coordinating (non-worker) thread,
+    /// honoring capacity by waiting — workers guarantee progress, so the
+    /// wait always ends.
+    fn external_push(&self, dst: usize, item: MailItem) {
+        let mb = &self.slots[dst].mailbox;
+        let mut q = mb.lock();
+        if let Some(cap) = self.capacity {
+            while q.len() >= cap && !self.done.load(Ordering::SeqCst) {
+                mb.waiting_senders.fetch_add(1, Ordering::SeqCst);
+                let (guard, _) = mb
+                    .space
+                    .wait_timeout(q, PARK_TIMEOUT)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                q = guard;
+                mb.waiting_senders.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        mb.push_locked(&mut q, item);
+        drop(q);
+        if mb
+            .scheduled
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            match self.mode {
+                SchedulerMode::StaticShard => self.static_queues[self.owner_of(dst)].push(dst),
+                SchedulerMode::WorkStealing => self.injector.push(dst),
+            }
+            self.wake();
+        }
+    }
+}
+
+/// A wire as the builder records it: `(dst, dst_port, channel, wire_id)`.
+type WireSpec = (usize, usize, usize, u64);
 
 /// Builder for a parallel run: add instances, wire ports, inject inputs —
 /// the same assembly surface as [`crate::sim::SimBuilder`].
 pub struct ParBuilder {
-    instances: Vec<ParInstance>,
+    components: Vec<Box<dyn Component>>,
+    /// Outgoing wires, per instance, per output port.
+    wires: Vec<Vec<Vec<WireSpec>>>,
     channels: Vec<ChannelConfig>,
     injected: Vec<(Time, InstanceId, usize, Message)>,
     seed: u64,
+    next_wire_id: u64,
     workers: Option<usize>,
-    batch_size: usize,
+    tuning: ParTuning,
 }
 
 impl ParBuilder {
-    /// Start a new parallel run description. `seed` drives the per-worker
-    /// fault-injection RNGs.
+    /// Start a new parallel run description. `seed` drives the per-wire
+    /// fault-injection RNG streams.
     #[must_use]
     pub fn new(seed: u64) -> Self {
         ParBuilder {
-            instances: Vec::new(),
+            components: Vec::new(),
+            wires: Vec::new(),
             channels: Vec::new(),
             injected: Vec::new(),
             seed,
+            next_wire_id: 0,
             workers: None,
-            batch_size: DEFAULT_BATCH_SIZE,
+            tuning: ParTuning::default(),
         }
     }
 
     /// Pin the worker-thread count (default: available parallelism, capped
     /// at 8, never more than the instance count).
+    ///
+    /// # Panics
+    /// Panics when `workers` is zero.
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
@@ -118,23 +392,80 @@ impl ParBuilder {
         self
     }
 
-    /// Set the cross-worker delivery batch size (default 64). Larger
-    /// batches amortize channel synchronization; smaller ones reduce
-    /// latency skew between workers.
+    /// Set the per-activation drain batch size (default
+    /// [`DEFAULT_BATCH_SIZE`]). Larger batches amortize scheduling; smaller
+    /// ones migrate hot instances between workers more eagerly.
+    ///
+    /// # Errors
+    /// [`ParConfigError::ZeroBatchSize`] when `batch_size` is zero.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Result<Self, ParConfigError> {
+        if batch_size == 0 {
+            return Err(ParConfigError::ZeroBatchSize);
+        }
+        self.tuning.batch_size = batch_size;
+        Ok(self)
+    }
+
+    /// Select the scheduler: `true` (default) for work stealing, `false`
+    /// for the static `id % workers` sharding baseline.
     #[must_use]
-    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
-        assert!(batch_size > 0, "batch size must be positive");
-        self.batch_size = batch_size;
+    pub fn with_stealing(mut self, stealing: bool) -> Self {
+        self.tuning.stealing = stealing;
         self
+    }
+
+    /// Bound every mailbox to `capacity` messages; a full destination parks
+    /// the sender (backpressure) instead of queueing without limit. See the
+    /// module docs for the no-deadlock escape that makes the bound soft in
+    /// pathological cases.
+    ///
+    /// # Errors
+    /// [`ParConfigError::ZeroChannelCapacity`] when `capacity` is zero.
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Result<Self, ParConfigError> {
+        if capacity == 0 {
+            return Err(ParConfigError::ZeroChannelCapacity);
+        }
+        self.tuning.channel_capacity = Some(capacity);
+        Ok(self)
+    }
+
+    /// Spill half of a worker's local run queue to the global injector when
+    /// it grows beyond `threshold`, so idle workers can pick the work up
+    /// without stealing (work-stealing mode only).
+    ///
+    /// # Errors
+    /// [`ParConfigError::ZeroSpillThreshold`] when `threshold` is zero.
+    pub fn with_spill_threshold(mut self, threshold: usize) -> Result<Self, ParConfigError> {
+        if threshold == 0 {
+            return Err(ParConfigError::ZeroSpillThreshold);
+        }
+        self.tuning.spill_threshold = Some(threshold);
+        Ok(self)
+    }
+
+    /// Apply a [`ParTuning`] bundle.
+    ///
+    /// # Errors
+    /// The same validation errors as the individual setters.
+    pub fn with_tuning(mut self, tuning: ParTuning) -> Result<Self, ParConfigError> {
+        if tuning.batch_size == 0 {
+            return Err(ParConfigError::ZeroBatchSize);
+        }
+        if tuning.channel_capacity == Some(0) {
+            return Err(ParConfigError::ZeroChannelCapacity);
+        }
+        if tuning.spill_threshold == Some(0) {
+            return Err(ParConfigError::ZeroSpillThreshold);
+        }
+        self.tuning = tuning;
+        Ok(self)
     }
 
     /// Add a component instance.
     pub fn add_instance(&mut self, component: Box<dyn Component>) -> InstanceId {
-        let id = InstanceId(self.instances.len());
-        self.instances.push(ParInstance {
-            component,
-            wires: Vec::new(),
-        });
+        let id = InstanceId(self.components.len());
+        self.components.push(component);
+        self.wires.push(Vec::new());
         id
     }
 
@@ -145,7 +476,9 @@ impl ParBuilder {
     }
 
     /// Wire output `out_port` of `from` to input `in_port` of `to` over the
-    /// channel registered as `channel`.
+    /// channel registered as `channel`. Wires are numbered in registration
+    /// order; the number seeds the wire's fault RNG stream, which is what
+    /// makes fault schedules independent of the worker count.
     pub fn connect(
         &mut self,
         from: InstanceId,
@@ -155,16 +488,14 @@ impl ParBuilder {
         channel: usize,
     ) {
         assert!(channel < self.channels.len(), "unknown channel handle");
-        assert!(to.0 < self.instances.len(), "unknown destination instance");
-        let wires = &mut self.instances[from.0].wires;
+        assert!(to.0 < self.components.len(), "unknown destination instance");
+        let wires = &mut self.wires[from.0];
         if wires.len() <= out_port {
             wires.resize_with(out_port + 1, Vec::new);
         }
-        wires[out_port].push(Wire {
-            dst: to,
-            dst_port: in_port,
-            channel,
-        });
+        let wire_id = self.next_wire_id;
+        self.next_wire_id += 1;
+        wires[out_port].push((to.0, in_port, channel, wire_id));
     }
 
     /// Convenience: wire with a fresh channel config.
@@ -197,18 +528,60 @@ impl ParBuilder {
             std::thread::available_parallelism()
                 .map_or(2, std::num::NonZeroUsize::get)
                 .min(DEFAULT_MAX_WORKERS)
-                .min(self.instances.len().max(1))
+                .min(self.components.len().max(1))
         });
         // Dispatch order: ascending injection time, insertion order on ties
         // (stable sort), mirroring the simulator's opening event order.
         self.injected.sort_by_key(|&(at, _, _, _)| at);
+
+        let seed = self.seed;
+        let channels = self.channels;
+        let slots: Vec<Slot> = self
+            .components
+            .into_iter()
+            .zip(self.wires)
+            .map(|(component, ports)| {
+                let wires = ports
+                    .into_iter()
+                    .map(|port_wires| {
+                        port_wires
+                            .into_iter()
+                            .map(|(dst, dst_port, channel, wire_id)| {
+                                let cfg = &channels[channel];
+                                let faulty = cfg.loss_prob > 0.0 || cfg.duplicate_prob > 0.0;
+                                WireRt {
+                                    dst,
+                                    dst_port,
+                                    loss_prob: cfg.loss_prob,
+                                    duplicate_prob: cfg.duplicate_prob,
+                                    rng: faulty.then(|| {
+                                        StdRng::seed_from_u64(
+                                            seed ^ (wire_id + 1)
+                                                .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                                        )
+                                    }),
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Slot {
+                    cell: Mutex::new(Cell {
+                        component,
+                        wires,
+                        processed: 0,
+                        now: 0,
+                    }),
+                    mailbox: Mailbox::new(),
+                }
+            })
+            .collect();
+
         ParExecutor {
-            instances: self.instances,
-            channels: Arc::from(self.channels),
+            slots,
             injected: self.injected,
-            seed: self.seed,
             workers,
-            batch_size: self.batch_size,
+            tuning: self.tuning,
         }
     }
 }
@@ -256,10 +629,16 @@ pub struct ParStats {
     pub retransmits: u64,
     /// Worker threads used.
     pub workers: usize,
+    /// Scheduler the run used.
+    pub mode: SchedulerMode,
     /// Wall-clock duration of the run.
     pub wall_time: Duration,
     /// Per-instance breakdown (`busy_until` is 0: no virtual clock).
     pub per_instance: Vec<InstanceStats>,
+    /// Per-worker scheduling breakdown (steals, parks, spills, skew).
+    pub per_worker: Vec<WorkerStats>,
+    /// High-water mark over all mailbox depths.
+    pub max_mailbox_depth: usize,
 }
 
 impl ParStats {
@@ -272,24 +651,27 @@ impl ParStats {
         }
         self.messages_delivered as f64 / secs
     }
-}
 
-struct Counters {
-    in_flight: AtomicI64,
-    events: AtomicU64,
-    deliveries: AtomicU64,
-    duplicates: AtomicU64,
-    retransmits: AtomicU64,
+    /// Load-balance summary: max worker events over mean worker events
+    /// (1.0 = perfectly even).
+    #[must_use]
+    pub fn balance(&self) -> f64 {
+        event_balance(&self.per_worker)
+    }
+
+    /// Total tasks obtained by stealing, across workers.
+    #[must_use]
+    pub fn total_steals(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.steals).sum()
+    }
 }
 
 /// A runnable parallel execution.
 pub struct ParExecutor {
-    instances: Vec<ParInstance>,
-    channels: Arc<[ChannelConfig]>,
+    slots: Vec<Slot>,
     injected: Vec<(Time, InstanceId, usize, Message)>,
-    seed: u64,
     workers: usize,
-    batch_size: usize,
+    tuning: ParTuning,
 }
 
 impl ParExecutor {
@@ -301,79 +683,75 @@ impl ParExecutor {
     pub fn run(self) -> ParStats {
         let started = Instant::now();
         let workers = self.workers;
-        let counters = Arc::new(Counters {
-            in_flight: AtomicI64::new(self.injected.len() as i64),
-            events: AtomicU64::new(0),
-            deliveries: AtomicU64::new(0),
-            duplicates: AtomicU64::new(0),
-            retransmits: AtomicU64::new(0),
+        let mode = if self.tuning.stealing {
+            SchedulerMode::WorkStealing
+        } else {
+            SchedulerMode::StaticShard
+        };
+
+        let locals: Vec<TaskQueue<usize>> = (0..workers).map(|_| TaskQueue::new_fifo()).collect();
+        let stealers = locals.iter().map(TaskQueue::stealer).collect();
+
+        let shared = Arc::new(Shared {
+            slots: self.slots,
+            mode,
+            workers,
+            batch_size: self.tuning.batch_size,
+            capacity: self.tuning.channel_capacity,
+            spill_threshold: self.tuning.spill_threshold.unwrap_or(usize::MAX),
+            injector: Injector::new(),
+            static_queues: (0..workers).map(|_| Injector::new()).collect(),
+            stealers,
+            counters: Counters {
+                in_flight: AtomicI64::new(self.injected.len() as i64),
+                events: AtomicU64::new(0),
+                deliveries: AtomicU64::new(0),
+                duplicates: AtomicU64::new(0),
+                retransmits: AtomicU64::new(0),
+            },
+            done: AtomicBool::new(false),
+            active: AtomicUsize::new(workers),
+            sleepers: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
         });
 
-        let (txs, rxs): (Vec<Sender<WorkerMsg>>, Vec<Receiver<WorkerMsg>>) =
-            (0..workers).map(|_| unbounded()).unzip();
-
-        // Shard instances: worker w owns instance slots with id % workers == w.
-        let total_instances = self.instances.len();
-        let mut shards: Vec<Vec<Option<ParInstance>>> = (0..workers)
-            .map(|_| {
-                std::iter::repeat_with(|| None)
-                    .take(total_instances)
-                    .collect()
-            })
-            .collect();
-        let worker_of = |i: usize| i % workers;
-        for (i, inst) in self.instances.into_iter().enumerate() {
-            shards[worker_of(i)][i] = Some(inst);
-        }
-
-        // Per-worker injection batches, in global dispatch order.
-        let mut inject_batches: Vec<Vec<Work>> = (0..workers).map(|_| Vec::new()).collect();
-        let injected_empty = self.injected.is_empty();
-        for (_, to, port, msg) in self.injected {
-            inject_batches[worker_of(to.0)].push(Work::Deliver { dst: to, port, msg });
+        if self.injected.is_empty() {
+            // Nothing will ever decrement the counter to trigger shutdown.
+            shared.done.store(true, Ordering::SeqCst);
         }
 
         let mut handles = Vec::with_capacity(workers);
-        for (w, (shard, rx)) in shards.into_iter().zip(rxs).enumerate() {
+        for (w, local) in locals.into_iter().enumerate() {
             let ctx = WorkerCtx {
+                shared: Arc::clone(&shared),
                 idx: w,
-                workers,
-                batch_size: self.batch_size,
-                rx,
-                txs: txs.clone(),
-                channels: Arc::clone(&self.channels),
-                counters: Arc::clone(&counters),
-                rng: StdRng::seed_from_u64(
-                    self.seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                ),
+                local,
+                local_len: 0,
+                ws: WorkerStats {
+                    worker: w,
+                    ..WorkerStats::default()
+                },
             };
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("blazes-par-{w}"))
-                    .spawn(move || ctx.run(shard))
+                    .spawn(move || ctx.run())
                     .expect("spawn worker thread"),
             );
         }
 
-        // Dispatch injections (workers are already listening).
-        for (w, batch) in inject_batches.into_iter().enumerate() {
-            if !batch.is_empty() {
-                let _ = txs[w].send(WorkerMsg::Batch(batch));
-            }
+        // Dispatch injections (workers are already listening). Pushing in
+        // the sorted order preserves each instance's injection sequence.
+        for (_, to, port, msg) in self.injected {
+            shared.external_push(to.0, MailItem::Deliver { port, msg });
         }
-        if injected_empty {
-            // Nothing will ever decrement the counter to trigger shutdown.
-            for tx in &txs {
-                let _ = tx.send(WorkerMsg::Shutdown);
-            }
-        }
-        drop(txs);
 
-        let mut per_instance: Vec<(usize, InstanceStats)> = Vec::with_capacity(total_instances);
+        let mut per_worker = Vec::with_capacity(workers);
         let mut panic_payload = None;
         for handle in handles {
             match handle.join() {
-                Ok(stats) => per_instance.extend(stats),
+                Ok(ws) => per_worker.push(ws),
                 Err(payload) => {
                     // Keep the first worker's payload: later panics are
                     // usually cascades of the originating failure.
@@ -386,223 +764,378 @@ impl ParExecutor {
         if let Some(payload) = panic_payload {
             std::panic::resume_unwind(payload);
         }
-        per_instance.sort_by_key(|&(i, _)| i);
+        per_worker.sort_by_key(|w| w.worker);
+
+        let shared = Arc::into_inner(shared).expect("workers joined, no other holders");
+        let mut per_instance = Vec::with_capacity(shared.slots.len());
+        let mut max_mailbox_depth = 0;
+        for slot in shared.slots {
+            max_mailbox_depth = max_mailbox_depth.max(slot.mailbox.depth_max.into_inner());
+            let cell = slot
+                .cell
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            per_instance.push(InstanceStats {
+                name: cell.component.name().to_string(),
+                processed: cell.processed,
+                busy_until: 0,
+            });
+        }
 
         ParStats {
-            events_processed: counters.events.load(Ordering::SeqCst),
-            messages_delivered: counters.deliveries.load(Ordering::SeqCst),
-            duplicates: counters.duplicates.load(Ordering::SeqCst),
-            retransmits: counters.retransmits.load(Ordering::SeqCst),
+            events_processed: shared.counters.events.load(Ordering::SeqCst),
+            messages_delivered: shared.counters.deliveries.load(Ordering::SeqCst),
+            duplicates: shared.counters.duplicates.load(Ordering::SeqCst),
+            retransmits: shared.counters.retransmits.load(Ordering::SeqCst),
             workers,
+            mode,
             wall_time: started.elapsed(),
-            per_instance: per_instance.into_iter().map(|(_, s)| s).collect(),
+            per_instance,
+            per_worker,
+            max_mailbox_depth,
         }
     }
 }
 
-/// Broadcasts shutdown if the owning worker unwinds, so sibling workers
-/// (and the joining coordinator) cannot deadlock on a dead peer.
+/// Sets the global done flag if the owning worker unwinds, so sibling
+/// workers (and the joining coordinator) cannot deadlock on a dead peer.
 struct PanicGuard {
-    txs: Vec<Sender<WorkerMsg>>,
+    shared: Arc<Shared>,
 }
 
 impl Drop for PanicGuard {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            for tx in &self.txs {
-                let _ = tx.send(WorkerMsg::Shutdown);
-            }
+            self.shared.finish();
         }
     }
 }
 
 struct WorkerCtx {
+    shared: Arc<Shared>,
     idx: usize,
-    workers: usize,
-    batch_size: usize,
-    rx: Receiver<WorkerMsg>,
-    txs: Vec<Sender<WorkerMsg>>,
-    channels: Arc<[ChannelConfig]>,
-    counters: Arc<Counters>,
-    rng: StdRng,
+    local: TaskQueue<usize>,
+    /// Approximate local queue length (stealers may shrink it unseen;
+    /// batch steals into the deque resync it in `find_task`).
+    local_len: usize,
+    ws: WorkerStats,
 }
 
 impl WorkerCtx {
-    fn run(mut self, mut shard: Vec<Option<ParInstance>>) -> Vec<(usize, InstanceStats)> {
+    fn run(mut self) -> WorkerStats {
         let guard = PanicGuard {
-            txs: self.txs.clone(),
+            shared: Arc::clone(&self.shared),
         };
-        let mut local: VecDeque<Work> = VecDeque::new();
-        let mut out_bufs: Vec<Vec<Work>> = (0..self.workers).map(|_| Vec::new()).collect();
-        let mut processed: Vec<u64> = vec![0; shard.len()];
-        let mut now: Time = 0;
-
-        'outer: loop {
-            match self.rx.recv() {
-                Ok(WorkerMsg::Batch(batch)) => {
-                    local.extend(batch);
-                    while let Some(work) = local.pop_front() {
-                        now += 1;
-                        self.process(
-                            work,
-                            now,
-                            &mut shard,
-                            &mut processed,
-                            &mut local,
-                            &mut out_bufs,
-                        );
-                        // This event and everything it spawned are now
-                        // accounted; if the global counter hits zero the
-                        // whole run is quiescent.
-                        if self.counters.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
-                            for tx in &self.txs {
-                                let _ = tx.send(WorkerMsg::Shutdown);
-                            }
-                            break 'outer;
-                        }
+        // One Arc clone for the whole worker lifetime; the hot path below
+        // passes `&Shared` down instead of touching the refcount per call.
+        let shared = Arc::clone(&self.shared);
+        loop {
+            if shared.done.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.find_task(&shared) {
+                Some(inst) => self.run_instance(&shared, inst),
+                None => {
+                    if !self.idle_park(&shared) {
+                        break;
                     }
-                    self.flush_all(&mut out_bufs);
                 }
-                Ok(WorkerMsg::Shutdown) | Err(_) => break 'outer,
             }
         }
         drop(guard);
-
-        shard
-            .into_iter()
-            .enumerate()
-            .filter_map(|(i, slot)| {
-                slot.map(|inst| {
-                    (
-                        i,
-                        InstanceStats {
-                            name: inst.component.name().to_string(),
-                            processed: processed[i],
-                            busy_until: 0,
-                        },
-                    )
-                })
-            })
-            .collect()
+        self.ws
     }
 
-    fn process(
-        &mut self,
-        work: Work,
-        now: Time,
-        shard: &mut [Option<ParInstance>],
-        processed: &mut [u64],
-        local: &mut VecDeque<Work>,
-        out_bufs: &mut [Vec<Work>],
-    ) {
-        self.counters.events.fetch_add(1, Ordering::Relaxed);
-        let (instance, ctx) = match work {
-            Work::Deliver { dst, port, msg } => {
-                self.counters.deliveries.fetch_add(1, Ordering::Relaxed);
-                let inst = shard[dst.0]
-                    .as_mut()
-                    .expect("delivery routed to owning worker");
-                let mut ctx = Context::new(now, dst);
-                inst.component.on_message(port, msg, &mut ctx);
-                processed[dst.0] += 1;
-                (dst, ctx)
+    fn find_task(&mut self, shared: &Shared) -> Option<usize> {
+        if let Some(inst) = self.local.pop() {
+            self.local_len = self.local_len.saturating_sub(1);
+            return Some(inst);
+        }
+        self.local_len = 0;
+        match shared.mode {
+            SchedulerMode::StaticShard => {
+                match Self::steal_until_settled(|| {
+                    shared.static_queues[self.idx].steal_batch_and_pop(&self.local)
+                }) {
+                    Some(inst) => {
+                        // Batch steals moved extra tasks into the local
+                        // deque; resync the length estimate.
+                        self.local_len = self.local.len();
+                        self.ws.injector_pops += 1;
+                        Some(inst)
+                    }
+                    None => None,
+                }
             }
-            Work::Tick { dst } => {
-                let inst = shard[dst.0].as_mut().expect("tick routed to owning worker");
-                let mut ctx = Context::new(now, dst);
-                inst.component.on_tick(&mut ctx);
-                (dst, ctx)
+            SchedulerMode::WorkStealing => {
+                if let Some(inst) =
+                    Self::steal_until_settled(|| shared.injector.steal_batch_and_pop(&self.local))
+                {
+                    self.local_len = self.local.len();
+                    self.ws.injector_pops += 1;
+                    return Some(inst);
+                }
+                // Steal from siblings, starting just past ourselves so the
+                // pressure spreads instead of converging on worker 0.
+                for i in 1..shared.workers {
+                    let victim = (self.idx + i) % shared.workers;
+                    if let Some(inst) =
+                        Self::steal_until_settled(|| shared.stealers[victim].steal())
+                    {
+                        self.ws.steals += 1;
+                        return Some(inst);
+                    }
+                }
+                None
             }
-        };
+        }
+    }
+
+    /// Retry a steal operation until it yields success or empty.
+    fn steal_until_settled(mut op: impl FnMut() -> Steal<usize>) -> Option<usize> {
+        loop {
+            match op() {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => return None,
+                Steal::Retry => {}
+            }
+        }
+    }
+
+    /// Drain up to `batch_size` messages from one instance, then release or
+    /// reschedule it.
+    fn run_instance(&mut self, shared: &Shared, inst: usize) {
+        let slot = &shared.slots[inst];
+        self.ws.activations += 1;
+        let mut cell = slot
+            .cell
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut drained = 0usize;
+        while drained < shared.batch_size {
+            let Some(item) = slot.mailbox.pop() else {
+                break;
+            };
+            self.process(shared, inst, item, &mut cell);
+            drained += 1;
+            self.ws.events += 1;
+            // This event and everything it spawned are now accounted; if
+            // the global counter hits zero the whole run is quiescent.
+            if shared.counters.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+                drop(cell);
+                shared.finish();
+                return;
+            }
+        }
+        drop(cell);
+
+        // Release protocol: keep the scheduled flag while work remains;
+        // otherwise clear it and re-check for the racing producer whose
+        // flag CAS failed just before we cleared.
+        if !slot.mailbox.is_empty() {
+            self.enqueue_ready(shared, inst);
+        } else {
+            slot.mailbox.scheduled.store(false, Ordering::SeqCst);
+            if !slot.mailbox.is_empty()
+                && slot
+                    .mailbox
+                    .scheduled
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                self.enqueue_ready(shared, inst);
+            }
+        }
+    }
+
+    fn process(&mut self, shared: &Shared, inst: usize, item: MailItem, cell: &mut Cell) {
+        shared.counters.events.fetch_add(1, Ordering::Relaxed);
+        cell.now += 1;
+        let mut ctx = Context::new(cell.now, InstanceId(inst));
+        match item {
+            MailItem::Deliver { port, msg } => {
+                shared.counters.deliveries.fetch_add(1, Ordering::Relaxed);
+                cell.component.on_message(port, msg, &mut ctx);
+                cell.processed += 1;
+            }
+            MailItem::Tick => cell.component.on_tick(&mut ctx),
+        }
 
         let Context { emitted, ticks, .. } = ctx;
         for (out_port, msg) in emitted {
-            self.route(instance, out_port, msg, shard, local, out_bufs);
+            self.route(shared, inst, out_port, msg, &mut cell.wires);
         }
         for _delay in ticks {
             // No virtual clock: a tick fires as the instance's next
             // self-event, preserving order relative to its own emissions.
-            self.enqueue(Work::Tick { dst: instance }, local, out_bufs);
+            self.send(shared, inst, inst, MailItem::Tick);
         }
     }
 
-    /// Route one emission along every wire of `(instance, out_port)`.
+    /// Route one emission along every wire of `(instance, out_port)`,
+    /// drawing faults from each wire's private RNG stream.
     fn route(
         &mut self,
-        from: InstanceId,
+        shared: &Shared,
+        from: usize,
         out_port: usize,
         msg: Message,
-        shard: &[Option<ParInstance>],
-        local: &mut VecDeque<Work>,
-        out_bufs: &mut [Vec<Work>],
+        wires: &mut [Vec<WireRt>],
     ) {
-        let wires = shard[from.0]
-            .as_ref()
-            .expect("emitting instance is local")
-            .wires
-            .get(out_port)
-            .map_or(&[][..], Vec::as_slice);
-        for &wire in wires {
-            let cfg = &self.channels[wire.channel];
-            if cfg.loss_prob > 0.0 && self.rng.random::<f64>() < cfg.loss_prob {
-                // The first transmission is lost and retried; delivery
-                // still happens (at-least-once), just counted.
-                self.counters.retransmits.fetch_add(1, Ordering::Relaxed);
+        let Some(port_wires) = wires.get_mut(out_port) else {
+            return;
+        };
+        for wire in port_wires {
+            let mut duplicate = false;
+            if let Some(rng) = wire.rng.as_mut() {
+                if wire.loss_prob > 0.0 && rng.random::<f64>() < wire.loss_prob {
+                    // The first transmission is lost and retried; delivery
+                    // still happens (at-least-once), just counted.
+                    shared.counters.retransmits.fetch_add(1, Ordering::Relaxed);
+                }
+                duplicate = wire.duplicate_prob > 0.0 && rng.random::<f64>() < wire.duplicate_prob;
             }
-            let duplicate =
-                cfg.duplicate_prob > 0.0 && self.rng.random::<f64>() < cfg.duplicate_prob;
-            self.enqueue(
-                Work::Deliver {
-                    dst: wire.dst,
-                    port: wire.dst_port,
+            let dst = wire.dst;
+            let dst_port = wire.dst_port;
+            self.send(
+                shared,
+                from,
+                dst,
+                MailItem::Deliver {
+                    port: dst_port,
                     msg: msg.clone(),
                 },
-                local,
-                out_bufs,
             );
             if duplicate {
-                self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
-                self.enqueue(
-                    Work::Deliver {
-                        dst: wire.dst,
-                        port: wire.dst_port,
+                shared.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                self.send(
+                    shared,
+                    from,
+                    dst,
+                    MailItem::Deliver {
+                        port: dst_port,
                         msg: msg.clone(),
                     },
-                    local,
-                    out_bufs,
                 );
             }
         }
     }
 
-    /// Account one in-flight unit and queue the work item for its owner.
-    fn enqueue(&self, work: Work, local: &mut VecDeque<Work>, out_bufs: &mut [Vec<Work>]) {
-        self.counters.in_flight.fetch_add(1, Ordering::SeqCst);
-        let dst_worker = match &work {
-            Work::Deliver { dst, .. } | Work::Tick { dst } => dst.0 % self.workers,
-        };
-        if dst_worker == self.idx {
-            local.push_back(work);
-        } else {
-            let buf = &mut out_bufs[dst_worker];
-            buf.push(work);
-            // Batch-size trigger lives here — the only place a buffer
-            // grows — so it costs O(1) per emission, not O(workers) per
-            // processed event.
-            if buf.len() >= self.batch_size {
-                let _ = self.txs[dst_worker].send(WorkerMsg::Batch(std::mem::take(buf)));
+    /// Account one in-flight unit, push into the destination mailbox
+    /// (parking on a bounded full mailbox when it is safe to do so), and
+    /// make the destination runnable.
+    fn send(&mut self, shared: &Shared, src: usize, dst: usize, item: MailItem) {
+        shared.counters.in_flight.fetch_add(1, Ordering::SeqCst);
+        let mb = &shared.slots[dst].mailbox;
+        let mut q = mb.lock();
+        if let Some(cap) = shared.capacity {
+            // Never park on a mailbox only this worker can drain: the
+            // current instance's own (self-loop), or — under static
+            // sharding — any instance of this worker's shard.
+            let self_drained = dst == src
+                || (shared.mode == SchedulerMode::StaticShard && shared.owner_of(dst) == self.idx);
+            if !self_drained {
+                while q.len() >= cap && !shared.done.load(Ordering::SeqCst) {
+                    // Refuse to be the last runnable worker (the
+                    // no-deadlock escape): overshoot instead.
+                    let prev = shared.active.fetch_sub(1, Ordering::SeqCst);
+                    if prev <= 1 {
+                        shared.active.fetch_add(1, Ordering::SeqCst);
+                        self.ws.overflow_sends += 1;
+                        break;
+                    }
+                    mb.waiting_senders.fetch_add(1, Ordering::SeqCst);
+                    self.ws.backpressure_parks += 1;
+                    let parked = Instant::now();
+                    let (guard, _) = mb
+                        .space
+                        .wait_timeout(q, PARK_TIMEOUT)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    q = guard;
+                    mb.waiting_senders.fetch_sub(1, Ordering::SeqCst);
+                    shared.active.fetch_add(1, Ordering::SeqCst);
+                    self.ws.backpressure_park_time += parked.elapsed();
+                }
             }
+        }
+        mb.push_locked(&mut q, item);
+        drop(q);
+        if mb
+            .scheduled
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.enqueue_ready(shared, dst);
         }
     }
 
-    /// Flush every non-empty cross-worker buffer (must run before the
-    /// worker blocks on its receive channel again).
-    fn flush_all(&self, out_bufs: &mut [Vec<Work>]) {
-        for (w, buf) in out_bufs.iter_mut().enumerate() {
-            if !buf.is_empty() {
-                let _ = self.txs[w].send(WorkerMsg::Batch(std::mem::take(buf)));
+    /// Put a runnable instance where a worker will find it.
+    fn enqueue_ready(&mut self, shared: &Shared, inst: usize) {
+        match shared.mode {
+            SchedulerMode::StaticShard => {
+                shared.static_queues[shared.owner_of(inst)].push(inst);
+            }
+            SchedulerMode::WorkStealing => {
+                self.local.push(inst);
+                self.local_len += 1;
+                if self.local_len > self.ws.max_local_queue {
+                    self.ws.max_local_queue = self.local_len;
+                }
+                if self.local_len > shared.spill_threshold {
+                    // Shed half the local queue to the injector so idle
+                    // workers can pick it up without stealing.
+                    let target = shared.spill_threshold / 2;
+                    while self.local_len > target {
+                        match self.local.pop() {
+                            Some(t) => {
+                                shared.injector.push(t);
+                                self.local_len -= 1;
+                                self.ws.spills += 1;
+                            }
+                            None => {
+                                self.local_len = 0;
+                                break;
+                            }
+                        }
+                    }
+                }
             }
         }
+        shared.wake();
+    }
+
+    /// Park until new work may exist. Returns `false` when the run is done.
+    fn idle_park(&mut self, shared: &Shared) -> bool {
+        let guard = shared
+            .idle_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if shared.done.load(Ordering::SeqCst) {
+            return false;
+        }
+        // Re-check under the lock so a wake between our failed find_task
+        // and this park cannot be lost.
+        let maybe_work = match shared.mode {
+            SchedulerMode::StaticShard => !shared.static_queues[self.idx].is_empty(),
+            SchedulerMode::WorkStealing => {
+                !shared.injector.is_empty() || shared.stealers.iter().any(|s| !s.is_empty())
+            }
+        };
+        if maybe_work {
+            return true;
+        }
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+        let parked = Instant::now();
+        let (guard, _) = shared
+            .idle_cv
+            .wait_timeout(guard, PARK_TIMEOUT)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        drop(guard);
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        self.ws.idle_park_time += parked.elapsed();
+        !shared.done.load(Ordering::SeqCst)
     }
 }
 
@@ -618,39 +1151,91 @@ mod tests {
         }))
     }
 
+    /// Run the same assembly under every scheduler variant worth covering.
+    fn variants() -> Vec<(&'static str, ParTuning)> {
+        vec![
+            ("stealing", ParTuning::default()),
+            (
+                "static",
+                ParTuning {
+                    stealing: false,
+                    ..ParTuning::default()
+                },
+            ),
+            (
+                "stealing-bounded",
+                ParTuning {
+                    channel_capacity: Some(4),
+                    batch_size: 3,
+                    ..ParTuning::default()
+                },
+            ),
+            (
+                "static-bounded",
+                ParTuning {
+                    stealing: false,
+                    channel_capacity: Some(4),
+                    batch_size: 3,
+                    ..ParTuning::default()
+                },
+            ),
+            (
+                "stealing-spill",
+                ParTuning {
+                    spill_threshold: Some(2),
+                    batch_size: 1,
+                    ..ParTuning::default()
+                },
+            ),
+        ]
+    }
+
     #[test]
     fn delivers_every_message_exactly_once() {
-        let mut b = ParBuilder::new(1).with_workers(4);
-        let e = b.add_instance(echo());
-        let sink = CollectorSink::new();
-        let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::lan());
-        for i in 0..500i64 {
-            b.inject(0, e, 0, Message::data([i]));
+        for (name, tuning) in variants() {
+            let mut b = ParBuilder::new(1)
+                .with_workers(4)
+                .with_tuning(tuning)
+                .unwrap();
+            let e = b.add_instance(echo());
+            let sink = CollectorSink::new();
+            let s = b.add_instance(Box::new(sink.clone()));
+            b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+            for i in 0..500i64 {
+                b.inject(0, e, 0, Message::data([i]));
+            }
+            let stats = b.build().run();
+            assert_eq!(sink.len(), 500, "{name}");
+            assert_eq!(stats.messages_delivered, 1_000, "{name}"); // 500 at echo + 500 at sink
+            let expected: std::collections::BTreeSet<Message> =
+                (0..500i64).map(|i| Message::data([i])).collect();
+            assert_eq!(sink.message_set(), expected, "{name}");
         }
-        let stats = b.build().run();
-        assert_eq!(sink.len(), 500);
-        assert_eq!(stats.messages_delivered, 1_000); // 500 at echo + 500 at sink
-        let expected: std::collections::BTreeSet<Message> =
-            (0..500i64).map(|i| Message::data([i])).collect();
-        assert_eq!(sink.message_set(), expected);
     }
 
     #[test]
     fn single_wire_preserves_send_order() {
-        // One producer, one sink, possibly on different workers: per-wire
-        // FIFO must hold whatever the thread interleaving.
-        let mut b = ParBuilder::new(3).with_workers(2).with_batch_size(7);
-        let e = b.add_instance(echo());
-        let sink = CollectorSink::new();
-        let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::lan());
-        for i in 0..200i64 {
-            b.inject(0, e, 0, Message::data([i]));
+        // One producer, one sink, activations migrating between workers:
+        // per-wire FIFO must hold whatever the thread interleaving — also
+        // under bounded channels, where senders park mid-stream.
+        for (name, tuning) in variants() {
+            let mut b = ParBuilder::new(3)
+                .with_workers(2)
+                .with_tuning(tuning)
+                .unwrap()
+                .with_batch_size(7)
+                .unwrap();
+            let e = b.add_instance(echo());
+            let sink = CollectorSink::new();
+            let s = b.add_instance(Box::new(sink.clone()));
+            b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+            for i in 0..200i64 {
+                b.inject(0, e, 0, Message::data([i]));
+            }
+            let _ = b.build().run();
+            let expected: Vec<Message> = (0..200i64).map(|i| Message::data([i])).collect();
+            assert_eq!(sink.messages(), expected, "{name}");
         }
-        let _ = b.build().run();
-        let expected: Vec<Message> = (0..200i64).map(|i| Message::data([i])).collect();
-        assert_eq!(sink.messages(), expected);
     }
 
     #[test]
@@ -673,23 +1258,30 @@ mod tests {
     #[test]
     fn multi_hop_pipeline_terminates() {
         // A chain long enough to bounce between workers repeatedly.
-        let mut b = ParBuilder::new(5).with_workers(4).with_batch_size(3);
-        let sink = CollectorSink::new();
-        let mut prev = b.add_instance(echo());
-        let first = prev;
-        for _ in 0..10 {
-            let next = b.add_instance(echo());
-            b.connect_with(prev, 0, next, 0, ChannelConfig::lan());
-            prev = next;
+        for (name, tuning) in variants() {
+            let mut b = ParBuilder::new(5)
+                .with_workers(4)
+                .with_tuning(tuning)
+                .unwrap()
+                .with_batch_size(3)
+                .unwrap();
+            let sink = CollectorSink::new();
+            let mut prev = b.add_instance(echo());
+            let first = prev;
+            for _ in 0..10 {
+                let next = b.add_instance(echo());
+                b.connect_with(prev, 0, next, 0, ChannelConfig::lan());
+                prev = next;
+            }
+            let s = b.add_instance(Box::new(sink.clone()));
+            b.connect_with(prev, 0, s, 0, ChannelConfig::lan());
+            for i in 0..50i64 {
+                b.inject(0, first, 0, Message::data([i]));
+            }
+            let stats = b.build().run();
+            assert_eq!(sink.len(), 50, "{name}");
+            assert_eq!(stats.messages_delivered, 50 * 12, "{name}");
         }
-        let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(prev, 0, s, 0, ChannelConfig::lan());
-        for i in 0..50i64 {
-            b.inject(0, first, 0, Message::data([i]));
-        }
-        let stats = b.build().run();
-        assert_eq!(sink.len(), 50);
-        assert_eq!(stats.messages_delivered, 50 * 12);
     }
 
     #[test]
@@ -720,6 +1312,46 @@ mod tests {
         let stats = b.build().run();
         assert_eq!(stats.retransmits, 25);
         assert_eq!(sink.len(), 25, "losses are retransmitted, never dropped");
+    }
+
+    #[test]
+    fn fault_schedule_is_identical_across_worker_counts() {
+        // Per-wire RNG streams: the k-th message on a wire sees the same
+        // fault draws whatever the worker count, so aggregate fault counts
+        // (and per-wire schedules) reproduce exactly.
+        let run = |workers: usize, stealing: bool| {
+            let mut b = ParBuilder::new(99)
+                .with_workers(workers)
+                .with_stealing(stealing);
+            let e = b.add_instance(echo());
+            let mid = b.add_instance(echo());
+            let sink = CollectorSink::new();
+            let s = b.add_instance(Box::new(sink.clone()));
+            b.connect_with(
+                e,
+                0,
+                mid,
+                0,
+                ChannelConfig::lan().with_loss(0.3).with_duplicates(0.2),
+            );
+            b.connect_with(mid, 0, s, 0, ChannelConfig::lan().with_duplicates(0.4));
+            for i in 0..300i64 {
+                b.inject(0, e, 0, Message::data([i]));
+            }
+            let stats = b.build().run();
+            (stats.duplicates, stats.retransmits, sink.messages())
+        };
+        let baseline = run(1, true);
+        assert!(baseline.0 > 0 && baseline.1 > 0, "faults must fire");
+        for workers in [2usize, 4] {
+            for stealing in [true, false] {
+                assert_eq!(
+                    run(workers, stealing),
+                    baseline,
+                    "fault schedule diverged at {workers} workers (stealing={stealing})"
+                );
+            }
+        }
     }
 
     #[test]
@@ -772,5 +1404,162 @@ mod tests {
         assert_eq!(stats.per_instance[0].name, "echo");
         assert_eq!(stats.per_instance[0].processed, 7);
         assert_eq!(stats.per_instance[1].processed, 7);
+        assert_eq!(stats.per_worker.len(), 3);
+        let worker_events: u64 = stats.per_worker.iter().map(|w| w.events).sum();
+        assert_eq!(worker_events, stats.events_processed);
+    }
+
+    #[test]
+    fn builder_validation_returns_typed_errors() {
+        assert_eq!(
+            ParBuilder::new(0).with_batch_size(0).err(),
+            Some(ParConfigError::ZeroBatchSize)
+        );
+        assert_eq!(
+            ParBuilder::new(0).with_channel_capacity(0).err(),
+            Some(ParConfigError::ZeroChannelCapacity)
+        );
+        assert_eq!(
+            ParBuilder::new(0).with_spill_threshold(0).err(),
+            Some(ParConfigError::ZeroSpillThreshold)
+        );
+        assert_eq!(
+            ParBuilder::new(0)
+                .with_tuning(ParTuning {
+                    batch_size: 0,
+                    ..ParTuning::default()
+                })
+                .err(),
+            Some(ParConfigError::ZeroBatchSize)
+        );
+        assert!(ParBuilder::new(0).with_batch_size(1).is_ok());
+        assert_eq!(
+            ParConfigError::ZeroBatchSize.to_string(),
+            "batch size must be at least 1"
+        );
+    }
+
+    #[test]
+    fn bounded_channels_backpressure_without_deadlock() {
+        // A fast fan-in into one slow-ish consumer with a tiny capacity:
+        // the bound must hold (up to the documented escape) and the run
+        // must still quiesce with nothing lost.
+        let mut b = ParBuilder::new(8)
+            .with_workers(4)
+            .with_channel_capacity(2)
+            .unwrap()
+            .with_batch_size(1)
+            .unwrap();
+        let sink = CollectorSink::new();
+        let s = b.add_instance(Box::new(sink.clone()));
+        for p in 0..3 {
+            let e = b.add_instance(echo());
+            b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+            for i in 0..100i64 {
+                b.inject(0, e, 0, Message::data([p * 1_000 + i]));
+            }
+        }
+        let stats = b.build().run();
+        assert_eq!(sink.len(), 300);
+        // The sink mailbox may overshoot 2 transiently (three producers
+        // race the capacity check under one lock each — and the escape can
+        // overshoot), but it must stay far below the unbounded case (300).
+        assert!(
+            stats.max_mailbox_depth
+                <= 2 + 3
+                    + stats
+                        .per_worker
+                        .iter()
+                        .map(|w| w.overflow_sends)
+                        .sum::<u64>() as usize,
+            "mailbox depth {} exceeds the bound plus the accounted escapes",
+            stats.max_mailbox_depth
+        );
+    }
+
+    #[test]
+    fn self_loop_with_bounded_capacity_terminates() {
+        // An instance that forwards to itself can never park on its own
+        // mailbox (only it can drain it): the escape must kick in.
+        let mut b = ParBuilder::new(4)
+            .with_workers(1)
+            .with_channel_capacity(1)
+            .unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        let looper = b.add_instance(Box::new(FnComponent::new(
+            "looper",
+            move |_, msg: Message, ctx: &mut Context| {
+                if let Some(t) = msg.as_data() {
+                    let v = t.get(0).and_then(crate::value::Value::as_int).unwrap();
+                    c2.fetch_add(1, Ordering::SeqCst);
+                    if v > 0 {
+                        ctx.emit(0, Message::data([v - 1]));
+                    }
+                }
+            },
+        )));
+        b.connect_with(looper, 0, looper, 0, ChannelConfig::instant());
+        b.inject(0, looper, 0, Message::data([50i64]));
+        let _ = b.build().run();
+        assert_eq!(counter.load(Ordering::SeqCst), 51);
+    }
+
+    /// A deliberately CPU-expensive echo, so runs last long enough for
+    /// idle workers to wake up and participate even on one core.
+    fn heavy_echo() -> Box<dyn Component> {
+        Box::new(FnComponent::new(
+            "heavy-echo",
+            |_, msg, ctx: &mut Context| {
+                let mut x = 0x9e37_79b9_7f4a_7c15u64;
+                for i in 0..20_000u64 {
+                    x = std::hint::black_box(x ^ i).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    x ^= x >> 31;
+                }
+                std::hint::black_box(x);
+                ctx.emit(0, msg);
+            },
+        ))
+    }
+
+    #[test]
+    fn stealing_balances_a_skewed_workload() {
+        // 8 instances with wildly uneven message counts on 4 workers:
+        // static sharding leaves whole shards idle while the hot shard
+        // grinds; stealing spreads activations across workers.
+        let run = |stealing: bool| {
+            let mut b = ParBuilder::new(17)
+                .with_workers(4)
+                .with_stealing(stealing)
+                .with_batch_size(4)
+                .unwrap();
+            let sink = CollectorSink::new();
+            let s = b.add_instance(Box::new(sink.clone()));
+            for m in 0..8usize {
+                let e = b.add_instance(heavy_echo());
+                b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+                // Instance 0 gets the lion's share.
+                let n = if m == 0 { 600 } else { 25 };
+                for i in 0..n {
+                    b.inject(0, e, 0, Message::data([i as i64]));
+                }
+            }
+            let stats = b.build().run();
+            assert_eq!(sink.len(), 600 + 7 * 25);
+            stats
+        };
+        let stealing = run(true);
+        let static_ = run(false);
+        assert!(
+            stealing.total_steals() > 0,
+            "skew must trigger steals: {:?}",
+            stealing.per_worker
+        );
+        assert!(
+            stealing.balance() < static_.balance(),
+            "stealing balance {:.2} must beat static {:.2}",
+            stealing.balance(),
+            static_.balance()
+        );
     }
 }

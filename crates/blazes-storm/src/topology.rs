@@ -31,7 +31,7 @@ use blazes_dataflow::channel::ChannelConfig;
 use blazes_dataflow::component::Component;
 use blazes_dataflow::message::Message;
 use blazes_dataflow::metrics::RunStats;
-use blazes_dataflow::par::{ParBuilder, ParExecutor, ParStats};
+use blazes_dataflow::par::{ParBuilder, ParExecutor, ParStats, ParTuning};
 use blazes_dataflow::sim::{InstanceId, SimBuilder, Simulator, Time};
 
 /// Handle to a topology node (spout, bolt or sink).
@@ -295,8 +295,24 @@ impl TopologyBuilder {
     /// topologies are guaranteed to reproduce the simulator's final state.
     #[must_use]
     pub fn build_parallel(self, workers: usize) -> ParStormRun {
+        self.build_parallel_tuned(workers, ParTuning::default())
+    }
+
+    /// Like [`TopologyBuilder::build_parallel`], with explicit scheduler
+    /// tuning: work stealing vs static sharding, drain batch size, bounded
+    /// mailbox capacity and spill threshold.
+    ///
+    /// # Panics
+    /// Panics when `workers` is zero or `tuning` is invalid (zero batch
+    /// size, capacity or spill threshold).
+    #[must_use]
+    pub fn build_parallel_tuned(self, workers: usize, tuning: ParTuning) -> ParStormRun {
+        assert!(workers > 0, "need at least one worker");
         let seed = self.seed;
-        let mut par = ParBuilder::new(seed).with_workers(workers);
+        let mut par = ParBuilder::new(seed)
+            .with_workers(workers)
+            .with_tuning(tuning)
+            .expect("valid parallel tuning");
         let (instances, name) = self.assemble(&mut par);
         ParStormRun {
             exec: Some(par.build()),
@@ -803,6 +819,40 @@ mod tests {
             "3 words × 3 batches all released: {counts:?}"
         );
         assert!(counts.values().all(|&c| c == 2), "{counts:?}");
+    }
+
+    #[test]
+    fn parallel_backend_matches_under_every_scheduler() {
+        // The scheduler (stealing vs static, bounded vs unbounded) must be
+        // invisible in the final counts of a confluent topology.
+        let (mut sim_run, sim_sink) = wordcount_run(44, false);
+        sim_run.run(None);
+        let tunings = [
+            ParTuning {
+                stealing: false,
+                ..ParTuning::default()
+            },
+            ParTuning {
+                channel_capacity: Some(4),
+                batch_size: 2,
+                ..ParTuning::default()
+            },
+            ParTuning {
+                stealing: false,
+                channel_capacity: Some(4),
+                ..ParTuning::default()
+            },
+        ];
+        for tuning in tunings {
+            let (t, par_sink) = wordcount_topology(44, false);
+            let mut run = t.build_parallel_tuned(3, tuning);
+            let _ = run.run();
+            assert_eq!(
+                counts_from(&par_sink),
+                counts_from(&sim_sink),
+                "diverged under {tuning:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Minimal stand-in for `crossbeam-deque`, vendored so the workspace builds
+//! offline. Implements the work-stealing deque API surface the parallel
+//! executor uses:
+//!
+//! * [`Worker`] — a per-thread deque (FIFO or LIFO flavor) with `push` /
+//!   `pop` for the owner;
+//! * [`Stealer`] — a cloneable handle through which other threads steal
+//!   from the opposite end;
+//! * [`Injector`] — a shared MPMC FIFO queue for tasks with no owner;
+//! * [`Steal`] — the three-valued steal result (`Empty` / `Success` /
+//!   `Retry`).
+//!
+//! The real crate is a lock-free Chase-Lev deque; this shim guards a
+//! `VecDeque` with a `Mutex`, which has identical observable semantics
+//! (every pushed task is popped or stolen exactly once) at lower
+//! throughput. Pointing the workspace dependency at crates.io swaps the
+//! real implementation back in without code changes.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Batch cap for `steal_batch_and_pop` (the real crate uses a similar
+/// small constant to bound latency of one steal operation).
+const MAX_BATCH: usize = 32;
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Did the steal find the queue empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Did the steal succeed?
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Should the steal be retried?
+    #[must_use]
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// The stolen task, if any.
+    #[must_use]
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Chain steal sources: keep `self` unless it is `Empty`, in which case
+    /// evaluate `f`. `Retry` from either side is preserved.
+    #[must_use]
+    pub fn or_else<F>(self, f: F) -> Steal<T>
+    where
+        F: FnOnce() -> Steal<T>,
+    {
+        match self {
+            Steal::Empty => f(),
+            s => s,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Fifo,
+    Lifo,
+}
+
+struct Buffer<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Buffer<T> {
+    fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A worker's own end of a work-stealing deque.
+pub struct Worker<T> {
+    buf: Arc<Buffer<T>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// A deque whose owner pops in push order (queue-like).
+    #[must_use]
+    pub fn new_fifo() -> Self {
+        Worker {
+            buf: Arc::new(Buffer {
+                queue: Mutex::new(VecDeque::new()),
+            }),
+            flavor: Flavor::Fifo,
+        }
+    }
+
+    /// A deque whose owner pops the most recent push (stack-like).
+    #[must_use]
+    pub fn new_lifo() -> Self {
+        Worker {
+            buf: Arc::new(Buffer {
+                queue: Mutex::new(VecDeque::new()),
+            }),
+            flavor: Flavor::Lifo,
+        }
+    }
+
+    /// Push a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.buf.lock().push_back(task);
+    }
+
+    /// Pop a task from the owner's end.
+    #[must_use]
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.buf.lock();
+        match self.flavor {
+            Flavor::Fifo => q.pop_front(),
+            Flavor::Lifo => q.pop_back(),
+        }
+    }
+
+    /// Is the deque empty (racy snapshot)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+
+    /// Number of queued tasks (racy snapshot).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// A handle other threads use to steal from this deque.
+    #[must_use]
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            buf: Arc::clone(&self.buf),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Worker { .. }")
+    }
+}
+
+/// The stealing end of a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    buf: Arc<Buffer<T>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the front (the end opposite a LIFO owner).
+    #[must_use]
+    pub fn steal(&self) -> Steal<T> {
+        match self.buf.lock().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal up to half the tasks into `dest`, returning one of them.
+    #[must_use]
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let batch = {
+            let mut src = self.buf.lock();
+            let take = (src.len().div_ceil(2)).min(MAX_BATCH);
+            src.drain(..take).collect::<Vec<T>>()
+        };
+        let mut it = batch.into_iter();
+        let Some(first) = it.next() else {
+            return Steal::Empty;
+        };
+        let mut dst = dest.buf.lock();
+        for t in it {
+            dst.push_back(t);
+        }
+        Steal::Success(first)
+    }
+
+    /// Is the source deque empty (racy snapshot)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            buf: Arc::clone(&self.buf),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Stealer { .. }")
+    }
+}
+
+/// A shared FIFO queue feeding tasks to any worker (the global run queue).
+pub struct Injector<T> {
+    buf: Buffer<T>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    #[must_use]
+    pub fn new() -> Self {
+        Injector {
+            buf: Buffer {
+                queue: Mutex::new(VecDeque::new()),
+            },
+        }
+    }
+
+    /// Push a task.
+    pub fn push(&self, task: T) {
+        self.buf.lock().push_back(task);
+    }
+
+    /// Steal one task.
+    #[must_use]
+    pub fn steal(&self) -> Steal<T> {
+        match self.buf.lock().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal up to half the tasks into `dest`, returning one of them.
+    #[must_use]
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let batch = {
+            let mut src = self.buf.lock();
+            let take = (src.len().div_ceil(2)).min(MAX_BATCH);
+            src.drain(..take).collect::<Vec<T>>()
+        };
+        let mut it = batch.into_iter();
+        let Some(first) = it.next() else {
+            return Steal::Empty;
+        };
+        let mut dst = dest.buf.lock();
+        for t in it {
+            dst.push_back(t);
+        }
+        Steal::Success(first)
+    }
+
+    /// Is the queue empty (racy snapshot)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+
+    /// Number of queued tasks (racy snapshot).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+}
+
+impl<T> fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Injector { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_owner_pops_in_push_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn lifo_owner_pops_most_recent() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+    }
+
+    #[test]
+    fn stealer_takes_from_the_front() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn steal_batch_moves_about_half() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        for i in 0..10 {
+            w.push(i);
+        }
+        let thief = Worker::new_fifo();
+        assert_eq!(s.steal_batch_and_pop(&thief), Steal::Success(0));
+        assert_eq!(thief.len(), 4, "half of 10, minus the popped one");
+        assert_eq!(w.len(), 5);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success("a"));
+        assert!(inj.steal().or_else(|| Steal::Success("z")).is_success());
+    }
+
+    #[test]
+    fn every_task_delivered_exactly_once_under_contention() {
+        let w = Worker::new_fifo();
+        let stealers: Vec<_> = (0..3).map(|_| w.stealer()).collect();
+        let n = 10_000u64;
+        for i in 1..=n {
+            w.push(i);
+        }
+        let total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for s in stealers {
+            let total = Arc::clone(&total);
+            handles.push(thread::spawn(move || {
+                let local = Worker::new_fifo();
+                loop {
+                    let task = local
+                        .pop()
+                        .or_else(|| s.steal_batch_and_pop(&local).success());
+                    match task {
+                        Some(v) => {
+                            total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        None => break,
+                    }
+                }
+            }));
+        }
+        let mut own = 0u64;
+        while let Some(v) = w.pop() {
+            own += v;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let sum = own + total.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(sum, n * (n + 1) / 2);
+    }
+}

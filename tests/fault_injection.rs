@@ -167,3 +167,64 @@ fn batch_completion_survives_duplication() {
         "duplicates must inflate counts: {dup_total} vs {clean_total}"
     );
 }
+
+/// Fault injection on the *parallel* backend has reproducible schedules:
+/// fault draws come from per-wire seeded RNG streams, so the k-th send on
+/// a wire sees the same loss/duplicate decisions whatever the worker
+/// count, the scheduler, or the thread interleaving. In this single-input
+/// chain the producer's emission order is deterministic too, so entire
+/// runs (delivered sequences included) reproduce exactly; at fan-in
+/// components only the per-wire decision sequence — not the record each
+/// decision lands on — is interleaving-independent.
+#[test]
+fn parallel_fault_schedules_are_reproducible_across_schedulers() {
+    use blazes::dataflow::par::{ParBuilder, ParTuning};
+
+    let run = |workers: usize, tuning: ParTuning| {
+        let mut b = ParBuilder::new(77)
+            .with_workers(workers)
+            .with_tuning(tuning)
+            .unwrap();
+        let src = b.add_instance(echo());
+        let relay = b.add_instance(echo());
+        let sink = CollectorSink::new();
+        let s = b.add_instance(Box::new(sink.clone()));
+        b.connect_with(
+            src,
+            0,
+            relay,
+            0,
+            ChannelConfig::lan().with_loss(0.25).with_duplicates(0.25),
+        );
+        b.connect_with(relay, 0, s, 0, ChannelConfig::lan().with_duplicates(0.4));
+        for i in 0..400i64 {
+            b.inject(0, src, 0, Message::data([i]));
+        }
+        let stats = b.build().run();
+        (stats.duplicates, stats.retransmits, sink.messages())
+    };
+
+    let baseline = run(1, ParTuning::default());
+    assert!(baseline.0 > 0, "duplicates must fire");
+    assert!(baseline.1 > 0, "losses must fire");
+    for workers in [2usize, 4] {
+        for tuning in [
+            ParTuning::default(),
+            ParTuning {
+                stealing: false,
+                ..ParTuning::default()
+            },
+            ParTuning {
+                channel_capacity: Some(4),
+                batch_size: 2,
+                ..ParTuning::default()
+            },
+        ] {
+            assert_eq!(
+                run(workers, tuning),
+                baseline,
+                "fault schedule diverged: {workers} workers, {tuning:?}"
+            );
+        }
+    }
+}

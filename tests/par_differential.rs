@@ -2,7 +2,9 @@
 //! the seeded discrete-event simulator on every *confluent*
 //! (order-insensitive) topology — the paper's CALM argument made
 //! executable. Each topology is assembled once, generically over
-//! [`ExecutorBuilder`], and run on both backends.
+//! [`ExecutorBuilder`], and run on both backends — and on the parallel
+//! backend under every scheduler variant: work stealing and static
+//! sharding, unbounded and bounded (backpressured) mailboxes.
 
 use blazes::coord::registry::ProducerRegistry;
 use blazes::coord::seal::{SealManager, SealOutcome};
@@ -10,7 +12,7 @@ use blazes::dataflow::backend::ExecutorBuilder;
 use blazes::dataflow::channel::ChannelConfig;
 use blazes::dataflow::component::{Component, Context, FnComponent};
 use blazes::dataflow::message::{Message, SealKey};
-use blazes::dataflow::par::ParBuilder;
+use blazes::dataflow::par::{ParBuilder, ParTuning};
 use blazes::dataflow::sim::SimBuilder;
 use blazes::dataflow::sinks::CollectorSink;
 use blazes::dataflow::value::{Tuple, Value};
@@ -20,6 +22,45 @@ fn echo() -> Box<dyn Component> {
     Box::new(FnComponent::new("echo", |_, msg, ctx: &mut Context| {
         ctx.emit(0, msg)
     }))
+}
+
+/// Every scheduler variant a topology must agree under.
+fn scheduler_variants() -> Vec<(&'static str, ParTuning)> {
+    vec![
+        ("stealing", ParTuning::default()),
+        (
+            "static",
+            ParTuning {
+                stealing: false,
+                ..ParTuning::default()
+            },
+        ),
+        (
+            "stealing+bounded",
+            ParTuning {
+                channel_capacity: Some(4),
+                batch_size: 3,
+                ..ParTuning::default()
+            },
+        ),
+        (
+            "static+bounded",
+            ParTuning {
+                stealing: false,
+                channel_capacity: Some(4),
+                batch_size: 3,
+                ..ParTuning::default()
+            },
+        ),
+        (
+            "stealing+spill",
+            ParTuning {
+                spill_threshold: Some(2),
+                batch_size: 8,
+                ..ParTuning::default()
+            },
+        ),
+    ]
 }
 
 /// Topology 1: three producers fan in to one sink (cross-producer
@@ -111,8 +152,63 @@ fn diamond<B: ExecutorBuilder>(b: &mut B, sink: CollectorSink) {
     b.inject(1, p2, 0, Message::Eos);
 }
 
-/// Assemble on the simulator and the parallel executor, run both, compare
-/// final sink sets.
+/// A hop in a cyclic topology: `[id, ttl]` tuples loop (port 0) until their
+/// ttl runs out, then exit to the sink (port 1). Deterministic final
+/// output whatever the interleaving: each id exits exactly once.
+fn looper(name: &str) -> Box<dyn Component> {
+    Box::new(FnComponent::new(
+        name.to_string(),
+        |_, msg: Message, ctx: &mut Context| {
+            let Some(t) = msg.as_data() else { return };
+            let id = t.get(0).and_then(Value::as_int).expect("id");
+            let ttl = t.get(1).and_then(Value::as_int).expect("ttl");
+            if ttl > 0 {
+                ctx.emit(0, Message::data([id, ttl - 1]));
+            } else {
+                ctx.emit(1, Message::data([id]));
+            }
+        },
+    ))
+}
+
+/// Topology 4: a cycle — A -> B -> A, with both hops exiting drained
+/// messages to the sink. Cycles are where naive backpressure deadlocks and
+/// naive termination detection never quiesces; the executor must handle
+/// both.
+fn cyclic<B: ExecutorBuilder>(b: &mut B, sink: CollectorSink) {
+    let a = b.add_instance(looper("loop-a"));
+    let bb = b.add_instance(looper("loop-b"));
+    let s = b.add_instance(Box::new(sink));
+    b.connect_with(a, 0, bb, 0, ChannelConfig::lan().with_jitter(3_000));
+    b.connect_with(bb, 0, a, 0, ChannelConfig::lan().with_jitter(3_000));
+    b.connect_with(a, 1, s, 0, ChannelConfig::instant());
+    b.connect_with(bb, 1, s, 0, ChannelConfig::instant());
+    for id in 0..24i64 {
+        // Varied ttl so exits spread across both hops and loop depths.
+        b.inject(0, a, 0, Message::data([id, id % 7]));
+    }
+}
+
+/// Topology 5: one producer chain replicated into three sinks — every
+/// replica must observe the complete stream (per-wire FIFO per replica).
+/// The three sinks are wired through one shared channel handle, matching
+/// how the storm layer fans out a grouping.
+fn replicated_sinks<B: ExecutorBuilder>(b: &mut B, sinks: &[CollectorSink]) {
+    let src = b.add_instance(echo());
+    let relay = b.add_instance(echo());
+    b.connect_with(src, 0, relay, 0, ChannelConfig::lan().with_jitter(8_000));
+    let ch = b.add_channel(ChannelConfig::lan().with_jitter(8_000));
+    for sink in sinks {
+        let s = b.add_instance(Box::new(sink.clone()));
+        b.connect(relay, 0, s, 0, ch);
+    }
+    for i in 0..80i64 {
+        b.inject(0, src, 0, Message::data([i]));
+    }
+}
+
+/// Assemble on the simulator and the parallel executor, run both under
+/// every scheduler variant, compare final sink sets.
 fn assert_backends_agree(name: &str, assemble: impl Fn(&mut dyn ExecutorBuilder, CollectorSink)) {
     let sim_sink = CollectorSink::new();
     let mut sim = SimBuilder::new(42);
@@ -120,26 +216,31 @@ fn assert_backends_agree(name: &str, assemble: impl Fn(&mut dyn ExecutorBuilder,
     sim.build().run(None);
     assert!(!sim_sink.is_empty(), "{name}: simulator produced no output");
 
-    for workers in [1usize, 2, 4] {
-        let par_sink = CollectorSink::new();
-        let mut par = ParBuilder::new(42).with_workers(workers).with_batch_size(8);
-        assemble(&mut par, par_sink.clone());
-        let stats = par.build().run();
-        assert!(
-            stats.messages_delivered > 0,
-            "{name}: no deliveries under par"
-        );
-        assert_eq!(
-            par_sink.message_set(),
-            sim_sink.message_set(),
-            "{name}: parallel ({workers} workers) diverged from simulator"
-        );
-        // Sets cannot see duplicate deliveries — counts must match too.
-        assert_eq!(
-            par_sink.len(),
-            sim_sink.len(),
-            "{name}: parallel ({workers} workers) duplicated or dropped deliveries"
-        );
+    for (variant, tuning) in scheduler_variants() {
+        for workers in [1usize, 2, 4] {
+            let par_sink = CollectorSink::new();
+            let mut par = ParBuilder::new(42)
+                .with_workers(workers)
+                .with_tuning(tuning)
+                .expect("valid tuning");
+            assemble(&mut par, par_sink.clone());
+            let stats = par.build().run();
+            assert!(
+                stats.messages_delivered > 0,
+                "{name}/{variant}: no deliveries under par"
+            );
+            assert_eq!(
+                par_sink.message_set(),
+                sim_sink.message_set(),
+                "{name}/{variant}: parallel ({workers} workers) diverged from simulator"
+            );
+            // Sets cannot see duplicate deliveries — counts must match too.
+            assert_eq!(
+                par_sink.len(),
+                sim_sink.len(),
+                "{name}/{variant}: parallel ({workers} workers) duplicated or dropped deliveries"
+            );
+        }
     }
 }
 
@@ -158,9 +259,51 @@ fn diamond_matches_simulator() {
     assert_backends_agree("diamond", |mut b, sink| diamond(&mut b, sink));
 }
 
+#[test]
+fn cyclic_topology_matches_simulator() {
+    assert_backends_agree("cyclic", |mut b, sink| cyclic(&mut b, sink));
+}
+
+#[test]
+fn replicated_sinks_match_simulator_on_every_replica() {
+    const REPLICAS: usize = 3;
+    let sim_sinks: Vec<CollectorSink> = (0..REPLICAS).map(|_| CollectorSink::new()).collect();
+    let mut sim = SimBuilder::new(42);
+    replicated_sinks(&mut sim, &sim_sinks);
+    sim.build().run(None);
+    let expected: Vec<Message> = (0..80i64).map(|i| Message::data([i])).collect();
+    for sink in &sim_sinks {
+        assert_eq!(sink.message_set().len(), 80, "simulator replica complete");
+    }
+
+    for (variant, tuning) in scheduler_variants() {
+        for workers in [2usize, 4] {
+            let par_sinks: Vec<CollectorSink> =
+                (0..REPLICAS).map(|_| CollectorSink::new()).collect();
+            let mut par = ParBuilder::new(42)
+                .with_workers(workers)
+                .with_tuning(tuning)
+                .expect("valid tuning");
+            replicated_sinks(&mut par, &par_sinks);
+            let _ = par.build().run();
+            for (r, sink) in par_sinks.iter().enumerate() {
+                // Per-wire FIFO: each replica sees the full stream in send
+                // order, not just the same set.
+                assert_eq!(
+                    sink.messages(),
+                    expected,
+                    "{variant}: replica {r} broke order or completeness ({workers} workers)"
+                );
+            }
+        }
+    }
+}
+
 /// A sealing consumer: buffers per-campaign tuples in a [`SealManager`]
 /// and, when a partition's seal votes complete, emits one summary tuple
-/// `(campaign, buffered_count)`.
+/// `(campaign, buffered_count)`. Panics on data arriving after its
+/// partition released — the ordering violation bounded channels must not
+/// introduce.
 struct SealingConsumer {
     mgr: SealManager,
 }
@@ -194,7 +337,7 @@ impl Component for SealingConsumer {
     }
 }
 
-/// The sealing workload: `producers` servers each emit `per_partition`
+/// The sealing workload: `producers` servers each emit `records(campaign)`
 /// records for every campaign, then seal it. Producer `k` feeds consumer
 /// port `k` (its producer id in the registry).
 fn sealed_topology<B: ExecutorBuilder>(
@@ -202,7 +345,7 @@ fn sealed_topology<B: ExecutorBuilder>(
     sink: CollectorSink,
     producers: usize,
     campaigns: i64,
-    per_partition: usize,
+    records: impl Fn(i64) -> usize,
 ) {
     let consumer = b.add_instance(Box::new(SealingConsumer {
         mgr: SealManager::new(ProducerRegistry::all_produce(0..producers)),
@@ -213,7 +356,7 @@ fn sealed_topology<B: ExecutorBuilder>(
         let p = b.add_instance(echo());
         b.connect_with(p, 0, consumer, k, ChannelConfig::lan().with_jitter(15_000));
         for c in 0..campaigns {
-            for i in 0..per_partition {
+            for i in 0..records(c) {
                 b.inject(0, p, 0, Message::data([c, k as i64, i as i64]));
             }
             // Seal follows the partition's data on the same wire.
@@ -222,61 +365,81 @@ fn sealed_topology<B: ExecutorBuilder>(
     }
 }
 
-/// Sealing under the threaded executor: every partition is released
-/// exactly once, only after unanimous votes, with its full buffer — the
-/// same outcome the simulator produces.
-#[test]
-fn sealing_punctuations_complete_batches_under_threads() {
-    let producers = 3usize;
-    let campaigns = 5i64;
-    let per_partition = 8usize;
-
-    let expected: BTreeSet<Message> = (0..campaigns)
+fn expected_releases(
+    producers: usize,
+    campaigns: i64,
+    records: impl Fn(i64) -> usize,
+) -> BTreeSet<Message> {
+    (0..campaigns)
         .map(|c| {
             Message::Data(Tuple(vec![
                 Value::Int(c),
-                Value::Int((producers * per_partition) as i64),
+                Value::Int((producers * records(c)) as i64),
             ]))
         })
-        .collect();
+        .collect()
+}
+
+fn assert_sealing_agrees(
+    name: &str,
+    producers: usize,
+    campaigns: i64,
+    records: impl Fn(i64) -> usize + Copy,
+) {
+    let expected = expected_releases(producers, campaigns, records);
 
     let sim_sink = CollectorSink::new();
     let mut sim = SimBuilder::new(7);
-    sealed_topology(
-        &mut sim,
-        sim_sink.clone(),
-        producers,
-        campaigns,
-        per_partition,
-    );
+    sealed_topology(&mut sim, sim_sink.clone(), producers, campaigns, records);
     sim.build().run(None);
-    assert_eq!(sim_sink.message_set(), expected, "simulator baseline");
+    assert_eq!(
+        sim_sink.message_set(),
+        expected,
+        "{name}: simulator baseline"
+    );
     assert_eq!(
         sim_sink.len(),
         campaigns as usize,
-        "released exactly once (sim)"
+        "{name}: released exactly once (sim)"
     );
 
-    for workers in [2usize, 4] {
-        let par_sink = CollectorSink::new();
-        let mut par = ParBuilder::new(7).with_workers(workers).with_batch_size(4);
-        sealed_topology(
-            &mut par,
-            par_sink.clone(),
-            producers,
-            campaigns,
-            per_partition,
-        );
-        let _ = par.build().run();
-        assert_eq!(
-            par_sink.message_set(),
-            expected,
-            "parallel ({workers} workers) seal outcome"
-        );
-        assert_eq!(
-            par_sink.len(),
-            campaigns as usize,
-            "released exactly once ({workers} workers)"
-        );
+    for (variant, tuning) in scheduler_variants() {
+        for workers in [2usize, 4] {
+            let par_sink = CollectorSink::new();
+            let mut par = ParBuilder::new(7)
+                .with_workers(workers)
+                .with_tuning(tuning)
+                .expect("valid tuning");
+            sealed_topology(&mut par, par_sink.clone(), producers, campaigns, records);
+            let _ = par.build().run();
+            assert_eq!(
+                par_sink.message_set(),
+                expected,
+                "{name}/{variant}: seal outcome ({workers} workers)"
+            );
+            assert_eq!(
+                par_sink.len(),
+                campaigns as usize,
+                "{name}/{variant}: released exactly once ({workers} workers)"
+            );
+        }
     }
+}
+
+/// Sealing under the threaded executor: every partition is released
+/// exactly once, only after unanimous votes, with its full buffer — the
+/// same outcome the simulator produces. Runs under bounded channels too:
+/// backpressure parks must not let a seal overtake covered records.
+#[test]
+fn sealing_punctuations_complete_batches_under_threads() {
+    assert_sealing_agrees("uniform-seal", 3, 5, |_| 8);
+}
+
+/// The skewed-key variant: one hot campaign carries most of the records
+/// (the ad-report join skew). Load imbalance must not change seal
+/// outcomes, under either scheduler, bounded or not.
+#[test]
+fn skewed_key_sealing_matches_simulator() {
+    // Campaign 0 is ~20x hotter than the tail.
+    assert_sealing_agrees("skewed-seal", 3, 6, |c| if c == 0 { 60 } else { 3 });
 }
