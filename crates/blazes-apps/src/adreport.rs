@@ -49,6 +49,12 @@ pub enum StrategyKind {
     Ordered,
     /// Seal-based coordination (voting per the workload's placement).
     Sealed,
+    /// No hand-wired coordination, but the ad servers' campaign
+    /// punctuations still flow: the bare topology `blazes-autocoord`
+    /// rewrites (see [`crate::autocoord::run_scenario_auto`]). Running it
+    /// *without* the rewrite behaves like [`StrategyKind::Uncoordinated`]
+    /// plus ignored punctuations.
+    Bare,
 }
 
 impl StrategyKind {
@@ -60,6 +66,7 @@ impl StrategyKind {
             (StrategyKind::Ordered, _) => "Ordered",
             (StrategyKind::Sealed, CampaignPlacement::Independent) => "Independent Seal",
             (StrategyKind::Sealed, CampaignPlacement::Spread) => "Seal",
+            (StrategyKind::Bare, _) => "Auto (bare)",
         }
     }
 }
@@ -85,6 +92,19 @@ pub struct AdScenario {
     /// clicks (requests always force a tick). Purely an interpreter
     /// throughput knob; does not change outcomes.
     pub tick_every: usize,
+    /// Duplicate-delivery probability on the ad-server → replica click
+    /// channels (at-least-once replay, drawn from the per-wire seeded
+    /// fault RNG). Applies to the strategies that wire clicks directly
+    /// (uncoordinated / sealed / bare).
+    pub click_duplicates: f64,
+    /// Route analyst requests through an `analyst` broadcast instance
+    /// wired to every replica, instead of injecting them directly. As a
+    /// topology participant the analyst *races* with click ingestion on
+    /// the execution substrate — the knob that surfaces the paper's
+    /// Section III-A cross-instance nondeterminism on the threaded
+    /// backend. Ignored under the ordering strategy (requests go through
+    /// the sequencer either way).
+    pub requests_via_analyst: bool,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -100,6 +120,8 @@ impl Default for AdScenario {
             sequencer_service: 4_000,
             query: ReportQuery::Campaign,
             tick_every: 25,
+            click_duplicates: 0.0,
+            requests_via_analyst: false,
             seed: 3,
         }
     }
@@ -314,8 +336,10 @@ impl Component for Broadcast {
     }
 }
 
-/// Build the registry the replicas use for seal voting.
-fn registry_for(workload: &ClickWorkload) -> ProducerRegistry {
+/// The producer registry the seal protocol votes against, per the
+/// workload's campaign placement (who produces which campaign).
+#[must_use]
+pub fn seal_registry_for(workload: &ClickWorkload) -> ProducerRegistry {
     match workload.placement {
         CampaignPlacement::Spread => ProducerRegistry::all_produce(0..workload.ad_servers),
         CampaignPlacement::Independent => {
@@ -335,7 +359,7 @@ pub fn assemble_scenario<B: ExecutorBuilder>(
     b: &mut B,
 ) -> (Vec<TimeSeries>, Vec<CollectorSink>) {
     // Reporting replicas + response sinks.
-    let registry = (sc.strategy == StrategyKind::Sealed).then(|| registry_for(&sc.workload));
+    let registry = (sc.strategy == StrategyKind::Sealed).then(|| seal_registry_for(&sc.workload));
     let mut replica_ids = Vec::with_capacity(sc.replicas);
     let mut series = Vec::with_capacity(sc.replicas);
     let mut responses = Vec::with_capacity(sc.replicas);
@@ -368,7 +392,9 @@ pub fn assemble_scenario<B: ExecutorBuilder>(
     });
 
     // Ad servers: broadcast instances fed by injection.
-    let click_channel = ChannelConfig::lan().with_jitter(5_000);
+    let click_channel = ChannelConfig::lan()
+        .with_jitter(5_000)
+        .with_duplicates(sc.click_duplicates);
     let mut latest: Time = 0;
     for s in 0..sc.workload.ad_servers {
         let ad = b.add_instance(Box::new(Broadcast {
@@ -387,7 +413,7 @@ pub fn assemble_scenario<B: ExecutorBuilder>(
             b.inject(*at, ad, 0, Message::Data(click.clone()));
         }
         latest = latest.max(log.end_time);
-        if sc.strategy == StrategyKind::Sealed {
+        if matches!(sc.strategy, StrategyKind::Sealed | StrategyKind::Bare) {
             for (at, c) in &log.seals {
                 b.inject(
                     *at,
@@ -403,14 +429,27 @@ pub fn assemble_scenario<B: ExecutorBuilder>(
     }
 
     // Analyst requests, spread over the generation span, each posed to all
-    // replicas (directly, or through the sequencer under ordering).
+    // replicas — through the sequencer under ordering, otherwise through
+    // an analyst broadcast instance whose forwarding *races* with click
+    // ingestion on the execution substrate (the race behind the paper's
+    // Section III-A cross-instance nondeterminism).
     let ad_space = (sc.workload.campaigns * sc.workload.ads_per_campaign) as i64;
+    let analyst = (sequencer.is_none() && sc.requests_via_analyst).then(|| {
+        let analyst = b.add_instance(Box::new(Broadcast {
+            name: "analyst".to_string(),
+        }));
+        for &rid in &replica_ids {
+            b.connect_with(analyst, 0, rid, 0, ChannelConfig::lan().with_jitter(5_000));
+        }
+        analyst
+    });
     for r in 0..sc.requests {
         let at = (latest * (r as u64 + 1)) / (sc.requests as u64 + 1);
         let req = Message::Data(Tuple(vec![Value::Int(r as i64 % ad_space)]));
-        match sequencer {
-            Some(seq) => b.inject(at, seq, 0, req),
-            None => {
+        match (sequencer, analyst) {
+            (Some(seq), _) => b.inject(at, seq, 0, req),
+            (None, Some(analyst)) => b.inject(at, analyst, 0, req),
+            (None, None) => {
                 for &rid in &replica_ids {
                     b.inject(at, rid, 0, req.clone());
                 }
@@ -523,6 +562,8 @@ mod tests {
             sequencer_service: 2_000,
             query: ReportQuery::Campaign,
             tick_every: 10,
+            click_duplicates: 0.0,
+            requests_via_analyst: false,
             seed: 21,
         }
     }

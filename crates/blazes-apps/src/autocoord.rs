@@ -1,0 +1,410 @@
+//! Auto-coordinated variants of the case studies: the full
+//! annotate→analyze→inject pipeline, end to end.
+//!
+//! The hand-wired deployments in [`crate::adreport`] and
+//! [`crate::wordcount`] pick their coordination manually. Here the
+//! *analysis* picks it:
+//!
+//! * [`ad_network_spec`] derives the coordination spec for the ad network
+//!   running a given query (white-box Bloom annotations, campaign
+//!   punctuations available). [`run_scenario_auto`] /
+//!   [`run_scenario_auto_parallel`] then assemble the **bare** topology —
+//!   no seal managers, no sequencer — and let
+//!   [`blazes_autocoord::AutoCoordRules`] rewrite it: CAMPAIGN gets seal
+//!   gates, POOR gets an ordering service, THRESH gets nothing.
+//! * [`wordcount_spec`] does the same for the Storm wordcount through the
+//!   grey-box adapter; [`run_wordcount_coordinated`] /
+//!   [`run_wordcount_coordinated_parallel`] thread it through
+//!   [`TopologyBuilder::build_coordinated`], where sealing maps onto the
+//!   engine-native punctuation protocol (zero injected operators — the
+//!   minimality proof) and ordering onto transactional commits.
+
+use crate::adreport::{seal_registry_for, AdParResult, AdRunResult, AdScenario, StrategyKind};
+use crate::casestudy::{ad_network_graph, wordcount_graph};
+use crate::queries::ReportQuery;
+use crate::wordcount::{
+    wordcount_topology, WordcountParResult, WordcountResult, WordcountScenario,
+};
+use blazes_autocoord::{AutoCoordRules, InjectionSummary, SealBinding};
+use blazes_core::placement::{CoordDirective, CoordinationSpec};
+use blazes_dataflow::backend::{RewriteStats, RewritingBuilder};
+use blazes_dataflow::message::Message;
+use blazes_dataflow::par::{ParBuilder, ParTuning};
+use blazes_dataflow::sim::SimBuilder;
+use blazes_dataflow::sinks::CollectorSink;
+use blazes_dataflow::value::Value;
+use blazes_storm::topology::{CoordinationOutcome, TransactionalConfig};
+use std::sync::Arc;
+
+/// What the injection pass did to an auto-coordinated ad-report run.
+#[derive(Debug, Clone)]
+pub struct AutoCoordReport {
+    /// The analysis-derived spec that drove the rewrite.
+    pub spec: CoordinationSpec,
+    /// Machine-checkable accounting from the rewrite pass.
+    pub stats: RewriteStats,
+    /// Per-directive summary (which mechanism, how many operators).
+    pub summary: InjectionSummary,
+}
+
+/// Derive the coordination spec for the ad network running `query`, with
+/// the ad servers' campaign punctuations available (the workload always
+/// emits them; whether they *suffice* is the analysis's call).
+///
+/// # Panics
+/// Panics only if the bundled query modules stop analyzing — a bug.
+#[must_use]
+pub fn ad_network_spec(query: ReportQuery) -> CoordinationSpec {
+    let (graph, _) = ad_network_graph(query, Some(&["campaign"]));
+    CoordinationSpec::derive(&graph, true).expect("ad network graph analyzes")
+}
+
+/// The runtime binding for the Report component's seal directive: clicks
+/// are `(id, campaign, window)` (campaign in column 1), requests are
+/// `(id)` and read the campaign partition `id / ads_per_campaign`.
+#[must_use]
+pub fn report_seal_binding(sc: &AdScenario) -> SealBinding {
+    let ads = sc.workload.ads_per_campaign as i64;
+    SealBinding::new(seal_registry_for(&sc.workload), 1, 3).with_query_partition(Arc::new(
+        move |t| {
+            t.get(0)
+                .and_then(Value::as_int)
+                .map(|id| Value::Int(id / ads))
+        },
+    ))
+}
+
+/// The injection rules for `sc`: one seal binding for the Report replicas
+/// when the spec sealed them, the scenario's sequencer toll when it
+/// ordered them.
+#[must_use]
+pub fn ad_network_rules(sc: &AdScenario, spec: &CoordinationSpec) -> AutoCoordRules {
+    let mut rules = AutoCoordRules::new(spec).with_sequencer_service(sc.sequencer_service);
+    if matches!(
+        spec.directive_for("Report"),
+        Some(CoordDirective::Seal { .. })
+    ) {
+        rules = rules.bind_seal("Report", report_seal_binding(sc));
+    }
+    rules
+}
+
+fn bare(sc: &AdScenario) -> AdScenario {
+    AdScenario {
+        strategy: StrategyKind::Bare,
+        ..sc.clone()
+    }
+}
+
+/// Run `sc` on the simulator with analysis-driven coordination: the bare
+/// topology is assembled through the rewrite pass, which injects exactly
+/// what [`ad_network_spec`] demands for `sc.query`.
+#[must_use]
+pub fn run_scenario_auto(sc: &AdScenario) -> (AdRunResult, AutoCoordReport) {
+    let spec = ad_network_spec(sc.query);
+    let sc = bare(sc);
+    let mut b = SimBuilder::new(sc.seed);
+    let mut rb = RewritingBuilder::new(&mut b, ad_network_rules(&sc, &spec));
+    let (series, responses) = crate::adreport::assemble_scenario(&sc, &mut rb);
+    let (rules, stats) = rb.finish();
+    let mut sim = b.build();
+    let run_stats = sim.run(None);
+    (
+        AdRunResult {
+            series,
+            responses,
+            stats: run_stats,
+            expected_records: sc.workload.total_entries() as u64,
+        },
+        AutoCoordReport {
+            summary: rules.summary(),
+            spec,
+            stats,
+        },
+    )
+}
+
+/// Run `sc` on the multi-worker parallel executor with analysis-driven
+/// coordination — the same rewritten graph the simulator runs.
+///
+/// # Panics
+/// Panics when `tuning` is invalid.
+#[must_use]
+pub fn run_scenario_auto_parallel(
+    sc: &AdScenario,
+    workers: usize,
+    tuning: ParTuning,
+) -> (AdParResult, AutoCoordReport) {
+    let spec = ad_network_spec(sc.query);
+    let sc = bare(sc);
+    let mut b = ParBuilder::new(sc.seed)
+        .with_workers(workers)
+        .with_tuning(tuning)
+        .expect("valid parallel tuning");
+    let mut rb = RewritingBuilder::new(&mut b, ad_network_rules(&sc, &spec));
+    let (series, responses) = crate::adreport::assemble_scenario(&sc, &mut rb);
+    let (rules, stats) = rb.finish();
+    let run_stats = b.build().run();
+    (
+        AdParResult {
+            series,
+            responses,
+            stats: run_stats,
+            expected_records: sc.workload.total_entries() as u64,
+        },
+        AutoCoordReport {
+            summary: rules.summary(),
+            spec,
+            stats,
+        },
+    )
+}
+
+/// The per-replica output digest used by the differential proof: each
+/// replica's response multiset in canonical order. Two runs are
+/// behaviorally identical iff their digests are equal — delivery order
+/// may differ, the answers may not.
+#[must_use]
+pub fn response_digests(responses: &[CollectorSink]) -> Vec<Vec<Message>> {
+    responses
+        .iter()
+        .map(|sink| {
+            let mut msgs = sink.messages();
+            msgs.sort();
+            msgs
+        })
+        .collect()
+}
+
+/// Derive the coordination spec for the Storm wordcount (grey-box
+/// annotations, Section VI-A): `sealed` states whether the tweet stream's
+/// batch punctuations are declared to the analysis.
+///
+/// # Panics
+/// Panics only if the bundled wordcount graph stops analyzing — a bug.
+#[must_use]
+pub fn wordcount_spec(sealed: bool) -> CoordinationSpec {
+    let (graph, _) = wordcount_graph(sealed);
+    CoordinationSpec::derive(&graph, false).expect("wordcount graph analyzes")
+}
+
+fn wordcount_ordering_config(sc: &WordcountScenario) -> TransactionalConfig {
+    TransactionalConfig {
+        service_time: sc.coordinator_service,
+        channel: blazes_dataflow::channel::ChannelConfig::lan()
+            .with_latency(sc.coordinator_latency),
+        first_batch: 0,
+        max_pending: sc.max_pending,
+    }
+}
+
+/// Run the wordcount with analysis-driven coordination on the simulator:
+/// the topology is built plain (no hand-picked transactional flag) and
+/// [`TopologyBuilder::build_coordinated`] applies `spec`.
+///
+/// # Panics
+/// Panics when `sc.transactional` is set (coordination comes from the
+/// spec here) or when the spec does not fit the topology.
+#[must_use]
+pub fn run_wordcount_coordinated(
+    sc: &WordcountScenario,
+    spec: &CoordinationSpec,
+) -> (WordcountResult, CoordinationOutcome) {
+    assert!(
+        !sc.transactional,
+        "auto-coordination replaces the hand-wired transactional flag"
+    );
+    let (t, committed) = wordcount_topology(sc);
+    let (mut run, outcome) = t
+        .build_coordinated(spec, &wordcount_ordering_config(sc))
+        .expect("spec fits the wordcount topology");
+    let stats = run.run(None);
+    (
+        WordcountResult {
+            stats,
+            committed,
+            tweets: (sc.spouts * sc.workload.tweets_per_instance()) as u64,
+        },
+        outcome,
+    )
+}
+
+/// Run the wordcount with analysis-driven coordination on the parallel
+/// executor — the same rewritten graph, on `workers` OS threads.
+///
+/// # Panics
+/// As [`run_wordcount_coordinated`], plus invalid `tuning`.
+#[must_use]
+pub fn run_wordcount_coordinated_parallel(
+    sc: &WordcountScenario,
+    spec: &CoordinationSpec,
+    workers: usize,
+    tuning: ParTuning,
+) -> (WordcountParResult, CoordinationOutcome) {
+    assert!(
+        !sc.transactional,
+        "auto-coordination replaces the hand-wired transactional flag"
+    );
+    let (t, committed) = wordcount_topology(sc);
+    let (mut run, outcome) = t
+        .build_coordinated_parallel(spec, &wordcount_ordering_config(sc), workers, tuning)
+        .expect("spec fits the wordcount topology");
+    let stats = run.run();
+    (
+        WordcountParResult {
+            stats,
+            committed,
+            tweets: (sc.spouts * sc.workload.tweets_per_instance()) as u64,
+        },
+        outcome,
+    )
+}
+
+// `TopologyBuilder` appears in doc links above.
+#[allow(unused_imports)]
+use blazes_storm::topology::TopologyBuilder;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{CampaignPlacement, ClickWorkload, TweetWorkload};
+
+    fn small_scenario(query: ReportQuery) -> AdScenario {
+        AdScenario {
+            workload: ClickWorkload {
+                ad_servers: 3,
+                entries_per_server: 60,
+                batch_size: 20,
+                sleep_between_batches: 50_000,
+                entry_interval: 200,
+                campaigns: 6,
+                ads_per_campaign: 4,
+                placement: CampaignPlacement::Spread,
+                seed: 5,
+            },
+            query,
+            replicas: 3,
+            requests: 6,
+            tick_every: 10,
+            seed: 21,
+            ..AdScenario::default()
+        }
+    }
+
+    #[test]
+    fn analysis_picks_the_mechanism_per_query() {
+        // CAMPAIGN: campaign seals are compatible -> seal protocol.
+        let campaign = ad_network_spec(ReportQuery::Campaign);
+        assert!(matches!(
+            campaign.directive_for("Report"),
+            Some(CoordDirective::Seal { .. })
+        ));
+        // POOR: seals incompatible with the id partition -> ordering.
+        let poor = ad_network_spec(ReportQuery::Poor);
+        assert!(matches!(
+            poor.directive_for("Report"),
+            Some(CoordDirective::Order { .. })
+        ));
+        // THRESH: confluent -> nothing at all.
+        assert!(ad_network_spec(ReportQuery::Thresh).is_empty());
+    }
+
+    #[test]
+    fn auto_sealed_campaign_processes_everything_and_agrees() {
+        let (res, report) = run_scenario_auto(&small_scenario(ReportQuery::Campaign));
+        assert!(report.stats.injected_operators > 0, "gates were injected");
+        assert_eq!(
+            report.stats.injected_operators, 3,
+            "one seal gate per replica: {report:?}"
+        );
+        for s in &res.series {
+            assert_eq!(s.total(), 180, "all partitions released");
+        }
+        assert!(res.responses_consistent(), "replicas agree");
+        assert!(res.total_responses() > 0, "queries were answered");
+    }
+
+    #[test]
+    fn auto_ordered_poor_processes_everything_and_agrees() {
+        let (res, report) = run_scenario_auto(&small_scenario(ReportQuery::Poor));
+        assert_eq!(
+            report.stats.injected_operators, 1,
+            "one shared sequencer: {report:?}"
+        );
+        for s in &res.series {
+            assert_eq!(s.total(), 180);
+        }
+        assert!(res.responses_consistent(), "total order implies agreement");
+    }
+
+    #[test]
+    fn auto_thresh_is_rewrite_free() {
+        let (res, report) = run_scenario_auto(&small_scenario(ReportQuery::Thresh));
+        assert!(report.stats.is_untouched(), "{report:?}");
+        for s in &res.series {
+            assert_eq!(s.total(), 180);
+        }
+    }
+
+    #[test]
+    fn auto_parallel_campaign_is_deterministic_across_workers() {
+        let sc = small_scenario(ReportQuery::Campaign);
+        let mut digests = Vec::new();
+        for workers in [1usize, 3] {
+            let (res, _) = run_scenario_auto_parallel(&sc, workers, ParTuning::default());
+            assert!(res.processed_everything());
+            digests.push(response_digests(&res.responses));
+        }
+        assert_eq!(digests[0], digests[1], "digests differ across workers");
+        assert!(!digests[0].iter().all(Vec::is_empty), "responses exist");
+    }
+
+    fn wc_scenario() -> WordcountScenario {
+        WordcountScenario {
+            workers: 3,
+            workload: TweetWorkload {
+                vocabulary: 50,
+                batches: 5,
+                tweets_per_batch: 10,
+                ..TweetWorkload::default()
+            },
+            seed: 9,
+            ..WordcountScenario::default()
+        }
+    }
+
+    #[test]
+    fn coordinated_wordcount_sealed_is_rewrite_free_and_exact() {
+        let sc = wc_scenario();
+        let baseline = crate::wordcount::run_wordcount(&sc);
+        let (auto, outcome) = run_wordcount_coordinated(&sc, &wordcount_spec(true));
+        assert!(outcome.is_rewrite_free(), "{outcome:?}");
+        assert_eq!(outcome.seal_native.len(), 1, "{outcome:?}");
+        assert_eq!(auto.counts(), baseline.counts());
+    }
+
+    #[test]
+    fn coordinated_wordcount_unsealed_orders_the_count_bolt() {
+        let sc = wc_scenario();
+        let spec = wordcount_spec(false);
+        let baseline = crate::wordcount::run_wordcount(&sc);
+        let (auto, outcome) = run_wordcount_coordinated(&sc, &spec);
+        assert_eq!(outcome.ordered, vec!["Count".to_string()]);
+        assert_eq!(auto.counts(), baseline.counts());
+        assert!(
+            auto.stats.end_time > baseline.stats.end_time,
+            "ordering costs virtual time"
+        );
+    }
+
+    #[test]
+    fn coordinated_wordcount_parallel_matches_simulator() {
+        let sc = wc_scenario();
+        let spec = wordcount_spec(true);
+        let (sim, _) = run_wordcount_coordinated(&sc, &spec);
+        let (par, outcome) =
+            run_wordcount_coordinated_parallel(&sc, &spec, 4, ParTuning::default());
+        assert!(outcome.is_rewrite_free());
+        assert_eq!(par.counts(), sim.counts());
+    }
+}

@@ -21,8 +21,12 @@
 //!   measurable.
 //! * [`casestudy`] — ready-made dataflow graphs of both systems for the
 //!   Blazes analysis, reproducing the derivations of Section VI.
+//! * [`autocoord`] — auto-coordinated variants of both case studies: the
+//!   annotate→analyze→inject pipeline replaces the hand-wired
+//!   coordination above.
 
 pub mod adreport;
+pub mod autocoord;
 pub mod casestudy;
 pub mod heavy;
 pub mod queries;

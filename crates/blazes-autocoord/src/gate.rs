@@ -1,0 +1,333 @@
+//! The injected seal-protocol operator.
+//!
+//! A [`SealGate`] sits on the wires into one consumer instance whose input
+//! the analysis proved sealable. It runs the paper's Section V-B1 protocol
+//! *outside* the consumer, so the consumer itself stays the plain
+//! uncoordinated component the programmer wrote:
+//!
+//! * covered records (recognized by arity) buffer per partition in a
+//!   [`SealManager`] until every registered producer has sealed the
+//!   partition (the unanimous vote), then release downstream in one burst,
+//!   followed by the seal punctuation itself;
+//! * queries (any other data tuple) are *delayed* until the partition they
+//!   read has been released — the read-delay half of the protocol that
+//!   makes answers functions of final partition contents only;
+//! * duplicate seals after release are absorbed (idempotent votes);
+//!   covered records arriving after their partition released — possible
+//!   only on non-FIFO channels — are forwarded rather than lost, and
+//!   counted in [`SealGateStats::late_forwards`].
+
+use crate::rules::SealBinding;
+use blazes_coord::seal::{SealManager, SealOutcome};
+use blazes_dataflow::component::{Component, Context};
+use blazes_dataflow::message::Message;
+use blazes_dataflow::value::{Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counters describing one gate's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SealGateStats {
+    /// Partitions released.
+    pub released: u64,
+    /// Covered records forwarded after their partition had released.
+    pub late_forwards: u64,
+    /// Queries that were delayed at least once.
+    pub held_queries: u64,
+}
+
+/// The injected seal-protocol operator (one per coordinated consumer
+/// instance and input port). All upstream wires converge on any input
+/// port; everything leaves on output port 0, which the rewrite pass wires
+/// to the consumer.
+pub struct SealGate {
+    mgr: SealManager,
+    key_attr: String,
+    binding: SealBinding,
+    /// Queries delayed until their partition releases.
+    held: BTreeMap<Value, Vec<Tuple>>,
+    /// Seal punctuations collected per open partition, one per distinct
+    /// producer (duplicated votes collapse), re-emitted after the
+    /// partition's records on release so downstream hops running the
+    /// protocol natively can complete their own unanimous votes.
+    pending_seals: BTreeMap<Value, BTreeMap<usize, Message>>,
+    released: BTreeSet<Value>,
+    stats: SealGateStats,
+    name: String,
+}
+
+impl SealGate {
+    /// Build a gate enforcing `binding` for seal punctuations keyed by
+    /// `key_attr`.
+    #[must_use]
+    pub fn new(key_attr: impl Into<String>, binding: SealBinding, name: impl Into<String>) -> Self {
+        SealGate {
+            mgr: SealManager::new(binding.registry.clone()),
+            key_attr: key_attr.into(),
+            binding,
+            held: BTreeMap::new(),
+            pending_seals: BTreeMap::new(),
+            released: BTreeSet::new(),
+            stats: SealGateStats::default(),
+            name: name.into(),
+        }
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> SealGateStats {
+        self.stats
+    }
+
+    fn release(&mut self, partition: Value, tuples: Vec<Tuple>, ctx: &mut Context) {
+        self.stats.released += 1;
+        for t in tuples {
+            ctx.emit(0, Message::Data(t));
+        }
+        // Every collected punctuation follows the records it covers, so a
+        // downstream hop running the protocol natively can complete its
+        // own unanimous vote (one seal per producer, none early).
+        for (_, seal) in self.pending_seals.remove(&partition).unwrap_or_default() {
+            ctx.emit(0, seal);
+        }
+        self.released.insert(partition.clone());
+        for q in self.held.remove(&partition).unwrap_or_default() {
+            ctx.emit(0, Message::Data(q));
+        }
+    }
+
+    fn on_covered(&mut self, partition: Value, tuple: Tuple, ctx: &mut Context) {
+        match self.mgr.on_data(partition, tuple.clone()) {
+            SealOutcome::Buffered | SealOutcome::Released(_) => {}
+            SealOutcome::LateArrival => {
+                self.stats.late_forwards += 1;
+                ctx.emit(0, Message::Data(tuple));
+            }
+        }
+    }
+
+    fn on_query(&mut self, tuple: Tuple, ctx: &mut Context) {
+        let partition = self
+            .binding
+            .query_partition
+            .as_ref()
+            .and_then(|f| f(&tuple));
+        match partition {
+            Some(p) if !self.released.contains(&p) => {
+                self.stats.held_queries += 1;
+                self.held.entry(p).or_default().push(tuple);
+            }
+            _ => ctx.emit(0, Message::Data(tuple)),
+        }
+    }
+}
+
+impl Component for SealGate {
+    fn on_message(&mut self, _port: usize, msg: Message, ctx: &mut Context) {
+        match msg {
+            Message::Data(t) if t.arity() == self.binding.covered_arity => {
+                match t.get(self.binding.key_column).cloned() {
+                    Some(partition) => self.on_covered(partition, t, ctx),
+                    None => ctx.emit(0, Message::Data(t)),
+                }
+            }
+            Message::Data(t) => self.on_query(t, ctx),
+            Message::Seal(key) => {
+                let Some(partition) = key.value_of(&self.key_attr).cloned() else {
+                    // A seal for some other key: not ours to gate.
+                    ctx.emit(0, Message::Seal(key));
+                    return;
+                };
+                let producer = key
+                    .value_of(&self.binding.producer_attr)
+                    .and_then(Value::as_int)
+                    .unwrap_or(0) as usize;
+                match self.mgr.on_seal(partition.clone(), producer) {
+                    SealOutcome::Released(tuples) => {
+                        self.pending_seals
+                            .entry(partition.clone())
+                            .or_default()
+                            .insert(producer, Message::Seal(key));
+                        self.release(partition, tuples, ctx);
+                    }
+                    // Partial vote: remember the punctuation for the
+                    // release burst (one per producer). Duplicate seal
+                    // after release: absorb (idempotent).
+                    SealOutcome::Buffered => {
+                        if !self.released.contains(&partition) {
+                            self.pending_seals
+                                .entry(partition)
+                                .or_default()
+                                .insert(producer, Message::Seal(key));
+                        }
+                    }
+                    SealOutcome::LateArrival => {}
+                }
+            }
+            Message::Eos => ctx.emit(0, Message::Eos),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazes_coord::registry::ProducerRegistry;
+    use blazes_dataflow::message::SealKey;
+    use blazes_dataflow::sim::InstanceId;
+    use std::sync::Arc;
+
+    fn click(campaign: i64, n: i64) -> Tuple {
+        Tuple::new([Value::Int(n), Value::Int(campaign), Value::Int(0)])
+    }
+
+    fn seal(campaign: i64, producer: i64) -> Message {
+        Message::Seal(SealKey::new([
+            ("campaign", Value::Int(campaign)),
+            ("producer", Value::Int(producer)),
+        ]))
+    }
+
+    fn gate(producers: usize, with_query_map: bool) -> SealGate {
+        let mut binding = SealBinding::new(ProducerRegistry::all_produce(0..producers), 1, 3);
+        if with_query_map {
+            binding = binding.with_query_partition(Arc::new(|t: &Tuple| t.get(0).cloned()));
+        }
+        SealGate::new("campaign", binding, "gate")
+    }
+
+    fn ctx() -> Context {
+        Context::new(0, InstanceId(0))
+    }
+
+    #[test]
+    fn buffers_until_unanimous_vote_then_releases_with_punctuation() {
+        let mut g = gate(2, false);
+        let mut c = ctx();
+        g.on_message(0, Message::Data(click(1, 10)), &mut c);
+        g.on_message(0, seal(1, 0), &mut c);
+        assert!(c.emitted().is_empty(), "one vote of two must not release");
+        g.on_message(0, Message::Data(click(1, 11)), &mut c);
+        g.on_message(0, seal(1, 1), &mut c);
+        let out = c.emitted();
+        assert_eq!(out.len(), 4, "two records then both votes: {out:?}");
+        assert_eq!(out[0].1, Message::Data(click(1, 10)));
+        assert_eq!(out[1].1, Message::Data(click(1, 11)));
+        assert!(matches!(out[2].1, Message::Seal(_)));
+        assert!(matches!(out[3].1, Message::Seal(_)));
+        assert_eq!(g.stats().released, 1);
+    }
+
+    #[test]
+    fn duplicate_seals_are_idempotent() {
+        let mut g = gate(2, false);
+        let mut c = ctx();
+        g.on_message(0, Message::Data(click(1, 1)), &mut c);
+        g.on_message(0, seal(1, 0), &mut c);
+        g.on_message(0, seal(1, 0), &mut c); // duplicated vote
+        assert!(c.emitted().is_empty());
+        g.on_message(0, seal(1, 1), &mut c);
+        // One record, then one punctuation per producer (the duplicated
+        // vote collapsed).
+        assert_eq!(c.emitted().len(), 3);
+        g.on_message(0, seal(1, 1), &mut c); // duplicate after release
+        assert_eq!(c.emitted().len(), 3, "late duplicate absorbed");
+        assert_eq!(g.stats().released, 1);
+    }
+
+    #[test]
+    fn seal_before_any_data_releases_empty_partition() {
+        let mut g = gate(1, false);
+        let mut c = ctx();
+        g.on_message(0, seal(5, 0), &mut c);
+        assert_eq!(c.emitted().len(), 1, "just the punctuation");
+        // A straggler after release is forwarded, not lost.
+        g.on_message(0, Message::Data(click(5, 9)), &mut c);
+        assert_eq!(c.emitted().len(), 2);
+        assert_eq!(g.stats().late_forwards, 1);
+    }
+
+    #[test]
+    fn queries_are_delayed_until_their_partition_releases() {
+        let mut g = gate(1, true);
+        let mut c = ctx();
+        let query = Tuple::new([Value::Int(2)]);
+        g.on_message(0, Message::Data(query.clone()), &mut c);
+        assert!(c.emitted().is_empty(), "query held until campaign 2 seals");
+        g.on_message(0, Message::Data(click(2, 7)), &mut c);
+        g.on_message(0, seal(2, 0), &mut c);
+        let out = c.emitted();
+        assert_eq!(out.len(), 3, "record, seal, then the delayed query");
+        assert_eq!(out[2].1, Message::Data(query));
+        assert_eq!(g.stats().held_queries, 1);
+    }
+
+    #[test]
+    fn queries_for_released_partitions_pass_straight_through() {
+        let mut g = gate(1, true);
+        let mut c = ctx();
+        g.on_message(0, seal(3, 0), &mut c);
+        g.on_message(0, Message::Data(Tuple::new([Value::Int(3)])), &mut c);
+        assert_eq!(c.emitted().len(), 2);
+    }
+
+    /// The chaining property: a consumer that runs the seal protocol
+    /// *natively* downstream of the gate still completes its own
+    /// unanimous vote, because the gate re-emits every producer's
+    /// punctuation after the released records.
+    #[test]
+    fn released_punctuations_complete_a_downstream_native_vote() {
+        let mut g = gate(2, false);
+        let mut c = ctx();
+        g.on_message(0, Message::Data(click(4, 1)), &mut c);
+        g.on_message(0, Message::Data(click(4, 2)), &mut c);
+        g.on_message(0, seal(4, 0), &mut c);
+        g.on_message(0, seal(4, 1), &mut c);
+
+        // Replay the gate's output into a second, native seal consumer.
+        let mut downstream = SealManager::new(ProducerRegistry::all_produce(0..2));
+        let mut released = None;
+        for (_, msg) in c.emitted() {
+            match msg {
+                Message::Data(t) => {
+                    assert!(matches!(
+                        downstream.on_data(t.get(1).cloned().unwrap(), t.clone()),
+                        SealOutcome::Buffered
+                    ));
+                }
+                Message::Seal(key) => {
+                    let campaign = key.value_of("campaign").cloned().unwrap();
+                    let producer = key.value_of("producer").and_then(Value::as_int).unwrap();
+                    if let SealOutcome::Released(tuples) =
+                        downstream.on_seal(campaign, producer as usize)
+                    {
+                        released = Some(tuples);
+                    }
+                }
+                Message::Eos => {}
+            }
+        }
+        assert_eq!(
+            released.map(|t| t.len()),
+            Some(2),
+            "downstream unanimous vote must complete with the full buffer"
+        );
+    }
+
+    #[test]
+    fn unmapped_queries_and_foreign_seals_forward() {
+        let mut g = gate(1, false); // no query map: queries pass through
+        let mut c = ctx();
+        g.on_message(0, Message::Data(Tuple::new([Value::Int(1)])), &mut c);
+        g.on_message(
+            0,
+            Message::Seal(SealKey::new([("batch", Value::Int(0))])),
+            &mut c,
+        );
+        g.on_message(0, Message::Eos, &mut c);
+        assert_eq!(c.emitted().len(), 3);
+    }
+}

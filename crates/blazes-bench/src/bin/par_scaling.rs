@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! cargo run -p blazes-bench --release --bin par_scaling -- \
-//!     [--records N] [--rounds N] [--reps N] [--out FILE] [--check FLOOR]
+//!     [--records N] [--rounds N] [--reps N] [--out FILE] [--check FLOOR] \
+//!     [--note TEXT]...
 //! ```
+//!
+//! `--note` (repeatable) appends free-form provenance to the emitted
+//! JSON's `notes` array — the place to record what a specific recorded
+//! run measured (machine, before/after context).
 //!
 //! `--out` writes the results as JSON (default `BENCH_par_scaling.json`
 //! when `--out` is given without a value via CI). `--check FLOOR` exits
@@ -48,8 +53,15 @@ fn main() {
     }
     let out = parse_out(&args, "BENCH_par_scaling.json");
     let check: Option<f64> = parse_flag(&args, "--check");
+    let notes: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--note")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
 
-    let report = run_scaling(&cfg);
+    let mut report = run_scaling(&cfg);
+    report.notes.extend(notes);
     print!("{}", report.render_table());
     println!(
         "# headline: {:.2}x vs sim at 4 workers (uniform); stealing/static on skewed: {:.2}x",

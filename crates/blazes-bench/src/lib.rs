@@ -138,6 +138,8 @@ pub fn adreport_scenario(
         sequencer_service: 12_000,
         query: ReportQuery::Campaign,
         tick_every: 50,
+        click_duplicates: 0.0,
+        requests_via_analyst: false,
         seed,
     }
 }

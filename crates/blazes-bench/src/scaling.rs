@@ -83,6 +83,9 @@ pub struct ScalingReport {
     pub sim_skewed_ms: f64,
     /// All measured parallel points.
     pub points: Vec<ScalingPoint>,
+    /// Free-form provenance notes carried into the emitted JSON (e.g.
+    /// before/after context for executor changes the numbers reflect).
+    pub notes: Vec<String>,
 }
 
 impl ScalingReport {
@@ -144,6 +147,13 @@ impl ScalingReport {
             self.stealing_over_static_skewed()
         );
         let _ = writeln!(s, "  \"all_correct\": {},", self.all_correct());
+        let _ = writeln!(s, "  \"notes\": [");
+        for (i, note) in self.notes.iter().enumerate() {
+            let comma = if i + 1 == self.notes.len() { "" } else { "," };
+            let escaped = note.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = writeln!(s, "    \"{escaped}\"{comma}");
+        }
+        let _ = writeln!(s, "  ],");
         let _ = writeln!(s, "  \"points\": [");
         for (i, p) in self.points.iter().enumerate() {
             let comma = if i + 1 == self.points.len() { "" } else { "," };
@@ -288,6 +298,15 @@ pub fn run_scaling(cfg: &ScalingConfig) -> ScalingReport {
         sim_uniform_ms: sim_ms[0],
         sim_skewed_ms: sim_ms[1],
         points,
+        // Structural (run-independent) provenance; per-run measurement
+        // context belongs to the caller (`par_scaling --note ...`).
+        notes: vec![
+            "in-flight accounting is sharded per worker: sends charge the worker's \
+             private padded cell once per event before publication, batches settle \
+             once per activation, and quiescence is detected by an epoch-validated \
+             idle scan (no contended global counter on the message hot path)"
+                .to_string(),
+        ],
     }
 }
 

@@ -73,6 +73,7 @@ pub mod inference;
 pub mod keys;
 pub mod label;
 pub mod paths;
+pub mod placement;
 pub mod reconcile;
 pub mod severity;
 pub mod spec;
@@ -88,6 +89,7 @@ pub mod prelude {
     pub use crate::graph::{ComponentId, DataflowGraph, SinkId, SourceId};
     pub use crate::keys::KeySet;
     pub use crate::label::Label;
+    pub use crate::placement::{CoordDirective, CoordinationSpec};
     pub use crate::severity::Severity;
     pub use crate::spec::Spec;
     pub use crate::strategy::{CoordinationPlan, Strategy};

@@ -244,8 +244,91 @@ struct Slot {
     mailbox: Mailbox,
 }
 
+/// A cache-line-isolated atomic, so per-worker counters do not false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedI64(AtomicI64);
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Sharded in-flight accounting.
+///
+/// The predecessor was a single `AtomicI64` touched with a SeqCst RMW per
+/// send *and* per processed message — a contended-line hotspot at high
+/// worker counts (the ROADMAP item this replaces). Now each worker owns
+/// one padded cell (cell `workers` belongs to the injecting coordinator
+/// thread) and a monotone *send epoch*:
+///
+/// * before any of an event's emissions become visible, the processing
+///   worker adds their count to **its own** cell and bumps its epoch —
+///   uncontended RMWs on a private line;
+/// * after draining a batch, it subtracts the number of messages it
+///   consumed from its own cell, once per activation instead of once per
+///   message.
+///
+/// The global sum is exact whenever all updates have landed; a worker
+/// that runs out of work detects quiescence by [`InFlight::quiescent`]:
+/// read all epochs, sum all cells, re-read the epochs. A non-atomic scan
+/// can only be fooled into a false zero by *missing* an increment whose
+/// matching decrement it *saw* — but the decrement happens causally after
+/// the increment (through the mailbox push), so the missed increment (and
+/// its epoch bump) must fall inside the scan window, and the epoch
+/// re-read rejects the scan. Sum ≠ 0 or changed epochs simply mean "not
+/// quiescent yet"; the parked worker re-scans on its next timeout.
+struct InFlight {
+    cells: Vec<PaddedI64>,
+    epochs: Vec<PaddedU64>,
+}
+
+impl InFlight {
+    fn new(shards: usize, injected: i64) -> Self {
+        let cells: Vec<PaddedI64> = (0..shards).map(|_| PaddedI64::default()).collect();
+        // External injections are pre-charged to the coordinator's cell.
+        cells[shards - 1].0.store(injected, Ordering::SeqCst);
+        InFlight {
+            cells,
+            epochs: (0..shards).map(|_| PaddedU64::default()).collect(),
+        }
+    }
+
+    /// Charge `n` sends to `shard` *before* the messages become visible.
+    fn charge(&self, shard: usize, n: i64) {
+        self.cells[shard].0.fetch_add(n, Ordering::SeqCst);
+        self.epochs[shard].0.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Settle `n` processed messages against `shard`.
+    fn settle(&self, shard: usize, n: i64) {
+        self.cells[shard].0.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    /// Validated quiescence scan (see type docs for the argument).
+    fn quiescent(&self) -> bool {
+        let read_epochs = |buf: &mut Vec<u64>| {
+            buf.clear();
+            buf.extend(self.epochs.iter().map(|e| e.0.load(Ordering::SeqCst)));
+        };
+        let mut before = Vec::with_capacity(self.epochs.len());
+        let mut after = Vec::with_capacity(self.epochs.len());
+        for _ in 0..2 {
+            read_epochs(&mut before);
+            let sum: i64 = self.cells.iter().map(|c| c.0.load(Ordering::SeqCst)).sum();
+            if sum != 0 {
+                return false;
+            }
+            read_epochs(&mut after);
+            if before == after {
+                return true;
+            }
+        }
+        false
+    }
+}
+
 struct Counters {
-    in_flight: AtomicI64,
+    in_flight: InFlight,
     events: AtomicU64,
     deliveries: AtomicU64,
     duplicates: AtomicU64,
@@ -703,7 +786,9 @@ impl ParExecutor {
             static_queues: (0..workers).map(|_| Injector::new()).collect(),
             stealers,
             counters: Counters {
-                in_flight: AtomicI64::new(self.injected.len() as i64),
+                // One shard per worker plus one for the injecting
+                // coordinator thread.
+                in_flight: InFlight::new(workers + 1, self.injected.len() as i64),
                 events: AtomicU64::new(0),
                 deliveries: AtomicU64::new(0),
                 duplicates: AtomicU64::new(0),
@@ -728,6 +813,7 @@ impl ParExecutor {
                 idx: w,
                 local,
                 local_len: 0,
+                scratch: Vec::new(),
                 ws: WorkerStats {
                     worker: w,
                     ..WorkerStats::default()
@@ -818,6 +904,10 @@ struct WorkerCtx {
     /// Approximate local queue length (stealers may shrink it unseen;
     /// batch steals into the deque resync it in `find_task`).
     local_len: usize,
+    /// Reusable staging buffer for one event's outbound sends, so they
+    /// can be charged to the in-flight shard in one RMW before any
+    /// becomes visible.
+    scratch: Vec<(usize, MailItem)>,
     ws: WorkerStats,
 }
 
@@ -919,15 +1009,14 @@ impl WorkerCtx {
             self.process(shared, inst, item, &mut cell);
             drained += 1;
             self.ws.events += 1;
-            // This event and everything it spawned are now accounted; if
-            // the global counter hits zero the whole run is quiescent.
-            if shared.counters.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
-                drop(cell);
-                shared.finish();
-                return;
-            }
         }
         drop(cell);
+        // Settle the whole batch against this worker's shard in one RMW.
+        // Deferring decrements is safe (the sum only over-approximates);
+        // quiescence is detected by the idle-scan in `idle_park`.
+        if drained > 0 {
+            shared.counters.in_flight.settle(self.idx, drained as i64);
+        }
 
         // Release protocol: keep the scheduled flag while work remains;
         // otherwise clear it and re-check for the racing producer whose
@@ -962,25 +1051,39 @@ impl WorkerCtx {
         }
 
         let Context { emitted, ticks, .. } = ctx;
+        let mut staged = std::mem::take(&mut self.scratch);
         for (out_port, msg) in emitted {
-            self.route(shared, inst, out_port, msg, &mut cell.wires);
+            Self::stage(shared, out_port, msg, &mut cell.wires, &mut staged);
         }
         for _delay in ticks {
             // No virtual clock: a tick fires as the instance's next
             // self-event, preserving order relative to its own emissions.
-            self.send(shared, inst, inst, MailItem::Tick);
+            staged.push((inst, MailItem::Tick));
         }
+        if !staged.is_empty() {
+            // Charge every outbound message to this worker's shard BEFORE
+            // any of them becomes visible — the invariant that keeps the
+            // sharded quiescence scan from under-counting.
+            shared
+                .counters
+                .in_flight
+                .charge(self.idx, staged.len() as i64);
+            for (dst, item) in staged.drain(..) {
+                self.send(shared, inst, dst, item);
+            }
+        }
+        self.scratch = staged;
     }
 
-    /// Route one emission along every wire of `(instance, out_port)`,
-    /// drawing faults from each wire's private RNG stream.
-    fn route(
-        &mut self,
+    /// Resolve one emission along every wire of `(instance, out_port)`
+    /// into staged mail items, drawing faults from each wire's private
+    /// RNG stream.
+    fn stage(
         shared: &Shared,
-        from: usize,
         out_port: usize,
         msg: Message,
         wires: &mut [Vec<WireRt>],
+        staged: &mut Vec<(usize, MailItem)>,
     ) {
         let Some(port_wires) = wires.get_mut(out_port) else {
             return;
@@ -997,35 +1100,30 @@ impl WorkerCtx {
             }
             let dst = wire.dst;
             let dst_port = wire.dst_port;
-            self.send(
-                shared,
-                from,
+            staged.push((
                 dst,
                 MailItem::Deliver {
                     port: dst_port,
                     msg: msg.clone(),
                 },
-            );
+            ));
             if duplicate {
                 shared.counters.duplicates.fetch_add(1, Ordering::Relaxed);
-                self.send(
-                    shared,
-                    from,
+                staged.push((
                     dst,
                     MailItem::Deliver {
                         port: dst_port,
                         msg: msg.clone(),
                     },
-                );
+                ));
             }
         }
     }
 
-    /// Account one in-flight unit, push into the destination mailbox
+    /// Push one (already charged) item into the destination mailbox
     /// (parking on a bounded full mailbox when it is safe to do so), and
     /// make the destination runnable.
     fn send(&mut self, shared: &Shared, src: usize, dst: usize, item: MailItem) {
-        shared.counters.in_flight.fetch_add(1, Ordering::SeqCst);
         let mb = &shared.slots[dst].mailbox;
         let mut q = mb.lock();
         if let Some(cap) = shared.capacity {
@@ -1123,6 +1221,14 @@ impl WorkerCtx {
         };
         if maybe_work {
             return true;
+        }
+        // No runnable work anywhere in sight: fold the per-worker
+        // in-flight cells. A validated zero means every injected and
+        // derived message has been processed — the run is over.
+        if shared.counters.in_flight.quiescent() {
+            drop(guard);
+            shared.finish();
+            return false;
         }
         shared.sleepers.fetch_add(1, Ordering::SeqCst);
         shared.active.fetch_sub(1, Ordering::SeqCst);

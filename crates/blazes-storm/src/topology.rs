@@ -23,16 +23,19 @@
 use crate::bolt::{Bolt, IdentityBolt};
 use crate::grouping::Grouping;
 use crate::runtime::{
-    BatchHandling, BoltAdapter, Downstream, GatedSpout, PORT_GRANT, PORT_UPSTREAM,
+    BatchHandling, BoltAdapter, Downstream, GatedSpout, BATCH_ATTR, PORT_GRANT, PORT_UPSTREAM,
 };
 use blazes_coord::CommitCoordinator;
-use blazes_dataflow::backend::ExecutorBuilder;
+use blazes_core::placement::{CoordDirective, CoordinationSpec};
+use blazes_dataflow::backend::{ExecutorBuilder, NoopPass, RewriteStats, RewritingBuilder};
 use blazes_dataflow::channel::ChannelConfig;
 use blazes_dataflow::component::Component;
 use blazes_dataflow::message::Message;
 use blazes_dataflow::metrics::RunStats;
 use blazes_dataflow::par::{ParBuilder, ParExecutor, ParStats, ParTuning};
 use blazes_dataflow::sim::{InstanceId, SimBuilder, Simulator, Time};
+use std::error::Error;
+use std::fmt;
 
 /// Handle to a topology node (spout, bolt or sink).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -106,6 +109,68 @@ pub struct NodeDescription {
     pub kind: &'static str,
     /// Indices of subscribed source nodes.
     pub sources: Vec<usize>,
+}
+
+/// Why a [`CoordinationSpec`] could not be applied to this topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordinationError {
+    /// A directive names a component that is not a topology node.
+    UnknownComponent(String),
+    /// A directive targets a node that is not a bolt.
+    NotABolt(String),
+    /// A seal directive uses a key the engine's punctuation protocol does
+    /// not speak (bolts track completion on the `batch` attribute).
+    UnsupportedSealKey {
+        /// The flagged component.
+        component: String,
+        /// The rejected key, rendered.
+        key: String,
+    },
+}
+
+impl fmt::Display for CoordinationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordinationError::UnknownComponent(name) => {
+                write!(f, "coordination directive names unknown component {name:?}")
+            }
+            CoordinationError::NotABolt(name) => {
+                write!(f, "coordination directive targets non-bolt node {name:?}")
+            }
+            CoordinationError::UnsupportedSealKey { component, key } => write!(
+                f,
+                "seal directive at {component:?} keyed {{{key}}} — engine punctuations seal on \
+                 `{BATCH_ATTR}`"
+            ),
+        }
+    }
+}
+
+impl Error for CoordinationError {}
+
+/// What [`TopologyBuilder::apply_coordination`] did — the storm-side
+/// overhead ledger of the annotate→analyze→inject pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoordinationOutcome {
+    /// Bolts made transactional to satisfy `Order` directives (the
+    /// engine-native static ordering service: readiness/grant rounds
+    /// through a [`CommitCoordinator`]).
+    pub ordered: Vec<String>,
+    /// `(component, input)` pairs whose `Seal` directives are satisfied by
+    /// the punctuation protocol every [`BoltAdapter`] already runs — no
+    /// operator injected, which is the "minimal" in minimal coordination.
+    pub seal_native: Vec<(String, String)>,
+    /// Accounting of the graph-rewrite pass the build ran through. For
+    /// engine-native coordination this must read untouched.
+    pub rewrite: RewriteStats,
+}
+
+impl CoordinationOutcome {
+    /// Did the spec require injecting nothing at all?
+    #[must_use]
+    pub fn is_rewrite_free(&self) -> bool {
+        self.ordered.is_empty() && self.rewrite.is_untouched()
+    }
 }
 
 /// Builder for a simulated Storm topology.
@@ -250,6 +315,144 @@ impl TopologyBuilder {
             _ => panic!("only bolts can be transactional"),
         }
         self.transactional = Some(cfg);
+    }
+
+    /// Apply an analysis-derived [`CoordinationSpec`] to this topology,
+    /// mapping each directive onto the engine-native mechanism:
+    ///
+    /// * [`CoordDirective::Order`] — the named bolt becomes transactional:
+    ///   its batches commit in one total order through the simulated
+    ///   coordination service configured by `ordering` (paper
+    ///   Section V-B2, Storm's "transactional topology").
+    /// * [`CoordDirective::Seal`] — verified against the engine's native
+    ///   punctuation protocol: every [`BoltAdapter`] already buffers
+    ///   batches and releases them on a unanimous per-producer seal vote,
+    ///   so nothing is injected (the directive's key must be the engine's
+    ///   `batch` attribute).
+    ///
+    /// Use [`TopologyBuilder::build_coordinated`] /
+    /// [`TopologyBuilder::build_coordinated_parallel`] to also run the
+    /// assembly through the graph-rewrite pass and obtain the full
+    /// [`CoordinationOutcome`].
+    ///
+    /// # Errors
+    /// When a directive names an unknown node, targets a non-bolt, or
+    /// seals on a key the punctuation protocol does not speak. On error
+    /// the builder is left exactly as it was — validation happens before
+    /// any directive is applied.
+    pub fn apply_coordination(
+        &mut self,
+        spec: &CoordinationSpec,
+        ordering: &TransactionalConfig,
+    ) -> Result<CoordinationOutcome, CoordinationError> {
+        // Resolve and validate every directive first, so a failure cannot
+        // leave the builder half-coordinated.
+        let mut resolved: Vec<(usize, &CoordDirective)> = Vec::with_capacity(spec.directives.len());
+        for directive in &spec.directives {
+            let name = directive.component();
+            let node = self
+                .nodes
+                .iter()
+                .position(|n| n.name == name)
+                .ok_or_else(|| CoordinationError::UnknownComponent(name.to_string()))?;
+            if !matches!(self.nodes[node].kind, NodeKind::Bolt { .. }) {
+                return Err(CoordinationError::NotABolt(name.to_string()));
+            }
+            if let CoordDirective::Seal { key, .. } = directive {
+                if !key.contains(BATCH_ATTR) {
+                    return Err(CoordinationError::UnsupportedSealKey {
+                        component: name.to_string(),
+                        key: key.to_string(),
+                    });
+                }
+            }
+            resolved.push((node, directive));
+        }
+
+        let mut outcome = CoordinationOutcome::default();
+        for (node, directive) in resolved {
+            let name = directive.component().to_string();
+            match directive {
+                CoordDirective::Order { .. } => {
+                    match &mut self.nodes[node].kind {
+                        NodeKind::Bolt { transactional, .. } => *transactional = true,
+                        _ => unreachable!("validated above"),
+                    }
+                    self.transactional = Some(ordering.clone());
+                    outcome.ordered.push(name);
+                }
+                CoordDirective::Seal { input, .. } => {
+                    outcome.seal_native.push((name, input.clone()));
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Apply `spec` and instantiate onto the discrete-event simulator,
+    /// assembling through the graph-rewrite pass so the outcome carries
+    /// the pass accounting (zero injected operators for engine-native
+    /// coordination — the proof obligation of the "minimal" claim).
+    ///
+    /// # Errors
+    /// See [`TopologyBuilder::apply_coordination`].
+    pub fn build_coordinated(
+        mut self,
+        spec: &CoordinationSpec,
+        ordering: &TransactionalConfig,
+    ) -> Result<(StormRun, CoordinationOutcome), CoordinationError> {
+        let mut outcome = self.apply_coordination(spec, ordering)?;
+        let seed = self.seed;
+        let mut sim = SimBuilder::new(seed);
+        let mut rb = RewritingBuilder::new(&mut sim, NoopPass);
+        let (instances, name) = self.assemble(&mut rb);
+        let (_, stats) = rb.finish();
+        outcome.rewrite = stats;
+        Ok((
+            StormRun {
+                sim: sim.build(),
+                instances,
+                name,
+            },
+            outcome,
+        ))
+    }
+
+    /// Like [`TopologyBuilder::build_coordinated`], onto the multi-worker
+    /// parallel executor: the *same* rewritten graph, on `workers` OS
+    /// threads.
+    ///
+    /// # Errors
+    /// See [`TopologyBuilder::apply_coordination`].
+    ///
+    /// # Panics
+    /// Panics when `workers` is zero or `tuning` is invalid.
+    pub fn build_coordinated_parallel(
+        mut self,
+        spec: &CoordinationSpec,
+        ordering: &TransactionalConfig,
+        workers: usize,
+        tuning: ParTuning,
+    ) -> Result<(ParStormRun, CoordinationOutcome), CoordinationError> {
+        assert!(workers > 0, "need at least one worker");
+        let mut outcome = self.apply_coordination(spec, ordering)?;
+        let seed = self.seed;
+        let mut par = ParBuilder::new(seed)
+            .with_workers(workers)
+            .with_tuning(tuning)
+            .expect("valid parallel tuning");
+        let mut rb = RewritingBuilder::new(&mut par, NoopPass);
+        let (instances, name) = self.assemble(&mut rb);
+        let (_, stats) = rb.finish();
+        outcome.rewrite = stats;
+        Ok((
+            ParStormRun {
+                exec: Some(par.build()),
+                instances,
+                name,
+            },
+            outcome,
+        ))
     }
 
     /// Structure description for the grey-box Blazes adapter.
@@ -853,6 +1056,135 @@ mod tests {
                 "diverged under {tuning:?}"
             );
         }
+    }
+
+    /// Derive the coordination spec for the test wordcount through the
+    /// grey-box adapter — the front half of annotate→analyze→inject.
+    fn wordcount_spec(sealed: bool) -> CoordinationSpec {
+        use crate::adapter::{dataflow_graph, TopologyAnnotations};
+        use blazes_core::annotation::ComponentAnnotation;
+        let (t, _) = wordcount_topology(0, false);
+        let mut ann = TopologyAnnotations::new();
+        ann.spout_attrs("tweets", ["word", "batch"])
+            .annotate_bolt("count", ComponentAnnotation::ow(["word", "batch"]));
+        if sealed {
+            ann.seal_spout("tweets", ["batch"]);
+        }
+        let g = dataflow_graph(&t.describe(), &ann).expect("well-formed");
+        CoordinationSpec::derive(&g, false).expect("analyzable")
+    }
+
+    #[test]
+    fn sealed_spec_builds_rewrite_free_and_matches_baseline() {
+        let spec = wordcount_spec(true);
+        assert_eq!(spec.len(), 1, "one seal directive: {spec:?}");
+        let (mut baseline, base_sink) = wordcount_run(31, false);
+        baseline.run(None);
+        let (t, sink) = wordcount_topology(31, false);
+        let (mut run, outcome) = t
+            .build_coordinated(&spec, &TransactionalConfig::default())
+            .expect("spec applies");
+        assert!(outcome.is_rewrite_free(), "{outcome:?}");
+        assert_eq!(outcome.seal_native.len(), 1);
+        assert_eq!(outcome.rewrite.injected_operators, 0);
+        run.run(None);
+        assert_eq!(counts_from(&sink), counts_from(&base_sink));
+    }
+
+    #[test]
+    fn order_spec_makes_the_bolt_transactional() {
+        let spec = wordcount_spec(false);
+        assert_eq!(spec.len(), 1, "one order directive: {spec:?}");
+        let (mut plain, plain_sink) = wordcount_run(13, false);
+        let p = plain.run(None);
+
+        let (t, sink) = wordcount_topology(13, false);
+        let (mut run, outcome) = t
+            .build_coordinated(&spec, &TransactionalConfig::default())
+            .expect("spec applies");
+        assert_eq!(outcome.ordered, vec!["count".to_string()]);
+        assert!(!outcome.is_rewrite_free());
+        let stats = run.run(None);
+        // Same answers, paid for with coordination latency.
+        assert_eq!(counts_from(&sink), counts_from(&plain_sink));
+        assert!(
+            stats.end_time > p.end_time,
+            "ordering must cost virtual time: {} vs {}",
+            stats.end_time,
+            p.end_time
+        );
+    }
+
+    #[test]
+    fn coordinated_parallel_build_matches_simulator() {
+        let spec = wordcount_spec(false);
+        let (t, sim_sink) = wordcount_topology(23, false);
+        let (mut sim_run, _) = t
+            .build_coordinated(&spec, &TransactionalConfig::default())
+            .unwrap();
+        sim_run.run(None);
+        for workers in [1usize, 4] {
+            let (t, par_sink) = wordcount_topology(23, false);
+            let (mut par_run, outcome) = t
+                .build_coordinated_parallel(
+                    &spec,
+                    &TransactionalConfig::default(),
+                    workers,
+                    ParTuning::default(),
+                )
+                .unwrap();
+            assert_eq!(outcome.ordered, vec!["count".to_string()]);
+            let _ = par_run.run();
+            assert_eq!(
+                counts_from(&par_sink),
+                counts_from(&sim_sink),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn coordination_errors_are_typed() {
+        use blazes_core::keys::KeySet;
+        use blazes_core::placement::CoordDirective;
+
+        let ghost = CoordinationSpec {
+            directives: vec![CoordDirective::Order {
+                component: "ghost".to_string(),
+                inputs: vec![],
+                dynamic: false,
+            }],
+        };
+        let (mut t, _) = wordcount_topology(0, false);
+        assert_eq!(
+            t.apply_coordination(&ghost, &TransactionalConfig::default()),
+            Err(CoordinationError::UnknownComponent("ghost".to_string()))
+        );
+
+        let bad_key = CoordinationSpec {
+            directives: vec![CoordDirective::Seal {
+                component: "count".to_string(),
+                input: "words".to_string(),
+                key: KeySet::single("campaign"),
+            }],
+        };
+        let err = t
+            .apply_coordination(&bad_key, &TransactionalConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, CoordinationError::UnsupportedSealKey { .. }));
+        assert!(err.to_string().contains("batch"));
+
+        let not_bolt = CoordinationSpec {
+            directives: vec![CoordDirective::Order {
+                component: "tweets".to_string(),
+                inputs: vec![],
+                dynamic: false,
+            }],
+        };
+        assert_eq!(
+            t.apply_coordination(&not_bolt, &TransactionalConfig::default()),
+            Err(CoordinationError::NotABolt("tweets".to_string()))
+        );
     }
 
     #[test]

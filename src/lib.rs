@@ -8,6 +8,9 @@
 //!
 //! * [`core`] — the Blazes analysis: annotations, labels, inference,
 //!   reconciliation, coordination synthesis.
+//! * [`autocoord`] — analysis-driven coordination injection: rewrites
+//!   topologies so every flagged edge gets exactly the coordination the
+//!   analysis demands.
 //! * [`dataflow`] — the discrete-event simulated dataflow runtime.
 //! * [`coord`] — coordination substrates (sequencer, seal manager,
 //!   barriers).
@@ -19,6 +22,7 @@
 //! inventory.
 
 pub use blazes_apps as apps;
+pub use blazes_autocoord as autocoord;
 pub use blazes_bloom as bloom;
 pub use blazes_coord as coord;
 pub use blazes_core as core;

@@ -1,0 +1,264 @@
+//! The differential proof obligation of the `blazes-autocoord` subsystem
+//! (paper Sections III & V, end to end):
+//!
+//! * the **uncoordinated** ad-report run exhibits the paper's
+//!   replica-divergence / cross-run nondeterminism anomaly under the
+//!   fault-injection RNG — different worker counts and schedulers produce
+//!   different answers to the same queries;
+//! * the **auto-coordinated** run (analysis → spec → injected seal gates)
+//!   is bit-identical across `{1,2,4,8}` workers × `{stealing, static}`
+//!   schedulers *and* matches the discrete-event simulator;
+//! * the **confluent** wordcount comes through the pass rewrite-free —
+//!   zero injected operators, identical outputs — the "minimal" in
+//!   minimal coordination.
+
+use blazes::apps::adreport::{run_scenario_parallel, AdScenario, StrategyKind};
+use blazes::apps::autocoord::{
+    response_digests, run_scenario_auto, run_scenario_auto_parallel, run_wordcount_coordinated,
+    run_wordcount_coordinated_parallel, wordcount_spec,
+};
+use blazes::apps::queries::ReportQuery;
+use blazes::apps::wordcount::{run_wordcount, run_wordcount_parallel, WordcountScenario};
+use blazes::apps::workload::{CampaignPlacement, ClickWorkload, TweetWorkload};
+use blazes::core::placement::CoordDirective;
+use blazes::dataflow::message::Message;
+use blazes::dataflow::par::ParTuning;
+
+/// Every configuration the determinism claim must hold across.
+fn configs() -> Vec<(usize, ParTuning)> {
+    let mut out = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        for stealing in [true, false] {
+            out.push((
+                workers,
+                ParTuning {
+                    stealing,
+                    ..ParTuning::default()
+                },
+            ));
+        }
+    }
+    out
+}
+
+fn scenario(seed: u64) -> AdScenario {
+    AdScenario {
+        workload: ClickWorkload {
+            ad_servers: 3,
+            entries_per_server: 60,
+            batch_size: 20,
+            sleep_between_batches: 50_000,
+            entry_interval: 200,
+            campaigns: 6,
+            ads_per_campaign: 4,
+            placement: CampaignPlacement::Spread,
+            seed: 5,
+        },
+        query: ReportQuery::Campaign,
+        replicas: 3,
+        requests: 8,
+        // Answer every query against the instantaneous state, so the
+        // uncoordinated run's race is maximally visible.
+        tick_every: 1,
+        // The at-least-once fault model: clicks replay on the wire.
+        click_duplicates: 0.2,
+        // The analyst races with click ingestion on the workers.
+        requests_via_analyst: true,
+        seed,
+        ..AdScenario::default()
+    }
+}
+
+/// The paper's anomaly, live: without coordination, the same scenario
+/// under the same fault seed answers queries differently depending on the
+/// scheduler — across configurations, or even between replicas of one run.
+#[test]
+fn uncoordinated_adreport_diverges_across_schedulers() {
+    let mut diverged = false;
+    'seeds: for seed in 0..5u64 {
+        let mut digests = Vec::new();
+        for (workers, tuning) in configs() {
+            let res = run_scenario_parallel(
+                &AdScenario {
+                    strategy: StrategyKind::Uncoordinated,
+                    ..scenario(seed)
+                },
+                workers,
+                tuning,
+            );
+            if !res.responses_consistent() {
+                diverged = true; // replicas disagree within one run
+                break 'seeds;
+            }
+            digests.push(response_digests(&res.responses));
+        }
+        if digests.windows(2).any(|w| w[0] != w[1]) {
+            diverged = true; // same seed, different schedule, different answers
+            break 'seeds;
+        }
+    }
+    assert!(
+        diverged,
+        "uncoordinated runs stayed consistent across every seed and scheduler — \
+         the anomaly the coordination exists to repair did not manifest"
+    );
+}
+
+/// The repaired run: the analysis seals the Report replicas, and the
+/// injected gates make every configuration produce bit-identical digests
+/// — which also equal the simulator's.
+#[test]
+fn autocoord_adreport_is_deterministic_across_schedulers_and_backends() {
+    let sc = scenario(3);
+    let (sim_res, sim_report) = run_scenario_auto(&sc);
+    assert!(
+        matches!(
+            sim_report.spec.directive_for("Report"),
+            Some(CoordDirective::Seal { .. })
+        ),
+        "CAMPAIGN + campaign punctuations must resolve to the seal protocol"
+    );
+    let reference = response_digests(&sim_res.responses);
+    assert!(
+        reference.iter().any(|d| !d.is_empty()),
+        "queries must produce answers"
+    );
+
+    for (workers, tuning) in configs() {
+        let (res, report) = run_scenario_auto_parallel(&sc, workers, tuning);
+        assert_eq!(
+            report.stats.injected_operators, sc.replicas,
+            "one seal gate per replica ({workers} workers, {tuning:?})"
+        );
+        for s in &res.series {
+            assert!(
+                s.total() >= res.expected_records,
+                "all partitions released ({workers} workers, {tuning:?})"
+            );
+        }
+        assert_eq!(
+            response_digests(&res.responses),
+            reference,
+            "auto-coordinated digest diverged at {workers} workers, {tuning:?}"
+        );
+    }
+}
+
+/// Sanity anchor for the digests themselves: the coordinated answers are
+/// real responses, computed from *final* partition contents only.
+#[test]
+fn autocoord_adreport_answers_from_sealed_partitions() {
+    let (res, _) = run_scenario_auto(&scenario(3));
+    assert!(res.responses_consistent(), "replicas agree");
+    let any_response = res
+        .responses
+        .iter()
+        .flat_map(|r| r.messages())
+        .find_map(|m| m.as_data().cloned())
+        .expect("at least one response");
+    assert_eq!(any_response.arity(), 2, "(id, n) response shape");
+}
+
+fn wc_scenario() -> WordcountScenario {
+    WordcountScenario {
+        workers: 3,
+        workload: TweetWorkload {
+            vocabulary: 60,
+            batches: 5,
+            tweets_per_batch: 12,
+            ..TweetWorkload::default()
+        },
+        seed: 29,
+        ..WordcountScenario::default()
+    }
+}
+
+/// The minimality half: the sealed wordcount is already CALM-safe, so the
+/// coordinated build must inject nothing — on either backend — and commit
+/// exactly the uncoordinated baseline's counts.
+#[test]
+fn confluent_wordcount_is_left_rewrite_free_on_both_backends() {
+    let sc = wc_scenario();
+    let spec = wordcount_spec(true);
+    assert!(
+        matches!(
+            spec.directive_for("Count"),
+            Some(CoordDirective::Seal { .. })
+        ),
+        "batch punctuations satisfy the analysis: {spec:?}"
+    );
+
+    let baseline = run_wordcount(&sc);
+    let (sim, outcome) = run_wordcount_coordinated(&sc, &spec);
+    assert!(outcome.is_rewrite_free(), "{outcome:?}");
+    assert_eq!(outcome.rewrite.injected_operators, 0);
+    assert_eq!(sim.counts(), baseline.counts());
+
+    let par_baseline = run_wordcount_parallel(&sc, 4, ParTuning::default());
+    let (par, outcome) = run_wordcount_coordinated_parallel(&sc, &spec, 4, ParTuning::default());
+    assert!(outcome.is_rewrite_free(), "{outcome:?}");
+    assert_eq!(par.counts(), par_baseline.counts());
+    assert_eq!(par.counts(), baseline.counts());
+}
+
+/// The unsealed wordcount is *not* confluent: the same pipeline then
+/// orders the Count bolt (engine-native transactional commits) and still
+/// reproduces the baseline's answers, across worker counts.
+#[test]
+fn unsealed_wordcount_gets_ordered_and_stays_exact() {
+    let sc = wc_scenario();
+    let spec = wordcount_spec(false);
+    assert!(
+        matches!(
+            spec.directive_for("Count"),
+            Some(CoordDirective::Order { .. })
+        ),
+        "{spec:?}"
+    );
+    let baseline = run_wordcount(&sc);
+    let (sim, outcome) = run_wordcount_coordinated(&sc, &spec);
+    assert_eq!(outcome.ordered, vec!["Count".to_string()]);
+    assert_eq!(sim.counts(), baseline.counts());
+
+    for workers in [2usize, 4] {
+        let (par, _) =
+            run_wordcount_coordinated_parallel(&sc, &spec, workers, ParTuning::default());
+        assert_eq!(par.counts(), baseline.counts(), "{workers} workers");
+        // Transactional commits arrive in batch order even under threads.
+        let mut max_batch = i64::MIN;
+        for m in par.committed.messages() {
+            let Some(t) = m.as_data() else { continue };
+            let b = t
+                .get(1)
+                .and_then(blazes::dataflow::value::Value::as_int)
+                .unwrap();
+            assert!(b >= max_batch, "batch order violated at {workers} workers");
+            max_batch = max_batch.max(b);
+        }
+    }
+}
+
+/// Digest helper sanity: sorting makes delivery order irrelevant but
+/// preserves multiplicity.
+#[test]
+fn response_digest_is_order_insensitive_but_multiset_exact() {
+    use blazes::dataflow::component::Component;
+    use blazes::dataflow::sim::InstanceId;
+    use blazes::dataflow::sinks::CollectorSink;
+
+    let a = CollectorSink::new();
+    let b = CollectorSink::new();
+    let mut ctx = blazes::dataflow::component::Context::new(0, InstanceId(0));
+    let m1 = Message::data([1i64]);
+    let m2 = Message::data([2i64]);
+    a.clone().on_message(0, m1.clone(), &mut ctx);
+    a.clone().on_message(0, m2.clone(), &mut ctx);
+    b.clone().on_message(0, m2, &mut ctx);
+    b.clone().on_message(0, m1.clone(), &mut ctx);
+    assert_eq!(
+        response_digests(std::slice::from_ref(&a)),
+        response_digests(std::slice::from_ref(&b))
+    );
+    b.clone().on_message(0, m1, &mut ctx);
+    assert_ne!(response_digests(&[a]), response_digests(&[b]));
+}

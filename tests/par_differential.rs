@@ -443,3 +443,215 @@ fn skewed_key_sealing_matches_simulator() {
     // Campaign 0 is ~20x hotter than the tail.
     assert_sealing_agrees("skewed-seal", 3, 6, |c| if c == 0 { 60 } else { 3 });
 }
+
+// ---------------------------------------------------------------------
+// Adversarial punctuation orderings (ROADMAP "scenario breadth"): seals
+// arriving before, interleaved with, and duplicated around the records
+// they cover — asserted across both schedulers and the simulator.
+// ---------------------------------------------------------------------
+
+/// Run one sealed assembly on the simulator and on the parallel executor
+/// under every scheduler variant, asserting identical release outcomes.
+fn assert_adversarial_sealing(
+    name: &str,
+    expected: &BTreeSet<Message>,
+    campaigns: usize,
+    assemble: impl Fn(&mut dyn ExecutorBuilder, CollectorSink),
+) {
+    let sim_sink = CollectorSink::new();
+    let mut sim = SimBuilder::new(17);
+    assemble(&mut sim, sim_sink.clone());
+    sim.build().run(None);
+    assert_eq!(&sim_sink.message_set(), expected, "{name}: simulator");
+    assert_eq!(sim_sink.len(), campaigns, "{name}: released once (sim)");
+
+    for (variant, tuning) in scheduler_variants() {
+        for workers in [2usize, 4] {
+            let par_sink = CollectorSink::new();
+            let mut par = ParBuilder::new(17)
+                .with_workers(workers)
+                .with_tuning(tuning)
+                .expect("valid tuning");
+            assemble(&mut par, par_sink.clone());
+            let _ = par.build().run();
+            assert_eq!(
+                &par_sink.message_set(),
+                expected,
+                "{name}/{variant}: outcome ({workers} workers)"
+            );
+            assert_eq!(
+                par_sink.len(),
+                campaigns,
+                "{name}/{variant}: released once ({workers} workers)"
+            );
+        }
+    }
+}
+
+/// Seals arriving *before* any covered records from one stakeholder: a
+/// producer that contributes nothing to a partition votes up front, and
+/// the release must still wait for every other producer's data + seal.
+#[test]
+fn seals_before_covered_records_still_gate_the_release() {
+    const PRODUCERS: usize = 3;
+    const CAMPAIGNS: i64 = 4;
+    const RECORDS: usize = 6;
+    // Producer 0 contributes no data: (PRODUCERS - 1) * RECORDS each.
+    let expected: BTreeSet<Message> = (0..CAMPAIGNS)
+        .map(|c| {
+            Message::Data(Tuple(vec![
+                Value::Int(c),
+                Value::Int(((PRODUCERS - 1) * RECORDS) as i64),
+            ]))
+        })
+        .collect();
+    assert_adversarial_sealing("early-seals", &expected, CAMPAIGNS as usize, |b, sink| {
+        let consumer = b.add_instance(Box::new(SealingConsumer {
+            mgr: SealManager::new(ProducerRegistry::all_produce(0..PRODUCERS)),
+        }));
+        let s = b.add_instance(Box::new(sink));
+        b.connect_with(consumer, 0, s, 0, ChannelConfig::instant());
+        for k in 0..PRODUCERS {
+            let p = b.add_instance(echo());
+            b.connect_with(p, 0, consumer, k, ChannelConfig::lan().with_jitter(15_000));
+            if k == 0 {
+                // The empty stakeholder seals everything first, before any
+                // covered record exists anywhere.
+                for c in 0..CAMPAIGNS {
+                    b.inject(0, p, 0, Message::Seal(SealKey::new([("campaign", c)])));
+                }
+            } else {
+                for c in 0..CAMPAIGNS {
+                    for i in 0..RECORDS {
+                        b.inject(1, p, 0, Message::data([c, k as i64, i as i64]));
+                    }
+                    b.inject(2, p, 0, Message::Seal(SealKey::new([("campaign", c)])));
+                }
+            }
+        }
+    });
+}
+
+/// Seals interleaved with other producers' records: producers work
+/// through the campaigns in rotated orders (the ad workload's "spread"
+/// placement), so every seal arrives while sibling producers are still
+/// emitting records for that campaign.
+#[test]
+fn seals_interleaved_across_producers_release_exactly_once() {
+    const PRODUCERS: usize = 3;
+    const CAMPAIGNS: i64 = 5;
+    const RECORDS: usize = 4;
+    let expected: BTreeSet<Message> = (0..CAMPAIGNS)
+        .map(|c| {
+            Message::Data(Tuple(vec![
+                Value::Int(c),
+                Value::Int((PRODUCERS * RECORDS) as i64),
+            ]))
+        })
+        .collect();
+    assert_adversarial_sealing(
+        "interleaved-seals",
+        &expected,
+        CAMPAIGNS as usize,
+        |b, sink| {
+            let consumer = b.add_instance(Box::new(SealingConsumer {
+                mgr: SealManager::new(ProducerRegistry::all_produce(0..PRODUCERS)),
+            }));
+            let s = b.add_instance(Box::new(sink));
+            b.connect_with(consumer, 0, s, 0, ChannelConfig::instant());
+            for k in 0..PRODUCERS {
+                let p = b.add_instance(echo());
+                b.connect_with(p, 0, consumer, k, ChannelConfig::lan().with_jitter(15_000));
+                // Rotated campaign order: producer k starts at campaign k.
+                for step in 0..CAMPAIGNS {
+                    let c = (step + k as i64) % CAMPAIGNS;
+                    for i in 0..RECORDS {
+                        b.inject(
+                            step as u64 * 10,
+                            p,
+                            0,
+                            Message::data([c, k as i64, i as i64]),
+                        );
+                    }
+                    b.inject(
+                        step as u64 * 10 + 5,
+                        p,
+                        0,
+                        Message::Seal(SealKey::new([("campaign", c)])),
+                    );
+                }
+            }
+        },
+    );
+}
+
+/// Seals (and records) duplicated around the covered records by the
+/// at-least-once channel fault RNG: duplicate votes must stay idempotent
+/// and every partition still releases exactly once. Outcomes are compared
+/// across worker counts and schedulers — the per-wire fault schedule
+/// makes them reproducible.
+#[test]
+fn duplicated_seals_and_records_release_exactly_once() {
+    const PRODUCERS: usize = 3;
+    const CAMPAIGNS: i64 = 4;
+    const RECORDS: usize = 5;
+
+    let run = |workers: usize, tuning: ParTuning| {
+        let sink = CollectorSink::new();
+        let mut par = ParBuilder::new(23)
+            .with_workers(workers)
+            .with_tuning(tuning)
+            .expect("valid tuning");
+        let consumer = par.add_instance(Box::new(SealingConsumer {
+            mgr: SealManager::new(ProducerRegistry::all_produce(0..PRODUCERS)),
+        }));
+        let s = par.add_instance(Box::new(sink.clone()));
+        blazes::dataflow::backend::ExecutorBuilder::connect_with(
+            &mut par,
+            consumer,
+            0,
+            s,
+            0,
+            ChannelConfig::instant(),
+        );
+        for k in 0..PRODUCERS {
+            let p = par.add_instance(echo());
+            // Both records AND seals replay on this wire.
+            blazes::dataflow::backend::ExecutorBuilder::connect_with(
+                &mut par,
+                p,
+                0,
+                consumer,
+                k,
+                ChannelConfig::lan().with_duplicates(0.4),
+            );
+            for c in 0..CAMPAIGNS {
+                for i in 0..RECORDS {
+                    par.inject(0, p, 0, Message::data([c, k as i64, i as i64]));
+                }
+                par.inject(1, p, 0, Message::Seal(SealKey::new([("campaign", c)])));
+            }
+        }
+        let stats = par.build().run();
+        (sink.message_set(), sink.len(), stats.duplicates)
+    };
+
+    let baseline = run(2, ParTuning::default());
+    assert!(baseline.2 > 0, "duplicates must have fired");
+    assert_eq!(
+        baseline.1, CAMPAIGNS as usize,
+        "each campaign released exactly once despite duplicate seals"
+    );
+    // Release sizes include duplicated records (at-least-once is visible
+    // to a non-idempotent consumer), but the per-wire fault schedule
+    // makes the outcome identical across worker counts and schedulers.
+    for (variant, tuning) in scheduler_variants() {
+        for workers in [2usize, 4] {
+            assert_eq!(
+                run(workers, tuning),
+                baseline,
+                "{variant}: duplicated-seal outcome diverged at {workers} workers"
+            );
+        }
+    }
+}
