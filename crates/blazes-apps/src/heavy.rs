@@ -297,6 +297,181 @@ pub fn build_heavy<B: ExecutorBuilder>(b: &mut B, cfg: &HeavyConfig, sink: Colle
     }
 }
 
+/// Configuration of the fan-in contention workload: many light producers
+/// funneling small records into one consumer instance. Where
+/// [`HeavyConfig`] makes each record *cost CPU* (so parallelism shows),
+/// this family makes each record cost almost nothing — the run is bound by
+/// the consumer's mailbox, which every producer hammers concurrently. It
+/// is the microbench for the mailbox implementation itself: under the old
+/// mutex-backed mailboxes every send serialized on the consumer's lock;
+/// the lock-free MPSC path should show up directly in wall time and in
+/// the `push_retries` counter.
+#[derive(Debug, Clone)]
+pub struct FaninConfig {
+    /// Light producer (forwarder) instances, all wired to one consumer.
+    pub producers: usize,
+    /// Total records across all producers.
+    pub records: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for FaninConfig {
+    fn default() -> Self {
+        FaninConfig {
+            producers: 16,
+            records: 120_000,
+            seed: 41,
+        }
+    }
+}
+
+impl FaninConfig {
+    /// Deterministically generate one producer's payload list.
+    #[must_use]
+    pub fn generate(&self, producer: usize) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (producer as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let per = self.records / self.producers.max(1);
+        let count = if producer + 1 == self.producers.max(1) {
+            self.records - per * (self.producers.max(1) - 1)
+        } else {
+            per
+        };
+        (0..count)
+            .map(|_| rng.random_range(0..i64::MAX / 2))
+            .collect()
+    }
+}
+
+/// A light forwarder: one `mix` round per record (just enough work that
+/// the compiler cannot elide the pipeline), then straight to the consumer.
+struct FaninProducer {
+    name: String,
+}
+
+impl Component for FaninProducer {
+    fn on_message(&mut self, _port: usize, msg: Message, ctx: &mut Context) {
+        match msg {
+            Message::Data(t) => {
+                let payload = t.get(0).and_then(Value::as_int).expect("payload column");
+                let mixed = (mix(payload as u64) >> 1) as i64;
+                ctx.emit(0, Message::data([mixed]));
+            }
+            Message::Eos => ctx.emit(0, Message::Eos),
+            Message::Seal(_) => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The fan-in consumer: folds a commutative `(count, checksum)` over every
+/// record and publishes one summary tuple once all producers signalled EOS.
+struct FaninConsumer {
+    expected_eos: usize,
+    seen_eos: usize,
+    count: i64,
+    checksum: i64,
+}
+
+impl Component for FaninConsumer {
+    fn on_message(&mut self, _port: usize, msg: Message, ctx: &mut Context) {
+        match msg {
+            Message::Data(t) => {
+                let v = t.get(0).and_then(Value::as_int).expect("payload column");
+                self.count += 1;
+                self.checksum = self.checksum.wrapping_add(v) & i64::MAX;
+            }
+            Message::Eos => {
+                self.seen_eos += 1;
+                if self.seen_eos == self.expected_eos {
+                    ctx.emit(0, Message::data([self.count, self.checksum]));
+                }
+            }
+            Message::Seal(_) => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "fanin-consumer"
+    }
+}
+
+/// Assemble the fan-in topology on any backend: `producers` light
+/// forwarders all wired into one folding consumer, which publishes its
+/// summary into `sink`.
+pub fn build_fanin<B: ExecutorBuilder>(b: &mut B, cfg: &FaninConfig, sink: CollectorSink) {
+    let channel = ChannelConfig::instant();
+    let consumer = b.add_instance(Box::new(FaninConsumer {
+        expected_eos: cfg.producers,
+        seen_eos: 0,
+        count: 0,
+        checksum: 0,
+    }));
+    let sink_id = b.add_instance(Box::new(sink));
+    b.connect_with(consumer, 0, sink_id, 0, channel.clone());
+    for p in 0..cfg.producers {
+        let pid = b.add_instance(Box::new(FaninProducer {
+            name: format!("fanin-producer[{p}]"),
+        }));
+        b.connect_with(pid, 0, consumer, 0, channel.clone());
+        for payload in cfg.generate(p) {
+            b.inject(0, pid, 0, Message::data([payload]));
+        }
+        b.inject(1, pid, 0, Message::Eos);
+    }
+}
+
+/// The single summary tuple a fan-in run must produce, computed
+/// sequentially.
+#[must_use]
+pub fn expected_fanin_digest(cfg: &FaninConfig) -> BTreeSet<Message> {
+    let mut count = 0i64;
+    let mut checksum = 0i64;
+    for p in 0..cfg.producers {
+        for payload in cfg.generate(p) {
+            count += 1;
+            checksum = checksum.wrapping_add((mix(payload as u64) >> 1) as i64) & i64::MAX;
+        }
+    }
+    std::iter::once(Message::data([count, checksum])).collect()
+}
+
+/// Run the fan-in workload on the discrete-event simulator.
+#[must_use]
+pub fn run_fanin_sim(cfg: &FaninConfig) -> (BTreeSet<Message>, RunStats) {
+    let sink = CollectorSink::new();
+    let mut b = SimBuilder::new(cfg.seed);
+    build_fanin(&mut b, cfg, sink.clone());
+    let stats = b.build().run(None);
+    (sink.message_set(), stats)
+}
+
+/// Run the fan-in workload on the parallel executor.
+///
+/// # Panics
+/// Panics when `tuning` is invalid (zero batch size, capacity or spill
+/// threshold).
+#[must_use]
+pub fn run_fanin_par(
+    cfg: &FaninConfig,
+    workers: usize,
+    tuning: ParTuning,
+) -> (BTreeSet<Message>, ParStats) {
+    let sink = CollectorSink::new();
+    let mut b = ParBuilder::new(cfg.seed)
+        .with_workers(workers)
+        .with_tuning(tuning)
+        .expect("valid parallel tuning");
+    build_fanin(&mut b, cfg, sink.clone());
+    let stats = b.build().run();
+    (sink.message_set(), stats)
+}
+
 /// The digest a run must produce: one `(key, count, checksum)` tuple per
 /// key observed, computed sequentially.
 #[must_use]
@@ -412,6 +587,29 @@ mod tests {
         let (digest, stats) = run_heavy_sim(&cfg);
         assert_eq!(digest, expected_digest(&cfg));
         assert!(stats.messages_delivered > cfg.records as u64 * 2);
+    }
+
+    #[test]
+    fn fanin_digests_agree_across_backends() {
+        let cfg = FaninConfig {
+            producers: 5,
+            records: 500,
+            seed: 7,
+        };
+        let expected = expected_fanin_digest(&cfg);
+        assert_eq!(expected.len(), 1);
+        let (sim_digest, _) = run_fanin_sim(&cfg);
+        assert_eq!(sim_digest, expected);
+        for stealing in [true, false] {
+            let tuning = ParTuning {
+                stealing,
+                ..ParTuning::default()
+            };
+            let (digest, stats) = run_fanin_par(&cfg, 4, tuning);
+            assert_eq!(digest, expected, "stealing={stealing}");
+            // records at producers + records at consumer + EOS traffic + summary
+            assert!(stats.messages_delivered >= cfg.records as u64 * 2);
+        }
     }
 
     #[test]

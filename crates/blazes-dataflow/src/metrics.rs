@@ -39,6 +39,17 @@ pub struct WorkerStats {
     /// Tasks this worker spilled from its local deque to the injector
     /// because the local queue exceeded the spill threshold.
     pub spills: u64,
+    /// Times this worker parked idle on the eventcount (announce →
+    /// re-check → park all passed; excludes cancelled announcements).
+    pub parks: u64,
+    /// Times one of this worker's sends actually signaled a parked (or
+    /// parking) peer — i.e. the eventcount notify took its slow path.
+    pub wakeups: u64,
+    /// Mailbox tail-CAS retries across this worker's sends: the honest
+    /// producer-contention signal of the lock-free MPSC mailboxes (0 on
+    /// an uncontended wire; grows as concurrent producers collide on one
+    /// destination).
+    pub push_retries: u64,
     /// Times a bounded send parked waiting for mailbox space.
     pub backpressure_parks: u64,
     /// Bounded sends that overshot the capacity rather than park, because
