@@ -97,6 +97,13 @@ pub struct AdScenario {
     /// fault RNG). Applies to the strategies that wire clicks directly
     /// (uncoordinated / sealed / bare).
     pub click_duplicates: f64,
+    /// Extra per-message service time at ad server 0, making it the
+    /// *straggler*: its clicks and (crucially) its seal punctuations lag
+    /// everyone else's, so blocking seal coordination stalls on it while
+    /// time-warp speculation runs ahead. Only observable where service
+    /// times apply — the simulator, or the parallel backend with
+    /// `ParTuning::with_virtual_service_ns`.
+    pub straggler_service: Time,
     /// Route analyst requests through an `analyst` broadcast instance
     /// wired to every replica, instead of injecting them directly. As a
     /// topology participant the analyst *races* with click ingestion on
@@ -121,6 +128,7 @@ impl Default for AdScenario {
             query: ReportQuery::Campaign,
             tick_every: 25,
             click_duplicates: 0.0,
+            straggler_service: 0,
             requests_via_analyst: false,
             seed: 3,
         }
@@ -268,6 +276,16 @@ impl ReportServer {
     }
 }
 
+/// Checkpoint of a replica's state for time-warp speculation: the Bloom
+/// interpreter instance plus the batching buffers, and the length of the
+/// shared processed-records series (truncated on restore).
+struct ReportSnapshot {
+    bloom: ModuleInstance,
+    pending_clicks: Vec<Tuple>,
+    pending_requests: Vec<Tuple>,
+    series_len: usize,
+}
+
 impl Component for ReportServer {
     fn on_message(&mut self, _port: usize, msg: Message, ctx: &mut Context) {
         match msg {
@@ -313,6 +331,31 @@ impl Component for ReportServer {
             }
             Message::Eos => self.flush_clicks(ctx),
         }
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        if self.seal.is_some() {
+            // Native sealed mode runs the blocking protocol inside the
+            // replica; its SealManager state is not checkpointed, so opt
+            // out and let the runtime defer speculative deliveries.
+            return None;
+        }
+        Some(Box::new(ReportSnapshot {
+            bloom: self.bloom.clone(),
+            pending_clicks: self.pending_clicks.clone(),
+            pending_requests: self.pending_requests.clone(),
+            series_len: self.series.len(),
+        }))
+    }
+
+    fn restore(&mut self, snapshot: Box<dyn std::any::Any + Send>) {
+        let snap = snapshot
+            .downcast::<ReportSnapshot>()
+            .expect("report snapshot");
+        self.bloom = snap.bloom;
+        self.pending_clicks = snap.pending_clicks;
+        self.pending_requests = snap.pending_requests;
+        self.series.truncate(snap.series_len);
     }
 
     fn name(&self) -> &str {
@@ -400,6 +443,9 @@ pub fn assemble_scenario<B: ExecutorBuilder>(
         let ad = b.add_instance(Box::new(Broadcast {
             name: format!("adserver[{s}]"),
         }));
+        if s == 0 && sc.straggler_service != 0 {
+            b.set_service_time(ad, sc.straggler_service);
+        }
         match sequencer {
             Some(seq) => b.connect_with(ad, 0, seq, 0, ChannelConfig::lan()),
             None => {
@@ -563,6 +609,7 @@ mod tests {
             query: ReportQuery::Campaign,
             tick_every: 10,
             click_duplicates: 0.0,
+            straggler_service: 0,
             requests_via_analyst: false,
             seed: 21,
         }

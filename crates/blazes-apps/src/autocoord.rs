@@ -125,7 +125,10 @@ pub fn run_scenario_auto(sc: &AdScenario) -> (AdRunResult, AutoCoordReport) {
 }
 
 /// Run `sc` on the multi-worker parallel executor with analysis-driven
-/// coordination — the same rewritten graph the simulator runs.
+/// coordination — the same rewritten graph the simulator runs. When
+/// `tuning` enables time-warp speculation, the injected seal gates are the
+/// speculative variant, so flagged consumers run ahead of missing
+/// punctuations and roll back on violations.
 ///
 /// # Panics
 /// Panics when `tuning` is invalid.
@@ -137,11 +140,13 @@ pub fn run_scenario_auto_parallel(
 ) -> (AdParResult, AutoCoordReport) {
     let spec = ad_network_spec(sc.query);
     let sc = bare(sc);
+    let speculation = tuning.speculation;
     let mut b = ParBuilder::new(sc.seed)
         .with_workers(workers)
         .with_tuning(tuning)
         .expect("valid parallel tuning");
-    let mut rb = RewritingBuilder::new(&mut b, ad_network_rules(&sc, &spec));
+    let rules = ad_network_rules(&sc, &spec).with_speculation(speculation);
+    let mut rb = RewritingBuilder::new(&mut b, rules);
     let (series, responses) = crate::adreport::assemble_scenario(&sc, &mut rb);
     let (rules, stats) = rb.finish();
     let run_stats = b.build().run();

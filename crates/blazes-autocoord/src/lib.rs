@@ -66,5 +66,5 @@ pub use blazes_coord::{SealManager, Sequencer};
 pub use blazes_core::placement::{CoordDirective, CoordinationSpec};
 #[doc(no_inline)]
 pub use blazes_dataflow::backend::{RewriteStats, RewritingBuilder};
-pub use gate::{SealGate, SealGateStats};
+pub use gate::{SealGate, SealGateStats, SpecGateStats, SpeculativeSealGate};
 pub use rules::{AutoCoordRules, InjectionSummary, QueryPartition, SealBinding};

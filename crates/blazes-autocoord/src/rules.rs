@@ -18,12 +18,13 @@
 //!   collapse to a single sequencer send per distinct `(time, port,
 //!   message)` — the sequencer broadcast delivers to every instance.
 
-use crate::gate::SealGate;
+use crate::gate::{SealGate, SpeculativeSealGate};
 use blazes_coord::registry::ProducerRegistry;
 use blazes_coord::sequencer::Sequencer;
 use blazes_core::placement::{CoordDirective, CoordinationSpec};
 use blazes_dataflow::backend::{GateAlloc, InjectAction, RewritePass, WireAction};
 use blazes_dataflow::channel::ChannelConfig;
+use blazes_dataflow::component::Component;
 use blazes_dataflow::message::Message;
 use blazes_dataflow::sim::{InstanceId, Time};
 use blazes_dataflow::value::{Tuple, Value};
@@ -40,8 +41,11 @@ pub type QueryPartition = Arc<dyn Fn(&Tuple) -> Option<Value> + Send + Sync>;
 pub struct SealBinding {
     /// Who produces which partition (the unanimous-vote stakeholders).
     pub registry: ProducerRegistry,
-    /// Column of covered tuples holding the partition key value.
-    pub key_column: usize,
+    /// Columns of covered tuples holding the partition key values, paired
+    /// positionally with the seal key's attributes in canonical (sorted)
+    /// order. A single column is the common case; multi-column keys gate
+    /// on the composite.
+    pub key_columns: Vec<usize>,
     /// Arity distinguishing covered records from queries.
     pub covered_arity: usize,
     /// Seal-key attribute carrying the producer id (default `"producer"`).
@@ -56,11 +60,20 @@ impl SealBinding {
     pub fn new(registry: ProducerRegistry, key_column: usize, covered_arity: usize) -> Self {
         SealBinding {
             registry,
-            key_column,
+            key_columns: vec![key_column],
             covered_arity,
             producer_attr: "producer".to_string(),
             query_partition: None,
         }
+    }
+
+    /// Gate on a composite key: `columns` hold the covered tuple's key
+    /// values, paired positionally with the seal key's attributes in
+    /// canonical (sorted) order.
+    #[must_use]
+    pub fn with_key_columns(mut self, columns: Vec<usize>) -> Self {
+        self.key_columns = columns;
+        self
     }
 
     /// Override the seal-key attribute naming the producer.
@@ -81,7 +94,7 @@ impl SealBinding {
 impl std::fmt::Debug for SealBinding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SealBinding")
-            .field("key_column", &self.key_column)
+            .field("key_columns", &self.key_columns)
             .field("covered_arity", &self.covered_arity)
             .field("producer_attr", &self.producer_attr)
             .field("query_partition", &self.query_partition.is_some())
@@ -91,7 +104,7 @@ impl std::fmt::Debug for SealBinding {
 
 enum RuleKind {
     Seal {
-        key_attr: String,
+        key_attrs: Vec<String>,
         binding: Option<SealBinding>,
         /// One gate per `(consumer instance, input port)`.
         gates: BTreeMap<(usize, usize), InstanceId>,
@@ -176,12 +189,14 @@ pub struct AutoCoordRules {
     sequencer_service: Time,
     ordered_latency: Time,
     seal_delivery: ChannelConfig,
+    speculation: bool,
 }
 
 impl AutoCoordRules {
     /// Build the pass for `spec`. Seal directives with multi-attribute
-    /// keys gate on the first attribute in canonical order (both case
-    /// studies seal on a single attribute).
+    /// keys gate on the composite of all attributes in canonical order;
+    /// the registered [`SealBinding`] pairs tuple columns with them via
+    /// [`SealBinding::with_key_columns`].
     #[must_use]
     pub fn new(spec: &CoordinationSpec) -> Self {
         let rules = spec
@@ -191,7 +206,7 @@ impl AutoCoordRules {
                 CoordDirective::Seal { component, key, .. } => Rule {
                     component: component.clone(),
                     kind: RuleKind::Seal {
-                        key_attr: key.iter().next().unwrap_or("").to_string(),
+                        key_attrs: key.iter().map(ToString::to_string).collect(),
                         binding: None,
                         gates: BTreeMap::new(),
                     },
@@ -213,6 +228,7 @@ impl AutoCoordRules {
             sequencer_service: 0,
             ordered_latency: 1_000,
             seal_delivery: ChannelConfig::instant(),
+            speculation: false,
         }
     }
 
@@ -255,6 +271,19 @@ impl AutoCoordRules {
     #[must_use]
     pub fn with_seal_delivery(mut self, cfg: ChannelConfig) -> Self {
         self.seal_delivery = cfg;
+        self
+    }
+
+    /// Inject [`SpeculativeSealGate`]s instead of blocking [`SealGate`]s:
+    /// consumers run ahead of missing punctuations under the parallel
+    /// backend's time-warp mode ([`ParTuning::with_speculation`]) and roll
+    /// back on straggler violations. Only valid on the parallel backend —
+    /// the simulator rejects speculative emissions.
+    ///
+    /// [`ParTuning::with_speculation`]: blazes_dataflow::par::ParTuning::with_speculation
+    #[must_use]
+    pub fn with_speculation(mut self, on: bool) -> Self {
+        self.speculation = on;
         self
     }
 
@@ -313,17 +342,18 @@ impl RewritePass for AutoCoordRules {
         let rule = &mut self.rules[ri];
         match &mut rule.kind {
             RuleKind::Seal {
-                key_attr,
+                key_attrs,
                 binding,
                 gates,
             } => WireAction::Via {
                 gate: seal_gate(
                     &rule.component,
-                    key_attr,
+                    key_attrs,
                     binding,
                     gates,
                     to,
                     in_port,
+                    self.speculation,
                     alloc,
                 ),
                 gate_in_port: 0,
@@ -370,11 +400,20 @@ impl RewritePass for AutoCoordRules {
         let rule = &mut self.rules[ri];
         match &mut rule.kind {
             RuleKind::Seal {
-                key_attr,
+                key_attrs,
                 binding,
                 gates,
             } => InjectAction::Via {
-                gate: seal_gate(&rule.component, key_attr, binding, gates, to, port, alloc),
+                gate: seal_gate(
+                    &rule.component,
+                    key_attrs,
+                    binding,
+                    gates,
+                    to,
+                    port,
+                    self.speculation,
+                    alloc,
+                ),
                 gate_in_port: 0,
                 delivery: self.seal_delivery.clone(),
             },
@@ -423,30 +462,32 @@ impl RewritePass for AutoCoordRules {
     }
 }
 
-/// Materialize (or reuse) the [`SealGate`] for one `(consumer instance,
-/// input port)` — shared by the wire and injection paths so the two can
-/// never disagree on gate identity.
+/// Materialize (or reuse) the gate for one `(consumer instance, input
+/// port)` — shared by the wire and injection paths so the two can never
+/// disagree on gate identity. `speculative` selects the time-warp variant
+/// over the blocking protocol.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by two rewrite paths
 fn seal_gate(
     component: &str,
-    key_attr: &str,
+    key_attrs: &[String],
     binding: &Option<SealBinding>,
     gates: &mut BTreeMap<(usize, usize), InstanceId>,
     to: InstanceId,
     in_port: usize,
+    speculative: bool,
     alloc: &mut GateAlloc<'_>,
 ) -> InstanceId {
     *gates.entry((to.0, in_port)).or_insert_with(|| {
         let binding = binding
             .clone()
             .unwrap_or_else(|| panic!("seal directive for {component:?} needs bind_seal()"));
-        alloc(
-            Box::new(SealGate::new(
-                key_attr.to_string(),
-                binding,
-                format!("autocoord-seal({component}@{}:{in_port})", to.0),
-            )),
-            0,
-        )
+        let name = format!("autocoord-seal({component}@{}:{in_port})", to.0);
+        let gate: Box<dyn Component> = if speculative {
+            Box::new(SpeculativeSealGate::new(key_attrs.to_vec(), binding, name))
+        } else {
+            Box::new(SealGate::new_multi(key_attrs.to_vec(), binding, name))
+        };
+        alloc(gate, 0)
     })
 }
 

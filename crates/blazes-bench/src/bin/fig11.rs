@@ -2,16 +2,22 @@
 //! sealed topologies.
 //!
 //! ```text
-//! cargo run -p blazes-bench --release --bin fig11 [runs] [--backend sim|par]
+//! cargo run -p blazes-bench --release --bin fig11 [runs] [--backend sim|par] [--virtual-time]
 //! ```
 //!
 //! With `--backend par` the same topologies execute on the multi-worker
 //! parallel backend (threads capped at 8) and throughput is tweets per
 //! *wall-clock* second; modeled service times do not apply, so magnitudes
 //! are not comparable to the simulator's virtual-time numbers — the
-//! sealed-over-transactional *ratio* is the comparable shape.
+//! sealed-over-transactional *ratio* is the comparable shape. Add
+//! `--virtual-time` to burn each modeled service unit as 1 µs of wall
+//! clock (`FIG11_VIRTUAL_NS`): the par curves then land on the
+//! simulator's axis and the magnitudes are directly comparable.
 
-use blazes_bench::{fig11_point, fig11_point_par, Fig11Point};
+use blazes_bench::{
+    fig11_point, fig11_point_par, fig11_point_par_tuned, Fig11Point, FIG11_VIRTUAL_NS,
+};
+use blazes_dataflow::par::ParTuning;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,16 +33,27 @@ fn main() {
     let backend = backend_pos
         .and_then(|i| args.get(i + 1))
         .map_or("sim", String::as_str);
-    let point: fn(usize, bool, u64) -> Fig11Point = match backend {
-        "sim" => fig11_point,
-        "par" => fig11_point_par,
+    let virtual_time = args.iter().any(|a| a == "--virtual-time");
+    if virtual_time && backend != "par" {
+        eprintln!("--virtual-time only applies to --backend par");
+        std::process::exit(2);
+    }
+    let point: Box<dyn Fn(usize, bool, u64) -> Fig11Point> = match backend {
+        "sim" => Box::new(fig11_point),
+        "par" if virtual_time => Box::new(|w, tx, r| {
+            let tuning = ParTuning::default().with_virtual_service_ns(Some(FIG11_VIRTUAL_NS));
+            fig11_point_par_tuned(w, tx, r, &tuning)
+        }),
+        "par" => Box::new(fig11_point_par),
         other => {
             eprintln!("unknown backend {other:?}: expected sim or par");
             std::process::exit(2);
         }
     };
 
-    let unit = if backend == "par" {
+    let unit = if backend == "par" && virtual_time {
+        "tweets/virtualized-wall-second"
+    } else if backend == "par" {
         "tweets/wall-second"
     } else {
         "tweets/virtual-second"

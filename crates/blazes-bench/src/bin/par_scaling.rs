@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run -p blazes-bench --release --bin par_scaling -- \
 //!     [--records N] [--rounds N] [--reps N] [--out FILE] [--check FLOOR] \
-//!     [--note TEXT]...
+//!     [--no-race] [--force] [--note TEXT]...
 //! ```
 //!
 //! `--note` (repeatable) appends free-form provenance to the emitted
@@ -19,8 +19,19 @@
 //! hardware (see `blazes_bench::scaling::effective_floor`). `--check` also
 //! fails on any digest mismatch, making the bench double as a correctness
 //! gate.
+//!
+//! Alongside the heavy-compute sweep the bin races **time-warp
+//! speculation** against blocking seal coordination on the straggler
+//! ad-report scenario (`--no-race` skips it); under `--check` a digest
+//! divergence between the two modes fails the run.
+//!
+//! Every point is stamped with the measuring machine's core count, and the
+//! bin **refuses to overwrite a multi-core `--out` file with single-core
+//! numbers** (single-core sweeps carry no scaling signal; clobbering the
+//! recorded multi-core run would silently weaken the CI floor). Pass
+//! `--force` to overwrite anyway.
 
-use blazes_bench::scaling::{effective_floor, run_scaling, ScalingConfig};
+use blazes_bench::scaling::{effective_floor, run_scaling, run_speculation_race, ScalingConfig};
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     args.iter()
@@ -37,6 +48,21 @@ fn parse_out(args: &[String], default: &str) -> Option<String> {
         Some(v) if !v.starts_with("--") => Some(v.clone()),
         _ => Some(default.to_string()),
     }
+}
+
+/// The `"cores"` recorded in an existing bench JSON, if the file exists
+/// and carries one (the top-level stamp; the first match wins since the
+/// per-point stamps repeat the same value on a single-machine sweep).
+fn recorded_cores(path: &str) -> Option<usize> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines().find_map(|line| {
+        line.trim()
+            .strip_prefix("\"cores\":")?
+            .trim()
+            .trim_end_matches(',')
+            .parse()
+            .ok()
+    })
 }
 
 fn main() {
@@ -62,6 +88,10 @@ fn main() {
 
     let mut report = run_scaling(&cfg);
     report.notes.extend(notes);
+    if !args.iter().any(|a| a == "--no-race") {
+        let race_workers = report.cores.clamp(2, 4);
+        report.speculation = Some(run_speculation_race(race_workers, cfg.reps));
+    }
     print!("{}", report.render_table());
     println!(
         "# headline: {:.2}x vs sim at 4 workers (uniform); stealing/static on skewed: {:.2}x",
@@ -70,8 +100,18 @@ fn main() {
     );
 
     if let Some(path) = out {
-        std::fs::write(&path, report.to_json()).expect("write bench JSON");
-        println!("# wrote {path}");
+        if report.cores == 1
+            && recorded_cores(&path).is_some_and(|prev| prev > 1)
+            && !args.iter().any(|a| a == "--force")
+        {
+            eprintln!(
+                "REFUSED: {path} holds a multi-core sweep; not overwriting it with \
+                 1-core numbers (no scaling signal). Pass --force to overwrite."
+            );
+        } else {
+            std::fs::write(&path, report.to_json()).expect("write bench JSON");
+            println!("# wrote {path}");
+        }
     }
 
     if let Some(floor) = check {
@@ -79,6 +119,18 @@ fn main() {
         if !report.all_correct() {
             eprintln!("FAIL: a parallel run diverged from the expected digest");
             failed = true;
+        }
+        if let Some(race) = &report.speculation {
+            if race.digest_match {
+                println!(
+                    "# speculation check passed: time-warp == blocking \
+                     ({:.2}x latency win, {} rollbacks)",
+                    race.latency_win, race.rollbacks
+                );
+            } else {
+                eprintln!("FAIL: time-warp digests diverged from blocking coordination");
+                failed = true;
+            }
         }
         let need = effective_floor(floor, report.cores);
         let got = report.headline_speedup();

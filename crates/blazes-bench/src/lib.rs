@@ -80,13 +80,33 @@ pub fn fig11_point(workers: usize, transactional: bool, runs: u64) -> Fig11Point
 /// to the simulator's virtual-time points.
 #[must_use]
 pub fn fig11_point_par(workers: usize, transactional: bool, runs: u64) -> Fig11Point {
+    fig11_point_par_tuned(workers, transactional, runs, &ParTuning::default())
+}
+
+/// Nanoseconds of real spin per modeled service unit that make the
+/// parallel backend's Fig. 11 magnitudes comparable to the simulator's:
+/// the simulator's `Time` unit is one virtual microsecond, so realizing
+/// each unit as 1000 ns of wall clock puts both backends on the same axis.
+pub const FIG11_VIRTUAL_NS: u64 = 1_000;
+
+/// [`fig11_point_par`] with explicit tuning. With
+/// `ParTuning::with_virtual_service_ns(Some(FIG11_VIRTUAL_NS))` the
+/// modeled service times are burned as wall-clock spin, so the par curves
+/// are magnitude-comparable (not just shape-comparable) to the simulator.
+#[must_use]
+pub fn fig11_point_par_tuned(
+    workers: usize,
+    transactional: bool,
+    runs: u64,
+    tuning: &ParTuning,
+) -> Fig11Point {
     let threads = workers.clamp(1, 8);
     let mut throughputs = Vec::with_capacity(runs as usize);
     for seed in 0..runs {
         let res = run_wordcount_parallel(
             &fig11_scenario(workers, transactional, seed),
             threads,
-            ParTuning::default(),
+            *tuning,
         );
         throughputs.push(res.throughput());
     }
@@ -139,6 +159,7 @@ pub fn adreport_scenario(
         query: ReportQuery::Campaign,
         tick_every: 50,
         click_duplicates: 0.0,
+        straggler_service: 0,
         requests_via_analyst: false,
         seed,
     }

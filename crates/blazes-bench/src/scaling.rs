@@ -16,10 +16,14 @@
 //! cores, so a 1-core runner only checks for parity with the simulator
 //! while a 4-core runner enforces the real multiple.
 
+use blazes_apps::adreport::AdScenario;
+use blazes_apps::autocoord::{response_digests, run_scenario_auto_parallel};
 use blazes_apps::heavy::{
     expected_digest, expected_fanin_digest, run_fanin_par, run_fanin_sim, run_heavy_par,
     run_heavy_sim, FaninConfig, HeavyConfig,
 };
+use blazes_apps::queries::ReportQuery;
+use blazes_apps::workload::{CampaignPlacement, ClickWorkload};
 use blazes_dataflow::message::Message;
 use blazes_dataflow::par::{ParStats, ParTuning};
 use std::collections::BTreeSet;
@@ -62,6 +66,10 @@ impl Default for ScalingConfig {
 pub struct ScalingPoint {
     /// `"uniform"` or `"skewed"`.
     pub workload: &'static str,
+    /// Cores the machine that measured this point reported. Stamped into
+    /// every record so mixed-provenance files are self-describing and the
+    /// overwrite guard can tell a laptop sweep from a CI-runner sweep.
+    pub cores: usize,
     /// Worker threads.
     pub workers: usize,
     /// `"stealing"` or `"static"`.
@@ -102,9 +110,54 @@ pub struct ScalingReport {
     pub sim_fanin_ms: f64,
     /// All measured parallel points.
     pub points: Vec<ScalingPoint>,
+    /// The time-warp race, when the caller ran it
+    /// ([`run_speculation_race`]).
+    pub speculation: Option<SpeculationRace>,
     /// Free-form provenance notes carried into the emitted JSON (e.g.
     /// before/after context for executor changes the numbers reflect).
     pub notes: Vec<String>,
+}
+
+/// Blocking seal coordination raced against time-warp speculation on the
+/// ad-reporting scenario with a straggling ad server.
+///
+/// Both runs execute the *same* auto-coordinated topology under virtual
+/// service times ([`ParTuning::with_virtual_service_ns`]): ad server 0
+/// carries extra per-message service, so its seal punctuations lag and the
+/// blocking `SealGate` stalls every covered partition on its vote. The
+/// speculative run checkpoints consumers at the seal boundary and runs
+/// ahead; late-arriving straggler records roll the affected consumers back
+/// and replay. `latency_win` is the blocking wall time over the
+/// speculative wall time (>1.0 = time-warp wins), and `digest_match`
+/// certifies the optimism was free: every run, both modes, produced
+/// identical response digests.
+///
+/// The win is physics-bound like the scaling floor: overlapping gated
+/// work with the straggler's delay needs a spare core, so a 1-core
+/// machine shows only the speculation overhead (win < 1) while the
+/// digests still must match — only `digest_match` gates CI.
+#[derive(Debug, Clone)]
+pub struct SpeculationRace {
+    /// Worker threads used for both runs.
+    pub workers: usize,
+    /// Wall-clock nanoseconds realized per modeled service unit.
+    pub virtual_ns: u64,
+    /// Best blocking-coordination wall time, milliseconds.
+    pub blocking_ms: f64,
+    /// Best time-warp wall time, milliseconds.
+    pub speculative_ms: f64,
+    /// `blocking_ms / speculative_ms` (>1.0 = speculation wins).
+    pub latency_win: f64,
+    /// Speculative checkpoints taken (best speculative rep).
+    pub speculations: u64,
+    /// Rollbacks forced by violations (best speculative rep).
+    pub rollbacks: u64,
+    /// Committed events replayed after rollbacks (best speculative rep).
+    pub replayed_events: u64,
+    /// `rollbacks / speculations` (0 when nothing speculated).
+    pub rollback_rate: f64,
+    /// Did every rep of both modes produce identical response digests?
+    pub digest_match: bool,
 }
 
 impl ScalingReport {
@@ -180,6 +233,25 @@ impl ScalingReport {
             self.stealing_over_static_skewed()
         );
         let _ = writeln!(s, "  \"all_correct\": {},", self.all_correct());
+        match &self.speculation {
+            Some(r) => {
+                let _ = writeln!(s, "  \"speculation\": {{");
+                let _ = writeln!(s, "    \"workers\": {},", r.workers);
+                let _ = writeln!(s, "    \"virtual_ns\": {},", r.virtual_ns);
+                let _ = writeln!(s, "    \"blocking_ms\": {:.3},", r.blocking_ms);
+                let _ = writeln!(s, "    \"speculative_ms\": {:.3},", r.speculative_ms);
+                let _ = writeln!(s, "    \"latency_win\": {:.3},", r.latency_win);
+                let _ = writeln!(s, "    \"speculations\": {},", r.speculations);
+                let _ = writeln!(s, "    \"rollbacks\": {},", r.rollbacks);
+                let _ = writeln!(s, "    \"replayed_events\": {},", r.replayed_events);
+                let _ = writeln!(s, "    \"rollback_rate\": {:.4},", r.rollback_rate);
+                let _ = writeln!(s, "    \"digest_match\": {}", r.digest_match);
+                let _ = writeln!(s, "  }},");
+            }
+            None => {
+                let _ = writeln!(s, "  \"speculation\": null,");
+            }
+        }
         let _ = writeln!(s, "  \"notes\": [");
         for (i, note) in self.notes.iter().enumerate() {
             let comma = if i + 1 == self.notes.len() { "" } else { "," };
@@ -192,11 +264,12 @@ impl ScalingReport {
             let comma = if i + 1 == self.points.len() { "" } else { "," };
             let _ = writeln!(
                 s,
-                "    {{\"workload\": \"{}\", \"workers\": {}, \"mode\": \"{}\", \
+                "    {{\"workload\": \"{}\", \"cores\": {}, \"workers\": {}, \"mode\": \"{}\", \
                  \"millis\": {:.3}, \"speedup_vs_sim\": {:.3}, \"balance\": {:.3}, \
                  \"steals\": {}, \"parks\": {}, \"wakeups\": {}, \
                  \"push_retries\": {}, \"correct\": {}}}{comma}",
                 p.workload,
+                p.cores,
                 p.workers,
                 p.mode,
                 p.millis,
@@ -249,6 +322,24 @@ impl ScalingReport {
                 if p.correct { "" } else { "  DIGEST MISMATCH" },
             );
         }
+        if let Some(r) = &self.speculation {
+            let _ = writeln!(
+                s,
+                "# time-warp race ({} workers, {} ns/unit): blocking {:.1} ms vs \
+                 speculative {:.1} ms = {:.2}x win; {} speculations, {} rollbacks \
+                 ({:.1}% rollback rate), {} replayed; digests {}",
+                r.workers,
+                r.virtual_ns,
+                r.blocking_ms,
+                r.speculative_ms,
+                r.latency_win,
+                r.speculations,
+                r.rollbacks,
+                r.rollback_rate * 100.0,
+                r.replayed_events,
+                if r.digest_match { "match" } else { "DIVERGED" },
+            );
+        }
         s
     }
 }
@@ -282,8 +373,10 @@ fn timed_sim(
 
 /// Time one parallel point: best-of-`reps` wall clock, stats from the best
 /// repetition, digest checked on every repetition.
+#[allow(clippy::too_many_arguments)] // internal helper mirroring ScalingPoint's shape
 fn timed_par(
     workload: &'static str,
+    cores: usize,
     workers: usize,
     mode: &'static str,
     sim_ms: f64,
@@ -314,6 +407,7 @@ fn timed_par(
     }
     ScalingPoint {
         workload,
+        cores,
         workers,
         mode,
         millis: best,
@@ -357,6 +451,7 @@ pub fn run_scaling(cfg: &ScalingConfig) -> ScalingReport {
                 };
                 points.push(timed_par(
                     name,
+                    cores,
                     workers,
                     mode,
                     ms,
@@ -388,6 +483,7 @@ pub fn run_scaling(cfg: &ScalingConfig) -> ScalingReport {
             };
             points.push(timed_par(
                 "fanin",
+                cores,
                 workers,
                 mode,
                 sim_fanin_ms,
@@ -406,6 +502,7 @@ pub fn run_scaling(cfg: &ScalingConfig) -> ScalingReport {
         sim_skewed_ms: sim_ms[1],
         sim_fanin_ms,
         points,
+        speculation: None,
         // Structural (run-independent) provenance; per-run measurement
         // context belongs to the caller (`par_scaling --note ...`).
         notes: vec![
@@ -422,6 +519,101 @@ pub fn run_scaling(cfg: &ScalingConfig) -> ScalingReport {
              the fanin workload measures exactly this consumer-mailbox contention"
                 .to_string(),
         ],
+    }
+}
+
+/// The straggler scenario both racers run: at-least-once click delivery
+/// (the seeded fault RNG), analyst requests racing ingestion on the
+/// execution substrate, and ad server 0 carrying 12.5x everyone's service
+/// time so its seal punctuations arrive last.
+fn race_scenario() -> AdScenario {
+    AdScenario {
+        workload: ClickWorkload {
+            ad_servers: 3,
+            entries_per_server: 120,
+            batch_size: 20,
+            sleep_between_batches: 50_000,
+            entry_interval: 200,
+            campaigns: 6,
+            ads_per_campaign: 4,
+            placement: CampaignPlacement::Spread,
+            seed: 11,
+        },
+        query: ReportQuery::Campaign,
+        replicas: 3,
+        requests: 8,
+        report_service: 200,
+        tick_every: 1,
+        click_duplicates: 0.15,
+        straggler_service: 2_500,
+        requests_via_analyst: true,
+        seed: 17,
+        ..AdScenario::default()
+    }
+}
+
+/// Race blocking seal coordination against time-warp speculation on the
+/// straggler ad-report scenario. Both modes run `reps` times (best-of wall
+/// clock); response digests are compared across *every* repetition of
+/// *both* modes, so `digest_match` is the full determinism claim, not a
+/// sample.
+#[must_use]
+pub fn run_speculation_race(workers: usize, reps: u32) -> SpeculationRace {
+    let sc = race_scenario();
+    let virtual_ns = 300;
+    let tuning = ParTuning::default().with_virtual_service_ns(Some(virtual_ns));
+
+    let mut reference: Option<Vec<Vec<Message>>> = None;
+    let mut digest_match = true;
+    let mut check = |digests: Vec<Vec<Message>>, matched: &mut bool| match &reference {
+        None => reference = Some(digests),
+        Some(r) => *matched &= digests == *r,
+    };
+
+    let mut blocking_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let (res, _) = run_scenario_auto_parallel(&sc, workers, tuning);
+        blocking_ms = blocking_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        check(response_digests(&res.responses), &mut digest_match);
+    }
+
+    let mut speculative_ms = f64::INFINITY;
+    let mut speculations = 0;
+    let mut rollbacks = 0;
+    let mut replayed_events = 0;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let (res, _) = run_scenario_auto_parallel(&sc, workers, tuning.with_speculation(true));
+        let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        if elapsed < speculative_ms {
+            speculative_ms = elapsed;
+            speculations = res.stats.total_speculations();
+            rollbacks = res.stats.total_rollbacks();
+            replayed_events = res.stats.total_replayed_events();
+        }
+        check(response_digests(&res.responses), &mut digest_match);
+    }
+
+    SpeculationRace {
+        workers,
+        virtual_ns,
+        blocking_ms,
+        speculative_ms,
+        latency_win: if speculative_ms > 0.0 {
+            blocking_ms / speculative_ms
+        } else {
+            0.0
+        },
+        speculations,
+        rollbacks,
+        replayed_events,
+        rollback_rate: if speculations > 0 {
+            rollbacks as f64 / speculations as f64
+        } else {
+            0.0
+        },
+        digest_match,
     }
 }
 
@@ -456,12 +648,42 @@ mod tests {
         assert!(report.headline_speedup() > 0.0);
         assert!(report.stealing_over_static_skewed() > 0.0);
         assert!(report.fanin_contention_ms() > 0.0);
+        assert!(
+            report.points.iter().all(|p| p.cores == report.cores),
+            "every record carries the measuring machine's core count"
+        );
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"par_scaling\""));
         assert!(json.contains("\"workload\": \"skewed\""));
         assert!(json.contains("\"workload\": \"fanin\""));
         assert!(json.contains("\"fanin_contention_ms_4w\""));
+        assert!(json.contains("\"speculation\": null"));
+        assert!(json.contains(&format!(
+            "\"workload\": \"uniform\", \"cores\": {},",
+            report.cores
+        )));
         let table = report.render_table();
         assert!(table.contains("uniform"));
+    }
+
+    #[test]
+    fn speculation_race_is_deterministic_and_renders() {
+        let race = run_speculation_race(2, 1);
+        assert!(race.digest_match, "time-warp diverged from blocking");
+        assert!(race.blocking_ms > 0.0 && race.speculative_ms > 0.0);
+        let mut report = run_scaling(&ScalingConfig {
+            records: 500,
+            hash_rounds: 4,
+            worker_counts: vec![1],
+            reps: 1,
+            fanin_records: 500,
+            fanin_producers: 2,
+        });
+        report.speculation = Some(race);
+        let json = report.to_json();
+        assert!(json.contains("\"speculation\": {"));
+        assert!(json.contains("\"digest_match\": true"));
+        assert!(json.contains("\"rollback_rate\""));
+        assert!(report.render_table().contains("time-warp race"));
     }
 }

@@ -20,6 +20,13 @@ pub struct Context {
     /// The instance executing.
     pub instance: InstanceId,
     pub(crate) emitted: Vec<(usize, Message)>,
+    /// Speculation-epoch tags, parallel to `emitted` (lazily padded:
+    /// shorter-than-`emitted` means the tail is epoch 0 / committed).
+    pub(crate) epochs: Vec<u64>,
+    /// Epoch resolutions as `(epoch, commit, position)`, where `position`
+    /// is the emission index the resolution precedes — so an abort can be
+    /// ordered before the corrected re-emissions of the same activation.
+    pub(crate) resolves: Vec<(u64, bool, usize)>,
     pub(crate) ticks: Vec<Time>,
 }
 
@@ -32,6 +39,8 @@ impl Context {
             now,
             instance,
             emitted: Vec::new(),
+            epochs: Vec::new(),
+            resolves: Vec::new(),
             ticks: Vec::new(),
         }
     }
@@ -48,6 +57,46 @@ impl Context {
         self.emitted.push((port, msg));
     }
 
+    /// Emit `msg` tagged with speculation `epoch` (time-warp mode of the
+    /// parallel backend). Consumers treat the message as provisional until
+    /// the epoch resolves: a commit makes it permanent, an abort makes
+    /// them drop it (or roll back, if already processed). Epoch 0 means
+    /// committed and is identical to [`Context::emit`].
+    pub fn emit_speculative(&mut self, port: usize, msg: Message, epoch: u64) {
+        if epoch != 0 {
+            self.epochs.resize(self.emitted.len(), 0);
+            self.epochs.push(epoch);
+        }
+        self.emitted.push((port, msg));
+    }
+
+    /// Resolve speculation `epoch`: `commit = true` makes everything
+    /// tagged with it permanent; `false` aborts it, rolling back every
+    /// consumer that processed tagged messages. The resolution is ordered
+    /// between the emissions before and after this call.
+    pub fn resolve_speculation(&mut self, epoch: u64, commit: bool) {
+        self.resolves.push((epoch, commit, self.emitted.len()));
+    }
+
+    /// Epoch tag of emission `i` (0 = committed). Test hook.
+    #[must_use]
+    pub fn emission_epoch(&self, i: usize) -> u64 {
+        self.epochs.get(i).copied().unwrap_or(0)
+    }
+
+    /// Epoch resolutions recorded so far, as `(epoch, commit, position)`.
+    /// Test hook.
+    #[must_use]
+    pub fn resolutions(&self) -> &[(u64, bool, usize)] {
+        &self.resolves
+    }
+
+    /// Did this activation use the speculation surface at all? Backends
+    /// without time-warp support reject such activations loudly.
+    pub(crate) fn has_speculative_ops(&self) -> bool {
+        !self.resolves.is_empty() || self.epochs.iter().any(|&e| e != 0)
+    }
+
     /// Request a timer callback (`on_tick`) after `delay` virtual time.
     pub fn schedule_tick(&mut self, delay: Time) {
         self.ticks.push(delay);
@@ -61,6 +110,19 @@ pub trait Component: Send {
 
     /// Handle a timer scheduled via [`Context::schedule_tick`].
     fn on_tick(&mut self, _ctx: &mut Context) {}
+
+    /// Capture a state checkpoint for time-warp speculation. Return
+    /// `None` (the default) to opt out: the runtime then defers
+    /// speculative deliveries to this component until their epoch
+    /// resolves, which degrades to blocking but stays correct.
+    fn snapshot(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        None
+    }
+
+    /// Restore a checkpoint produced by [`Component::snapshot`]. Only
+    /// ever called with this component's own snapshots; the default is
+    /// unreachable because the default `snapshot` never offers one.
+    fn restore(&mut self, _snapshot: Box<dyn std::any::Any + Send>) {}
 
     /// Human-readable name for stats and traces.
     fn name(&self) -> &str {

@@ -61,6 +61,20 @@ pub struct WorkerStats {
     pub idle_park_time: Duration,
     /// High-water mark of this worker's local run-queue length.
     pub max_local_queue: usize,
+    /// Time-warp speculation sessions entered by instances this worker
+    /// activated (one state snapshot each).
+    pub speculations: u64,
+    /// Snapshot restores after an aborted speculation epoch.
+    pub rollbacks: u64,
+    /// Committed events re-processed after a rollback — the deterministic
+    /// replay half of time-warp.
+    pub replayed_events: u64,
+    /// Speculative deliveries deferred instead of processed (component
+    /// not checkpointable, or already tainted by a different epoch).
+    pub deferred_deliveries: u64,
+    /// Speculative deliveries dropped because their epoch aborted before
+    /// they were processed.
+    pub discarded_deliveries: u64,
 }
 
 /// Skew summary over per-worker event counts: `max / mean`, where `1.0`
@@ -157,6 +171,12 @@ impl TimeSeries {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.points.lock().last().map_or(0, |&(_, c)| c)
+    }
+
+    /// Drop every point after the first `len` (time-warp rollback: a
+    /// speculative consumer truncates back to its checkpoint length).
+    pub fn truncate(&self, len: usize) {
+        self.points.lock().truncate(len);
     }
 
     /// Time at which the cumulative count first reached `target`, if ever.

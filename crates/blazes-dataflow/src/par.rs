@@ -118,6 +118,30 @@
 //! * **Quiescence.** `run` returns once every injected and derived message
 //!   has been processed, detected by a global in-flight counter.
 //!
+//! # Time-warp speculation
+//!
+//! With [`ParTuning::with_speculation`] the backend runs an optimistic
+//! *time-warp mode* (Jefferson's virtual time, scoped to seal gates): a
+//! coordination gate that would block awaiting punctuations instead
+//! forwards tagged with a **speculation epoch**; the first tagged delivery
+//! snapshots the consumer's state ([`Component::snapshot`]), and from then
+//! on the consumer is *tainted* — everything it emits carries the epoch,
+//! so the taint cascades transitively. When the gate learns the
+//! speculation was right it **commits** the epoch (snapshots are dropped,
+//! state is already correct); when a late event violates it, it **aborts**
+//! (`Context::resolve_speculation(epoch, false)`): every tainted consumer
+//! restores its snapshot, unprocessed tagged mail is discarded, and the
+//! committed inputs it absorbed while tainted are replayed
+//! deterministically from a per-instance log. Components that do not
+//! implement `snapshot` never speculate — their tagged deliveries are
+//! *deferred* until the epoch resolves, which degrades to blocking but
+//! stays correct. The epoch registry is one mutex, but it is off the hot
+//! path: each cell caches the per-epoch status `Arc`, so steady-state
+//! checks are a single atomic load (acquisitions are counted separately
+//! in [`ParStats::speculation_locks`]). CALM pays off mechanically here:
+//! confluent topologies get no gates, so they never speculate and never
+//! roll back — `tests/speculation.rs` asserts exactly that.
+//!
 //! `Context::now` under this backend is a per-instance event ordinal, not
 //! virtual microseconds: it orders the events one instance observed but is
 //! not comparable across instances.
@@ -132,10 +156,12 @@ use crossbeam_deque::{Injector, Steal, Stealer, Worker as TaskQueue};
 use mpsc_queue::MpscQueue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::any::Any;
 use std::cell::UnsafeCell;
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -289,6 +315,34 @@ pub struct ParTuning {
     pub channel_capacity: Option<usize>,
     /// Local-deque spill threshold; `None` = never spill.
     pub spill_threshold: Option<usize>,
+    /// Time-warp mode: speculative gates forward past missing
+    /// punctuations, consumers checkpoint and roll back on violation
+    /// (see the module docs' speculation section).
+    pub speculation: bool,
+    /// Realize modeled service times as wall-clock spins: a processed
+    /// event burns `service × virtual_service_ns` nanoseconds, making
+    /// par-backend latency curves magnitude-comparable to the
+    /// simulator's virtual-time predictions. `None` (default) ignores
+    /// service times entirely.
+    pub virtual_service_ns: Option<u64>,
+}
+
+impl ParTuning {
+    /// Enable (or disable) time-warp speculation.
+    #[must_use]
+    pub fn with_speculation(mut self, on: bool) -> Self {
+        self.speculation = on;
+        self
+    }
+
+    /// Set the wall-clock scale for modeled service times (nanoseconds
+    /// per virtual time unit; `1_000` makes one virtual microsecond cost
+    /// one wall-clock microsecond).
+    #[must_use]
+    pub fn with_virtual_service_ns(mut self, ns: Option<u64>) -> Self {
+        self.virtual_service_ns = ns;
+        self
+    }
 }
 
 impl Default for ParTuning {
@@ -298,15 +352,84 @@ impl Default for ParTuning {
             batch_size: DEFAULT_BATCH_SIZE,
             channel_capacity: None,
             spill_threshold: None,
+            speculation: false,
+            virtual_service_ns: None,
         }
     }
 }
 
-/// One mailbox entry.
-#[derive(Debug)]
+/// One mailbox entry. `epoch` 0 means committed; a nonzero epoch marks the
+/// item speculative until that epoch resolves. `Clone` exists for the
+/// replay log of time-warp mode.
+#[derive(Debug, Clone)]
 enum MailItem {
-    Deliver { port: usize, msg: Message },
-    Tick,
+    Deliver {
+        port: usize,
+        msg: Message,
+        epoch: u64,
+    },
+    Tick {
+        epoch: u64,
+    },
+}
+
+impl MailItem {
+    fn epoch(&self) -> u64 {
+        match self {
+            MailItem::Deliver { epoch, .. } | MailItem::Tick { epoch } => *epoch,
+        }
+    }
+}
+
+/// Speculation-epoch lifecycle states (stored in a shared `AtomicU8` so
+/// consumers can poll without the registry lock).
+const EPOCH_OPEN: u8 = 0;
+const EPOCH_COMMITTED: u8 = 1;
+const EPOCH_ABORTED: u8 = 2;
+
+/// One instance's open speculation: the checkpoint to roll back to, the
+/// epoch that tainted it, and the committed inputs absorbed while tainted
+/// (replayed against the restored checkpoint after an abort).
+struct InstSpec {
+    epoch: u64,
+    status: Arc<AtomicU8>,
+    snapshot: Box<dyn Any + Send>,
+    log: Vec<MailItem>,
+}
+
+/// Registry entry for one speculation epoch.
+#[derive(Default)]
+struct EpochEntry {
+    status: Arc<AtomicU8>,
+    /// Instances tainted by (or deferring on) this epoch; rescheduled
+    /// when it resolves so rollback/drain happens promptly.
+    participants: Vec<usize>,
+}
+
+/// Shared speculation state (present only in time-warp mode). The
+/// registry mutex is off the hot path: cells cache the per-epoch status
+/// `Arc`, so steady-state epoch checks are one atomic load; the lock is
+/// taken once per new `(instance, epoch)` pair and once per resolution —
+/// counted here, separately from [`ParStats::slow_path_locks`], whose
+/// identity the parking tests pin.
+struct SpecShared {
+    epochs: Mutex<HashMap<u64, EpochEntry>>,
+    opened: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    locks: AtomicU64,
+}
+
+impl SpecShared {
+    fn new() -> Self {
+        SpecShared {
+            epochs: Mutex::new(HashMap::new()),
+            opened: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            locks: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A wire resolved for execution: destination plus the fault behavior and
@@ -326,6 +449,16 @@ struct Cell {
     wires: Vec<Vec<WireRt>>,
     processed: u64,
     now: Time,
+    /// Modeled service time per event (realized only when
+    /// [`ParTuning::virtual_service_ns`] is set).
+    service: Time,
+    /// Open speculation, if this instance is currently tainted.
+    spec: Option<InstSpec>,
+    /// Speculative deliveries waiting for their epoch to resolve (kept
+    /// charged against the in-flight counter so quiescence waits).
+    deferred: VecDeque<MailItem>,
+    /// Cached epoch-status handles: repeat checks skip the registry lock.
+    epoch_cache: HashMap<u64, Arc<AtomicU8>>,
 }
 
 /// The `UnsafeCell` wrapper that replaces the old `Mutex<Cell>`: the
@@ -390,6 +523,12 @@ struct Mailbox {
     space: EventCount,
     /// High-water mark of the queue length (stats).
     depth_max: AtomicUsize,
+    /// Time-warp wake hint: an epoch this instance participates in has
+    /// resolved. Mirrors the mailbox's own release protocol — the
+    /// resolver sets it *before* its scheduled-flag CAS, the owner clears
+    /// the flag *before* re-checking it — so a resolution can never
+    /// strand a tainted or deferring instance.
+    spec_dirty: AtomicBool,
 }
 
 impl Mailbox {
@@ -399,6 +538,7 @@ impl Mailbox {
             scheduled: AtomicBool::new(false),
             space: EventCount::new(),
             depth_max: AtomicUsize::new(0),
+            spec_dirty: AtomicBool::new(false),
         }
     }
 
@@ -548,6 +688,10 @@ struct Shared {
     /// Steal handles to every worker's local deque (work-stealing mode).
     stealers: Vec<Stealer<usize>>,
     counters: Counters,
+    /// Speculation registry; `Some` only in time-warp mode.
+    spec: Option<SpecShared>,
+    /// Wall-clock scale for modeled service times, if realized.
+    virtual_ns: Option<u64>,
     done: AtomicBool,
     /// Workers currently runnable (not parked). A sender refuses to park
     /// when it would drop this to zero — the no-deadlock escape.
@@ -603,6 +747,19 @@ impl Shared {
             self.wake();
         }
     }
+
+    /// Realize a modeled service time as a wall-clock spin, if configured.
+    fn burn_service(&self, service: Time) {
+        let Some(ns) = self.virtual_ns else { return };
+        if service == 0 {
+            return;
+        }
+        let dur = Duration::from_nanos(service.saturating_mul(ns));
+        let end = Instant::now() + dur;
+        while Instant::now() < end {
+            std::hint::spin_loop();
+        }
+    }
 }
 
 /// A wire as the builder records it: `(dst, dst_port, channel, wire_id)`.
@@ -614,6 +771,9 @@ pub struct ParBuilder {
     components: Vec<Box<dyn Component>>,
     /// Outgoing wires, per instance, per output port.
     wires: Vec<Vec<Vec<WireSpec>>>,
+    /// Modeled service time per instance (realized only when
+    /// [`ParTuning::virtual_service_ns`] is set).
+    service: Vec<Time>,
     channels: Vec<ChannelConfig>,
     injected: Vec<(Time, InstanceId, usize, Message)>,
     seed: u64,
@@ -630,6 +790,7 @@ impl ParBuilder {
         ParBuilder {
             components: Vec::new(),
             wires: Vec::new(),
+            service: Vec::new(),
             channels: Vec::new(),
             injected: Vec::new(),
             seed,
@@ -670,6 +831,14 @@ impl ParBuilder {
     #[must_use]
     pub fn with_stealing(mut self, stealing: bool) -> Self {
         self.tuning.stealing = stealing;
+        self
+    }
+
+    /// Enable (or disable) time-warp speculation for this run. See the
+    /// module docs' speculation section.
+    #[must_use]
+    pub fn with_speculation(mut self, on: bool) -> Self {
+        self.tuning.speculation = on;
         self
     }
 
@@ -725,7 +894,15 @@ impl ParBuilder {
         let id = InstanceId(self.components.len());
         self.components.push(component);
         self.wires.push(Vec::new());
+        self.service.push(0);
         id
+    }
+
+    /// Record the modeled service time for `id`. Ignored unless
+    /// [`ParTuning::virtual_service_ns`] realizes it as a wall-clock
+    /// spin per processed event.
+    pub fn set_service_time(&mut self, id: InstanceId, service: Time) {
+        self.service[id.0] = service;
     }
 
     /// Register a channel configuration and return its handle for reuse.
@@ -799,7 +976,8 @@ impl ParBuilder {
             .components
             .into_iter()
             .zip(self.wires)
-            .map(|(component, ports)| {
+            .zip(self.service)
+            .map(|((component, ports), service)| {
                 let wires = ports
                     .into_iter()
                     .map(|port_wires| {
@@ -830,6 +1008,10 @@ impl ParBuilder {
                         wires,
                         processed: 0,
                         now: 0,
+                        service,
+                        spec: None,
+                        deferred: VecDeque::new(),
+                        epoch_cache: HashMap::new(),
                     }),
                     mailbox: Mailbox::new(),
                 }
@@ -850,9 +1032,8 @@ impl ExecutorBuilder for ParBuilder {
         ParBuilder::add_instance(self, component)
     }
 
-    fn set_service_time(&mut self, _id: InstanceId, _service: Time) {
-        // Wall-clock backend: processing costs are whatever the component
-        // actually costs; modeled service times do not apply.
+    fn set_service_time(&mut self, id: InstanceId, service: Time) {
+        ParBuilder::set_service_time(self, id, service);
     }
 
     fn add_channel(&mut self, cfg: ChannelConfig) -> usize {
@@ -903,6 +1084,15 @@ pub struct ParStats {
     /// wakeups. The steady-state message path contributes zero; tests pin
     /// this to parking activity, not message volume.
     pub slow_path_locks: u64,
+    /// Time-warp speculation epochs opened (0 unless speculation is on).
+    pub epochs_opened: u64,
+    /// Epochs that committed — the speculation paid off.
+    pub epochs_committed: u64,
+    /// Epochs that aborted — a late event violated the speculation.
+    pub epochs_aborted: u64,
+    /// Speculation-registry lock acquisitions (kept separate from
+    /// `slow_path_locks`, whose identity is pinned to parking events).
+    pub speculation_locks: u64,
 }
 
 impl ParStats {
@@ -946,6 +1136,30 @@ impl ParStats {
     #[must_use]
     pub fn total_push_retries(&self) -> u64 {
         self.per_worker.iter().map(|w| w.push_retries).sum()
+    }
+
+    /// Total speculation sessions entered (state snapshots taken).
+    #[must_use]
+    pub fn total_speculations(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.speculations).sum()
+    }
+
+    /// Total rollbacks (snapshot restores after an aborted epoch).
+    #[must_use]
+    pub fn total_rollbacks(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.rollbacks).sum()
+    }
+
+    /// Total committed events replayed after rollbacks.
+    #[must_use]
+    pub fn total_replayed_events(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.replayed_events).sum()
+    }
+
+    /// Total speculative deliveries deferred to blocking.
+    #[must_use]
+    pub fn total_deferred_deliveries(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.deferred_deliveries).sum()
     }
 }
 
@@ -994,6 +1208,8 @@ impl ParExecutor {
                 duplicates: AtomicU64::new(0),
                 retransmits: AtomicU64::new(0),
             },
+            spec: self.tuning.speculation.then(SpecShared::new),
+            virtual_ns: self.tuning.virtual_service_ns,
             done: AtomicBool::new(false),
             active: AtomicUsize::new(workers),
             idle: EventCount::new(),
@@ -1029,7 +1245,14 @@ impl ParExecutor {
         // Dispatch injections (workers are already listening). Pushing in
         // the sorted order preserves each instance's injection sequence.
         for (_, to, port, msg) in self.injected {
-            shared.external_push(to.0, MailItem::Deliver { port, msg });
+            shared.external_push(
+                to.0,
+                MailItem::Deliver {
+                    port,
+                    msg,
+                    epoch: 0,
+                },
+            );
         }
 
         let mut per_worker = Vec::with_capacity(workers);
@@ -1066,6 +1289,16 @@ impl ParExecutor {
             });
         }
 
+        let (epochs_opened, epochs_committed, epochs_aborted, speculation_locks) =
+            shared.spec.map_or((0, 0, 0, 0), |s| {
+                (
+                    s.opened.into_inner(),
+                    s.committed.into_inner(),
+                    s.aborted.into_inner(),
+                    s.locks.into_inner(),
+                )
+            });
+
         ParStats {
             events_processed: shared.counters.events.load(Ordering::SeqCst),
             messages_delivered: shared.counters.deliveries.load(Ordering::SeqCst),
@@ -1078,6 +1311,10 @@ impl ParExecutor {
             per_worker,
             max_mailbox_depth,
             slow_path_locks,
+            epochs_opened,
+            epochs_committed,
+            epochs_aborted,
+            speculation_locks,
         }
     }
 }
@@ -1094,6 +1331,17 @@ impl Drop for PanicGuard {
             self.shared.finish();
         }
     }
+}
+
+/// What to do with one drained delivery under time-warp rules.
+enum Admit {
+    /// Process it now (committed, same-epoch speculation, or a freshly
+    /// entered speculation session).
+    Run,
+    /// Park it until its epoch resolves.
+    Defer,
+    /// Its epoch aborted before it was processed: discard.
+    Drop,
 }
 
 struct WorkerCtx {
@@ -1200,6 +1448,13 @@ impl WorkerCtx {
     /// Drain up to `batch_size` messages from one instance in one batched
     /// queue operation, then release or reschedule it.
     fn run_instance(&mut self, shared: &Shared, inst: usize) {
+        if shared.spec.is_some() {
+            // Time-warp mode takes a separate activation path so the
+            // speculation-free hot path below stays byte-for-byte what
+            // the lock-accounting tests pin.
+            self.run_instance_spec(shared, inst);
+            return;
+        }
         let slot = &shared.slots[inst];
         self.ws.activations += 1;
         // The scheduled flag makes us the exclusive owner of both the
@@ -1210,8 +1465,7 @@ impl WorkerCtx {
         batch.clear();
         let drained = slot.mailbox.queue.pop_batch(&mut batch, shared.batch_size);
         for item in batch.drain(..) {
-            self.process(shared, inst, item, cell);
-            self.ws.events += 1;
+            self.process(shared, inst, item, cell, 0);
         }
         self.drain_buf = batch;
         slot.cell.release();
@@ -1247,28 +1501,363 @@ impl WorkerCtx {
         }
     }
 
-    fn process(&mut self, shared: &Shared, inst: usize, item: MailItem, cell: &mut Cell) {
+    /// The time-warp activation path: resolve any finished epoch first
+    /// (commit/rollback), retry deferred deliveries, then admit the
+    /// drained batch item by item — run, defer, or drop each according to
+    /// its epoch — and re-check both queues and the `spec_dirty` hint in
+    /// the release protocol.
+    fn run_instance_spec(&mut self, shared: &Shared, inst: usize) {
+        let slot = &shared.slots[inst];
+        self.ws.activations += 1;
+        slot.cell.claim();
+        let cell = unsafe { &mut *slot.cell.cell.get() };
+        // Clear the wake hint before acting on it: a resolution landing
+        // after this store re-sets it, and the release re-check below (or
+        // the resolver's own scheduled-flag CAS) guarantees another
+        // activation sees it.
+        slot.mailbox.spec_dirty.store(false, Ordering::SeqCst);
+        self.spec_maintain(shared, inst, cell);
+        self.drain_deferred(shared, inst, cell);
+        let mut batch = std::mem::take(&mut self.drain_buf);
+        batch.clear();
+        let drained = slot.mailbox.queue.pop_batch(&mut batch, shared.batch_size);
+        for item in batch.drain(..) {
+            self.admit(shared, inst, item, cell);
+        }
+        self.drain_buf = batch;
+        // An epoch may have resolved while we held the flag (its resolver
+        // could not reschedule us); act on it before releasing.
+        self.spec_maintain(shared, inst, cell);
+        self.drain_deferred(shared, inst, cell);
+        slot.cell.release();
+        if drained > 0 {
+            shared.counters.in_flight.settle(self.idx, drained as i64);
+            slot.mailbox.notify_space();
+        }
+
+        if !slot.mailbox.is_empty() {
+            self.enqueue_ready(shared, inst);
+        } else {
+            slot.mailbox.scheduled.store(false, Ordering::SeqCst);
+            if (!slot.mailbox.is_empty() || slot.mailbox.spec_dirty.load(Ordering::SeqCst))
+                && slot
+                    .mailbox
+                    .scheduled
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                self.enqueue_ready(shared, inst);
+            }
+        }
+    }
+
+    /// Act on a resolved epoch this instance is tainted by: a commit
+    /// simply drops the checkpoint (current state is the real state); an
+    /// abort restores the checkpoint and deterministically replays the
+    /// committed inputs absorbed while tainted.
+    fn spec_maintain(&mut self, shared: &Shared, inst: usize, cell: &mut Cell) {
+        let Some(spec) = &cell.spec else { return };
+        match spec.status.load(Ordering::SeqCst) {
+            EPOCH_COMMITTED => {
+                cell.spec = None;
+            }
+            EPOCH_ABORTED => {
+                let spec = cell.spec.take().expect("checked above");
+                cell.component.restore(spec.snapshot);
+                self.ws.rollbacks += 1;
+                self.ws.replayed_events += spec.log.len() as u64;
+                for item in spec.log {
+                    // Untainted again: replay emissions go out committed
+                    // (the originals carried the aborted epoch and were
+                    // discarded downstream).
+                    self.process(shared, inst, item, cell, 0);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Retry deferred deliveries in arrival order, stopping at the first
+    /// that still has to wait (FIFO must hold through deferral).
+    fn drain_deferred(&mut self, shared: &Shared, inst: usize, cell: &mut Cell) {
+        while let Some(item) = cell.deferred.pop_front() {
+            match self.admit_decision(shared, inst, &item, cell) {
+                Admit::Run => {
+                    shared.counters.in_flight.settle(self.idx, 1);
+                    self.process_admitted(shared, inst, item, cell);
+                }
+                Admit::Drop => {
+                    shared.counters.in_flight.settle(self.idx, 1);
+                    self.ws.discarded_deliveries += 1;
+                }
+                Admit::Defer => {
+                    cell.deferred.push_front(item);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Admit one freshly drained item under time-warp rules.
+    fn admit(&mut self, shared: &Shared, inst: usize, item: MailItem, cell: &mut Cell) {
+        // Order preservation: once anything is deferred, everything
+        // behind it defers too (a later committed item must not overtake
+        // a deferred speculative one on the same wire).
+        if !cell.deferred.is_empty() {
+            self.defer(shared, cell, item);
+            return;
+        }
+        match self.admit_decision(shared, inst, &item, cell) {
+            Admit::Run => self.process_admitted(shared, inst, item, cell),
+            Admit::Defer => self.defer(shared, cell, item),
+            Admit::Drop => self.ws.discarded_deliveries += 1,
+        }
+    }
+
+    /// Classify one delivery: run it now, park it until its epoch
+    /// resolves, or drop it (epoch already aborted). Entering a
+    /// speculation session (snapshot + taint) happens here, on the first
+    /// open-epoch delivery to an untainted, checkpointable component.
+    fn admit_decision(
+        &mut self,
+        shared: &Shared,
+        inst: usize,
+        item: &MailItem,
+        cell: &mut Cell,
+    ) -> Admit {
+        let epoch = item.epoch();
+        if epoch == 0 {
+            return Admit::Run;
+        }
+        let status = self.epoch_status(shared, cell, epoch);
+        match status.load(Ordering::SeqCst) {
+            EPOCH_ABORTED => return Admit::Drop,
+            EPOCH_COMMITTED => return Admit::Run,
+            _ => {}
+        }
+        if let Some(spec) = &cell.spec {
+            if spec.epoch == epoch {
+                // Already speculating in this epoch: keep going.
+                return Admit::Run;
+            }
+            // Tainted by a different epoch: wait (and register for the
+            // other epoch's wake too, for prompt draining).
+            self.spec_join(shared, inst, epoch);
+            return Admit::Defer;
+        }
+        match cell.component.snapshot() {
+            Some(snapshot) => {
+                let status = self.spec_join(shared, inst, epoch);
+                // The join is atomic with registration under the registry
+                // lock; re-check in case the epoch resolved since the
+                // cached load above.
+                match status.load(Ordering::SeqCst) {
+                    EPOCH_ABORTED => Admit::Drop,
+                    EPOCH_COMMITTED => Admit::Run,
+                    _ => {
+                        cell.spec = Some(InstSpec {
+                            epoch,
+                            status,
+                            snapshot,
+                            log: Vec::new(),
+                        });
+                        self.ws.speculations += 1;
+                        Admit::Run
+                    }
+                }
+            }
+            None => {
+                // Not checkpointable: this consumer blocks on the seal
+                // after all. Register so the resolution reschedules us.
+                self.spec_join(shared, inst, epoch);
+                Admit::Defer
+            }
+        }
+    }
+
+    /// Run an admitted item, logging it first if it is committed input
+    /// absorbed under taint (those must be replayed after a rollback —
+    /// same-epoch speculative input is *not* logged, because the gate
+    /// re-emits its corrected equivalent after an abort).
+    fn process_admitted(&mut self, shared: &Shared, inst: usize, item: MailItem, cell: &mut Cell) {
+        if let Some(spec) = &mut cell.spec {
+            if item.epoch() != spec.epoch {
+                spec.log.push(item.clone());
+            }
+        }
+        let taint = cell.spec.as_ref().map_or(0, |s| s.epoch);
+        self.process(shared, inst, item, cell, taint);
+    }
+
+    /// Park a delivery until its epoch resolves. The batch settle counts
+    /// it as consumed, so re-charge to keep the quiescence sum honest
+    /// until it actually runs or is dropped.
+    fn defer(&mut self, shared: &Shared, cell: &mut Cell, item: MailItem) {
+        shared.counters.in_flight.charge(self.idx, 1);
+        cell.deferred.push_back(item);
+        self.ws.deferred_deliveries += 1;
+    }
+
+    /// Status handle for `epoch`, from the cell's cache or (once) the
+    /// shared registry.
+    fn epoch_status(&mut self, shared: &Shared, cell: &mut Cell, epoch: u64) -> Arc<AtomicU8> {
+        if let Some(s) = cell.epoch_cache.get(&epoch) {
+            return Arc::clone(s);
+        }
+        let spec = shared.spec.as_ref().expect("time-warp mode");
+        spec.locks.fetch_add(1, Ordering::Relaxed);
+        let mut table = spec
+            .epochs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = table.entry(epoch).or_insert_with(|| {
+            spec.opened.fetch_add(1, Ordering::Relaxed);
+            EpochEntry::default()
+        });
+        let status = Arc::clone(&entry.status);
+        drop(table);
+        cell.epoch_cache.insert(epoch, Arc::clone(&status));
+        status
+    }
+
+    /// Register `inst` as a participant of `epoch` and return the status
+    /// handle — atomically under the registry lock, so a resolution
+    /// concurrent with the join either sees the registration (and wakes
+    /// us) or is visible in the returned status.
+    fn spec_join(&mut self, shared: &Shared, inst: usize, epoch: u64) -> Arc<AtomicU8> {
+        let spec = shared.spec.as_ref().expect("time-warp mode");
+        spec.locks.fetch_add(1, Ordering::Relaxed);
+        let mut table = spec
+            .epochs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = table.entry(epoch).or_insert_with(|| {
+            spec.opened.fetch_add(1, Ordering::Relaxed);
+            EpochEntry::default()
+        });
+        if entry.status.load(Ordering::SeqCst) == EPOCH_OPEN && !entry.participants.contains(&inst)
+        {
+            entry.participants.push(inst);
+        }
+        Arc::clone(&entry.status)
+    }
+
+    /// Resolve `epoch`: publish the status and reschedule every
+    /// registered participant so commits drain deferred mail and aborts
+    /// roll back promptly. Participants are taken under the same lock
+    /// the join registers under — no registration can fall between.
+    fn resolve_epoch(&mut self, shared: &Shared, epoch: u64, commit: bool) {
+        let spec = shared
+            .spec
+            .as_ref()
+            .expect("resolve_speculation requires ParTuning::with_speculation");
+        spec.locks.fetch_add(1, Ordering::Relaxed);
+        let participants = {
+            let mut table = spec
+                .epochs
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let entry = table.entry(epoch).or_insert_with(|| {
+                spec.opened.fetch_add(1, Ordering::Relaxed);
+                EpochEntry::default()
+            });
+            entry.status.store(
+                if commit {
+                    EPOCH_COMMITTED
+                } else {
+                    EPOCH_ABORTED
+                },
+                Ordering::SeqCst,
+            );
+            std::mem::take(&mut entry.participants)
+        };
+        if commit {
+            spec.committed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            spec.aborted.fetch_add(1, Ordering::Relaxed);
+        }
+        for inst in participants {
+            let mb = &shared.slots[inst].mailbox;
+            // Hint first, then try to schedule: mirrors the mailbox
+            // release protocol, so the owner's post-release re-check
+            // catches the case where our CAS loses to a running owner.
+            mb.spec_dirty.store(true, Ordering::SeqCst);
+            if mb
+                .scheduled
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.enqueue_ready(shared, inst);
+            }
+        }
+    }
+
+    fn process(
+        &mut self,
+        shared: &Shared,
+        inst: usize,
+        item: MailItem,
+        cell: &mut Cell,
+        taint: u64,
+    ) {
         shared.counters.events.fetch_add(1, Ordering::Relaxed);
+        self.ws.events += 1;
         cell.now += 1;
         let mut ctx = Context::new(cell.now, InstanceId(inst));
         match item {
-            MailItem::Deliver { port, msg } => {
+            MailItem::Deliver { port, msg, .. } => {
                 shared.counters.deliveries.fetch_add(1, Ordering::Relaxed);
                 cell.component.on_message(port, msg, &mut ctx);
                 cell.processed += 1;
             }
-            MailItem::Tick => cell.component.on_tick(&mut ctx),
+            MailItem::Tick { .. } => cell.component.on_tick(&mut ctx),
         }
+        shared.burn_service(cell.service);
 
-        let Context { emitted, ticks, .. } = ctx;
+        let Context {
+            emitted,
+            epochs,
+            resolves,
+            ticks,
+            ..
+        } = ctx;
+        assert!(
+            shared.spec.is_some() || (resolves.is_empty() && epochs.iter().all(|&e| e == 0)),
+            "{} used speculative emissions without ParTuning::with_speculation",
+            cell.component.name()
+        );
         let mut staged = std::mem::take(&mut self.scratch);
-        for (out_port, msg) in emitted {
-            Self::stage(shared, out_port, msg, &mut cell.wires, &mut staged);
+        // Resolutions interleave with emissions at their recorded
+        // positions: applying them during staging (before any send is
+        // visible) keeps "abort, then re-emit corrected" well-ordered —
+        // a pre-abort tagged send that later reaches a consumer is
+        // simply dropped as aborted.
+        let mut next_resolve = 0usize;
+        for (i, (out_port, msg)) in emitted.into_iter().enumerate() {
+            while next_resolve < resolves.len() && resolves[next_resolve].2 <= i {
+                let (epoch, commit, _) = resolves[next_resolve];
+                self.resolve_epoch(shared, epoch, commit);
+                next_resolve += 1;
+            }
+            // A tainted instance's every emission carries the taint, even
+            // replies to committed input — the cascade that makes abort
+            // reach everything downstream of speculative state.
+            let epoch = if taint != 0 {
+                taint
+            } else {
+                epochs.get(i).copied().unwrap_or(0)
+            };
+            Self::stage(shared, out_port, msg, epoch, &mut cell.wires, &mut staged);
+        }
+        while next_resolve < resolves.len() {
+            let (epoch, commit, _) = resolves[next_resolve];
+            self.resolve_epoch(shared, epoch, commit);
+            next_resolve += 1;
         }
         for _delay in ticks {
             // No virtual clock: a tick fires as the instance's next
             // self-event, preserving order relative to its own emissions.
-            staged.push((inst, MailItem::Tick));
+            staged.push((inst, MailItem::Tick { epoch: taint }));
         }
         if !staged.is_empty() {
             // Charge every outbound message to this worker's shard BEFORE
@@ -1292,6 +1881,7 @@ impl WorkerCtx {
         shared: &Shared,
         out_port: usize,
         msg: Message,
+        epoch: u64,
         wires: &mut [Vec<WireRt>],
         staged: &mut Vec<(usize, MailItem)>,
     ) {
@@ -1315,6 +1905,7 @@ impl WorkerCtx {
                 MailItem::Deliver {
                     port: dst_port,
                     msg: msg.clone(),
+                    epoch,
                 },
             ));
             if duplicate {
@@ -1324,6 +1915,7 @@ impl WorkerCtx {
                     MailItem::Deliver {
                         port: dst_port,
                         msg: msg.clone(),
+                        epoch,
                     },
                 ));
             }

@@ -284,6 +284,13 @@ impl Simulator {
         let completion = start + service;
         self.instances[instance.0].busy_until = completion;
 
+        assert!(
+            !ctx.has_speculative_ops(),
+            "{} used speculative emissions, which require the parallel \
+             backend with ParTuning::with_speculation — the simulator \
+             models blocking coordination only",
+            self.instances[instance.0].component.name()
+        );
         let Context { emitted, ticks, .. } = ctx;
         for (out_port, msg) in emitted {
             self.send(instance, out_port, msg, completion);

@@ -52,6 +52,12 @@ impl CollectorSink {
         self.entries.lock().iter().map(|(_, m)| m.clone()).collect()
     }
 
+    /// Drop every entry after the first `len` (time-warp rollback: a
+    /// speculative sink truncates back to its checkpoint length).
+    pub fn truncate(&self, len: usize) {
+        self.entries.lock().truncate(len);
+    }
+
     /// Clear the buffer.
     pub fn clear(&self) {
         self.entries.lock().clear();
@@ -61,6 +67,15 @@ impl CollectorSink {
 impl Component for CollectorSink {
     fn on_message(&mut self, _port: usize, msg: Message, ctx: &mut Context) {
         self.entries.lock().push((ctx.now, msg));
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        Some(Box::new(self.entries.lock().len()))
+    }
+
+    fn restore(&mut self, snapshot: Box<dyn std::any::Any + Send>) {
+        let len = *snapshot.downcast::<usize>().expect("collector snapshot");
+        self.truncate(len);
     }
 
     fn name(&self) -> &str {
@@ -100,6 +115,15 @@ impl Component for CountingSink {
         if matches!(msg, Message::Data(_)) {
             self.series.increment(ctx.now);
         }
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        Some(Box::new(self.series.len()))
+    }
+
+    fn restore(&mut self, snapshot: Box<dyn std::any::Any + Send>) {
+        let len = *snapshot.downcast::<usize>().expect("counting snapshot");
+        self.series.truncate(len);
     }
 
     fn name(&self) -> &str {

@@ -20,6 +20,14 @@ use blazes::dataflow::sinks::CollectorSink;
 use blazes::dataflow::value::Value;
 use std::collections::BTreeSet;
 
+/// CI's speculation matrix dimension: `BLAZES_SPECULATION=1` reruns the
+/// whole file with the speculation-aware delivery path enabled. No gate
+/// ever opens an epoch here, so every assertion must hold unchanged — the
+/// time-warp machinery must cost nothing but its branch when idle.
+fn speculation() -> bool {
+    std::env::var("BLAZES_SPECULATION").is_ok_and(|v| v == "1")
+}
+
 fn echo() -> Box<dyn Component> {
     Box::new(FnComponent::new("echo", |_, msg, ctx: &mut Context| {
         ctx.emit(0, msg)
@@ -45,6 +53,7 @@ fn producers_hammer_one_bounded_consumer_without_loss_or_reorder() {
     let per = 300i64;
     let mut b = ParBuilder::new(0xB10C)
         .with_workers(4)
+        .with_speculation(speculation())
         .with_channel_capacity(4)
         .unwrap()
         .with_batch_size(3)
@@ -132,7 +141,7 @@ fn digest_identity_across_worker_counts_schedulers_and_sim() {
     let run_par = |workers: usize, tuning: ParTuning| -> (Vec<Message>, ParStats) {
         let mut b = ParBuilder::new(42)
             .with_workers(workers)
-            .with_tuning(tuning)
+            .with_tuning(tuning.with_speculation(speculation()))
             .unwrap();
         let sink = assemble(&mut b);
         let stats = b.build().run();
@@ -182,6 +191,7 @@ fn bounded_cycles_quiesce_under_faults() {
         let mut b = ParBuilder::new(7)
             .with_workers(workers)
             .with_stealing(stealing)
+            .with_speculation(speculation())
             .with_channel_capacity(2)
             .unwrap()
             .with_batch_size(1)
@@ -240,6 +250,7 @@ fn contended_fanin_with_tiny_capacity_holds_the_bound() {
     let workers = 8usize;
     let mut b = ParBuilder::new(0xFEED)
         .with_workers(workers)
+        .with_speculation(speculation())
         .with_channel_capacity(2)
         .unwrap()
         .with_batch_size(1)
