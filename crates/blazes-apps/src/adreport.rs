@@ -29,13 +29,13 @@ use blazes_bloom::interp::ModuleInstance;
 use blazes_coord::registry::ProducerRegistry;
 use blazes_coord::seal::{SealManager, SealOutcome};
 use blazes_coord::sequencer::Sequencer;
-use blazes_dataflow::backend::ExecutorBuilder;
+use blazes_dataflow::backend::{ExecutorBuilder, PortId};
 use blazes_dataflow::channel::ChannelConfig;
 use blazes_dataflow::component::{Component, Context};
 use blazes_dataflow::message::{Message, SealKey};
 use blazes_dataflow::metrics::{RunStats, TimeSeries};
 use blazes_dataflow::par::{ParBuilder, ParStats, ParTuning};
-use blazes_dataflow::sim::{SimBuilder, Time};
+use blazes_dataflow::sim::{InstanceId, SimBuilder, Time};
 use blazes_dataflow::sinks::CollectorSink;
 use blazes_dataflow::value::{Tuple, Value};
 use std::collections::BTreeMap;
@@ -396,11 +396,13 @@ pub fn seal_registry_for(workload: &ClickWorkload) -> ProducerRegistry {
 }
 
 /// Assemble the ad-reporting topology on any backend. Returns the
-/// per-replica processed-records series and response sinks.
+/// per-replica processed-records series and response sinks, the latter
+/// paired with their backend instance ids so a distributed run can tell
+/// which process owns (and must stream back) which sink.
 pub fn assemble_scenario<B: ExecutorBuilder>(
     sc: &AdScenario,
     b: &mut B,
-) -> (Vec<TimeSeries>, Vec<CollectorSink>) {
+) -> (Vec<TimeSeries>, Vec<(InstanceId, CollectorSink)>) {
     // Reporting replicas + response sinks.
     let registry = (sc.strategy == StrategyKind::Sealed).then(|| seal_registry_for(&sc.workload));
     let mut replica_ids = Vec::with_capacity(sc.replicas);
@@ -418,8 +420,8 @@ pub fn assemble_scenario<B: ExecutorBuilder>(
         b.set_service_time(id, sc.report_service);
         let sink = CollectorSink::new();
         let sid = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(id, 0, sid, 0, ChannelConfig::lan());
-        responses.push(sink);
+        b.connect_with(id, PortId(0), sid, PortId(0), ChannelConfig::lan());
+        responses.push((sid, sink));
         replica_ids.push(id);
     }
 
@@ -429,7 +431,7 @@ pub fn assemble_scenario<B: ExecutorBuilder>(
         b.set_service_time(id, sc.sequencer_service);
         let ordered = b.add_channel(ChannelConfig::ordered(1_000));
         for &rid in &replica_ids {
-            b.connect(id, 0, rid, 0, ordered);
+            b.connect(id, PortId(0), rid, PortId(0), ordered);
         }
         id
     });
@@ -447,16 +449,16 @@ pub fn assemble_scenario<B: ExecutorBuilder>(
             b.set_service_time(ad, sc.straggler_service);
         }
         match sequencer {
-            Some(seq) => b.connect_with(ad, 0, seq, 0, ChannelConfig::lan()),
+            Some(seq) => b.connect_with(ad, PortId(0), seq, PortId(0), ChannelConfig::lan()),
             None => {
                 for &rid in &replica_ids {
-                    b.connect_with(ad, 0, rid, 0, click_channel.clone());
+                    b.connect_with(ad, PortId(0), rid, PortId(0), click_channel.clone());
                 }
             }
         }
         let log = sc.workload.generate(s);
         for (at, click) in &log.clicks {
-            b.inject(*at, ad, 0, Message::Data(click.clone()));
+            b.inject(*at, ad, PortId(0), Message::Data(click.clone()));
         }
         latest = latest.max(log.end_time);
         if matches!(sc.strategy, StrategyKind::Sealed | StrategyKind::Bare) {
@@ -464,7 +466,7 @@ pub fn assemble_scenario<B: ExecutorBuilder>(
                 b.inject(
                     *at,
                     ad,
-                    0,
+                    PortId(0),
                     Message::Seal(SealKey::new([
                         ("campaign", Value::Int(*c)),
                         ("producer", Value::Int(s as i64)),
@@ -485,7 +487,13 @@ pub fn assemble_scenario<B: ExecutorBuilder>(
             name: "analyst".to_string(),
         }));
         for &rid in &replica_ids {
-            b.connect_with(analyst, 0, rid, 0, ChannelConfig::lan().with_jitter(5_000));
+            b.connect_with(
+                analyst,
+                PortId(0),
+                rid,
+                PortId(0),
+                ChannelConfig::lan().with_jitter(5_000),
+            );
         }
         analyst
     });
@@ -493,11 +501,11 @@ pub fn assemble_scenario<B: ExecutorBuilder>(
         let at = (latest * (r as u64 + 1)) / (sc.requests as u64 + 1);
         let req = Message::Data(Tuple(vec![Value::Int(r as i64 % ad_space)]));
         match (sequencer, analyst) {
-            (Some(seq), _) => b.inject(at, seq, 0, req),
-            (None, Some(analyst)) => b.inject(at, analyst, 0, req),
+            (Some(seq), _) => b.inject(at, seq, PortId(0), req),
+            (None, Some(analyst)) => b.inject(at, analyst, PortId(0), req),
             (None, None) => {
                 for &rid in &replica_ids {
-                    b.inject(at, rid, 0, req.clone());
+                    b.inject(at, rid, PortId(0), req.clone());
                 }
             }
         }
@@ -515,7 +523,7 @@ pub fn run_scenario(sc: &AdScenario) -> AdRunResult {
     let stats = sim.run(None);
     AdRunResult {
         series,
-        responses,
+        responses: responses.into_iter().map(|(_, s)| s).collect(),
         stats,
         expected_records: sc.workload.total_entries() as u64,
     }
@@ -574,7 +582,7 @@ pub fn run_scenario_parallel(sc: &AdScenario, workers: usize, tuning: ParTuning)
     let stats = b.build().run();
     AdParResult {
         series,
-        responses,
+        responses: responses.into_iter().map(|(_, s)| s).collect(),
         stats,
         expected_records: sc.workload.total_entries() as u64,
     }

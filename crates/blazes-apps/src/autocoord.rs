@@ -7,33 +7,41 @@
 //!
 //! * [`ad_network_spec`] derives the coordination spec for the ad network
 //!   running a given query (white-box Bloom annotations, campaign
-//!   punctuations available). [`run_scenario_auto`] /
-//!   [`run_scenario_auto_parallel`] then assemble the **bare** topology —
-//!   no seal managers, no sequencer — and let
+//!   punctuations available). [`run_ad_auto`] then assembles the **bare**
+//!   topology — no seal managers, no sequencer — and lets
 //!   [`blazes_autocoord::AutoCoordRules`] rewrite it: CAMPAIGN gets seal
 //!   gates, POOR gets an ordering service, THRESH gets nothing.
 //! * [`wordcount_spec`] does the same for the Storm wordcount through the
-//!   grey-box adapter; [`run_wordcount_coordinated`] /
-//!   [`run_wordcount_coordinated_parallel`] thread it through
-//!   [`TopologyBuilder::build_coordinated`], where sealing maps onto the
-//!   engine-native punctuation protocol (zero injected operators — the
-//!   minimality proof) and ordering onto transactional commits.
+//!   grey-box adapter; [`run_wordcount_auto`] threads it through
+//!   [`TopologyBuilder::build_coordinated_on`], where sealing maps onto
+//!   the engine-native punctuation protocol (zero injected operators —
+//!   the minimality proof) and ordering onto transactional commits.
+//!
+//! Both runners take a [`BackendSpec`], so one call site covers the
+//! simulator, the parallel executor and the distributed multi-process
+//! backend; the former per-backend entry points survive as deprecated
+//! wrappers.
 
 use crate::adreport::{seal_registry_for, AdParResult, AdRunResult, AdScenario, StrategyKind};
 use crate::casestudy::{ad_network_graph, wordcount_graph};
 use crate::queries::ReportQuery;
 use crate::wordcount::{
-    wordcount_topology, WordcountParResult, WordcountResult, WordcountScenario,
+    counts_of, wordcount_topology, WordcountParResult, WordcountResult, WordcountScenario,
 };
 use blazes_autocoord::{AutoCoordRules, InjectionSummary, SealBinding};
 use blazes_core::placement::{CoordDirective, CoordinationSpec};
-use blazes_dataflow::backend::{RewriteStats, RewritingBuilder};
+use blazes_dataflow::backend::{
+    BackendRunStats, BackendSpec, ExecutorBuilder, NoopPass, RewriteStats, RewritingBuilder,
+};
+use blazes_dataflow::dist::{run_dist, ProbeBuilder};
 use blazes_dataflow::message::Message;
+use blazes_dataflow::metrics::TimeSeries;
 use blazes_dataflow::par::{ParBuilder, ParTuning};
-use blazes_dataflow::sim::SimBuilder;
+use blazes_dataflow::sim::{InstanceId, SimBuilder};
 use blazes_dataflow::sinks::CollectorSink;
 use blazes_dataflow::value::Value;
 use blazes_storm::topology::{CoordinationOutcome, TransactionalConfig};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// What the injection pass did to an auto-coordinated ad-report run.
@@ -96,31 +104,184 @@ fn bare(sc: &AdScenario) -> AdScenario {
     }
 }
 
-/// Run `sc` on the simulator with analysis-driven coordination: the bare
-/// topology is assembled through the rewrite pass, which injects exactly
-/// what [`ad_network_spec`] demands for `sc.query`.
-#[must_use]
-pub fn run_scenario_auto(sc: &AdScenario) -> (AdRunResult, AutoCoordReport) {
+/// Everything one auto-coordinated assembly of the ad network produced:
+/// the per-replica series and id-tagged response sinks straight from
+/// [`crate::adreport::assemble_scenario`], plus the rewrite accounting.
+pub struct AdAutoAssembly {
+    /// Per-replica cumulative processed-records series.
+    pub series: Vec<TimeSeries>,
+    /// Per-replica response sinks with their backend instance ids.
+    pub responses: Vec<(InstanceId, CollectorSink)>,
+    /// What the analysis demanded and what the pass injected.
+    pub report: AutoCoordReport,
+}
+
+/// Assemble the **bare** ad-network scenario through the auto-coordination
+/// rewrite pass onto any backend builder. This is the one assembly the
+/// simulator, the parallel executor and every process of a distributed
+/// run share; `speculation` selects the speculative seal-gate variant
+/// (meaningful on the parallel substrate only, but it must be part of the
+/// assembly so all processes agree on the rewritten graph).
+pub fn assemble_ad_auto<B: ExecutorBuilder>(
+    sc: &AdScenario,
+    speculation: bool,
+    b: &mut B,
+) -> AdAutoAssembly {
     let spec = ad_network_spec(sc.query);
     let sc = bare(sc);
-    let mut b = SimBuilder::new(sc.seed);
-    let mut rb = RewritingBuilder::new(&mut b, ad_network_rules(&sc, &spec));
+    let rules = ad_network_rules(&sc, &spec).with_speculation(speculation);
+    let mut rb = RewritingBuilder::new(b, rules);
     let (series, responses) = crate::adreport::assemble_scenario(&sc, &mut rb);
     let (rules, stats) = rb.finish();
-    let mut sim = b.build();
-    let run_stats = sim.run(None);
-    (
-        AdRunResult {
-            series,
-            responses,
-            stats: run_stats,
-            expected_records: sc.workload.total_entries() as u64,
-        },
-        AutoCoordReport {
+    AdAutoAssembly {
+        series,
+        responses,
+        report: AutoCoordReport {
             summary: rules.summary(),
             spec,
             stats,
         },
+    }
+}
+
+/// Result of an auto-coordinated ad-network run on any backend.
+///
+/// On [`BackendSpec::Dist`] the per-replica `series` is empty: those
+/// counters live inside the worker processes and only the response sinks
+/// are streamed back over the wire.
+pub struct AdAutoRun {
+    /// Per-replica cumulative processed-records series (empty on dist).
+    pub series: Vec<TimeSeries>,
+    /// Per-replica response collections.
+    pub responses: Vec<CollectorSink>,
+    /// Backend-tagged run statistics.
+    pub stats: BackendRunStats,
+    /// Records each replica was expected to process.
+    pub expected_records: u64,
+}
+
+impl AdAutoRun {
+    /// Did every replica process every record? Always `false` on the
+    /// distributed backend, whose series stay in the workers.
+    #[must_use]
+    pub fn processed_everything(&self) -> bool {
+        !self.series.is_empty()
+            && self
+                .series
+                .iter()
+                .all(|s| s.total() == self.expected_records)
+    }
+
+    /// Do all replicas report identical response sets?
+    #[must_use]
+    pub fn responses_consistent(&self) -> bool {
+        let sets: Vec<_> = self
+            .responses
+            .iter()
+            .map(CollectorSink::message_set)
+            .collect();
+        sets.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Total responses across all replicas.
+    #[must_use]
+    pub fn total_responses(&self) -> usize {
+        self.responses.iter().map(CollectorSink::len).sum()
+    }
+}
+
+/// Run `sc` with analysis-driven coordination on the backend selected by
+/// `backend` — the single entry point that replaced the
+/// `run_scenario_auto` / `run_scenario_auto_parallel` pair. The bare
+/// topology is assembled through the rewrite pass, which injects exactly
+/// what [`ad_network_spec`] demands for `sc.query`, then runs on the
+/// simulator, the parallel executor, or (via
+/// [`crate::dist::dist_registry`]) a fleet of worker processes.
+///
+/// On [`BackendSpec::Dist`] the spec's `topology`/`params` fields are
+/// overwritten with the ad-report registry entry for `sc`; everything
+/// else (process count, wire faults, worker command) is honored as given,
+/// and the returned report is computed parent-side by probing the same
+/// assembly.
+///
+/// # Panics
+/// Panics when a `Par` tuning is invalid, and on any distributed
+/// transport failure.
+#[must_use]
+pub fn run_ad_auto(sc: &AdScenario, backend: &BackendSpec) -> (AdAutoRun, AutoCoordReport) {
+    let expected_records = sc.workload.total_entries() as u64;
+    match backend {
+        BackendSpec::Sim => {
+            let mut b = SimBuilder::new(sc.seed);
+            let asm = assemble_ad_auto(sc, false, &mut b);
+            let stats = b.build().run(None);
+            (
+                AdAutoRun {
+                    series: asm.series,
+                    responses: asm.responses.into_iter().map(|(_, s)| s).collect(),
+                    stats: BackendRunStats::Sim(stats),
+                    expected_records,
+                },
+                asm.report,
+            )
+        }
+        BackendSpec::Par { workers, tuning } => {
+            let mut b = ParBuilder::new(sc.seed)
+                .with_workers(*workers)
+                .with_tuning(*tuning)
+                .expect("valid parallel tuning");
+            let asm = assemble_ad_auto(sc, tuning.speculation, &mut b);
+            let stats = b.build().run();
+            (
+                AdAutoRun {
+                    series: asm.series,
+                    responses: asm.responses.into_iter().map(|(_, s)| s).collect(),
+                    stats: BackendRunStats::Par(stats),
+                    expected_records,
+                },
+                asm.report,
+            )
+        }
+        BackendSpec::Dist(d) => {
+            // The report comes from probing the identical assembly
+            // parent-side; the run itself re-assembles in every process
+            // through the registry.
+            let mut probe = ProbeBuilder::new();
+            let asm = assemble_ad_auto(sc, d.speculation, &mut probe);
+            let mut spec = d.clone();
+            spec.topology = crate::dist::AD_TOPOLOGY.to_string();
+            spec.params = crate::dist::encode_ad_params(sc, true, d.speculation);
+            let run =
+                run_dist(&spec, &crate::dist::dist_registry()).expect("distributed ad-report run");
+            (
+                AdAutoRun {
+                    series: Vec::new(),
+                    responses: run.sinks.into_iter().map(|(_, s)| s).collect(),
+                    stats: BackendRunStats::Dist(run.stats),
+                    expected_records,
+                },
+                asm.report,
+            )
+        }
+    }
+}
+
+/// Run `sc` on the simulator with analysis-driven coordination.
+#[deprecated(note = "use run_ad_auto with BackendSpec::Sim")]
+#[must_use]
+pub fn run_scenario_auto(sc: &AdScenario) -> (AdRunResult, AutoCoordReport) {
+    let (run, report) = run_ad_auto(sc, &BackendSpec::Sim);
+    let BackendRunStats::Sim(stats) = run.stats else {
+        unreachable!("Sim spec produces Sim stats")
+    };
+    (
+        AdRunResult {
+            series: run.series,
+            responses: run.responses,
+            stats,
+            expected_records: run.expected_records,
+        },
+        report,
     )
 }
 
@@ -132,36 +293,25 @@ pub fn run_scenario_auto(sc: &AdScenario) -> (AdRunResult, AutoCoordReport) {
 ///
 /// # Panics
 /// Panics when `tuning` is invalid.
+#[deprecated(note = "use run_ad_auto with BackendSpec::Par")]
 #[must_use]
 pub fn run_scenario_auto_parallel(
     sc: &AdScenario,
     workers: usize,
     tuning: ParTuning,
 ) -> (AdParResult, AutoCoordReport) {
-    let spec = ad_network_spec(sc.query);
-    let sc = bare(sc);
-    let speculation = tuning.speculation;
-    let mut b = ParBuilder::new(sc.seed)
-        .with_workers(workers)
-        .with_tuning(tuning)
-        .expect("valid parallel tuning");
-    let rules = ad_network_rules(&sc, &spec).with_speculation(speculation);
-    let mut rb = RewritingBuilder::new(&mut b, rules);
-    let (series, responses) = crate::adreport::assemble_scenario(&sc, &mut rb);
-    let (rules, stats) = rb.finish();
-    let run_stats = b.build().run();
+    let (run, report) = run_ad_auto(sc, &BackendSpec::Par { workers, tuning });
+    let BackendRunStats::Par(stats) = run.stats else {
+        unreachable!("Par spec produces Par stats")
+    };
     (
         AdParResult {
-            series,
-            responses,
-            stats: run_stats,
-            expected_records: sc.workload.total_entries() as u64,
-        },
-        AutoCoordReport {
-            summary: rules.summary(),
-            spec,
+            series: run.series,
+            responses: run.responses,
             stats,
+            expected_records: run.expected_records,
         },
+        report,
     )
 }
 
@@ -193,13 +343,121 @@ pub fn wordcount_spec(sealed: bool) -> CoordinationSpec {
     CoordinationSpec::derive(&graph, false).expect("wordcount graph analyzes")
 }
 
-fn wordcount_ordering_config(sc: &WordcountScenario) -> TransactionalConfig {
+/// The transactional-coordination parameters (coordinator service time,
+/// channel latency, pending window) implied by a wordcount scenario —
+/// shared by every backend's coordinated assembly.
+#[must_use]
+pub fn wordcount_ordering_config(sc: &WordcountScenario) -> TransactionalConfig {
     TransactionalConfig {
         service_time: sc.coordinator_service,
         channel: blazes_dataflow::channel::ChannelConfig::lan()
             .with_latency(sc.coordinator_latency),
         first_batch: 0,
         max_pending: sc.max_pending,
+    }
+}
+
+/// Result of an auto-coordinated wordcount run on any backend.
+pub struct WordcountAutoRun {
+    /// The committed `(word, batch, count)` records.
+    pub committed: CollectorSink,
+    /// Backend-tagged run statistics.
+    pub stats: BackendRunStats,
+    /// Tweets the spouts emitted.
+    pub tweets: u64,
+}
+
+impl WordcountAutoRun {
+    /// Final `(word, batch) -> count` table.
+    #[must_use]
+    pub fn counts(&self) -> BTreeMap<(String, i64), i64> {
+        counts_of(&self.committed)
+    }
+}
+
+/// Shared Sim/Par body of the coordinated wordcount runners: build the
+/// plain topology, apply `spec`, assemble on `backend`, run.
+fn wordcount_on(
+    sc: &WordcountScenario,
+    spec: &CoordinationSpec,
+    backend: &BackendSpec,
+) -> (WordcountAutoRun, CoordinationOutcome) {
+    assert!(
+        !sc.transactional,
+        "auto-coordination replaces the hand-wired transactional flag"
+    );
+    let (t, committed) = wordcount_topology(sc);
+    let (mut exec, outcome) = t
+        .build_coordinated_on(spec, &wordcount_ordering_config(sc), backend)
+        .expect("spec fits the wordcount topology");
+    let stats = exec.run();
+    (
+        WordcountAutoRun {
+            committed,
+            stats,
+            tweets: (sc.spouts * sc.workload.tweets_per_instance()) as u64,
+        },
+        outcome,
+    )
+}
+
+/// Run the wordcount with analysis-driven coordination on the backend
+/// selected by `backend` — the single entry point that replaced the
+/// `run_wordcount_coordinated` / `run_wordcount_coordinated_parallel`
+/// pair. The spec is derived from `sealed` (whether the tweet stream's
+/// batch punctuations are declared to the analysis) via
+/// [`wordcount_spec`], so every process of a distributed run can
+/// re-derive the identical spec from one bit.
+///
+/// On [`BackendSpec::Dist`] the spec's `topology`/`params` are overwritten
+/// with the wordcount registry entry and the coordination outcome is
+/// computed parent-side by probing the same coordinated assembly.
+///
+/// # Panics
+/// Panics when `sc.transactional` is set (coordination comes from the
+/// analysis here), when the spec does not fit the topology, when a `Par`
+/// tuning is invalid, and on any distributed transport failure.
+#[must_use]
+pub fn run_wordcount_auto(
+    sc: &WordcountScenario,
+    sealed: bool,
+    backend: &BackendSpec,
+) -> (WordcountAutoRun, CoordinationOutcome) {
+    let spec = wordcount_spec(sealed);
+    match backend {
+        BackendSpec::Sim | BackendSpec::Par { .. } => wordcount_on(sc, &spec, backend),
+        BackendSpec::Dist(d) => {
+            assert!(
+                !sc.transactional,
+                "auto-coordination replaces the hand-wired transactional flag"
+            );
+            // Parent-side outcome from probing the coordinated assembly.
+            let (mut t, _local_sink) = wordcount_topology(sc);
+            let mut outcome = t
+                .apply_coordination(&spec, &wordcount_ordering_config(sc))
+                .expect("spec fits the wordcount topology");
+            let mut probe = ProbeBuilder::new();
+            let mut rb = RewritingBuilder::new(&mut probe, NoopPass);
+            let _ = t.assemble(&mut rb);
+            outcome.rewrite = rb.finish().1;
+            let mut spec_d = d.clone();
+            spec_d.topology = crate::dist::WORDCOUNT_TOPOLOGY.to_string();
+            spec_d.params = crate::dist::encode_wordcount_params(sc, sealed);
+            let mut run = run_dist(&spec_d, &crate::dist::dist_registry())
+                .expect("distributed wordcount run");
+            let committed = match run.sinks.pop() {
+                Some((_, sink)) => sink,
+                None => CollectorSink::new(),
+            };
+            (
+                WordcountAutoRun {
+                    committed,
+                    stats: BackendRunStats::Dist(run.stats),
+                    tweets: (sc.spouts * sc.workload.tweets_per_instance()) as u64,
+                },
+                outcome,
+            )
+        }
     }
 }
 
@@ -210,25 +468,21 @@ fn wordcount_ordering_config(sc: &WordcountScenario) -> TransactionalConfig {
 /// # Panics
 /// Panics when `sc.transactional` is set (coordination comes from the
 /// spec here) or when the spec does not fit the topology.
+#[deprecated(note = "use run_wordcount_auto with BackendSpec::Sim")]
 #[must_use]
 pub fn run_wordcount_coordinated(
     sc: &WordcountScenario,
     spec: &CoordinationSpec,
 ) -> (WordcountResult, CoordinationOutcome) {
-    assert!(
-        !sc.transactional,
-        "auto-coordination replaces the hand-wired transactional flag"
-    );
-    let (t, committed) = wordcount_topology(sc);
-    let (mut run, outcome) = t
-        .build_coordinated(spec, &wordcount_ordering_config(sc))
-        .expect("spec fits the wordcount topology");
-    let stats = run.run(None);
+    let (run, outcome) = wordcount_on(sc, spec, &BackendSpec::Sim);
+    let BackendRunStats::Sim(stats) = run.stats else {
+        unreachable!("Sim spec produces Sim stats")
+    };
     (
         WordcountResult {
             stats,
-            committed,
-            tweets: (sc.spouts * sc.workload.tweets_per_instance()) as u64,
+            committed: run.committed,
+            tweets: run.tweets,
         },
         outcome,
     )
@@ -239,6 +493,7 @@ pub fn run_wordcount_coordinated(
 ///
 /// # Panics
 /// As [`run_wordcount_coordinated`], plus invalid `tuning`.
+#[deprecated(note = "use run_wordcount_auto with BackendSpec::Par")]
 #[must_use]
 pub fn run_wordcount_coordinated_parallel(
     sc: &WordcountScenario,
@@ -246,20 +501,15 @@ pub fn run_wordcount_coordinated_parallel(
     workers: usize,
     tuning: ParTuning,
 ) -> (WordcountParResult, CoordinationOutcome) {
-    assert!(
-        !sc.transactional,
-        "auto-coordination replaces the hand-wired transactional flag"
-    );
-    let (t, committed) = wordcount_topology(sc);
-    let (mut run, outcome) = t
-        .build_coordinated_parallel(spec, &wordcount_ordering_config(sc), workers, tuning)
-        .expect("spec fits the wordcount topology");
-    let stats = run.run();
+    let (run, outcome) = wordcount_on(sc, spec, &BackendSpec::Par { workers, tuning });
+    let BackendRunStats::Par(stats) = run.stats else {
+        unreachable!("Par spec produces Par stats")
+    };
     (
         WordcountParResult {
             stats,
-            committed,
-            tweets: (sc.spouts * sc.workload.tweets_per_instance()) as u64,
+            committed: run.committed,
+            tweets: run.tweets,
         },
         outcome,
     )
@@ -316,7 +566,7 @@ mod tests {
 
     #[test]
     fn auto_sealed_campaign_processes_everything_and_agrees() {
-        let (res, report) = run_scenario_auto(&small_scenario(ReportQuery::Campaign));
+        let (res, report) = run_ad_auto(&small_scenario(ReportQuery::Campaign), &BackendSpec::Sim);
         assert!(report.stats.injected_operators > 0, "gates were injected");
         assert_eq!(
             report.stats.injected_operators, 3,
@@ -331,7 +581,7 @@ mod tests {
 
     #[test]
     fn auto_ordered_poor_processes_everything_and_agrees() {
-        let (res, report) = run_scenario_auto(&small_scenario(ReportQuery::Poor));
+        let (res, report) = run_ad_auto(&small_scenario(ReportQuery::Poor), &BackendSpec::Sim);
         assert_eq!(
             report.stats.injected_operators, 1,
             "one shared sequencer: {report:?}"
@@ -344,7 +594,7 @@ mod tests {
 
     #[test]
     fn auto_thresh_is_rewrite_free() {
-        let (res, report) = run_scenario_auto(&small_scenario(ReportQuery::Thresh));
+        let (res, report) = run_ad_auto(&small_scenario(ReportQuery::Thresh), &BackendSpec::Sim);
         assert!(report.stats.is_untouched(), "{report:?}");
         for s in &res.series {
             assert_eq!(s.total(), 180);
@@ -356,7 +606,7 @@ mod tests {
         let sc = small_scenario(ReportQuery::Campaign);
         let mut digests = Vec::new();
         for workers in [1usize, 3] {
-            let (res, _) = run_scenario_auto_parallel(&sc, workers, ParTuning::default());
+            let (res, _) = run_ad_auto(&sc, &BackendSpec::par(workers));
             assert!(res.processed_everything());
             digests.push(response_digests(&res.responses));
         }
@@ -382,7 +632,7 @@ mod tests {
     fn coordinated_wordcount_sealed_is_rewrite_free_and_exact() {
         let sc = wc_scenario();
         let baseline = crate::wordcount::run_wordcount(&sc);
-        let (auto, outcome) = run_wordcount_coordinated(&sc, &wordcount_spec(true));
+        let (auto, outcome) = run_wordcount_auto(&sc, true, &BackendSpec::Sim);
         assert!(outcome.is_rewrite_free(), "{outcome:?}");
         assert_eq!(outcome.seal_native.len(), 1, "{outcome:?}");
         assert_eq!(auto.counts(), baseline.counts());
@@ -391,13 +641,12 @@ mod tests {
     #[test]
     fn coordinated_wordcount_unsealed_orders_the_count_bolt() {
         let sc = wc_scenario();
-        let spec = wordcount_spec(false);
         let baseline = crate::wordcount::run_wordcount(&sc);
-        let (auto, outcome) = run_wordcount_coordinated(&sc, &spec);
+        let (auto, outcome) = run_wordcount_auto(&sc, false, &BackendSpec::Sim);
         assert_eq!(outcome.ordered, vec!["Count".to_string()]);
         assert_eq!(auto.counts(), baseline.counts());
         assert!(
-            auto.stats.end_time > baseline.stats.end_time,
+            auto.stats.as_sim().expect("sim run").end_time > baseline.stats.end_time,
             "ordering costs virtual time"
         );
     }
@@ -405,11 +654,34 @@ mod tests {
     #[test]
     fn coordinated_wordcount_parallel_matches_simulator() {
         let sc = wc_scenario();
-        let spec = wordcount_spec(true);
-        let (sim, _) = run_wordcount_coordinated(&sc, &spec);
-        let (par, outcome) =
-            run_wordcount_coordinated_parallel(&sc, &spec, 4, ParTuning::default());
+        let (sim, _) = run_wordcount_auto(&sc, true, &BackendSpec::Sim);
+        let (par, outcome) = run_wordcount_auto(&sc, true, &BackendSpec::par(4));
         assert!(outcome.is_rewrite_free());
         assert_eq!(par.counts(), sim.counts());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_match_the_unified_runner() {
+        let sc = small_scenario(ReportQuery::Campaign);
+        let (new_run, _) = run_ad_auto(&sc, &BackendSpec::Sim);
+        let (old_run, _) = run_scenario_auto(&sc);
+        assert_eq!(
+            response_digests(&old_run.responses),
+            response_digests(&new_run.responses)
+        );
+        let (old_par, _) = run_scenario_auto_parallel(&sc, 2, ParTuning::default());
+        assert_eq!(
+            response_digests(&old_par.responses),
+            response_digests(&new_run.responses)
+        );
+        let wc = wc_scenario();
+        let spec = wordcount_spec(true);
+        let (new_wc, _) = run_wordcount_auto(&wc, true, &BackendSpec::Sim);
+        let (old_wc, _) = run_wordcount_coordinated(&wc, &spec);
+        assert_eq!(old_wc.counts(), new_wc.counts());
+        let (old_wc_par, _) =
+            run_wordcount_coordinated_parallel(&wc, &spec, 3, ParTuning::default());
+        assert_eq!(old_wc_par.counts(), new_wc.counts());
     }
 }

@@ -19,7 +19,7 @@
 //! sharding pins the hot partition to one worker and work stealing wins).
 
 use crate::workload::Zipf;
-use blazes_dataflow::backend::ExecutorBuilder;
+use blazes_dataflow::backend::{ExecutorBuilder, PortId};
 use blazes_dataflow::channel::ChannelConfig;
 use blazes_dataflow::component::{Component, Context};
 use blazes_dataflow::message::Message;
@@ -276,11 +276,11 @@ pub fn build_heavy<B: ExecutorBuilder>(b: &mut B, cfg: &HeavyConfig, sink: Colle
     let sink_id = b.add_instance(Box::new(sink));
     for &mid in &mapper_ids {
         for (r, &rid) in reducer_ids.iter().enumerate() {
-            b.connect_with(mid, r, rid, 0, channel.clone());
+            b.connect_with(mid, PortId(r), rid, PortId(0), channel.clone());
         }
     }
     for &rid in &reducer_ids {
-        b.connect_with(rid, 0, sink_id, 0, channel.clone());
+        b.connect_with(rid, PortId(0), sink_id, PortId(0), channel.clone());
     }
     for p in 0..cfg.producers {
         let pid = b.add_instance(Box::new(HeavyProducer {
@@ -288,12 +288,12 @@ pub fn build_heavy<B: ExecutorBuilder>(b: &mut B, cfg: &HeavyConfig, sink: Colle
             mappers: cfg.mappers,
         }));
         for (m, &mid) in mapper_ids.iter().enumerate() {
-            b.connect_with(pid, m, mid, 0, channel.clone());
+            b.connect_with(pid, PortId(m), mid, PortId(0), channel.clone());
         }
         for (key, payload) in cfg.generate(p) {
-            b.inject(0, pid, 0, Message::data([key, payload]));
+            b.inject(0, pid, PortId(0), Message::data([key, payload]));
         }
-        b.inject(1, pid, 0, Message::Eos);
+        b.inject(1, pid, PortId(0), Message::Eos);
     }
 }
 
@@ -413,16 +413,16 @@ pub fn build_fanin<B: ExecutorBuilder>(b: &mut B, cfg: &FaninConfig, sink: Colle
         checksum: 0,
     }));
     let sink_id = b.add_instance(Box::new(sink));
-    b.connect_with(consumer, 0, sink_id, 0, channel.clone());
+    b.connect_with(consumer, PortId(0), sink_id, PortId(0), channel.clone());
     for p in 0..cfg.producers {
         let pid = b.add_instance(Box::new(FaninProducer {
             name: format!("fanin-producer[{p}]"),
         }));
-        b.connect_with(pid, 0, consumer, 0, channel.clone());
+        b.connect_with(pid, PortId(0), consumer, PortId(0), channel.clone());
         for payload in cfg.generate(p) {
-            b.inject(0, pid, 0, Message::data([payload]));
+            b.inject(0, pid, PortId(0), Message::data([payload]));
         }
-        b.inject(1, pid, 0, Message::Eos);
+        b.inject(1, pid, PortId(0), Message::Eos);
     }
 }
 

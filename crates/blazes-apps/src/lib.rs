@@ -28,6 +28,7 @@
 pub mod adreport;
 pub mod autocoord;
 pub mod casestudy;
+pub mod dist;
 pub mod heavy;
 pub mod queries;
 pub mod wordcount;

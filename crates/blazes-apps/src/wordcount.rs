@@ -13,6 +13,7 @@
 //! Figure 11 plots the throughput of both as the cluster grows.
 
 use crate::workload::TweetWorkload;
+use blazes_dataflow::backend::BackendSpec;
 use blazes_dataflow::channel::ChannelConfig;
 use blazes_dataflow::message::Message;
 use blazes_dataflow::metrics::RunStats;
@@ -23,7 +24,7 @@ use blazes_dataflow::value::{Tuple, Value};
 use blazes_storm::bolt::{Bolt, BoltContext};
 use blazes_storm::grouping::Grouping;
 use blazes_storm::runtime::batch_seal;
-use blazes_storm::topology::{TopologyBuilder, TransactionalConfig};
+use blazes_storm::topology::{StormExecution, TopologyBuilder, TransactionalConfig};
 use std::collections::BTreeMap;
 
 /// Splits tweet text into `(word, batch)` tuples.
@@ -219,7 +220,7 @@ impl WordcountParResult {
     }
 }
 
-fn counts_of(sink: &CollectorSink) -> BTreeMap<(String, i64), i64> {
+pub(crate) fn counts_of(sink: &CollectorSink) -> BTreeMap<(String, i64), i64> {
     sink.messages()
         .iter()
         .filter_map(Message::as_data)
@@ -326,7 +327,10 @@ pub fn run_wordcount_parallel(
     tuning: ParTuning,
 ) -> WordcountParResult {
     let (t, committed) = wordcount_topology(sc);
-    let mut run = t.build_parallel_tuned(workers, tuning);
+    let mut run = match t.build_on(&BackendSpec::Par { workers, tuning }) {
+        StormExecution::Par(run) => run,
+        StormExecution::Sim(_) => unreachable!("Par spec builds a Par execution"),
+    };
     let stats = run.run();
     WordcountParResult {
         stats,

@@ -259,6 +259,9 @@ pub struct SpecGateStats {
     pub violations: u64,
     /// Speculation sessions opened.
     pub sessions: u64,
+    /// Sessions resolved by the runtime's end-of-run drain signal (the
+    /// never-sealed case: some partition's unanimous vote never arrived).
+    pub drained_sessions: u64,
 }
 
 /// Everything emitted speculatively for one partition, kept so a
@@ -556,6 +559,50 @@ impl SpeculativeSealGate {
     }
 }
 
+impl SpeculativeSealGate {
+    /// Resolve a never-sealed session at run end. The runtime only sends
+    /// the drain signal once no in-flight message can still reach this
+    /// gate, so an open session here will never commit: abort it (every
+    /// consumer rolls back), re-emit the partitions whose votes *did*
+    /// complete committed — in release order, exactly as a violation
+    /// replays them — and hold the unsealed partitions back the blocking
+    /// way: records stay buffered in the manager, queries wait for a
+    /// vote that, at run end, never comes. That is precisely what the
+    /// blocking gate would have delivered.
+    fn drain_session(&mut self, ctx: &mut Context) {
+        let Some(epoch) = self.session.take() else {
+            return;
+        };
+        self.stats.drained_sessions += 1;
+        // Consumers roll back before any re-emission below reaches them.
+        ctx.resolve_speculation(epoch, false);
+        let mut remaining = std::mem::take(&mut self.retained);
+        for p in std::mem::take(&mut self.release_order) {
+            let Some(r) = remaining.remove(&p) else {
+                continue;
+            };
+            for t in r.records {
+                ctx.emit(0, Message::Data(t));
+            }
+            for s in r.seals {
+                ctx.emit(0, s);
+            }
+            for q in r.queries {
+                ctx.emit(0, Message::Data(q));
+            }
+        }
+        // Unsealed partitions fall back to blocking: their records are
+        // still buffered in the manager (the speculative copies died
+        // with the epoch), their queries wait for the vote. No
+        // re-speculation — the run is ending.
+        for (p, r) in remaining {
+            self.stats.held_queries += r.queries.len() as u64;
+            self.held.entry(p.clone()).or_default().extend(r.queries);
+            self.burned.insert(p);
+        }
+    }
+}
+
 impl Component for SpeculativeSealGate {
     fn on_message(&mut self, _port: usize, msg: Message, ctx: &mut Context) {
         match msg {
@@ -596,6 +643,10 @@ impl Component for SpeculativeSealGate {
             }
             Message::Eos => ctx.emit(0, Message::Eos),
         }
+    }
+
+    fn on_drain(&mut self, ctx: &mut Context) {
+        self.drain_session(ctx);
     }
 
     fn name(&self) -> &str {
@@ -970,6 +1021,53 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(c.emission_epoch(2), 0, "query committed, no session");
         assert_eq!(g.stats().sessions, 1, "no new session minted");
+    }
+
+    /// The end-of-run drain: a session held open by one never-sealed
+    /// partition aborts, the voted partition replays committed, and the
+    /// unsealed partition's traffic is withheld — blocking semantics.
+    #[test]
+    fn drain_aborts_open_session_and_replays_voted_partitions_committed() {
+        let mut g = spec_gate(1);
+        let mut c = ctx();
+        g.on_message(0, Message::Data(click(1, 10)), &mut c);
+        g.on_message(0, Message::Data(click(2, 20)), &mut c);
+        g.on_message(0, Message::Data(Tuple::new([Value::Int(2)])), &mut c);
+        let epoch = c.emission_epoch(0);
+        // Campaign 1 seals; campaign 2 never does, so the session stays
+        // open (its speculation is unfalsified but unconfirmed).
+        g.on_message(0, seal(1, 0), &mut c);
+        assert!(
+            c.resolutions().is_empty(),
+            "unsealed campaign 2 holds it open"
+        );
+        g.on_drain(&mut c);
+        // Abort, then campaign 1's burst replays committed: its record
+        // and its punctuation, in release order. Campaign 2's record and
+        // query are withheld exactly as the blocking gate would.
+        assert_eq!(c.resolutions(), &[(epoch, false, 4)]);
+        let out = c.emitted().to_vec();
+        assert_eq!(out.len(), 6, "{out:?}");
+        assert_eq!(out[4].1, Message::Data(click(1, 10)));
+        assert!(matches!(out[5].1, Message::Seal(_)));
+        assert_eq!(c.emission_epoch(4), 0, "replay is committed");
+        assert_eq!(c.emission_epoch(5), 0, "replay is committed");
+        assert_eq!(g.stats().drained_sessions, 1);
+        assert_eq!(g.stats().held_queries, 1, "campaign 2's query waits");
+        // A second drain is idempotent: no session left to resolve.
+        g.on_drain(&mut c);
+        assert_eq!(c.resolutions().len(), 1);
+        // Should campaign 2's vote arrive after all (a premature rescue),
+        // the burned partition releases blocking-style, fully committed.
+        g.on_message(0, seal(2, 0), &mut c);
+        let out = c.emitted().to_vec();
+        assert_eq!(out.len(), 9, "record, punctuation, held query: {out:?}");
+        assert_eq!(out[6].1, Message::Data(click(2, 20)));
+        assert!(matches!(out[7].1, Message::Seal(_)));
+        assert_eq!(out[8].1, Message::Data(Tuple::new([Value::Int(2)])));
+        for i in 6..9 {
+            assert_eq!(c.emission_epoch(i), 0);
+        }
     }
 
     /// An empty partition sealed while no speculation is outstanding

@@ -22,7 +22,7 @@ use crate::gate::{SealGate, SpeculativeSealGate};
 use blazes_coord::registry::ProducerRegistry;
 use blazes_coord::sequencer::Sequencer;
 use blazes_core::placement::{CoordDirective, CoordinationSpec};
-use blazes_dataflow::backend::{GateAlloc, InjectAction, RewritePass, WireAction};
+use blazes_dataflow::backend::{GateAlloc, InjectAction, PortId, RewritePass, WireAction};
 use blazes_dataflow::channel::ChannelConfig;
 use blazes_dataflow::component::Component;
 use blazes_dataflow::message::Message;
@@ -107,7 +107,7 @@ enum RuleKind {
         key_attrs: Vec<String>,
         binding: Option<SealBinding>,
         /// One gate per `(consumer instance, input port)`.
-        gates: BTreeMap<(usize, usize), InstanceId>,
+        gates: BTreeMap<(usize, PortId), InstanceId>,
     },
     Order {
         sequencer: Option<InstanceId>,
@@ -116,16 +116,16 @@ enum RuleKind {
         /// destinations are satisfied by its broadcast (Absorb), and a
         /// repeat of an already-covered destination is a genuinely new
         /// copy and routes again.
-        routed: BTreeMap<(Time, usize, Message), BTreeSet<usize>>,
+        routed: BTreeMap<(Time, PortId, Message), BTreeSet<usize>>,
         /// Producer ports already feeding the sequencer: further wires
         /// from the same port are replica fan-out and collapse into the
         /// sequencer's broadcast.
-        routed_ports: BTreeSet<(usize, usize)>,
+        routed_ports: BTreeSet<(usize, PortId)>,
         /// The single input port the ordered component receives on. The
         /// sequencer broadcast cannot distinguish ports, so a component
         /// whose instances listen on several ports is rejected loudly
         /// rather than silently double-delivered.
-        in_port: Option<usize>,
+        in_port: Option<PortId>,
     },
 }
 
@@ -135,7 +135,7 @@ struct Rule {
 }
 
 /// Enforce the single-input-port restriction of the ordering rewrite.
-fn check_order_port(component: &str, in_port: &mut Option<usize>, port: usize) {
+fn check_order_port(component: &str, in_port: &mut Option<PortId>, port: PortId) {
     match in_port {
         None => *in_port = Some(port),
         Some(p) if *p == port => {}
@@ -331,9 +331,9 @@ impl RewritePass for AutoCoordRules {
     fn rewrite_wire(
         &mut self,
         from: InstanceId,
-        out_port: usize,
+        out_port: PortId,
         to: InstanceId,
-        in_port: usize,
+        in_port: PortId,
         alloc: &mut GateAlloc<'_>,
     ) -> WireAction {
         let Some(&ri) = self.flagged.get(&to.0) else {
@@ -356,7 +356,7 @@ impl RewritePass for AutoCoordRules {
                     self.speculation,
                     alloc,
                 ),
-                gate_in_port: 0,
+                gate_in_port: PortId(0),
                 delivery: self.seal_delivery.clone(),
             },
             RuleKind::Order {
@@ -373,7 +373,7 @@ impl RewritePass for AutoCoordRules {
                 if routed_ports.insert((from.0, out_port)) {
                     WireAction::Via {
                         gate,
-                        gate_in_port: 0,
+                        gate_in_port: PortId(0),
                         delivery,
                     }
                 } else {
@@ -390,7 +390,7 @@ impl RewritePass for AutoCoordRules {
         &mut self,
         at: Time,
         to: InstanceId,
-        port: usize,
+        port: PortId,
         msg: &Message,
         alloc: &mut GateAlloc<'_>,
     ) -> InjectAction {
@@ -414,7 +414,7 @@ impl RewritePass for AutoCoordRules {
                     self.speculation,
                     alloc,
                 ),
-                gate_in_port: 0,
+                gate_in_port: PortId(0),
                 delivery: self.seal_delivery.clone(),
             },
             RuleKind::Order {
@@ -435,7 +435,7 @@ impl RewritePass for AutoCoordRules {
                         // route it through the sequencer once.
                         InjectAction::Via {
                             gate,
-                            gate_in_port: 0,
+                            gate_in_port: PortId(0),
                             delivery,
                         }
                     } else {
@@ -453,7 +453,7 @@ impl RewritePass for AutoCoordRules {
                     covered.insert(to.0);
                     InjectAction::Via {
                         gate,
-                        gate_in_port: 0,
+                        gate_in_port: PortId(0),
                         delivery,
                     }
                 }
@@ -471,9 +471,9 @@ fn seal_gate(
     component: &str,
     key_attrs: &[String],
     binding: &Option<SealBinding>,
-    gates: &mut BTreeMap<(usize, usize), InstanceId>,
+    gates: &mut BTreeMap<(usize, PortId), InstanceId>,
     to: InstanceId,
-    in_port: usize,
+    in_port: PortId,
     speculative: bool,
     alloc: &mut GateAlloc<'_>,
 ) -> InstanceId {
@@ -481,7 +481,7 @@ fn seal_gate(
         let binding = binding
             .clone()
             .unwrap_or_else(|| panic!("seal directive for {component:?} needs bind_seal()"));
-        let name = format!("autocoord-seal({component}@{}:{in_port})", to.0);
+        let name = format!("autocoord-seal({component}@{}:{})", to.0, in_port.0);
         let gate: Box<dyn Component> = if speculative {
             Box::new(SpeculativeSealGate::new(key_attrs.to_vec(), binding, name))
         } else {
@@ -544,17 +544,23 @@ mod tests {
     fn seal_topology<B: ExecutorBuilder>(b: &mut B, sink: CollectorSink) {
         let consumer = b.add_instance(forwarder("Report[0]"));
         let s = b.add_instance(Box::new(sink));
-        b.connect_with(consumer, 0, s, 0, ChannelConfig::instant());
+        b.connect_with(consumer, PortId(0), s, PortId(0), ChannelConfig::instant());
         for k in 0..2i64 {
             let p = b.add_instance(forwarder("producer"));
-            b.connect_with(p, 0, consumer, 0, ChannelConfig::lan().with_jitter(9_000));
+            b.connect_with(
+                p,
+                PortId(0),
+                consumer,
+                PortId(0),
+                ChannelConfig::lan().with_jitter(9_000),
+            );
             for i in 0..5i64 {
-                b.inject(0, p, 0, Message::data([k * 100 + i, 1i64, 0i64]));
+                b.inject(0, p, PortId(0), Message::data([k * 100 + i, 1i64, 0i64]));
             }
             b.inject(
                 1,
                 p,
-                0,
+                PortId(0),
                 Message::Seal(SealKey::new([
                     ("campaign", Value::Int(1)),
                     ("producer", Value::Int(k)),
@@ -626,23 +632,29 @@ mod tests {
                 let rep = b.add_instance(forwarder(&format!("Replica[{r}]")));
                 let sink = CollectorSink::new();
                 let s = b.add_instance(Box::new(sink.clone()));
-                b.connect_with(rep, 0, s, 0, ChannelConfig::instant());
+                b.connect_with(rep, PortId(0), s, PortId(0), ChannelConfig::instant());
                 sinks.push(sink);
                 replicas.push(rep);
             }
             for k in 0..3i64 {
                 let p = b.add_instance(forwarder("producer"));
                 for &rep in &replicas {
-                    b.connect_with(p, 0, rep, 0, ChannelConfig::lan().with_jitter(7_000));
+                    b.connect_with(
+                        p,
+                        PortId(0),
+                        rep,
+                        PortId(0),
+                        ChannelConfig::lan().with_jitter(7_000),
+                    );
                 }
                 for i in 0..30i64 {
-                    b.inject(0, p, 0, Message::data([k * 1_000 + i]));
+                    b.inject(0, p, PortId(0), Message::data([k * 1_000 + i]));
                 }
             }
             // A broadcast injection addressed to each replica: must
             // collapse through the sequencer to one delivery per replica.
             for &rep in &replicas {
-                b.inject(5, rep, 0, Message::data([-7i64]));
+                b.inject(5, rep, PortId(0), Message::data([-7i64]));
             }
             sinks
         }
@@ -678,9 +690,9 @@ mod tests {
         let rep = rb.add_instance(forwarder("Replica[0]"));
         let sink = CollectorSink::new();
         let s = rb.add_instance(Box::new(sink.clone()));
-        rb.connect_with(rep, 0, s, 0, ChannelConfig::instant());
-        rb.inject(0, rep, 0, Message::data([7i64]));
-        rb.inject(0, rep, 0, Message::data([7i64]));
+        rb.connect_with(rep, PortId(0), s, PortId(0), ChannelConfig::instant());
+        rb.inject(0, rep, PortId(0), Message::data([7i64]));
+        rb.inject(0, rep, PortId(0), Message::data([7i64]));
         let (_, stats) = rb.finish();
         assert_eq!(stats.redirected_injections, 2, "both copies routed");
         assert_eq!(stats.absorbed_injections, 0);
@@ -697,8 +709,8 @@ mod tests {
         let mut rb = RewritingBuilder::new(&mut sim, AutoCoordRules::new(&spec_order("Replica")));
         let rep = rb.add_instance(forwarder("Replica[0]"));
         let p = rb.add_instance(forwarder("producer"));
-        rb.connect_with(p, 0, rep, 0, ChannelConfig::instant());
-        rb.connect_with(p, 1, rep, 1, ChannelConfig::instant());
+        rb.connect_with(p, PortId(0), rep, PortId(0), ChannelConfig::instant());
+        rb.connect_with(p, PortId(1), rep, PortId(1), ChannelConfig::instant());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Criterion bench comparing the discrete-event simulator with the
 //! multi-worker parallel executor on an identical fan-out/fan-in topology.
 
+use blazes_dataflow::backend::PortId;
 use blazes_dataflow::channel::ChannelConfig;
 use blazes_dataflow::component::{Component, Context, FnComponent};
 use blazes_dataflow::message::Message;
@@ -29,9 +30,15 @@ fn bench_backends(c: &mut Criterion) {
                 let sink_id = builder.add_instance(Box::new(sink.clone()));
                 for _ in 0..stages {
                     let e = builder.add_instance(echo());
-                    builder.connect_with(e, 0, sink_id, 0, ChannelConfig::instant());
+                    builder.connect_with(
+                        e,
+                        PortId(0),
+                        sink_id,
+                        PortId(0),
+                        ChannelConfig::instant(),
+                    );
                     for i in 0..MESSAGES / stages {
-                        builder.inject(0, e, 0, Message::data([i as i64]));
+                        builder.inject(0, e, PortId(0), Message::data([i as i64]));
                     }
                 }
                 builder.build().run(None);
@@ -45,9 +52,15 @@ fn bench_backends(c: &mut Criterion) {
                 let sink_id = builder.add_instance(Box::new(sink.clone()));
                 for _ in 0..stages {
                     let e = builder.add_instance(echo());
-                    builder.connect_with(e, 0, sink_id, 0, ChannelConfig::instant());
+                    builder.connect_with(
+                        e,
+                        PortId(0),
+                        sink_id,
+                        PortId(0),
+                        ChannelConfig::instant(),
+                    );
                     for i in 0..MESSAGES / stages {
-                        builder.inject(0, e, 0, Message::data([i as i64]));
+                        builder.inject(0, e, PortId(0), Message::data([i as i64]));
                     }
                 }
                 let _ = builder.build().run();

@@ -18,13 +18,11 @@
 //! ```
 
 use blazes_apps::adreport::{run_scenario_parallel, AdScenario, StrategyKind};
-use blazes_apps::autocoord::{
-    response_digests, run_scenario_auto, run_scenario_auto_parallel,
-    run_wordcount_coordinated_parallel, wordcount_spec,
-};
+use blazes_apps::autocoord::{response_digests, run_ad_auto, run_wordcount_auto};
 use blazes_apps::queries::ReportQuery;
 use blazes_apps::wordcount::{run_wordcount_parallel, WordcountScenario};
 use blazes_apps::workload::{CampaignPlacement, ClickWorkload, TweetWorkload};
+use blazes_dataflow::backend::BackendSpec;
 use blazes_dataflow::par::ParTuning;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -116,7 +114,7 @@ fn anomaly_repro() -> Result<(), String> {
 
     // Auto-coordinated: simulator reference, then every configuration.
     let sc = ad_scenario(3);
-    let (sim_res, report) = run_scenario_auto(&sc);
+    let (sim_res, report) = run_ad_auto(&sc, &BackendSpec::Sim);
     println!("  spec: {}", report.spec.render().trim_end());
     println!("  injection: {}", report.summary.render().trim_end());
     let reference = response_digests(&sim_res.responses);
@@ -124,7 +122,7 @@ fn anomaly_repro() -> Result<(), String> {
         return Err("coordinated simulator run produced no answers".to_string());
     }
     for (workers, tuning) in configs() {
-        let (res, _) = run_scenario_auto_parallel(&sc, workers, tuning);
+        let (res, _) = run_ad_auto(&sc, &BackendSpec::Par { workers, tuning });
         let digest = response_digests(&res.responses);
         if digest != reference {
             return Err(format!(
@@ -155,8 +153,6 @@ fn overhead_gate(max_pct: f64) -> Result<(), String> {
         seed: 41,
         ..WordcountScenario::default()
     };
-    let spec = wordcount_spec(true);
-
     // Interleaved best-of-N so machine noise hits both sides equally.
     let reps = 7;
     let mut base_best = f64::INFINITY;
@@ -168,8 +164,7 @@ fn overhead_gate(max_pct: f64) -> Result<(), String> {
         let baseline_counts = Some(base.counts());
 
         let started = Instant::now();
-        let (coord, outcome) =
-            run_wordcount_coordinated_parallel(&sc, &spec, 4, ParTuning::default());
+        let (coord, outcome) = run_wordcount_auto(&sc, true, &BackendSpec::par(4));
         coord_best = coord_best.min(started.elapsed().as_secs_f64() * 1e3);
         if !outcome.is_rewrite_free() {
             return Err(format!(

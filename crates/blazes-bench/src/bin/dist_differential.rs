@@ -1,0 +1,223 @@
+//! The `dist-differential` CI gate: the autocoord proof obligations run
+//! over the real byte boundary of the multi-process backend, as a binary
+//! so CI fails loudly when any of them breaks.
+//!
+//! 1. **Anomaly repro, distributed.** The uncoordinated ad-report must
+//!    diverge under injected wire faults across process counts (or
+//!    between replicas of one run).
+//! 2. **Determinism, distributed.** The auto-coordinated run's digests
+//!    must be bit-identical across `{1,2,4}` processes × `{stealing,
+//!    static}` schedulers, and equal to the discrete-event simulator's.
+//! 3. **Minimality, distributed.** The confluent wordcount must cross
+//!    the wire with zero injected coordination operators and commit the
+//!    simulator baseline's exact counts.
+//!
+//! The binary is its own worker: the parent re-executes `current_exe`,
+//! and a spawned copy takes the [`worker_main`] early exit.
+//!
+//! ```text
+//! cargo run -p blazes-bench --release --bin dist_differential
+//! ```
+
+use blazes_apps::adreport::{AdScenario, StrategyKind};
+use blazes_apps::autocoord::{response_digests, run_ad_auto, run_wordcount_auto};
+use blazes_apps::dist::{dist_registry, encode_ad_params, AD_TOPOLOGY};
+use blazes_apps::queries::ReportQuery;
+use blazes_apps::wordcount::{run_wordcount, WordcountScenario};
+use blazes_apps::workload::{CampaignPlacement, ClickWorkload, TweetWorkload};
+use blazes_dataflow::backend::BackendSpec;
+use blazes_dataflow::dist::{run_dist, worker_main, DistSpec};
+use blazes_dataflow::message::Message;
+use std::process::ExitCode;
+
+fn ad_scenario(seed: u64) -> AdScenario {
+    AdScenario {
+        workload: ClickWorkload {
+            ad_servers: 3,
+            entries_per_server: 60,
+            batch_size: 20,
+            sleep_between_batches: 50_000,
+            entry_interval: 200,
+            campaigns: 6,
+            ads_per_campaign: 4,
+            placement: CampaignPlacement::Spread,
+            seed: 5,
+        },
+        query: ReportQuery::Campaign,
+        replicas: 3,
+        requests: 8,
+        tick_every: 1,
+        click_duplicates: 0.2,
+        requests_via_analyst: true,
+        seed,
+        ..AdScenario::default()
+    }
+}
+
+fn dist_spec(processes: usize, stealing: bool, seed: u64) -> DistSpec {
+    let exe = std::env::current_exe()
+        .expect("current_exe for dist worker spawn")
+        .to_string_lossy()
+        .into_owned();
+    let mut spec = DistSpec::new("", "", vec![exe]);
+    spec.processes = processes;
+    spec.workers_per_process = 2;
+    spec.stealing = stealing;
+    spec.seed = seed;
+    spec.reorder_prob = 0.1;
+    spec.partition = Some((40, 6));
+    spec
+}
+
+/// A tiny stable fingerprint of a digest vector, for the log.
+fn fingerprint(digests: &[Vec<Message>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in digests {
+        for m in d {
+            for b in format!("{m:?}").bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+fn anomaly_repro() -> Result<(), String> {
+    let reg = dist_registry();
+    let mut diverged = false;
+    'seeds: for seed in 0..5u64 {
+        let sc = AdScenario {
+            strategy: StrategyKind::Uncoordinated,
+            ..ad_scenario(seed)
+        };
+        let mut digests = Vec::new();
+        for processes in [1usize, 2, 4] {
+            let mut spec = dist_spec(processes, true, seed);
+            spec.topology = AD_TOPOLOGY.to_string();
+            spec.params = encode_ad_params(&sc, false, false);
+            let run = run_dist(&spec, &reg)
+                .map_err(|e| format!("uncoordinated dist run failed: {e:?}"))?;
+            let sinks: Vec<_> = run.sinks.into_iter().map(|(_, s)| s).collect();
+            let d = response_digests(&sinks);
+            if d.iter().any(|x| x != &d[0]) {
+                println!(
+                    "  uncoordinated seed {seed}: replicas DISAGREE within one \
+                     {processes}-process run"
+                );
+                diverged = true;
+                break 'seeds;
+            }
+            digests.push(d);
+        }
+        if digests.windows(2).any(|w| w[0] != w[1]) {
+            println!("  uncoordinated seed {seed}: digests DIVERGE across process counts");
+            diverged = true;
+            break 'seeds;
+        }
+    }
+    if !diverged {
+        return Err("uncoordinated distributed runs never diverged — anomaly repro lost".into());
+    }
+    Ok(())
+}
+
+fn coordinated_identity() -> Result<(), String> {
+    let sc = ad_scenario(3);
+    let (sim_res, _) = run_ad_auto(&sc, &BackendSpec::Sim);
+    let reference = response_digests(&sim_res.responses);
+    if reference.iter().all(Vec::is_empty) {
+        return Err("coordinated simulator run produced no answers".into());
+    }
+    let mut runs = 0usize;
+    for processes in [1usize, 2, 4] {
+        for stealing in [true, false] {
+            let spec = dist_spec(processes, stealing, sc.seed);
+            let (res, report) = run_ad_auto(&sc, &BackendSpec::Dist(spec));
+            if report.stats.injected_operators != sc.replicas {
+                return Err(format!(
+                    "expected one seal gate per replica, injected {}",
+                    report.stats.injected_operators
+                ));
+            }
+            let digest = response_digests(&res.responses);
+            if digest != reference {
+                return Err(format!(
+                    "coordinated digest diverged at {processes} processes \
+                     stealing={stealing}: {:#018x} vs reference {:#018x}",
+                    fingerprint(&digest),
+                    fingerprint(&reference)
+                ));
+            }
+            runs += 1;
+        }
+    }
+    println!(
+        "  coordinated: digest {:#018x} identical across {runs} process/scheduler \
+         configurations + simulator",
+        fingerprint(&reference)
+    );
+    Ok(())
+}
+
+fn confluent_minimality() -> Result<(), String> {
+    let sc = WordcountScenario {
+        workers: 3,
+        workload: TweetWorkload {
+            vocabulary: 60,
+            batches: 5,
+            tweets_per_batch: 12,
+            ..TweetWorkload::default()
+        },
+        seed: 29,
+        ..WordcountScenario::default()
+    };
+    let baseline = run_wordcount(&sc);
+    for processes in [2usize, 4] {
+        let spec = dist_spec(processes, true, sc.seed);
+        let (run, outcome) = run_wordcount_auto(&sc, true, &BackendSpec::Dist(spec));
+        if !outcome.is_rewrite_free() {
+            return Err(format!("confluent wordcount was rewritten: {outcome:?}"));
+        }
+        let routed = run.stats.as_dist().map_or(0, |s| s.frames_routed);
+        if routed == 0 {
+            return Err(format!(
+                "{processes}-process wordcount never crossed the wire"
+            ));
+        }
+        if run.counts() != baseline.counts() {
+            return Err(format!(
+                "{processes}-process wordcount drifted from the simulator baseline"
+            ));
+        }
+        println!(
+            "  confluent wordcount: {processes} processes, {routed} frames over the \
+             wire, zero injected operators, counts exact"
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    // Spawned copies of this binary serve as dist workers.
+    if worker_main(&dist_registry()) {
+        return ExitCode::SUCCESS;
+    }
+    println!("dist-differential: over-the-wire anomaly repro");
+    if let Err(e) = anomaly_repro() {
+        eprintln!("FAIL: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("dist-differential: coordinated digest identity");
+    if let Err(e) = coordinated_identity() {
+        eprintln!("FAIL: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("dist-differential: confluent wordcount minimality");
+    if let Err(e) = confluent_minimality() {
+        eprintln!("FAIL: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("dist-differential: PASS");
+    ExitCode::SUCCESS
+}

@@ -17,13 +17,14 @@
 //! while a 4-core runner enforces the real multiple.
 
 use blazes_apps::adreport::AdScenario;
-use blazes_apps::autocoord::{response_digests, run_scenario_auto_parallel};
+use blazes_apps::autocoord::{response_digests, run_ad_auto};
 use blazes_apps::heavy::{
     expected_digest, expected_fanin_digest, run_fanin_par, run_fanin_sim, run_heavy_par,
     run_heavy_sim, FaninConfig, HeavyConfig,
 };
 use blazes_apps::queries::ReportQuery;
 use blazes_apps::workload::{CampaignPlacement, ClickWorkload};
+use blazes_dataflow::backend::BackendSpec;
 use blazes_dataflow::message::Message;
 use blazes_dataflow::par::{ParStats, ParTuning};
 use std::collections::BTreeSet;
@@ -573,7 +574,7 @@ pub fn run_speculation_race(workers: usize, reps: u32) -> SpeculationRace {
     let mut blocking_ms = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let started = Instant::now();
-        let (res, _) = run_scenario_auto_parallel(&sc, workers, tuning);
+        let (res, _) = run_ad_auto(&sc, &BackendSpec::Par { workers, tuning });
         blocking_ms = blocking_ms.min(started.elapsed().as_secs_f64() * 1e3);
         check(response_digests(&res.responses), &mut digest_match);
     }
@@ -584,13 +585,20 @@ pub fn run_speculation_race(workers: usize, reps: u32) -> SpeculationRace {
     let mut replayed_events = 0;
     for _ in 0..reps.max(1) {
         let started = Instant::now();
-        let (res, _) = run_scenario_auto_parallel(&sc, workers, tuning.with_speculation(true));
+        let (res, _) = run_ad_auto(
+            &sc,
+            &BackendSpec::Par {
+                workers,
+                tuning: tuning.with_speculation(true),
+            },
+        );
         let elapsed = started.elapsed().as_secs_f64() * 1e3;
         if elapsed < speculative_ms {
             speculative_ms = elapsed;
-            speculations = res.stats.total_speculations();
-            rollbacks = res.stats.total_rollbacks();
-            replayed_events = res.stats.total_replayed_events();
+            let stats = res.stats.as_par().expect("parallel run");
+            speculations = stats.total_speculations();
+            rollbacks = stats.total_rollbacks();
+            replayed_events = stats.total_replayed_events();
         }
         check(response_digests(&res.responses), &mut digest_match);
     }

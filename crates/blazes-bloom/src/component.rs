@@ -99,6 +99,7 @@ impl Component for BloomComponent {
 mod tests {
     use super::*;
     use crate::parser::parse_module;
+    use blazes_dataflow::backend::PortId;
     use blazes_dataflow::channel::ChannelConfig;
     use blazes_dataflow::sim::SimBuilder;
     use blazes_dataflow::sinks::CollectorSink;
@@ -134,9 +135,14 @@ module Counter {
         let bloom = b.add_instance(Box::new(comp));
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(bloom, 0, s, 0, ChannelConfig::instant());
+        b.connect_with(bloom, PortId(0), s, PortId(0), ChannelConfig::instant());
         for id in ["a", "b", "a"] {
-            b.inject(0, bloom, 0, Message::Data(Tuple(vec![Value::str(id)])));
+            b.inject(
+                0,
+                bloom,
+                PortId(0),
+                Message::Data(Tuple(vec![Value::str(id)])),
+            );
         }
         b.build().run(None);
         // Each tick emits the current counts; the final count for 'a' is 1
@@ -156,11 +162,11 @@ module Counter {
         let bloom = b.add_instance(Box::new(comp));
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(bloom, 0, s, 0, ChannelConfig::instant());
+        b.connect_with(bloom, PortId(0), s, PortId(0), ChannelConfig::instant());
         b.inject(
             0,
             bloom,
-            0,
+            PortId(0),
             Message::Seal(blazes_dataflow::message::SealKey::new([("campaign", 1i64)])),
         );
         b.build().run(None);

@@ -92,9 +92,9 @@ mod tests {
         let coord = b.add_instance(Box::new(CommitCoordinator::new(committers, 0)));
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(coord, 0, s, 0, ChannelConfig::ordered(0));
+        b.connect_with(coord, PortId(0), s, PortId(0), ChannelConfig::ordered(0));
         for (at, batch, committer) in readiness {
-            b.inject(at, coord, 0, Message::data([batch, committer]));
+            b.inject(at, coord, PortId(0), Message::data([batch, committer]));
         }
         b.build().run(None);
         sink.messages()

@@ -93,11 +93,11 @@ mod tests {
         let i1 = b.add_instance(Box::new(r1.clone()));
         let i2 = b.add_instance(Box::new(r2.clone()));
         let ordered = b.add_channel(ChannelConfig::ordered(1_000));
-        b.connect(seq, 0, i1, 0, ordered);
-        b.connect(seq, 0, i2, 0, ordered);
+        b.connect(seq, PortId(0), i1, PortId(0), ordered);
+        b.connect(seq, PortId(0), i2, PortId(0), ordered);
         // Jittered arrivals at the sequencer.
         for i in 0..100i64 {
-            b.inject(i as u64 * 3, seq, 0, Message::data([i]));
+            b.inject(i as u64 * 3, seq, PortId(0), Message::data([i]));
         }
         b.build().run(None);
         assert_eq!(r1.messages(), r2.messages());
@@ -110,9 +110,9 @@ mod tests {
         let seq = b.add_instance(Box::new(Sequencer::stamping()));
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(seq, 0, s, 0, ChannelConfig::ordered(0));
-        b.inject(0, seq, 0, Message::data(["a"]));
-        b.inject(1, seq, 0, Message::data(["b"]));
+        b.connect_with(seq, PortId(0), s, PortId(0), ChannelConfig::ordered(0));
+        b.inject(0, seq, PortId(0), Message::data(["a"]));
+        b.inject(1, seq, PortId(0), Message::data(["b"]));
         b.build().run(None);
         let msgs = sink.messages();
         assert_eq!(msgs[0].as_data().unwrap().get(0), Some(&Value::Int(0)));
@@ -125,8 +125,8 @@ mod tests {
         let seq = b.add_instance(Box::new(Sequencer::stamping()));
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(seq, 0, s, 0, ChannelConfig::ordered(0));
-        b.inject(0, seq, 0, Message::Eos);
+        b.connect_with(seq, PortId(0), s, PortId(0), ChannelConfig::ordered(0));
+        b.inject(0, seq, PortId(0), Message::Eos);
         b.build().run(None);
         assert_eq!(sink.messages(), vec![Message::Eos]);
     }
@@ -142,9 +142,9 @@ mod tests {
         b.set_service_time(seq, service);
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(seq, 0, s, 0, ChannelConfig::ordered(0));
+        b.connect_with(seq, PortId(0), s, PortId(0), ChannelConfig::ordered(0));
         for i in 0..n {
-            b.inject(0, seq, 0, Message::data([i as i64]));
+            b.inject(0, seq, PortId(0), Message::data([i as i64]));
         }
         let mut sim = b.build();
         let stats = sim.run(None);

@@ -28,8 +28,32 @@ use crate::message::Message;
 use crate::sim::{InstanceId, SimBuilder, Time};
 use std::collections::BTreeSet;
 
+/// Typed handle to a channel configuration registered with a backend
+/// builder. Distinct from [`PortId`] so a channel handle can no longer be
+/// passed where a port index is expected (or vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub usize);
+
+/// Typed index of an input or output port on a component instance, as
+/// used by the assembly surface. The runtime dispatch side
+/// ([`Component::on_message`]) still sees the raw index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub usize);
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+impl std::fmt::Display for PortId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
 /// A builder for an execution backend: the assembly surface shared by the
-/// simulator and the parallel executor.
+/// simulator, the parallel executor and the distributed executor.
 pub trait ExecutorBuilder {
     /// Add a component instance; returns its id.
     fn add_instance(&mut self, component: Box<dyn Component>) -> InstanceId;
@@ -40,30 +64,30 @@ pub trait ExecutorBuilder {
     fn set_service_time(&mut self, id: InstanceId, service: Time);
 
     /// Register a channel configuration, returning a reusable handle.
-    fn add_channel(&mut self, cfg: ChannelConfig) -> usize;
+    fn add_channel(&mut self, cfg: ChannelConfig) -> ChannelId;
 
     /// Wire output `out_port` of `from` to input `in_port` of `to` over
     /// the channel registered as `channel`.
     fn connect(
         &mut self,
         from: InstanceId,
-        out_port: usize,
+        out_port: PortId,
         to: InstanceId,
-        in_port: usize,
-        channel: usize,
+        in_port: PortId,
+        channel: ChannelId,
     );
 
     /// Inject an external message. `at` is a virtual timestamp for the
     /// simulator; wall-clock backends use it only as an ordering key.
-    fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message);
+    fn inject(&mut self, at: Time, to: InstanceId, port: PortId, msg: Message);
 
     /// Convenience: wire with a fresh channel config.
     fn connect_with(
         &mut self,
         from: InstanceId,
-        out_port: usize,
+        out_port: PortId,
         to: InstanceId,
-        in_port: usize,
+        in_port: PortId,
         cfg: ChannelConfig,
     ) {
         let ch = self.add_channel(cfg);
@@ -82,22 +106,22 @@ impl<B: ExecutorBuilder + ?Sized> ExecutorBuilder for &mut B {
         (**self).set_service_time(id, service);
     }
 
-    fn add_channel(&mut self, cfg: ChannelConfig) -> usize {
+    fn add_channel(&mut self, cfg: ChannelConfig) -> ChannelId {
         (**self).add_channel(cfg)
     }
 
     fn connect(
         &mut self,
         from: InstanceId,
-        out_port: usize,
+        out_port: PortId,
         to: InstanceId,
-        in_port: usize,
-        channel: usize,
+        in_port: PortId,
+        channel: ChannelId,
     ) {
         (**self).connect(from, out_port, to, in_port, channel);
     }
 
-    fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
+    fn inject(&mut self, at: Time, to: InstanceId, port: PortId, msg: Message) {
         (**self).inject(at, to, port, msg);
     }
 }
@@ -115,7 +139,7 @@ pub enum WireAction {
         /// The interposed operator instance.
         gate: InstanceId,
         /// Input port of the gate receiving the redirected traffic.
-        gate_in_port: usize,
+        gate_in_port: PortId,
         /// Channel used from the gate to the original destination.
         delivery: ChannelConfig,
     },
@@ -142,7 +166,7 @@ pub enum InjectAction {
         /// The interposed operator instance.
         gate: InstanceId,
         /// Input port of the gate receiving the redirected message.
-        gate_in_port: usize,
+        gate_in_port: PortId,
         /// Channel used from the gate to the original destination.
         delivery: ChannelConfig,
     },
@@ -177,9 +201,9 @@ pub trait RewritePass {
     fn rewrite_wire(
         &mut self,
         _from: InstanceId,
-        _out_port: usize,
+        _out_port: PortId,
         _to: InstanceId,
-        _in_port: usize,
+        _in_port: PortId,
         _alloc: &mut GateAlloc<'_>,
     ) -> WireAction {
         WireAction::Keep
@@ -190,7 +214,7 @@ pub trait RewritePass {
         &mut self,
         _at: Time,
         _to: InstanceId,
-        _port: usize,
+        _port: PortId,
         _msg: &Message,
         _alloc: &mut GateAlloc<'_>,
     ) -> InjectAction {
@@ -239,7 +263,7 @@ pub struct RewritingBuilder<'a, B: ExecutorBuilder + ?Sized, P: RewritePass> {
     pass: P,
     stats: RewriteStats,
     /// `(gate, dst, dst_port)` triples already wired gate→destination.
-    gate_wires: BTreeSet<(InstanceId, InstanceId, usize)>,
+    gate_wires: BTreeSet<(InstanceId, InstanceId, PortId)>,
 }
 
 impl<'a, B: ExecutorBuilder + ?Sized, P: RewritePass> RewritingBuilder<'a, B, P> {
@@ -270,12 +294,12 @@ impl<'a, B: ExecutorBuilder + ?Sized, P: RewritePass> RewritingBuilder<'a, B, P>
         &mut self,
         gate: InstanceId,
         to: InstanceId,
-        in_port: usize,
+        in_port: PortId,
         delivery: &ChannelConfig,
     ) {
         if self.gate_wires.insert((gate, to, in_port)) {
             self.inner
-                .connect_with(gate, 0, to, in_port, delivery.clone());
+                .connect_with(gate, PortId(0), to, in_port, delivery.clone());
         }
     }
 }
@@ -292,17 +316,17 @@ impl<B: ExecutorBuilder + ?Sized, P: RewritePass> ExecutorBuilder for RewritingB
         self.inner.set_service_time(id, service);
     }
 
-    fn add_channel(&mut self, cfg: ChannelConfig) -> usize {
+    fn add_channel(&mut self, cfg: ChannelConfig) -> ChannelId {
         self.inner.add_channel(cfg)
     }
 
     fn connect(
         &mut self,
         from: InstanceId,
-        out_port: usize,
+        out_port: PortId,
         to: InstanceId,
-        in_port: usize,
-        channel: usize,
+        in_port: PortId,
+        channel: ChannelId,
     ) {
         let inner = &mut *self.inner;
         let mut allocated = 0usize;
@@ -335,7 +359,7 @@ impl<B: ExecutorBuilder + ?Sized, P: RewritePass> ExecutorBuilder for RewritingB
         }
     }
 
-    fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
+    fn inject(&mut self, at: Time, to: InstanceId, port: PortId, msg: Message) {
         let inner = &mut *self.inner;
         let mut allocated = 0usize;
         let mut alloc = |c: Box<dyn Component>, st: Time| {
@@ -374,23 +398,124 @@ impl ExecutorBuilder for SimBuilder {
         SimBuilder::set_service_time(self, id, service);
     }
 
-    fn add_channel(&mut self, cfg: ChannelConfig) -> usize {
+    fn add_channel(&mut self, cfg: ChannelConfig) -> ChannelId {
         SimBuilder::add_channel(self, cfg)
     }
 
     fn connect(
         &mut self,
         from: InstanceId,
-        out_port: usize,
+        out_port: PortId,
         to: InstanceId,
-        in_port: usize,
-        channel: usize,
+        in_port: PortId,
+        channel: ChannelId,
     ) {
         SimBuilder::connect(self, from, out_port, to, in_port, channel);
     }
 
-    fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
+    fn inject(&mut self, at: Time, to: InstanceId, port: PortId, msg: Message) {
         SimBuilder::inject(self, at, to, port, msg);
+    }
+}
+
+/// Selects the execution substrate a topology should run on, with the
+/// per-backend knobs that used to be spread across `run_*`, `run_*_parallel`
+/// and `*_tuned` function families.
+///
+/// One value of this enum is the single argument that picks between the
+/// deterministic simulator, the in-process parallel executor and the
+/// multi-process distributed executor; generic runners accept
+/// `&BackendSpec` instead of growing a third copy of every entry point.
+#[derive(Debug, Clone)]
+pub enum BackendSpec {
+    /// The deterministic discrete-event simulator ([`crate::sim::SimBuilder`]).
+    Sim,
+    /// The in-process multi-worker parallel executor
+    /// ([`crate::par::ParBuilder`]).
+    Par {
+        /// Number of OS worker threads.
+        workers: usize,
+        /// Scheduling/fault/speculation knobs for the run.
+        tuning: crate::par::ParTuning,
+    },
+    /// The distributed multi-process executor ([`crate::dist::run_dist`]).
+    /// The topology itself is named by [`crate::dist::DistSpec::topology`]
+    /// and resolved through a [`crate::dist::Registry`] so every process
+    /// can re-assemble it locally.
+    Dist(crate::dist::DistSpec),
+}
+
+impl BackendSpec {
+    /// Parallel backend with `workers` threads and default tuning.
+    #[must_use]
+    pub fn par(workers: usize) -> Self {
+        BackendSpec::Par {
+            workers,
+            tuning: crate::par::ParTuning::default(),
+        }
+    }
+
+    /// Short human-readable backend name (`sim` / `par` / `dist`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendSpec::Sim => "sim",
+            BackendSpec::Par { .. } => "par",
+            BackendSpec::Dist(_) => "dist",
+        }
+    }
+}
+
+/// Run statistics tagged by the backend that produced them. The variants
+/// wrap the per-backend stats structs unchanged so no fidelity is lost;
+/// the accessors cover callers that only care about one substrate.
+#[derive(Debug, Clone)]
+pub enum BackendRunStats {
+    /// Simulator statistics.
+    Sim(crate::metrics::RunStats),
+    /// Parallel-executor statistics.
+    Par(crate::par::ParStats),
+    /// Distributed-executor statistics.
+    Dist(crate::dist::DistStats),
+}
+
+impl BackendRunStats {
+    /// Simulator stats, if this run used the simulator.
+    #[must_use]
+    pub fn as_sim(&self) -> Option<&crate::metrics::RunStats> {
+        match self {
+            BackendRunStats::Sim(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parallel-executor stats, if this run used the parallel backend.
+    #[must_use]
+    pub fn as_par(&self) -> Option<&crate::par::ParStats> {
+        match self {
+            BackendRunStats::Par(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Distributed-executor stats, if this run used the distributed backend.
+    #[must_use]
+    pub fn as_dist(&self) -> Option<&crate::dist::DistStats> {
+        match self {
+            BackendRunStats::Dist(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total data messages delivered to component inputs, whatever the
+    /// backend counted them as.
+    #[must_use]
+    pub fn messages_delivered(&self) -> u64 {
+        match self {
+            BackendRunStats::Sim(s) => s.messages_delivered,
+            BackendRunStats::Par(s) => s.messages_delivered,
+            BackendRunStats::Dist(s) => s.messages_delivered,
+        }
     }
 }
 
@@ -439,15 +564,15 @@ mod tests {
         fn rewrite_wire(
             &mut self,
             _from: InstanceId,
-            _out_port: usize,
+            _out_port: PortId,
             to: InstanceId,
-            _in_port: usize,
+            _in_port: PortId,
             alloc: &mut GateAlloc<'_>,
         ) -> WireAction {
             if Some(to) == self.target {
                 WireAction::Via {
                     gate: self.gate(alloc),
-                    gate_in_port: 0,
+                    gate_in_port: PortId(0),
                     delivery: ChannelConfig::instant(),
                 }
             } else {
@@ -459,14 +584,14 @@ mod tests {
             &mut self,
             _at: Time,
             to: InstanceId,
-            _port: usize,
+            _port: PortId,
             _msg: &Message,
             alloc: &mut GateAlloc<'_>,
         ) -> InjectAction {
             if Some(to) == self.target {
                 InjectAction::Via {
                     gate: self.gate(alloc),
-                    gate_in_port: 0,
+                    gate_in_port: PortId(0),
                     delivery: ChannelConfig::instant(),
                 }
             } else {
@@ -485,10 +610,10 @@ mod tests {
             |_, msg, ctx: &mut Context| ctx.emit(0, msg),
         )));
         let s = b.add_instance(Box::new(sink));
-        b.connect_with(src, 0, target, 0, ChannelConfig::lan());
-        b.connect_with(target, 0, s, 0, ChannelConfig::instant());
-        b.inject(0, src, 0, Message::data([1i64]));
-        b.inject(0, target, 0, Message::data([2i64]));
+        b.connect_with(src, PortId(0), target, PortId(0), ChannelConfig::lan());
+        b.connect_with(target, PortId(0), s, PortId(0), ChannelConfig::instant());
+        b.inject(0, src, PortId(0), Message::data([1i64]));
+        b.inject(0, target, PortId(0), Message::data([2i64]));
     }
 
     #[test]
@@ -547,7 +672,7 @@ mod tests {
                 &mut self,
                 _at: Time,
                 to: InstanceId,
-                _port: usize,
+                _port: PortId,
                 _msg: &Message,
                 alloc: &mut GateAlloc<'_>,
             ) -> InjectAction {
@@ -559,7 +684,7 @@ mod tests {
                 if self.seen == 1 {
                     InjectAction::Via {
                         gate,
-                        gate_in_port: 0,
+                        gate_in_port: PortId(0),
                         delivery: ChannelConfig::instant(),
                     }
                 } else {
@@ -579,9 +704,9 @@ mod tests {
             |_, msg, ctx: &mut Context| ctx.emit(0, msg),
         )));
         let s = rb.add_instance(Box::new(sink.clone()));
-        rb.connect_with(target, 0, s, 0, ChannelConfig::instant());
+        rb.connect_with(target, PortId(0), s, PortId(0), ChannelConfig::instant());
         for _ in 0..3 {
-            rb.inject(0, target, 0, Message::data([7i64]));
+            rb.inject(0, target, PortId(0), Message::data([7i64]));
         }
         let (_, stats) = rb.finish();
         assert_eq!(stats.redirected_injections, 1);

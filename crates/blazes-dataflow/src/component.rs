@@ -124,6 +124,14 @@ pub trait Component: Send {
     /// unreachable because the default `snapshot` never offers one.
     fn restore(&mut self, _snapshot: Box<dyn std::any::Any + Send>) {}
 
+    /// End-of-run drain signal. The parallel backend delivers this when
+    /// a run has wedged on speculation that no in-flight message can
+    /// resolve — every component is asked to resolve what only it can. A
+    /// coordination gate aborts its never-sealed speculation session
+    /// here, re-emitting what the blocking protocol would have released;
+    /// components without such obligations ignore it (the default).
+    fn on_drain(&mut self, _ctx: &mut Context) {}
+
     /// Human-readable name for stats and traces.
     fn name(&self) -> &str {
         "component"

@@ -1,0 +1,1653 @@
+//! The distributed multi-process backend: a topology partitioned across
+//! OS processes over a real byte boundary.
+//!
+//! Where [`crate::par`] runs a topology on threads inside one address
+//! space, this backend forks *worker processes* and ships each one its
+//! partition of the graph. Inside every worker the lock-free parallel
+//! runtime does the actual execution; what this module adds is the
+//! boundary between them — Unix-domain sockets carrying length-prefixed
+//! frames ([`wire`]) — and a coordinator (the *parent*) that routes every
+//! cross-partition message.
+//!
+//! # SPMD assembly
+//!
+//! There is no plan serializer for arbitrary component graphs (components
+//! are closures over arbitrary state). Instead, topologies are *named*:
+//! a [`Registry`] maps a topology name to a deterministic assembly
+//! function `fn(&mut dyn ExecutorBuilder, params) -> sinks`. The parent
+//! ships each worker a tiny framed plan — name, parameter string, seed,
+//! process count, its own index — and every process (parent included)
+//! runs the *identical* assembly. Because assembly is deterministic, all
+//! processes agree on the global numbering of instances, channels and
+//! wires without ever serializing a component. Instance `i` is *owned* by
+//! process `i % processes`; a worker materializes only its own instances
+//! (through [`DistWorkerBuilder`], which translates global ids to local
+//! [`crate::par::ParBuilder`] ids), while the parent assembles into a
+//! [`ProbeBuilder`] that records pure structure.
+//!
+//! Coordination injection composes untouched: `blazes-autocoord`'s
+//! rewrite pass runs *inside* the assembly function, below the
+//! [`ExecutorBuilder`] surface, so the rewritten graph — gates and all —
+//! is what gets numbered and partitioned, identically everywhere.
+//!
+//! # Routing and fault injection on the wire
+//!
+//! Workers connect only to the parent (a star). A wire whose producer and
+//! consumer are owned by the same process stays entirely local — the par
+//! runtime delivers it, fault RNG and all. A *cross* wire is split: the
+//! producer is wired to an egress shim that forwards
+//! `(wire, seq, message)` to the parent, the parent applies the wire's
+//! fault schedule and routes the frame to the consumer's owner, and the
+//! consumer's owner injects it through [`crate::par::RunningPar::inject`].
+//!
+//! Fault injection therefore moves to the actual byte boundary, but the
+//! *schedule* is unchanged: the parent seeds one RNG per cross wire with
+//! the exact formula and per-send draw order the par backend uses for
+//! local wires. A wire's loss/duplication schedule is a function of its
+//! global wire number and send ordinal only — identical whether the wire
+//! happens to be local or cross, which is what makes digests reproducible
+//! across `{1,2,4}` processes and against the single-process backends.
+//! Two extra fault classes exist only at frame granularity (so they
+//! perturb timing, never per-wire FIFO): probabilistic *reordering* of
+//! frames on different wires, and counter-scheduled *partition windows*
+//! that buffer traffic and release it in arrival order.
+//!
+//! # Termination and collection
+//!
+//! A worker reports `Idle{sent, recv}` whenever its local runtime has
+//! quiesced ([`crate::par::RunningPar::settled`]) and its egress queue
+//! has drained. The parent declares stability when every worker's latest
+//! report matches the parent's own per-worker frame counters and no
+//! frames are held in the reorder/partition buffers — any frame still in
+//! flight in either direction makes some counter pair disagree. A
+//! `Probe`/`ProbeAck` confirmation round then re-validates before the
+//! parent collects: `Collect` makes each worker finish its run (running
+//! the end-of-run speculation rescue, if any) and stream back the
+//! contents of every sink it owns plus its run statistics.
+//!
+//! One documented divergence from the single-process backends: egress
+//! traffic produced *by* the end-of-run rescue drain (a never-sealed
+//! speculative session re-emitting blocking output after `Collect`) can
+//! no longer cross the wire; such frames are dropped and counted in
+//! [`DistStats::late_egress_frames`]. Coordinated topologies whose seals
+//! all arrive — everything the differential suite runs — never hit this.
+
+pub mod wire;
+
+use crate::backend::{ChannelId, ExecutorBuilder, PortId};
+use crate::channel::ChannelConfig;
+use crate::component::{Component, Context};
+use crate::message::Message;
+use crate::par::ParBuilder;
+use crate::sim::{InstanceId, Time};
+use crate::sinks::CollectorSink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+use wire::{Frame, FrameDecoder};
+
+/// Environment variable carrying the parent's socket path to a worker.
+pub const ENV_PARENT: &str = "BLAZES_DIST_PARENT";
+/// Environment variable carrying a worker's process index.
+pub const ENV_INDEX: &str = "BLAZES_DIST_INDEX";
+
+/// Wire numbers for the local producer→egress hops, far above any global
+/// wire number. Egress hops use [`ChannelConfig::instant`] (no fault
+/// RNG), so the offset only keeps diagnostics unambiguous.
+const EGRESS_WIRE_BASE: u64 = 1 << 48;
+
+/// Mixing constant for the *reorder* RNG stream of a cross wire —
+/// deliberately different from the loss/duplication stream's constant so
+/// enabling reordering never perturbs the at-least-once schedule.
+const REORDER_MIX: u64 = 0xd1b5_4a32_d192_ed03;
+
+/// Which process owns global instance `instance` in an
+/// `processes`-process run.
+#[must_use]
+pub fn owner(instance: usize, processes: usize) -> usize {
+    instance % processes
+}
+
+/// One cross-partition emission leaving a worker: `(wire, seq, message)`.
+pub type EgressFrame = (u64, u64, Message);
+
+/// Sinks returned by a registered assembly, with the *global* instance id
+/// each sink was added as (ownership of the results follows from it).
+pub type SinkSet = Vec<(InstanceId, CollectorSink)>;
+
+/// A deterministic topology assembly: given any backend builder and a
+/// parameter string, build the graph and return its sinks. Must be a pure
+/// function of the parameter string — every process replays it.
+pub type AssembleFn = Box<dyn Fn(&mut dyn ExecutorBuilder, &str) -> SinkSet + Send + Sync>;
+
+/// Named topologies the distributed backend can instantiate. The parent
+/// ships only a name + parameter string; both sides must hold the same
+/// registry.
+#[derive(Default)]
+pub struct Registry {
+    entries: BTreeMap<String, AssembleFn>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register `assemble` under `name` (replacing any previous entry).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        assemble: impl Fn(&mut dyn ExecutorBuilder, &str) -> SinkSet + Send + Sync + 'static,
+    ) {
+        self.entries.insert(name.into(), Box::new(assemble));
+    }
+
+    /// Run the assembly registered under `topology` against `builder`.
+    ///
+    /// # Errors
+    /// [`DistError::UnknownTopology`] if nothing is registered under
+    /// `topology`.
+    pub fn assemble(
+        &self,
+        topology: &str,
+        params: &str,
+        builder: &mut dyn ExecutorBuilder,
+    ) -> Result<SinkSet, DistError> {
+        let f = self
+            .entries
+            .get(topology)
+            .ok_or_else(|| DistError::UnknownTopology(topology.to_string()))?;
+        Ok(f(builder, params))
+    }
+
+    /// Registered topology names.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+}
+
+/// Everything a distributed run needs to know, parent side.
+#[derive(Debug, Clone)]
+pub struct DistSpec {
+    /// Registered topology name.
+    pub topology: String,
+    /// Parameter string handed to the assembly function verbatim.
+    pub params: String,
+    /// Fault/run seed, shared by every process.
+    pub seed: u64,
+    /// Worker process count.
+    pub processes: usize,
+    /// Par-runtime worker threads per process.
+    pub workers_per_process: usize,
+    /// Scheduler of the in-process runtime (`false` = static sharding).
+    pub stealing: bool,
+    /// Enable time-warp speculation inside each process.
+    pub speculation: bool,
+    /// Per cross-wire probability that a frame is held and delivered
+    /// after the next frame bound for the same process (frames of the
+    /// *same* wire are never swapped — per-wire FIFO is load-bearing).
+    pub reorder_prob: f64,
+    /// Counter-scheduled partition: every `every` routed frames, buffer
+    /// the next `len` frames and release them in arrival order.
+    pub partition: Option<(u64, u64)>,
+    /// Worker process argv. The command re-enters this program (or any
+    /// program holding the same registry) such that it reaches
+    /// [`worker_main`]; see [`libtest_worker_command`] for test binaries.
+    pub worker_command: Vec<String>,
+}
+
+impl DistSpec {
+    /// A spec with library defaults: 2 processes × 2 workers, stealing
+    /// scheduler, no speculation, no frame-level faults.
+    #[must_use]
+    pub fn new(
+        topology: impl Into<String>,
+        params: impl Into<String>,
+        worker_command: Vec<String>,
+    ) -> Self {
+        DistSpec {
+            topology: topology.into(),
+            params: params.into(),
+            seed: 0,
+            processes: 2,
+            workers_per_process: 2,
+            stealing: true,
+            speculation: false,
+            reorder_prob: 0.0,
+            partition: None,
+            worker_command,
+        }
+    }
+}
+
+/// Worker argv for a libtest binary: re-run the current executable,
+/// selecting exactly the (`#[ignore]`d) test named `entry_test`, whose
+/// body calls [`worker_main`]. The test returns immediately when
+/// [`ENV_PARENT`] is unset, so the entry is inert in normal test runs.
+///
+/// # Panics
+/// If the current executable path cannot be determined.
+#[must_use]
+pub fn libtest_worker_command(entry_test: &str) -> Vec<String> {
+    let exe = std::env::current_exe()
+        .expect("current_exe for dist worker spawn")
+        .to_string_lossy()
+        .into_owned();
+    vec![
+        exe,
+        entry_test.to_string(),
+        "--exact".to_string(),
+        "--include-ignored".to_string(),
+    ]
+}
+
+/// Errors of a distributed run.
+#[derive(Debug)]
+pub enum DistError {
+    /// Socket / process I/O failed.
+    Io(std::io::Error),
+    /// A frame failed to decode.
+    Wire(wire::WireError),
+    /// The topology name is not in the registry.
+    UnknownTopology(String),
+    /// A worker reported an error or died before completing.
+    Worker {
+        /// Process index of the failing worker.
+        index: usize,
+        /// What it reported (or how it died).
+        message: String,
+    },
+    /// The coordination protocol was violated or stalled.
+    Protocol(String),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "dist i/o error: {e}"),
+            DistError::Wire(e) => write!(f, "dist wire error: {e}"),
+            DistError::UnknownTopology(t) => write!(f, "unknown dist topology {t:?}"),
+            DistError::Worker { index, message } => {
+                write!(f, "dist worker {index} failed: {message}")
+            }
+            DistError::Protocol(m) => write!(f, "dist protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+impl From<wire::WireError> for DistError {
+    fn from(e: wire::WireError) -> Self {
+        DistError::Wire(e)
+    }
+}
+
+/// Statistics of a distributed run: the parent's routing ledger plus the
+/// sum of every worker's in-process runtime counters.
+#[derive(Debug, Clone, Default)]
+pub struct DistStats {
+    /// Worker process count.
+    pub processes: usize,
+    /// Cross-partition data frames the parent routed (duplicates
+    /// included).
+    pub frames_routed: u64,
+    /// Retransmits drawn on cross wires by the parent's fault RNGs.
+    pub wire_retransmits: u64,
+    /// Duplicates drawn on cross wires by the parent's fault RNGs.
+    pub wire_duplicates: u64,
+    /// Frames delivered out of arrival order by the reorder fault.
+    pub reordered_frames: u64,
+    /// Partition windows opened by the counter schedule.
+    pub partition_windows: u64,
+    /// `Probe`/`ProbeAck` confirmation rounds the parent ran.
+    pub probe_rounds: u64,
+    /// Events processed, summed over every worker's runtime.
+    pub events_processed: u64,
+    /// Messages delivered on *local* wires, summed over workers.
+    pub messages_delivered: u64,
+    /// Duplicates drawn on local wires, summed over workers.
+    pub duplicates: u64,
+    /// Retransmits drawn on local wires, summed over workers.
+    pub retransmits: u64,
+    /// End-of-run rescue passes, summed over workers.
+    pub rescue_passes: u64,
+    /// Egress frames produced after `Collect` (rescue-drain output that
+    /// could no longer cross the wire) — see the module docs.
+    pub late_egress_frames: u64,
+}
+
+/// Result of [`run_dist`]: the topology's sinks — filled with the entries
+/// streamed back from their owning workers, in each sink's arrival order
+/// — and the run's statistics.
+#[derive(Debug)]
+pub struct DistRun {
+    /// The assembly's sinks, keyed by global instance id.
+    pub sinks: SinkSet,
+    /// Routing + aggregated worker statistics.
+    pub stats: DistStats,
+}
+
+// ---------------------------------------------------------------------
+// Structure probe (parent-side assembly)
+// ---------------------------------------------------------------------
+
+/// One wire recorded by a [`ProbeBuilder`], in global numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeWire {
+    /// Producer instance (global id).
+    pub from: usize,
+    /// Producer output port.
+    pub out_port: usize,
+    /// Consumer instance (global id).
+    pub to: usize,
+    /// Consumer input port.
+    pub in_port: usize,
+    /// Channel handle the wire was connected over.
+    pub channel: usize,
+}
+
+/// An [`ExecutorBuilder`] that executes nothing: it records the pure
+/// structure of an assembly — instance count and names, channel configs,
+/// wires in global numbering, injection count. The parent runs the SPMD
+/// assembly through it to learn the routing table; it is also handy for
+/// asserting what a rewrite pass did to a graph without running it.
+#[derive(Debug, Default)]
+pub struct ProbeBuilder {
+    names: Vec<String>,
+    channels: Vec<ChannelConfig>,
+    wires: Vec<ProbeWire>,
+    injections: usize,
+}
+
+impl ProbeBuilder {
+    /// A fresh probe.
+    #[must_use]
+    pub fn new() -> Self {
+        ProbeBuilder::default()
+    }
+
+    /// Number of instances the assembly added.
+    #[must_use]
+    pub fn instances(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Component names in instance order.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Registered channel configurations, by handle.
+    #[must_use]
+    pub fn channels(&self) -> &[ChannelConfig] {
+        &self.channels
+    }
+
+    /// Recorded wires; a wire's global number is its index here.
+    #[must_use]
+    pub fn wires(&self) -> &[ProbeWire] {
+        &self.wires
+    }
+
+    /// Number of external injections the assembly made.
+    #[must_use]
+    pub fn injections(&self) -> usize {
+        self.injections
+    }
+}
+
+impl ExecutorBuilder for ProbeBuilder {
+    fn add_instance(&mut self, component: Box<dyn Component>) -> InstanceId {
+        self.names.push(component.name().to_string());
+        InstanceId(self.names.len() - 1)
+    }
+
+    fn set_service_time(&mut self, _id: InstanceId, _service: Time) {}
+
+    fn add_channel(&mut self, cfg: ChannelConfig) -> ChannelId {
+        self.channels.push(cfg);
+        ChannelId(self.channels.len() - 1)
+    }
+
+    fn connect(
+        &mut self,
+        from: InstanceId,
+        out_port: PortId,
+        to: InstanceId,
+        in_port: PortId,
+        channel: ChannelId,
+    ) {
+        self.wires.push(ProbeWire {
+            from: from.0,
+            out_port: out_port.0,
+            to: to.0,
+            in_port: in_port.0,
+            channel: channel.0,
+        });
+    }
+
+    fn inject(&mut self, _at: Time, _to: InstanceId, _port: PortId, _msg: Message) {
+        self.injections += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker-side builder
+// ---------------------------------------------------------------------
+
+/// The egress shim interposed on a cross wire's producer side: forwards
+/// every delivery to the worker's socket pump as `(wire, seq, message)`.
+///
+/// Deliberately offers no snapshot: in time-warp mode the runtime then
+/// *defers* speculative deliveries to the egress until their epoch
+/// resolves, so only committed traffic ever crosses a process boundary —
+/// speculation stays process-local by construction.
+struct Egress {
+    wire: u64,
+    seq: u64,
+    queued: Arc<AtomicU64>,
+    tx: mpsc::Sender<EgressFrame>,
+}
+
+impl Component for Egress {
+    fn on_message(&mut self, _port: usize, msg: Message, _ctx: &mut Context) {
+        // Count before sending: the idle check compares this counter
+        // against the pump's written counter, and over-counting is the
+        // safe direction (a frame in the channel reads as "not drained").
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        let seq = self.seq;
+        self.seq += 1;
+        let _ = self.tx.send((self.wire, seq, msg));
+    }
+
+    fn name(&self) -> &str {
+        "dist-egress"
+    }
+}
+
+/// The cross-partition wiring a [`DistWorkerBuilder`] accumulated.
+#[derive(Debug)]
+pub struct DistWiring {
+    /// Cross wires terminating locally: global wire → (local instance of
+    /// the consumer, its input port).
+    pub ingress: BTreeMap<u64, (InstanceId, PortId)>,
+    /// Global wire numbers of cross wires originating locally.
+    pub cross_out: Vec<u64>,
+    /// Total instances in the global numbering (local and remote).
+    pub instances: usize,
+}
+
+/// An [`ExecutorBuilder`] over a [`ParBuilder`] that realizes one
+/// process's partition of an SPMD assembly.
+///
+/// Every process runs the identical assembly through one of these; the
+/// builder hands out *global* instance/channel ids (so the assembly sees
+/// the same ids everywhere) while materializing only what process
+/// `index` owns. Wires between two local instances are connected with
+/// their global wire number ([`ParBuilder`]'s fault streams key on it);
+/// wires leaving the partition get an egress shim; wires entering it
+/// are recorded in the ingress table for [`RunningPar::inject`] delivery.
+pub struct DistWorkerBuilder<'a> {
+    inner: &'a mut ParBuilder,
+    index: usize,
+    processes: usize,
+    /// Global instance id → local par id (`None` = owned elsewhere).
+    local_of: Vec<Option<InstanceId>>,
+    /// Global channel id → local par channel id.
+    local_channel: Vec<ChannelId>,
+    next_wire: u64,
+    egress_channel: Option<ChannelId>,
+    egress_queued: Arc<AtomicU64>,
+    egress_tx: mpsc::Sender<EgressFrame>,
+    ingress: BTreeMap<u64, (InstanceId, PortId)>,
+    cross_out: Vec<u64>,
+}
+
+impl<'a> DistWorkerBuilder<'a> {
+    /// Wrap `inner` as process `index` of `processes`. Returns the
+    /// builder, the receiving end of its egress queue, and the shared
+    /// egress-enqueue counter (compare against frames actually written to
+    /// decide the queue has drained).
+    ///
+    /// # Panics
+    /// If `processes` is zero or `index` is out of range.
+    #[must_use]
+    pub fn new(
+        inner: &'a mut ParBuilder,
+        index: usize,
+        processes: usize,
+    ) -> (Self, mpsc::Receiver<EgressFrame>, Arc<AtomicU64>) {
+        assert!(processes >= 1, "at least one process");
+        assert!(index < processes, "index within process count");
+        let (tx, rx) = mpsc::channel();
+        let queued = Arc::new(AtomicU64::new(0));
+        (
+            DistWorkerBuilder {
+                inner,
+                index,
+                processes,
+                local_of: Vec::new(),
+                local_channel: Vec::new(),
+                next_wire: 0,
+                egress_channel: None,
+                egress_queued: Arc::clone(&queued),
+                egress_tx: tx,
+                ingress: BTreeMap::new(),
+                cross_out: Vec::new(),
+            },
+            rx,
+            queued,
+        )
+    }
+
+    /// Local par id of global instance `id`, if owned here.
+    #[must_use]
+    pub fn local_of(&self, id: InstanceId) -> Option<InstanceId> {
+        self.local_of.get(id.0).copied().flatten()
+    }
+
+    /// Consume the builder, returning the accumulated cross wiring.
+    #[must_use]
+    pub fn finish(self) -> DistWiring {
+        DistWiring {
+            ingress: self.ingress,
+            cross_out: self.cross_out,
+            instances: self.local_of.len(),
+        }
+    }
+}
+
+impl ExecutorBuilder for DistWorkerBuilder<'_> {
+    fn add_instance(&mut self, component: Box<dyn Component>) -> InstanceId {
+        let global = self.local_of.len();
+        let local = (owner(global, self.processes) == self.index)
+            .then(|| self.inner.add_instance(component));
+        self.local_of.push(local);
+        InstanceId(global)
+    }
+
+    fn set_service_time(&mut self, id: InstanceId, service: Time) {
+        if let Some(local) = self.local_of[id.0] {
+            self.inner.set_service_time(local, service);
+        }
+    }
+
+    fn add_channel(&mut self, cfg: ChannelConfig) -> ChannelId {
+        let local = self.inner.add_channel(cfg);
+        self.local_channel.push(local);
+        ChannelId(self.local_channel.len() - 1)
+    }
+
+    fn connect(
+        &mut self,
+        from: InstanceId,
+        out_port: PortId,
+        to: InstanceId,
+        in_port: PortId,
+        channel: ChannelId,
+    ) {
+        let wire = self.next_wire;
+        self.next_wire += 1;
+        match (self.local_of[from.0], self.local_of[to.0]) {
+            (Some(f), Some(t)) => {
+                self.inner.connect_numbered(
+                    f,
+                    out_port,
+                    t,
+                    in_port,
+                    self.local_channel[channel.0],
+                    wire,
+                );
+            }
+            (Some(f), None) => {
+                let shim = self.inner.add_instance(Box::new(Egress {
+                    wire,
+                    seq: 0,
+                    queued: Arc::clone(&self.egress_queued),
+                    tx: self.egress_tx.clone(),
+                }));
+                let inner = &mut *self.inner;
+                let ch = *self
+                    .egress_channel
+                    .get_or_insert_with(|| inner.add_channel(ChannelConfig::instant()));
+                self.inner.connect_numbered(
+                    f,
+                    out_port,
+                    shim,
+                    PortId(0),
+                    ch,
+                    EGRESS_WIRE_BASE + wire,
+                );
+                self.cross_out.push(wire);
+            }
+            (None, Some(t)) => {
+                self.ingress.insert(wire, (t, in_port));
+            }
+            (None, None) => {}
+        }
+    }
+
+    fn inject(&mut self, at: Time, to: InstanceId, port: PortId, msg: Message) {
+        if let Some(local) = self.local_of[to.0] {
+            self.inner.inject(at, local, port, msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parent: routing with wire faults
+// ---------------------------------------------------------------------
+
+/// Parent-side state of one cross wire.
+struct WireRoute {
+    /// Owner of the consumer — where frames of this wire go.
+    dest: usize,
+    loss_prob: f64,
+    duplicate_prob: f64,
+    /// Loss/duplication stream — the exact RNG a local [`ParBuilder`]
+    /// wire would own, same seed formula, same per-send draw order.
+    rng: Option<StdRng>,
+    /// Independent stream for the reorder fault.
+    reorder_rng: Option<StdRng>,
+}
+
+/// The parent's serial router: applies per-wire faults and the
+/// frame-level reorder/partition perturbations, then writes frames to
+/// the destination worker's socket. Serial on purpose — one thread owns
+/// every draw, so fault schedules cannot race.
+struct Router {
+    routes: HashMap<u64, WireRoute>,
+    writers: Vec<UnixStream>,
+    sent_to: Vec<u64>,
+    /// Reorder hold slot per destination process.
+    held: Vec<Option<(u64, Vec<u8>)>>,
+    reorder_prob: f64,
+    partition: Option<(u64, u64)>,
+    /// Frames emitted outside partition windows (drives the schedule).
+    emitted: u64,
+    /// Frames still to buffer in the currently open window.
+    window_left: u64,
+    window_buf: Vec<(usize, Vec<u8>)>,
+    stats: DistStats,
+}
+
+impl Router {
+    /// Route one `Data` frame arriving from a worker.
+    fn route(&mut self, wire: u64, seq: u64, msg: &Message) -> Result<(), DistError> {
+        let route = self
+            .routes
+            .get_mut(&wire)
+            .ok_or_else(|| DistError::Protocol(format!("data frame for unknown wire {wire}")))?;
+        let dest = route.dest;
+        let mut duplicate = false;
+        if let Some(rng) = route.rng.as_mut() {
+            // Mirror of the par backend's send path: loss first (counted
+            // as a retransmit, still delivered — at-least-once), then
+            // duplication, each draw taken only when its probability is
+            // nonzero.
+            if route.loss_prob > 0.0 && rng.random::<f64>() < route.loss_prob {
+                self.stats.wire_retransmits += 1;
+            }
+            duplicate = route.duplicate_prob > 0.0 && rng.random::<f64>() < route.duplicate_prob;
+        }
+        let reorder = self.reorder_prob > 0.0
+            && route
+                .reorder_rng
+                .as_mut()
+                .is_some_and(|r| r.random::<f64>() < self.reorder_prob);
+        let bytes = wire::encode(&Frame::Data {
+            wire,
+            seq,
+            msg: msg.clone(),
+        });
+        if duplicate {
+            self.stats.wire_duplicates += 1;
+        }
+        let copies = if duplicate { 2 } else { 1 };
+        for copy in 0..copies {
+            // Only the first copy may be held: a held duplicate would sit
+            // *behind* its twin and re-swap back on flush.
+            self.deliver(dest, wire, bytes.clone(), reorder && copy == 0)?;
+        }
+        Ok(())
+    }
+
+    /// Reorder layer: swap a held frame with the next frame for the same
+    /// destination, unless both are on the same wire (per-wire FIFO).
+    fn deliver(
+        &mut self,
+        dest: usize,
+        wire_id: u64,
+        bytes: Vec<u8>,
+        hold: bool,
+    ) -> Result<(), DistError> {
+        if let Some((held_wire, held_bytes)) = self.held[dest].take() {
+            if held_wire == wire_id {
+                // Same wire follows: release in order, no swap.
+                self.emit(dest, held_bytes)?;
+                self.emit(dest, bytes)?;
+            } else {
+                self.stats.reordered_frames += 1;
+                self.emit(dest, bytes)?;
+                self.emit(dest, held_bytes)?;
+            }
+            return Ok(());
+        }
+        if hold {
+            self.held[dest] = Some((wire_id, bytes));
+            return Ok(());
+        }
+        self.emit(dest, bytes)
+    }
+
+    /// Partition layer + the actual socket write.
+    fn emit(&mut self, dest: usize, bytes: Vec<u8>) -> Result<(), DistError> {
+        if self.window_left > 0 {
+            self.window_buf.push((dest, bytes));
+            self.window_left -= 1;
+            if self.window_left == 0 {
+                // Heal: release the buffered window in arrival order.
+                for (d, b) in std::mem::take(&mut self.window_buf) {
+                    self.write(d, &b)?;
+                }
+            }
+            return Ok(());
+        }
+        self.write(dest, &bytes)?;
+        if let Some((every, len)) = self.partition {
+            self.emitted += 1;
+            if every > 0 && len > 0 && self.emitted.is_multiple_of(every) {
+                self.window_left = len;
+                self.stats.partition_windows += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, dest: usize, bytes: &[u8]) -> Result<(), DistError> {
+        self.writers[dest].write_all(bytes)?;
+        self.sent_to[dest] += 1;
+        self.stats.frames_routed += 1;
+        Ok(())
+    }
+
+    /// Release everything the fault layers are sitting on (traffic has
+    /// paused; holding further would stall termination).
+    fn flush(&mut self) -> Result<(), DistError> {
+        for dest in 0..self.held.len() {
+            if let Some((_, bytes)) = self.held[dest].take() {
+                self.emit(dest, bytes)?;
+            }
+        }
+        if !self.window_buf.is_empty() {
+            self.window_left = 0;
+            for (d, b) in std::mem::take(&mut self.window_buf) {
+                self.write(d, &b)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Nothing buffered in any fault layer?
+    fn drained(&self) -> bool {
+        self.window_buf.is_empty() && self.held.iter().all(Option::is_none)
+    }
+
+    /// Send a control frame to one worker (bypasses the fault layers —
+    /// faults model the data plane, not the coordinator's own protocol).
+    fn control(&mut self, dest: usize, frame: &Frame) -> Result<(), DistError> {
+        self.writers[dest].write_all(&wire::encode(frame))?;
+        Ok(())
+    }
+}
+
+/// Removes the socket directory on drop (best effort).
+struct TempDir(PathBuf);
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kills any still-running child on drop, so an error path can never leak
+/// worker processes.
+struct Children(Vec<std::process::Child>);
+
+impl Drop for Children {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            if child.try_wait().ok().flatten().is_none() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Events the parent's per-worker reader threads feed the main loop.
+enum Event {
+    Frame(usize, Frame),
+    Decode(usize, wire::WireError),
+    Eof(usize),
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// How long the parent tolerates total silence before declaring the run
+/// stalled. Generous: CI machines stall on scheduling, not logic.
+const STALL_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Execute `spec` across real worker processes and collect the sinks.
+///
+/// The parent probes the assembly for structure, binds a Unix socket in a
+/// fresh temp directory, spawns `spec.processes` workers with
+/// [`ENV_PARENT`]/[`ENV_INDEX`] set, ships each its plan, routes every
+/// cross-partition frame (applying the wire fault schedule), and — once
+/// the stability protocol holds — collects sink contents and statistics.
+///
+/// # Errors
+/// Any I/O, decode, protocol or worker failure; see [`DistError`].
+///
+/// # Panics
+/// If `spec.processes` or `spec.workers_per_process` is zero, or the
+/// worker command is empty.
+pub fn run_dist(spec: &DistSpec, registry: &Registry) -> Result<DistRun, DistError> {
+    assert!(spec.processes >= 1, "at least one worker process");
+    assert!(spec.workers_per_process >= 1, "at least one worker thread");
+    assert!(!spec.worker_command.is_empty(), "empty worker command");
+    let processes = spec.processes;
+
+    // Learn the structure by running the SPMD assembly against a probe.
+    let mut probe = ProbeBuilder::new();
+    let sinks = registry.assemble(&spec.topology, &spec.params, &mut probe)?;
+
+    let mut routes = HashMap::new();
+    for (wire_id, w) in probe.wires().iter().enumerate() {
+        if owner(w.from, processes) == owner(w.to, processes) {
+            continue;
+        }
+        let cfg = &probe.channels()[w.channel];
+        let wire_id = wire_id as u64;
+        let faulty = cfg.loss_prob > 0.0 || cfg.duplicate_prob > 0.0;
+        routes.insert(
+            wire_id,
+            WireRoute {
+                dest: owner(w.to, processes),
+                loss_prob: cfg.loss_prob,
+                duplicate_prob: cfg.duplicate_prob,
+                rng: faulty.then(|| {
+                    StdRng::seed_from_u64(
+                        spec.seed ^ (wire_id + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    )
+                }),
+                reorder_rng: (spec.reorder_prob > 0.0).then(|| {
+                    StdRng::seed_from_u64(spec.seed ^ (wire_id + 1).wrapping_mul(REORDER_MIX))
+                }),
+            },
+        );
+    }
+
+    // Socket in a private temp dir; cleaned up whatever happens.
+    let dir = std::env::temp_dir().join(format!(
+        "blazes-dist-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let _dir_guard = TempDir(dir.clone());
+    let sock = dir.join("coord.sock");
+    let listener = UnixListener::bind(&sock)?;
+
+    // Spawn the fleet.
+    let mut children = Children(Vec::with_capacity(processes));
+    for i in 0..processes {
+        let child = std::process::Command::new(&spec.worker_command[0])
+            .args(&spec.worker_command[1..])
+            .env(ENV_PARENT, &sock)
+            .env(ENV_INDEX, i.to_string())
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()?;
+        children.0.push(child);
+    }
+
+    // Accept every worker; each introduces itself with `Hello{index}`.
+    let mut streams: Vec<Option<UnixStream>> = (0..processes).map(|_| None).collect();
+    for _ in 0..processes {
+        let (stream, _) = listener.accept()?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let index = read_hello(&stream)?;
+        if index >= processes || streams[index].is_some() {
+            return Err(DistError::Protocol(format!("bad hello index {index}")));
+        }
+        stream.set_read_timeout(None)?;
+        streams[index] = Some(stream);
+    }
+    let streams: Vec<UnixStream> = streams.into_iter().map(Option::unwrap).collect();
+
+    // Ship the plan and start the reader threads.
+    let (tx, rx) = mpsc::channel::<Event>();
+    let mut readers = Vec::with_capacity(processes);
+    let mut writers = Vec::with_capacity(processes);
+    for (i, stream) in streams.into_iter().enumerate() {
+        let mut writer = stream.try_clone()?;
+        writer.write_all(&wire::encode(&Frame::Plan {
+            topology: spec.topology.clone(),
+            params: spec.params.clone(),
+            seed: spec.seed,
+            processes: processes as u32,
+            index: i as u32,
+            workers: spec.workers_per_process as u32,
+            stealing: spec.stealing,
+            speculation: spec.speculation,
+        }))?;
+        writers.push(writer);
+        let tx = tx.clone();
+        readers.push(std::thread::spawn(move || reader_loop(i, stream, &tx)));
+    }
+    drop(tx);
+
+    let mut router = Router {
+        routes,
+        writers,
+        sent_to: vec![0; processes],
+        held: (0..processes).map(|_| None).collect(),
+        reorder_prob: spec.reorder_prob,
+        partition: spec.partition,
+        emitted: 0,
+        window_left: 0,
+        window_buf: Vec::new(),
+        stats: DistStats {
+            processes,
+            ..DistStats::default()
+        },
+    };
+
+    // Phase 1: route until stable.
+    let mut recv_from = vec![0u64; processes];
+    let mut idle_report: Vec<Option<(u64, u64)>> = vec![None; processes];
+    let mut probe_nonce = 0u64;
+    let mut acks: Vec<Option<bool>> = vec![None; processes];
+    let mut awaiting_probe = false;
+    let mut last_activity = Instant::now();
+    loop {
+        let event = match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(event) => event,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if last_activity.elapsed() > STALL_TIMEOUT {
+                    return Err(DistError::Protocol("run stalled".to_string()));
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(DistError::Protocol("all readers gone".to_string()));
+            }
+        };
+        last_activity = Instant::now();
+        match event {
+            Event::Frame(i, Frame::Data { wire, seq, msg }) => {
+                recv_from[i] += 1;
+                idle_report[i] = None;
+                awaiting_probe = false;
+                router.route(wire, seq, &msg)?;
+            }
+            Event::Frame(i, Frame::Idle { sent, recv }) => {
+                // Traffic paused at worker `i`: release anything the
+                // fault layers hold, then see whether the whole run has
+                // gone quiet.
+                router.flush()?;
+                idle_report[i] = Some((sent, recv));
+                let stable = router.drained()
+                    && idle_report
+                        .iter()
+                        .enumerate()
+                        .all(|(w, r)| *r == Some((recv_from[w], router.sent_to[w])));
+                if stable && !awaiting_probe {
+                    probe_nonce += 1;
+                    acks = vec![None; processes];
+                    awaiting_probe = true;
+                    router.stats.probe_rounds += 1;
+                    for w in 0..processes {
+                        router.control(w, &Frame::Probe { nonce: probe_nonce })?;
+                    }
+                }
+            }
+            Event::Frame(
+                i,
+                Frame::ProbeAck {
+                    nonce,
+                    sent,
+                    recv,
+                    idle,
+                },
+            ) => {
+                if awaiting_probe && nonce == probe_nonce {
+                    acks[i] = Some(idle && sent == recv_from[i] && recv == router.sent_to[i]);
+                    if acks.iter().all(|a| *a == Some(true)) {
+                        break; // confirmed stable
+                    }
+                    if acks.iter().all(Option::is_some) {
+                        awaiting_probe = false; // retry on the next Idle
+                    }
+                }
+            }
+            Event::Frame(i, Frame::Error { message }) => {
+                return Err(DistError::Worker { index: i, message });
+            }
+            Event::Frame(_, _) => {}
+            Event::Decode(i, e) => {
+                return Err(DistError::Worker {
+                    index: i,
+                    message: format!("stream corrupt: {e}"),
+                });
+            }
+            Event::Eof(i) => {
+                return Err(DistError::Worker {
+                    index: i,
+                    message: "exited before collection".to_string(),
+                });
+            }
+        }
+    }
+
+    // Phase 2: collect sinks and stats, then shut the fleet down.
+    for w in 0..processes {
+        router.control(w, &Frame::Collect)?;
+    }
+    let mut done = vec![false; processes];
+    while !done.iter().all(|d| *d) {
+        let event = rx
+            .recv_timeout(STALL_TIMEOUT)
+            .map_err(|_| DistError::Protocol("stalled during collection".to_string()))?;
+        match event {
+            Event::Frame(_, Frame::SinkResult { sink, entries }) => {
+                let (_, handle) = sinks
+                    .get(sink as usize)
+                    .ok_or_else(|| DistError::Protocol(format!("unknown sink {sink}")))?;
+                handle.extend(entries);
+            }
+            Event::Frame(
+                i,
+                Frame::Done {
+                    events,
+                    delivered,
+                    duplicates,
+                    retransmits,
+                    rescue_passes,
+                    late,
+                },
+            ) => {
+                router.stats.events_processed += events;
+                router.stats.messages_delivered += delivered;
+                router.stats.duplicates += duplicates;
+                router.stats.retransmits += retransmits;
+                router.stats.rescue_passes += rescue_passes;
+                router.stats.late_egress_frames += late;
+                done[i] = true;
+            }
+            Event::Frame(i, Frame::Error { message }) => {
+                return Err(DistError::Worker { index: i, message });
+            }
+            Event::Frame(_, _) => {}
+            Event::Decode(i, e) => {
+                return Err(DistError::Worker {
+                    index: i,
+                    message: format!("stream corrupt: {e}"),
+                });
+            }
+            Event::Eof(i) => {
+                if !done[i] {
+                    return Err(DistError::Worker {
+                        index: i,
+                        message: "exited during collection".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    for w in 0..processes {
+        router.control(w, &Frame::Shutdown)?;
+    }
+    drop(router.writers);
+    for reader in readers {
+        let _ = reader.join();
+    }
+    for child in &mut children.0 {
+        let _ = child.wait();
+    }
+    children.0.clear();
+
+    Ok(DistRun {
+        sinks,
+        stats: router.stats,
+    })
+}
+
+/// Read the `Hello` frame a freshly connected worker must send first.
+fn read_hello(stream: &UnixStream) -> Result<usize, DistError> {
+    let mut stream = stream;
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 256];
+    loop {
+        if let Some(frame) = decoder.next_frame()? {
+            return match frame {
+                Frame::Hello { index } => Ok(index as usize),
+                other => Err(DistError::Protocol(format!(
+                    "expected hello, got {other:?}"
+                ))),
+            };
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(DistError::Protocol("eof before hello".to_string()));
+        }
+        decoder.push(&buf[..n]);
+    }
+}
+
+/// Parent-side reader thread: decode one worker's stream into events.
+fn reader_loop(index: usize, mut stream: UnixStream, tx: &mpsc::Sender<Event>) {
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => {
+                let _ = tx.send(Event::Eof(index));
+                return;
+            }
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some(frame)) => {
+                            if tx.send(Event::Frame(index, frame)).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            let _ = tx.send(Event::Decode(index, e));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Worker entry point. Returns `false` immediately when [`ENV_PARENT`]
+/// is not set (the process is not a dist worker — e.g. the `#[ignore]`d
+/// libtest entry ran in a normal test sweep); otherwise connects to the
+/// parent, executes its partition to completion and returns `true`.
+///
+/// # Panics
+/// On any I/O or protocol failure — a worker dies loudly so the parent's
+/// reader sees EOF instead of a hang.
+pub fn worker_main(registry: &Registry) -> bool {
+    let Some(path) = std::env::var_os(ENV_PARENT) else {
+        return false;
+    };
+    let index: usize = std::env::var(ENV_INDEX)
+        .expect("dist worker index")
+        .parse()
+        .expect("numeric dist worker index");
+    match worker_run(registry, &PathBuf::from(path), index) {
+        Ok(()) => true,
+        Err(e) => panic!("dist worker {index} failed: {e}"),
+    }
+}
+
+/// One frame read tick on the worker's control loop.
+const WORKER_POLL: Duration = Duration::from_millis(2);
+
+fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Result<(), DistError> {
+    let mut stream = UnixStream::connect(path)?;
+    stream.write_all(&wire::encode(&Frame::Hello {
+        index: index as u32,
+    }))?;
+
+    // Wait for the plan.
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let plan = loop {
+        if let Some(frame) = decoder.next_frame()? {
+            match frame {
+                Frame::Plan { .. } => break frame,
+                Frame::Shutdown => return Ok(()),
+                other => return Err(DistError::Protocol(format!("expected plan, got {other:?}"))),
+            }
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(DistError::Protocol("eof before plan".to_string()));
+        }
+        decoder.push(&buf[..n]);
+    };
+    let Frame::Plan {
+        topology,
+        params,
+        seed,
+        processes,
+        index: plan_index,
+        workers,
+        stealing,
+        speculation,
+    } = plan
+    else {
+        unreachable!("matched above");
+    };
+    if plan_index as usize != index {
+        return Err(DistError::Protocol(format!(
+            "plan for worker {plan_index}, I am {index}"
+        )));
+    }
+
+    // SPMD assembly of this partition.
+    let mut pb = ParBuilder::new(seed)
+        .with_workers(workers as usize)
+        .with_stealing(stealing)
+        .with_speculation(speculation);
+    let (mut builder, egress_rx, egress_queued) =
+        DistWorkerBuilder::new(&mut pb, index, processes as usize);
+    let sinks = registry.assemble(&topology, &params, &mut builder)?;
+    let wiring = builder.finish();
+
+    let running = pb.build().start();
+
+    // Egress pump: encode and write cross-partition frames. Shares the
+    // socket with the control loop's replies through a mutex; the pump
+    // is the only high-volume writer.
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let written = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump = {
+        let writer = Arc::clone(&writer);
+        let written = Arc::clone(&written);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || -> Result<(), DistError> {
+            loop {
+                match egress_rx.recv_timeout(WORKER_POLL) {
+                    Ok((wire, seq, msg)) => {
+                        let bytes = wire::encode(&Frame::Data { wire, seq, msg });
+                        writer
+                            .lock()
+                            .map_err(|_| DistError::Protocol("pump writer poisoned".into()))?
+                            .write_all(&bytes)?;
+                        written.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if stop.load(Ordering::SeqCst) {
+                            return Ok(());
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+                }
+            }
+        })
+    };
+
+    // Control loop: deliver ingress frames, answer probes, report idleness.
+    stream.set_read_timeout(Some(WORKER_POLL))?;
+    let mut recv = 0u64;
+    let mut last_seq: HashMap<u64, u64> = HashMap::new();
+    let mut last_idle: Option<(u64, u64)> = None;
+    let collect = 'control: loop {
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(DistError::Protocol("parent closed early".to_string()));
+            }
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                while let Some(frame) = decoder.next_frame()? {
+                    match frame {
+                        Frame::Data { wire, seq, msg } => {
+                            // Per-wire FIFO assertion: sequence numbers
+                            // are contiguous, duplicates repeat one.
+                            let expected = last_seq.get(&wire).map_or(0, |s| s + 1);
+                            if seq != expected && Some(seq) != expected.checked_sub(1) {
+                                let m = format!(
+                                    "wire {wire} broke FIFO: seq {seq}, expected {expected}"
+                                );
+                                send_control(&writer, &Frame::Error { message: m.clone() })?;
+                                return Err(DistError::Protocol(m));
+                            }
+                            last_seq.insert(wire, seq.max(expected.saturating_sub(1)));
+                            let (inst, port) = *wiring.ingress.get(&wire).ok_or_else(|| {
+                                DistError::Protocol(format!("no ingress for wire {wire}"))
+                            })?;
+                            running.inject(inst, port, msg);
+                            recv += 1;
+                            last_idle = None;
+                        }
+                        Frame::Probe { nonce } => {
+                            let sent = written.load(Ordering::SeqCst);
+                            let idle =
+                                running.settled() && egress_queued.load(Ordering::SeqCst) == sent;
+                            send_control(
+                                &writer,
+                                &Frame::ProbeAck {
+                                    nonce,
+                                    sent,
+                                    recv,
+                                    idle,
+                                },
+                            )?;
+                        }
+                        Frame::Collect => break 'control true,
+                        Frame::Shutdown => break 'control false,
+                        other => {
+                            return Err(DistError::Protocol(format!(
+                                "unexpected frame in run phase: {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Quiet tick: report idleness when the local runtime has
+                // settled and every egress frame has hit the socket.
+                let sent = written.load(Ordering::SeqCst);
+                if running.settled()
+                    && egress_queued.load(Ordering::SeqCst) == sent
+                    && last_idle != Some((sent, recv))
+                {
+                    send_control(&writer, &Frame::Idle { sent, recv })?;
+                    last_idle = Some((sent, recv));
+                }
+            }
+            Err(e) => return Err(DistError::Io(e)),
+        }
+    };
+
+    // Finish the local run (end-of-run rescue happens inside), then stop
+    // the pump and account anything the rescue tried to send after the
+    // wire closed for data.
+    let stats = running.finish();
+    stop.store(true, Ordering::SeqCst);
+    pump.join()
+        .map_err(|_| DistError::Protocol("egress pump panicked".to_string()))??;
+    let late = egress_queued.load(Ordering::SeqCst) - written.load(Ordering::SeqCst);
+
+    if collect {
+        for (pos, (id, sink)) in sinks.iter().enumerate() {
+            if owner(id.0, processes as usize) == index {
+                send_control(
+                    &writer,
+                    &Frame::SinkResult {
+                        sink: pos as u32,
+                        entries: sink.entries(),
+                    },
+                )?;
+            }
+        }
+        send_control(
+            &writer,
+            &Frame::Done {
+                events: stats.events_processed,
+                delivered: stats.messages_delivered,
+                duplicates: stats.duplicates,
+                retransmits: stats.retransmits,
+                rescue_passes: stats.rescue_passes,
+                late,
+            },
+        )?;
+        // Wait for the shutdown order (keeps the socket open until the
+        // parent has drained our results).
+        stream.set_read_timeout(None)?;
+        loop {
+            if let Some(frame) = decoder.next_frame()? {
+                if matches!(frame, Frame::Shutdown) {
+                    break;
+                }
+                continue;
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => decoder.push(&buf[..n]),
+                Err(_) => break,
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serialize one control frame onto the shared worker socket.
+fn send_control(writer: &Arc<Mutex<UnixStream>>, frame: &Frame) -> Result<(), DistError> {
+    writer
+        .lock()
+        .map_err(|_| DistError::Protocol("writer poisoned".to_string()))?
+        .write_all(&wire::encode(frame))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::FnComponent;
+
+    fn echo() -> Box<dyn Component> {
+        Box::new(FnComponent::new("echo", |_, msg, ctx: &mut Context| {
+            ctx.emit(0, msg)
+        }))
+    }
+
+    /// The SPMD assembly used by the in-process partition tests: two
+    /// echo stages into a sink, instances interleaved across owners.
+    fn chain(b: &mut dyn ExecutorBuilder) -> SinkSet {
+        let a = b.add_instance(echo());
+        let m = b.add_instance(echo());
+        let sink = CollectorSink::new();
+        let s = b.add_instance(Box::new(sink.clone()));
+        let ch = b.add_channel(ChannelConfig::lan());
+        b.connect(a, PortId(0), m, PortId(0), ch);
+        b.connect(m, PortId(0), s, PortId(0), ch);
+        for i in 0..50i64 {
+            b.inject(0, a, PortId(0), Message::data([i]));
+        }
+        vec![(s, sink)]
+    }
+
+    #[test]
+    fn ownership_is_round_robin() {
+        assert_eq!(owner(0, 2), 0);
+        assert_eq!(owner(1, 2), 1);
+        assert_eq!(owner(5, 2), 1);
+        assert_eq!(owner(5, 1), 0);
+        assert_eq!(owner(5, 4), 1);
+    }
+
+    /// Global numbering must be identical no matter which index runs the
+    /// assembly, and cross wiring must mirror: a wire leaving partition A
+    /// appears in A's `cross_out` and in B's `ingress`.
+    #[test]
+    fn spmd_numbering_and_cross_wiring_agree() {
+        let mut pb0 = ParBuilder::new(1);
+        let (mut b0, _rx0, _q0) = DistWorkerBuilder::new(&mut pb0, 0, 2);
+        let sinks0 = chain(&mut b0);
+        let w0 = b0.finish();
+
+        let mut pb1 = ParBuilder::new(1);
+        let (mut b1, _rx1, _q1) = DistWorkerBuilder::new(&mut pb1, 1, 2);
+        let sinks1 = chain(&mut b1);
+        let w1 = b1.finish();
+
+        assert_eq!(sinks0[0].0, sinks1[0].0, "global sink ids agree");
+        assert_eq!(w0.instances, 3);
+        assert_eq!(w1.instances, 3);
+        // Instances 0 (a) and 2 (s) are owned by 0; instance 1 (m) by 1.
+        // Wire 0: a->m crosses 0->1; wire 1: m->s crosses 1->0.
+        assert_eq!(w0.cross_out, vec![0]);
+        assert_eq!(
+            w1.ingress.get(&0).copied(),
+            Some((InstanceId(0), PortId(0))),
+            "worker 1's local id for global instance 1 is its first par instance"
+        );
+        assert_eq!(w1.cross_out, vec![1]);
+        assert!(w0.ingress.contains_key(&1));
+    }
+
+    /// Full partition semantics without processes: run the chain split
+    /// across two in-process par runtimes, shuttle egress frames by hand,
+    /// and compare against an unpartitioned run.
+    #[test]
+    fn manual_two_partition_run_matches_unpartitioned() {
+        // Reference: single par backend.
+        let mut reference = ParBuilder::new(9).with_workers(2);
+        let ref_sinks = chain(&mut reference);
+        let _ = reference.build().run();
+        let expected = ref_sinks[0].1.message_set();
+        assert_eq!(expected.len(), 50);
+
+        // Partitioned: two runtimes, manual router.
+        let mut pb0 = ParBuilder::new(9).with_workers(2);
+        let (mut b0, rx0, q0) = DistWorkerBuilder::new(&mut pb0, 0, 2);
+        let sinks0 = chain(&mut b0);
+        let w0 = b0.finish();
+        let mut pb1 = ParBuilder::new(9).with_workers(2);
+        let (mut b1, rx1, q1) = DistWorkerBuilder::new(&mut pb1, 1, 2);
+        let _sinks1 = chain(&mut b1);
+        let w1 = b1.finish();
+
+        let r0 = pb0.build().start();
+        let r1 = pb1.build().start();
+        let mut moved = (0u64, 0u64);
+        // Shuttle until both partitions quiesce with drained queues.
+        loop {
+            let mut progress = false;
+            while let Ok((wire, _seq, msg)) = rx0.try_recv() {
+                let (inst, port) = w1.ingress[&wire];
+                r1.inject(inst, port, msg);
+                moved.0 += 1;
+                progress = true;
+            }
+            while let Ok((wire, _seq, msg)) = rx1.try_recv() {
+                let (inst, port) = w0.ingress[&wire];
+                r0.inject(inst, port, msg);
+                moved.1 += 1;
+                progress = true;
+            }
+            if !progress
+                && r0.settled()
+                && r1.settled()
+                && q0.load(Ordering::SeqCst) == moved.0
+                && q1.load(Ordering::SeqCst) == moved.1
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _ = r1.finish();
+        let _ = r0.finish();
+        assert_eq!(moved.0, 50, "a->m crossed once per message");
+        assert_eq!(moved.1, 50, "m->s crossed once per message");
+        assert_eq!(sinks0[0].1.message_set(), expected);
+    }
+
+    /// The registry rejects unknown names and dispatches known ones.
+    #[test]
+    fn registry_dispatches_by_name() {
+        let mut reg = Registry::new();
+        reg.register("chain", |b, _params| chain(b));
+        assert_eq!(reg.names(), vec!["chain"]);
+        let mut probe = ProbeBuilder::new();
+        let sinks = reg.assemble("chain", "", &mut probe).unwrap();
+        assert_eq!(probe.instances(), 3);
+        assert_eq!(probe.wires().len(), 2);
+        assert_eq!(probe.injections(), 50);
+        assert_eq!(sinks.len(), 1);
+        assert!(matches!(
+            reg.assemble("nope", "", &mut ProbeBuilder::new()),
+            Err(DistError::UnknownTopology(_))
+        ));
+    }
+
+    /// The probe records wires in global numbering with their channels.
+    #[test]
+    fn probe_builder_records_structure() {
+        let mut probe = ProbeBuilder::new();
+        let a = probe.add_instance(echo());
+        let b2 = probe.add_instance(echo());
+        let ch = probe.add_channel(ChannelConfig::lan().with_loss(0.25));
+        probe.connect(a, PortId(0), b2, PortId(0), ch);
+        assert_eq!(probe.names(), &["echo".to_string(), "echo".to_string()]);
+        assert_eq!(
+            probe.wires(),
+            &[ProbeWire {
+                from: 0,
+                out_port: 0,
+                to: 1,
+                in_port: 0,
+                channel: 0
+            }]
+        );
+        assert!(probe.channels()[0].loss_prob > 0.2);
+    }
+
+    /// The router's fault draws replicate the par wire schedule: same
+    /// seed/wire → same retransmit/duplicate counts as a local par run of
+    /// an identical single-wire topology.
+    #[test]
+    fn router_fault_draws_match_par_wire_schedule() {
+        let seed = 77u64;
+        let sends = 400i64;
+        // Local par reference: one faulty wire, count faults.
+        let mut pb = ParBuilder::new(seed).with_workers(1);
+        let sink = CollectorSink::new();
+        let src = pb.add_instance(echo());
+        let dst = pb.add_instance(Box::new(sink.clone()));
+        pb.connect_with(
+            src,
+            PortId(0),
+            dst,
+            PortId(0),
+            ChannelConfig::lan().with_loss(0.2).with_duplicates(0.15),
+        );
+        for i in 0..sends {
+            pb.inject(0, src, PortId(0), Message::data([i]));
+        }
+        let stats = pb.build().run();
+
+        // Router-style draws over the same wire id 0, same seed, same
+        // send count: the schedule must agree exactly.
+        let mut rng = StdRng::seed_from_u64(seed ^ 1u64.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let (mut retransmits, mut duplicates) = (0u64, 0u64);
+        for _ in 0..sends {
+            if rng.random::<f64>() < 0.2 {
+                retransmits += 1;
+            }
+            if rng.random::<f64>() < 0.15 {
+                duplicates += 1;
+            }
+        }
+        assert_eq!(retransmits, stats.retransmits, "loss schedule identical");
+        assert_eq!(duplicates, stats.duplicates, "dup schedule identical");
+        assert_eq!(sink.len() as u64, sends as u64 + stats.duplicates);
+    }
+}

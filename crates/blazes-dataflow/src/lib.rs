@@ -28,6 +28,7 @@
 pub mod backend;
 pub mod channel;
 pub mod component;
+pub mod dist;
 pub mod message;
 pub mod metrics;
 pub mod par;
@@ -37,9 +38,10 @@ pub mod value;
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::backend::ExecutorBuilder;
+    pub use crate::backend::{BackendRunStats, BackendSpec, ChannelId, ExecutorBuilder, PortId};
     pub use crate::channel::ChannelConfig;
     pub use crate::component::{Component, Context};
+    pub use crate::dist::{DistSpec, DistStats, Registry};
     pub use crate::message::{Message, SealKey};
     pub use crate::metrics::{RunStats, TimeSeries};
     pub use crate::par::{ParBuilder, ParExecutor, ParStats};

@@ -146,7 +146,7 @@
 //! virtual microseconds: it orders the events one instance observed but is
 //! not comparable across instances.
 
-use crate::backend::ExecutorBuilder;
+use crate::backend::{ChannelId, ExecutorBuilder, PortId};
 use crate::channel::ChannelConfig;
 use crate::component::{Component, Context};
 use crate::message::Message;
@@ -371,12 +371,17 @@ enum MailItem {
     Tick {
         epoch: u64,
     },
+    /// End-of-run drain signal ([`Component::on_drain`]): sent to every
+    /// instance by the never-sealed-session rescue when the run has
+    /// wedged on speculation that can no longer resolve on its own.
+    Drain,
 }
 
 impl MailItem {
     fn epoch(&self) -> u64 {
         match self {
             MailItem::Deliver { epoch, .. } | MailItem::Tick { epoch } => *epoch,
+            MailItem::Drain => 0,
         }
     }
 }
@@ -642,8 +647,11 @@ impl InFlight {
         self.cells[shard].0.fetch_sub(n, Ordering::SeqCst);
     }
 
-    /// Validated quiescence scan (see type docs for the argument).
-    fn quiescent(&self) -> bool {
+    /// Validated scan for `sum == expected` (see type docs for the
+    /// argument; `expected = 0` is quiescence, a nonzero `expected` is
+    /// the stuck-run check — every remaining charge is a parked
+    /// deferral).
+    fn settled_at(&self, expected: i64) -> bool {
         let read_epochs = |buf: &mut Vec<u64>| {
             buf.clear();
             buf.extend(self.epochs.iter().map(|e| e.0.load(Ordering::SeqCst)));
@@ -653,7 +661,7 @@ impl InFlight {
         for _ in 0..2 {
             read_epochs(&mut before);
             let sum: i64 = self.cells.iter().map(|c| c.0.load(Ordering::SeqCst)).sum();
-            if sum != 0 {
+            if sum != expected {
                 return false;
             }
             read_epochs(&mut after);
@@ -690,6 +698,16 @@ struct Shared {
     counters: Counters,
     /// Speculation registry; `Some` only in time-warp mode.
     spec: Option<SpecShared>,
+    /// Deliveries currently parked in some cell's deferred queue (each
+    /// kept charged in `in_flight`). Maintained only in time-warp mode;
+    /// the stuck-run check compares the in-flight sum against it.
+    deferred: AtomicI64,
+    /// Never-sealed-session rescue ladder: 0 = untried, 1 = drain pass
+    /// sent, 2 = hard abort done. Reset to 0 by any epoch resolution
+    /// (progress restarts the ladder for a later wedge).
+    rescue: AtomicU8,
+    /// Rescue passes initiated (stats).
+    rescue_passes: AtomicU64,
     /// Wall-clock scale for modeled service times, if realized.
     virtual_ns: Option<u64>,
     done: AtomicBool,
@@ -906,9 +924,9 @@ impl ParBuilder {
     }
 
     /// Register a channel configuration and return its handle for reuse.
-    pub fn add_channel(&mut self, cfg: ChannelConfig) -> usize {
+    pub fn add_channel(&mut self, cfg: ChannelConfig) -> ChannelId {
         self.channels.push(cfg);
-        self.channels.len() - 1
+        ChannelId(self.channels.len() - 1)
     }
 
     /// Wire output `out_port` of `from` to input `in_port` of `to` over the
@@ -918,29 +936,46 @@ impl ParBuilder {
     pub fn connect(
         &mut self,
         from: InstanceId,
-        out_port: usize,
+        out_port: PortId,
         to: InstanceId,
-        in_port: usize,
-        channel: usize,
+        in_port: PortId,
+        channel: ChannelId,
     ) {
-        assert!(channel < self.channels.len(), "unknown channel handle");
+        let wire_id = self.next_wire_id;
+        self.connect_numbered(from, out_port, to, in_port, channel, wire_id);
+    }
+
+    /// Wire with an explicitly assigned wire number. The distributed
+    /// backend numbers wires from the *topology-global* assembly counter
+    /// (which also counts wires owned by other processes), so a wire's
+    /// fault RNG stream is identical no matter which process ends up
+    /// running it.
+    pub(crate) fn connect_numbered(
+        &mut self,
+        from: InstanceId,
+        out_port: PortId,
+        to: InstanceId,
+        in_port: PortId,
+        channel: ChannelId,
+        wire_id: u64,
+    ) {
+        assert!(channel.0 < self.channels.len(), "unknown channel handle");
         assert!(to.0 < self.components.len(), "unknown destination instance");
         let wires = &mut self.wires[from.0];
-        if wires.len() <= out_port {
-            wires.resize_with(out_port + 1, Vec::new);
+        if wires.len() <= out_port.0 {
+            wires.resize_with(out_port.0 + 1, Vec::new);
         }
-        let wire_id = self.next_wire_id;
-        self.next_wire_id += 1;
-        wires[out_port].push((to.0, in_port, channel, wire_id));
+        wires[out_port.0].push((to.0, in_port.0, channel.0, wire_id));
+        self.next_wire_id = self.next_wire_id.max(wire_id + 1);
     }
 
     /// Convenience: wire with a fresh channel config.
     pub fn connect_with(
         &mut self,
         from: InstanceId,
-        out_port: usize,
+        out_port: PortId,
         to: InstanceId,
-        in_port: usize,
+        in_port: PortId,
         cfg: ChannelConfig,
     ) {
         let ch = self.add_channel(cfg);
@@ -951,8 +986,8 @@ impl ParBuilder {
     /// parallel backend has no virtual clock): injections are dispatched
     /// in ascending `at`, ties in insertion order — the same order the
     /// simulator's event queue would open with.
-    pub fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
-        self.injected.push((at, to, port, msg));
+    pub fn inject(&mut self, at: Time, to: InstanceId, port: PortId, msg: Message) {
+        self.injected.push((at, to, port.0, msg));
     }
 
     /// Finalize into a runnable [`ParExecutor`].
@@ -1036,22 +1071,22 @@ impl ExecutorBuilder for ParBuilder {
         ParBuilder::set_service_time(self, id, service);
     }
 
-    fn add_channel(&mut self, cfg: ChannelConfig) -> usize {
+    fn add_channel(&mut self, cfg: ChannelConfig) -> ChannelId {
         ParBuilder::add_channel(self, cfg)
     }
 
     fn connect(
         &mut self,
         from: InstanceId,
-        out_port: usize,
+        out_port: PortId,
         to: InstanceId,
-        in_port: usize,
-        channel: usize,
+        in_port: PortId,
+        channel: ChannelId,
     ) {
         ParBuilder::connect(self, from, out_port, to, in_port, channel);
     }
 
-    fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
+    fn inject(&mut self, at: Time, to: InstanceId, port: PortId, msg: Message) {
         ParBuilder::inject(self, at, to, port, msg);
     }
 }
@@ -1093,6 +1128,10 @@ pub struct ParStats {
     /// Speculation-registry lock acquisitions (kept separate from
     /// `slow_path_locks`, whose identity is pinned to parking events).
     pub speculation_locks: u64,
+    /// Never-sealed-session rescue passes the run needed (0 for any run
+    /// whose speculation sessions all resolved on their own; see the
+    /// module docs' end-of-run resolution section).
+    pub rescue_passes: u64,
 }
 
 impl ParStats {
@@ -1178,6 +1217,19 @@ impl ParExecutor {
     /// Re-raises the first panic of any component handler.
     #[must_use]
     pub fn run(self) -> ParStats {
+        self.start().finish()
+    }
+
+    /// Spawn the workers and dispatch the builder's injections, returning
+    /// a handle that accepts further external input while the run is
+    /// live ([`RunningPar::inject`]). The handle holds a *source token*
+    /// in the in-flight accounting: quiescence — and with it run
+    /// completion — is unreachable until [`RunningPar::finish`] releases
+    /// it, so a live handle can inject at any time without racing
+    /// shutdown. This is the ingress the distributed backend feeds
+    /// cross-process deliveries through.
+    #[must_use]
+    pub fn start(self) -> RunningPar {
         let started = Instant::now();
         let workers = self.workers;
         let mode = if self.tuning.stealing {
@@ -1201,24 +1253,25 @@ impl ParExecutor {
             stealers,
             counters: Counters {
                 // One shard per worker plus one for the injecting
-                // coordinator thread.
-                in_flight: InFlight::new(workers + 1, self.injected.len() as i64),
+                // coordinator thread. The builder's injections are
+                // pre-charged, plus one source token the RunningPar
+                // handle holds until `finish` — which is also why an
+                // empty injection list no longer needs a special case.
+                in_flight: InFlight::new(workers + 1, self.injected.len() as i64 + 1),
                 events: AtomicU64::new(0),
                 deliveries: AtomicU64::new(0),
                 duplicates: AtomicU64::new(0),
                 retransmits: AtomicU64::new(0),
             },
             spec: self.tuning.speculation.then(SpecShared::new),
+            deferred: AtomicI64::new(0),
+            rescue: AtomicU8::new(0),
+            rescue_passes: AtomicU64::new(0),
             virtual_ns: self.tuning.virtual_service_ns,
             done: AtomicBool::new(false),
             active: AtomicUsize::new(workers),
             idle: EventCount::new(),
         });
-
-        if self.injected.is_empty() {
-            // Nothing will ever decrement the counter to trigger shutdown.
-            shared.done.store(true, Ordering::SeqCst);
-        }
 
         let mut handles = Vec::with_capacity(workers);
         for (w, local) in locals.into_iter().enumerate() {
@@ -1255,6 +1308,84 @@ impl ParExecutor {
             );
         }
 
+        RunningPar {
+            shared,
+            handles,
+            started,
+        }
+    }
+}
+
+/// A live parallel run: workers are executing, and the holder may still
+/// feed external messages in. Dropping the handle without calling
+/// [`RunningPar::finish`] leaks the source token and the worker threads —
+/// always finish.
+pub struct RunningPar {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<WorkerStats>>,
+    started: Instant,
+}
+
+impl RunningPar {
+    /// Deliver one external (committed) message to `port` of `to`,
+    /// honoring backpressure. Callable from any thread; concurrent calls
+    /// race only in arrival order, exactly like concurrent producers.
+    pub fn inject(&self, to: InstanceId, port: PortId, msg: Message) {
+        // Charge the coordinator's shard before the push becomes
+        // visible — the same invariant every worker send upholds.
+        self.shared
+            .counters
+            .in_flight
+            .charge(self.shared.workers, 1);
+        self.shared.external_push(
+            to.0,
+            MailItem::Deliver {
+                port: port.0,
+                msg,
+                epoch: 0,
+            },
+        );
+    }
+
+    /// Advisory quiescence probe: has every delivery — injected or
+    /// internal — been fully processed, so that only this handle's source
+    /// token (plus any speculation deferrals parked behind it, which only
+    /// [`RunningPar::finish`]'s rescue ladder can resolve) remains in the
+    /// in-flight accounting? A concurrent [`RunningPar::inject`] from
+    /// another thread invalidates the answer the instant it is produced;
+    /// the distributed backend re-validates through its probe round
+    /// before acting on it.
+    #[must_use]
+    pub fn settled(&self) -> bool {
+        let expected = if self.shared.spec.is_some() {
+            self.shared.deferred.load(Ordering::SeqCst)
+        } else {
+            0
+        };
+        self.shared.counters.in_flight.settled_at(1 + expected)
+    }
+
+    /// Release the source token, wait for quiescence, and return the
+    /// run's statistics.
+    ///
+    /// # Panics
+    /// Re-raises the first panic of any component handler.
+    #[must_use]
+    pub fn finish(self) -> ParStats {
+        let RunningPar {
+            shared,
+            handles,
+            started,
+        } = self;
+        let workers = shared.workers;
+        let mode = shared.mode;
+        // Release the source token: the in-flight sum can now reach
+        // zero, and a parked worker's next scan (bounded by
+        // PARK_TIMEOUT) detects quiescence. Deliberately no notify here:
+        // it would be an unaccounted slow-path lock in the parking
+        // identity the lock-accounting tests pin.
+        shared.counters.in_flight.settle(workers, 1);
+
         let mut per_worker = Vec::with_capacity(workers);
         let mut panic_payload = None;
         for handle in handles {
@@ -1289,6 +1420,7 @@ impl ParExecutor {
             });
         }
 
+        let rescue_passes = shared.rescue_passes.into_inner();
         let (epochs_opened, epochs_committed, epochs_aborted, speculation_locks) =
             shared.spec.map_or((0, 0, 0, 0), |s| {
                 (
@@ -1315,6 +1447,7 @@ impl ParExecutor {
             epochs_committed,
             epochs_aborted,
             speculation_locks,
+            rescue_passes,
         }
     }
 }
@@ -1584,10 +1717,12 @@ impl WorkerCtx {
             match self.admit_decision(shared, inst, &item, cell) {
                 Admit::Run => {
                     shared.counters.in_flight.settle(self.idx, 1);
+                    shared.deferred.fetch_sub(1, Ordering::SeqCst);
                     self.process_admitted(shared, inst, item, cell);
                 }
                 Admit::Drop => {
                     shared.counters.in_flight.settle(self.idx, 1);
+                    shared.deferred.fetch_sub(1, Ordering::SeqCst);
                     self.ws.discarded_deliveries += 1;
                 }
                 Admit::Defer => {
@@ -1694,6 +1829,7 @@ impl WorkerCtx {
     /// until it actually runs or is dropped.
     fn defer(&mut self, shared: &Shared, cell: &mut Cell, item: MailItem) {
         shared.counters.in_flight.charge(self.idx, 1);
+        shared.deferred.fetch_add(1, Ordering::SeqCst);
         cell.deferred.push_back(item);
         self.ws.deferred_deliveries += 1;
     }
@@ -1776,6 +1912,9 @@ impl WorkerCtx {
         } else {
             spec.aborted.fetch_add(1, Ordering::Relaxed);
         }
+        // Any resolution is progress: restart the never-sealed rescue
+        // ladder, so a later wedge gets the gentle drain pass first.
+        shared.rescue.store(0, Ordering::SeqCst);
         for inst in participants {
             let mb = &shared.slots[inst].mailbox;
             // Hint first, then try to schedule: mirrors the mailbox
@@ -1811,6 +1950,7 @@ impl WorkerCtx {
                 cell.processed += 1;
             }
             MailItem::Tick { .. } => cell.component.on_tick(&mut ctx),
+            MailItem::Drain => cell.component.on_drain(&mut ctx),
         }
         shared.burn_service(cell.service);
 
@@ -2001,6 +2141,71 @@ impl WorkerCtx {
         }
     }
 
+    /// The never-sealed-session rescue. Called only behind a validated
+    /// settled scan: every remaining in-flight charge is a parked
+    /// deferral, so an OPEN speculation epoch at this point can never
+    /// resolve on its own — no message exists that could still reach its
+    /// gate. Escalate in two stages: first a *drain pass* delivering
+    /// [`MailItem::Drain`] to every instance, giving gates the chance to
+    /// resolve their open sessions themselves ([`Component::on_drain`] —
+    /// the speculative seal gate aborts, re-emits its voted partitions
+    /// committed, and holds the unsealed ones back, i.e. blocking
+    /// semantics); then, if the run wedges again without any resolution,
+    /// a *hard abort* of every epoch still open. Returns `true` when a
+    /// pass was initiated or is in flight — there is (or will be) new
+    /// work, so the caller must not finish the run.
+    fn try_rescue(&mut self, shared: &Shared) -> bool {
+        let Some(spec) = shared.spec.as_ref() else {
+            return false;
+        };
+        let open: Vec<u64> = {
+            spec.locks.fetch_add(1, Ordering::Relaxed);
+            let table = spec
+                .epochs
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            table
+                .iter()
+                .filter(|(_, e)| e.status.load(Ordering::SeqCst) == EPOCH_OPEN)
+                .map(|(&epoch, _)| epoch)
+                .collect()
+        };
+        if open.is_empty() {
+            return false;
+        }
+        let stage = shared.rescue.load(Ordering::SeqCst);
+        if stage >= 2 {
+            // Ladder exhausted without a resolution: a component keeps an
+            // epoch open through both passes. Give up rather than spin.
+            return false;
+        }
+        if shared
+            .rescue
+            .compare_exchange(stage, stage + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            // A sibling won the race; its pass is the progress we need.
+            return true;
+        }
+        shared.rescue_passes.fetch_add(1, Ordering::Relaxed);
+        if stage == 0 {
+            // Drain pass. The sends are charged like any other emission
+            // so the settled scan stays honest while the pass is in
+            // flight; src = dst skips the backpressure park (every
+            // mailbox is empty — the scan just proved it).
+            let n = shared.slots.len();
+            shared.counters.in_flight.charge(self.idx, n as i64);
+            for inst in 0..n {
+                self.send(shared, inst, inst, MailItem::Drain);
+            }
+        } else {
+            for epoch in open {
+                self.resolve_epoch(shared, epoch, false);
+            }
+        }
+        true
+    }
+
     /// Park until new work may exist, using the eventcount's two-phase
     /// protocol: announce intent (so concurrent producers see us), then
     /// re-check every wake condition, and only park if all still hold.
@@ -2035,12 +2240,27 @@ impl WorkerCtx {
             return true;
         }
         // No runnable work anywhere in sight: fold the per-worker
-        // in-flight cells. A validated zero means every injected and
-        // derived message has been processed — the run is over.
-        if shared.counters.in_flight.quiescent() {
-            shared.idle.cancel();
-            shared.finish();
-            return false;
+        // in-flight cells. With `expected` = the parked-deferral count, a
+        // validated match means nothing is in any mailbox or mid-batch:
+        // the run is either over or wedged on speculation that no message
+        // in flight can resolve.
+        let expected = if shared.spec.is_some() {
+            shared.deferred.load(Ordering::SeqCst)
+        } else {
+            0
+        };
+        if shared.counters.in_flight.settled_at(expected) {
+            if self.try_rescue(shared) {
+                shared.idle.cancel();
+                return true;
+            }
+            if expected == 0 {
+                shared.idle.cancel();
+                shared.finish();
+                return false;
+            }
+            // expected > 0 with no open epoch: the deferrals' epochs just
+            // resolved and their instances are rescheduled — park, retry.
         }
         // Phase three: park (the ticket catches a notify that raced in
         // after the re-checks).
@@ -2115,9 +2335,9 @@ mod tests {
             let e = b.add_instance(echo());
             let sink = CollectorSink::new();
             let s = b.add_instance(Box::new(sink.clone()));
-            b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+            b.connect_with(e, PortId(0), s, PortId(0), ChannelConfig::lan());
             for i in 0..500i64 {
-                b.inject(0, e, 0, Message::data([i]));
+                b.inject(0, e, PortId(0), Message::data([i]));
             }
             let stats = b.build().run();
             assert_eq!(sink.len(), 500, "{name}");
@@ -2143,9 +2363,9 @@ mod tests {
             let e = b.add_instance(echo());
             let sink = CollectorSink::new();
             let s = b.add_instance(Box::new(sink.clone()));
-            b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+            b.connect_with(e, PortId(0), s, PortId(0), ChannelConfig::lan());
             for i in 0..200i64 {
-                b.inject(0, e, 0, Message::data([i]));
+                b.inject(0, e, PortId(0), Message::data([i]));
             }
             let _ = b.build().run();
             let expected: Vec<Message> = (0..200i64).map(|i| Message::data([i])).collect();
@@ -2162,9 +2382,9 @@ mod tests {
         let i1 = b.add_instance(Box::new(s1.clone()));
         let i2 = b.add_instance(Box::new(s2.clone()));
         let ch = b.add_channel(ChannelConfig::instant());
-        b.connect(e, 0, i1, 0, ch);
-        b.connect(e, 0, i2, 0, ch);
-        b.inject(0, e, 0, Message::data([9i64]));
+        b.connect(e, PortId(0), i1, PortId(0), ch);
+        b.connect(e, PortId(0), i2, PortId(0), ch);
+        b.inject(0, e, PortId(0), Message::data([9i64]));
         let _ = b.build().run();
         assert_eq!(s1.len(), 1);
         assert_eq!(s2.len(), 1);
@@ -2185,13 +2405,13 @@ mod tests {
             let first = prev;
             for _ in 0..10 {
                 let next = b.add_instance(echo());
-                b.connect_with(prev, 0, next, 0, ChannelConfig::lan());
+                b.connect_with(prev, PortId(0), next, PortId(0), ChannelConfig::lan());
                 prev = next;
             }
             let s = b.add_instance(Box::new(sink.clone()));
-            b.connect_with(prev, 0, s, 0, ChannelConfig::lan());
+            b.connect_with(prev, PortId(0), s, PortId(0), ChannelConfig::lan());
             for i in 0..50i64 {
-                b.inject(0, first, 0, Message::data([i]));
+                b.inject(0, first, PortId(0), Message::data([i]));
             }
             let stats = b.build().run();
             assert_eq!(sink.len(), 50, "{name}");
@@ -2205,9 +2425,15 @@ mod tests {
         let e = b.add_instance(echo());
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::instant().with_duplicates(1.0));
+        b.connect_with(
+            e,
+            PortId(0),
+            s,
+            PortId(0),
+            ChannelConfig::instant().with_duplicates(1.0),
+        );
         for i in 0..10i64 {
-            b.inject(0, e, 0, Message::data([i]));
+            b.inject(0, e, PortId(0), Message::data([i]));
         }
         let stats = b.build().run();
         assert_eq!(stats.duplicates, 10);
@@ -2220,9 +2446,15 @@ mod tests {
         let e = b.add_instance(echo());
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::lan().with_loss(1.0));
+        b.connect_with(
+            e,
+            PortId(0),
+            s,
+            PortId(0),
+            ChannelConfig::lan().with_loss(1.0),
+        );
         for i in 0..25i64 {
-            b.inject(0, e, 0, Message::data([i]));
+            b.inject(0, e, PortId(0), Message::data([i]));
         }
         let stats = b.build().run();
         assert_eq!(stats.retransmits, 25);
@@ -2244,14 +2476,20 @@ mod tests {
             let s = b.add_instance(Box::new(sink.clone()));
             b.connect_with(
                 e,
-                0,
+                PortId(0),
                 mid,
-                0,
+                PortId(0),
                 ChannelConfig::lan().with_loss(0.3).with_duplicates(0.2),
             );
-            b.connect_with(mid, 0, s, 0, ChannelConfig::lan().with_duplicates(0.4));
+            b.connect_with(
+                mid,
+                PortId(0),
+                s,
+                PortId(0),
+                ChannelConfig::lan().with_duplicates(0.4),
+            );
             for i in 0..300i64 {
-                b.inject(0, e, 0, Message::data([i]));
+                b.inject(0, e, PortId(0), Message::data([i]));
             }
             let stats = b.build().run();
             (stats.duplicates, stats.retransmits, sink.messages())
@@ -2290,7 +2528,7 @@ mod tests {
         let t = b.add_instance(Box::new(Ticker {
             fired: fired.clone(),
         }));
-        b.inject(0, t, 0, Message::Eos);
+        b.inject(0, t, PortId(0), Message::Eos);
         let stats = b.build().run();
         assert_eq!(fired.load(Ordering::SeqCst), 1);
         assert_eq!(stats.events_processed, 2); // delivery + tick
@@ -2310,9 +2548,9 @@ mod tests {
         let e = b.add_instance(echo());
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+        b.connect_with(e, PortId(0), s, PortId(0), ChannelConfig::lan());
         for i in 0..7i64 {
-            b.inject(0, e, 0, Message::data([i]));
+            b.inject(0, e, PortId(0), Message::data([i]));
         }
         let stats = b.build().run();
         assert_eq!(stats.per_instance.len(), 2);
@@ -2369,9 +2607,9 @@ mod tests {
         let s = b.add_instance(Box::new(sink.clone()));
         for p in 0..3 {
             let e = b.add_instance(echo());
-            b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+            b.connect_with(e, PortId(0), s, PortId(0), ChannelConfig::lan());
             for i in 0..100i64 {
-                b.inject(0, e, 0, Message::data([p * 1_000 + i]));
+                b.inject(0, e, PortId(0), Message::data([p * 1_000 + i]));
             }
         }
         let stats = b.build().run();
@@ -2410,13 +2648,13 @@ mod tests {
         let first = prev;
         for _ in 0..3 {
             let next = b.add_instance(echo());
-            b.connect_with(prev, 0, next, 0, ChannelConfig::lan());
+            b.connect_with(prev, PortId(0), next, PortId(0), ChannelConfig::lan());
             prev = next;
         }
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(prev, 0, s, 0, ChannelConfig::lan());
+        b.connect_with(prev, PortId(0), s, PortId(0), ChannelConfig::lan());
         for i in 0..8_000i64 {
-            b.inject(0, first, 0, Message::data([i]));
+            b.inject(0, first, PortId(0), Message::data([i]));
         }
         let stats = b.build().run();
         assert_eq!(sink.len(), 8_000);
@@ -2441,12 +2679,12 @@ mod tests {
         let sink = CollectorSink::new();
         let slow = b.add_instance(heavy_echo());
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(slow, 0, s, 0, ChannelConfig::lan());
+        b.connect_with(slow, PortId(0), s, PortId(0), ChannelConfig::lan());
         for p in 0..4 {
             let e = b.add_instance(echo());
-            b.connect_with(e, 0, slow, 0, ChannelConfig::lan());
+            b.connect_with(e, PortId(0), slow, PortId(0), ChannelConfig::lan());
             for i in 0..150i64 {
-                b.inject(0, e, 0, Message::data([p * 1_000 + i]));
+                b.inject(0, e, PortId(0), Message::data([p * 1_000 + i]));
             }
         }
         let stats = b.build().run();
@@ -2502,8 +2740,14 @@ mod tests {
                 }
             },
         )));
-        b.connect_with(looper, 0, looper, 0, ChannelConfig::instant());
-        b.inject(0, looper, 0, Message::data([50i64]));
+        b.connect_with(
+            looper,
+            PortId(0),
+            looper,
+            PortId(0),
+            ChannelConfig::instant(),
+        );
+        b.inject(0, looper, PortId(0), Message::data([50i64]));
         let _ = b.build().run();
         assert_eq!(counter.load(Ordering::SeqCst), 51);
     }
@@ -2540,11 +2784,11 @@ mod tests {
             let s = b.add_instance(Box::new(sink.clone()));
             for m in 0..8usize {
                 let e = b.add_instance(heavy_echo());
-                b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+                b.connect_with(e, PortId(0), s, PortId(0), ChannelConfig::lan());
                 // Instance 0 gets the lion's share.
                 let n = if m == 0 { 600 } else { 25 };
                 for i in 0..n {
-                    b.inject(0, e, 0, Message::data([i as i64]));
+                    b.inject(0, e, PortId(0), Message::data([i as i64]));
                 }
             }
             let stats = b.build().run();

@@ -12,6 +12,7 @@
 //! processing at its `busy_until` watermark. Queueing delay is therefore
 //! modeled without explicit queues.
 
+use crate::backend::{ChannelId, PortId};
 use crate::channel::ChannelConfig;
 use crate::component::{Component, Context};
 use crate::message::Message;
@@ -85,7 +86,7 @@ struct Instance {
 pub struct SimBuilder {
     instances: Vec<Instance>,
     channels: Vec<ChannelConfig>,
-    injected: Vec<(Time, InstanceId, usize, Message)>,
+    injected: Vec<(Time, InstanceId, PortId, Message)>,
     seed: u64,
 }
 
@@ -120,9 +121,9 @@ impl SimBuilder {
     }
 
     /// Register a channel configuration and return its handle for reuse.
-    pub fn add_channel(&mut self, cfg: ChannelConfig) -> usize {
+    pub fn add_channel(&mut self, cfg: ChannelConfig) -> ChannelId {
         self.channels.push(cfg);
-        self.channels.len() - 1
+        ChannelId(self.channels.len() - 1)
     }
 
     /// Wire output `out_port` of `from` to input `in_port` of `to` over the
@@ -130,20 +131,20 @@ impl SimBuilder {
     pub fn connect(
         &mut self,
         from: InstanceId,
-        out_port: usize,
+        out_port: PortId,
         to: InstanceId,
-        in_port: usize,
-        channel: usize,
+        in_port: PortId,
+        channel: ChannelId,
     ) {
-        assert!(channel < self.channels.len(), "unknown channel handle");
+        assert!(channel.0 < self.channels.len(), "unknown channel handle");
         let wires = &mut self.instances[from.0].wires;
-        if wires.len() <= out_port {
-            wires.resize_with(out_port + 1, Vec::new);
+        if wires.len() <= out_port.0 {
+            wires.resize_with(out_port.0 + 1, Vec::new);
         }
-        wires[out_port].push(Wire {
+        wires[out_port.0].push(Wire {
             dst: to,
-            dst_port: in_port,
-            channel,
+            dst_port: in_port.0,
+            channel: channel.0,
             last_delivery: 0,
         });
     }
@@ -152,9 +153,9 @@ impl SimBuilder {
     pub fn connect_with(
         &mut self,
         from: InstanceId,
-        out_port: usize,
+        out_port: PortId,
         to: InstanceId,
-        in_port: usize,
+        in_port: PortId,
         cfg: ChannelConfig,
     ) {
         let ch = self.add_channel(cfg);
@@ -162,7 +163,7 @@ impl SimBuilder {
     }
 
     /// Inject an external message (e.g. source input) at virtual time `at`.
-    pub fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
+    pub fn inject(&mut self, at: Time, to: InstanceId, port: PortId, msg: Message) {
         self.injected.push((at, to, port, msg));
     }
 
@@ -186,7 +187,7 @@ impl SimBuilder {
                 at,
                 EventKind::Deliver {
                     instance: to,
-                    port,
+                    port: port.0,
                     msg,
                 },
             );
@@ -223,13 +224,13 @@ impl Simulator {
     }
 
     /// Inject a message while running (e.g. from an external driver).
-    pub fn inject(&mut self, at: Time, to: InstanceId, port: usize, msg: Message) {
+    pub fn inject(&mut self, at: Time, to: InstanceId, port: PortId, msg: Message) {
         let at = at.max(self.now);
         self.push_event(
             at,
             EventKind::Deliver {
                 instance: to,
-                port,
+                port: port.0,
                 msg,
             },
         );
@@ -407,9 +408,9 @@ mod tests {
         let e = b.add_instance(echo());
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::instant());
-        b.inject(0, e, 0, Message::data([1i64]));
-        b.inject(0, e, 0, Message::data([2i64]));
+        b.connect_with(e, PortId(0), s, PortId(0), ChannelConfig::instant());
+        b.inject(0, e, PortId(0), Message::data([1i64]));
+        b.inject(0, e, PortId(0), Message::data([2i64]));
         let mut sim = b.build();
         let stats = sim.run(None);
         assert_eq!(sink.len(), 2);
@@ -423,9 +424,15 @@ mod tests {
             let e = b.add_instance(echo());
             let sink = CollectorSink::new();
             let s = b.add_instance(Box::new(sink.clone()));
-            b.connect_with(e, 0, s, 0, ChannelConfig::lan().with_jitter(5_000));
+            b.connect_with(
+                e,
+                PortId(0),
+                s,
+                PortId(0),
+                ChannelConfig::lan().with_jitter(5_000),
+            );
             for i in 0..50i64 {
-                b.inject(0, e, 0, Message::data([i]));
+                b.inject(0, e, PortId(0), Message::data([i]));
             }
             b.build().run(None);
             sink.messages()
@@ -443,11 +450,23 @@ mod tests {
             let e2 = b.add_instance(echo());
             let sink = CollectorSink::new();
             let s = b.add_instance(Box::new(sink.clone()));
-            b.connect_with(e1, 0, s, 0, ChannelConfig::lan().with_jitter(50_000));
-            b.connect_with(e2, 0, s, 0, ChannelConfig::lan().with_jitter(50_000));
+            b.connect_with(
+                e1,
+                PortId(0),
+                s,
+                PortId(0),
+                ChannelConfig::lan().with_jitter(50_000),
+            );
+            b.connect_with(
+                e2,
+                PortId(0),
+                s,
+                PortId(0),
+                ChannelConfig::lan().with_jitter(50_000),
+            );
             for i in 0..25i64 {
-                b.inject(0, e1, 0, Message::data([i]));
-                b.inject(0, e2, 0, Message::data([100 + i]));
+                b.inject(0, e1, PortId(0), Message::data([i]));
+                b.inject(0, e2, PortId(0), Message::data([100 + i]));
             }
             b.build().run(None);
             sink.messages()
@@ -464,13 +483,13 @@ mod tests {
             let s = b.add_instance(Box::new(sink.clone()));
             b.connect_with(
                 e,
-                0,
+                PortId(0),
                 s,
-                0,
+                PortId(0),
                 ChannelConfig::lan().with_jitter(50_000).with_fifo(false),
             );
             for i in 0..50i64 {
-                b.inject(0, e, 0, Message::data([i]));
+                b.inject(0, e, PortId(0), Message::data([i]));
             }
             b.build().run(None);
             sink.messages()
@@ -484,9 +503,15 @@ mod tests {
         let e = b.add_instance(echo());
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::lan().with_jitter(50_000));
+        b.connect_with(
+            e,
+            PortId(0),
+            s,
+            PortId(0),
+            ChannelConfig::lan().with_jitter(50_000),
+        );
         for i in 0..50i64 {
-            b.inject(0, e, 0, Message::data([i]));
+            b.inject(0, e, PortId(0), Message::data([i]));
         }
         b.build().run(None);
         let expected: Vec<Message> = (0..50i64).map(|i| Message::data([i])).collect();
@@ -502,9 +527,9 @@ mod tests {
         b.set_service_time(e, 1_000);
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::instant());
+        b.connect_with(e, PortId(0), s, PortId(0), ChannelConfig::instant());
         for i in 0..10i64 {
-            b.inject(0, e, 0, Message::data([i]));
+            b.inject(0, e, PortId(0), Message::data([i]));
         }
         let mut sim = b.build();
         let stats = sim.run(None);
@@ -517,8 +542,14 @@ mod tests {
         let e = b.add_instance(echo());
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::instant().with_duplicates(1.0));
-        b.inject(0, e, 0, Message::data([1i64]));
+        b.connect_with(
+            e,
+            PortId(0),
+            s,
+            PortId(0),
+            ChannelConfig::instant().with_duplicates(1.0),
+        );
+        b.inject(0, e, PortId(0), Message::data([1i64]));
         let mut sim = b.build();
         let stats = sim.run(None);
         assert_eq!(stats.duplicates, 1);
@@ -531,8 +562,14 @@ mod tests {
         let e = b.add_instance(echo());
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::lan().with_loss(1.0));
-        b.inject(0, e, 0, Message::data([1i64]));
+        b.connect_with(
+            e,
+            PortId(0),
+            s,
+            PortId(0),
+            ChannelConfig::lan().with_loss(1.0),
+        );
+        b.inject(0, e, PortId(0), Message::data([1i64]));
         let mut sim = b.build();
         let stats = sim.run(None);
         assert_eq!(stats.retransmits, 1);
@@ -548,9 +585,9 @@ mod tests {
         let e = b.add_instance(echo());
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::instant());
-        b.inject(0, e, 0, Message::data([1i64]));
-        b.inject(1_000_000, e, 0, Message::data([2i64]));
+        b.connect_with(e, PortId(0), s, PortId(0), ChannelConfig::instant());
+        b.inject(0, e, PortId(0), Message::data([1i64]));
+        b.inject(1_000_000, e, PortId(0), Message::data([2i64]));
         let mut sim = b.build();
         sim.run(Some(500_000));
         assert_eq!(sink.len(), 1);
@@ -580,7 +617,7 @@ mod tests {
         let t = b.add_instance(Box::new(Ticker {
             fired: fired.clone(),
         }));
-        b.inject(0, t, 0, Message::Eos);
+        b.inject(0, t, PortId(0), Message::Eos);
         b.build().run(None);
         assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 1);
     }
@@ -594,12 +631,12 @@ mod tests {
         let i1 = b.add_instance(Box::new(s1.clone()));
         let i2 = b.add_instance(Box::new(s2.clone()));
         let ch = b.add_channel(ChannelConfig::instant());
-        b.connect(e, 0, i1, 0, ch);
-        b.connect(e, 0, i2, 0, ch);
+        b.connect(e, PortId(0), i1, PortId(0), ch);
+        b.connect(e, PortId(0), i2, PortId(0), ch);
         b.inject(
             0,
             e,
-            0,
+            PortId(0),
             Message::Data(crate::value::Tuple::new([Value::Int(9)])),
         );
         b.build().run(None);

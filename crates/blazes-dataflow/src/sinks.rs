@@ -58,6 +58,13 @@ impl CollectorSink {
         self.entries.lock().truncate(len);
     }
 
+    /// Append externally collected entries (the distributed backend
+    /// streams a remote worker's sink contents back into the parent's
+    /// handle this way).
+    pub fn extend(&self, entries: impl IntoIterator<Item = (Time, Message)>) {
+        self.entries.lock().extend(entries);
+    }
+
     /// Clear the buffer.
     pub fn clear(&self) {
         self.entries.lock().clear();

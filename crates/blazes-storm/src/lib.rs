@@ -37,4 +37,6 @@ pub use bolt::{Bolt, BoltContext};
 pub use grouping::Grouping;
 pub use runtime::{BatchHandling, BoltAdapter};
 pub use topology::prelude_for_tests;
-pub use topology::{NodeHandle, ParStormRun, StormRun, TopologyBuilder, TransactionalConfig};
+pub use topology::{
+    NodeHandle, ParStormRun, StormExecution, StormRun, TopologyBuilder, TransactionalConfig,
+};

@@ -27,7 +27,9 @@ use crate::runtime::{
 };
 use blazes_coord::CommitCoordinator;
 use blazes_core::placement::{CoordDirective, CoordinationSpec};
-use blazes_dataflow::backend::{ExecutorBuilder, NoopPass, RewriteStats, RewritingBuilder};
+use blazes_dataflow::backend::{
+    BackendRunStats, BackendSpec, ExecutorBuilder, NoopPass, PortId, RewriteStats, RewritingBuilder,
+};
 use blazes_dataflow::channel::ChannelConfig;
 use blazes_dataflow::component::Component;
 use blazes_dataflow::message::Message;
@@ -397,25 +399,15 @@ impl TopologyBuilder {
     /// # Errors
     /// See [`TopologyBuilder::apply_coordination`].
     pub fn build_coordinated(
-        mut self,
+        self,
         spec: &CoordinationSpec,
         ordering: &TransactionalConfig,
     ) -> Result<(StormRun, CoordinationOutcome), CoordinationError> {
-        let mut outcome = self.apply_coordination(spec, ordering)?;
-        let seed = self.seed;
-        let mut sim = SimBuilder::new(seed);
-        let mut rb = RewritingBuilder::new(&mut sim, NoopPass);
-        let (instances, name) = self.assemble(&mut rb);
-        let (_, stats) = rb.finish();
-        outcome.rewrite = stats;
-        Ok((
-            StormRun {
-                sim: sim.build(),
-                instances,
-                name,
-            },
-            outcome,
-        ))
+        let (exec, outcome) = self.build_coordinated_on(spec, ordering, &BackendSpec::Sim)?;
+        match exec {
+            StormExecution::Sim(run) => Ok((run, outcome)),
+            StormExecution::Par(_) => unreachable!("Sim spec builds a Sim execution"),
+        }
     }
 
     /// Like [`TopologyBuilder::build_coordinated`], onto the multi-worker
@@ -428,31 +420,81 @@ impl TopologyBuilder {
     /// # Panics
     /// Panics when `workers` is zero or `tuning` is invalid.
     pub fn build_coordinated_parallel(
-        mut self,
+        self,
         spec: &CoordinationSpec,
         ordering: &TransactionalConfig,
         workers: usize,
         tuning: ParTuning,
     ) -> Result<(ParStormRun, CoordinationOutcome), CoordinationError> {
-        assert!(workers > 0, "need at least one worker");
+        let (exec, outcome) =
+            self.build_coordinated_on(spec, ordering, &BackendSpec::Par { workers, tuning })?;
+        match exec {
+            StormExecution::Par(run) => Ok((run, outcome)),
+            StormExecution::Sim(_) => unreachable!("Par spec builds a Par execution"),
+        }
+    }
+
+    /// Apply `spec` and instantiate onto the backend selected by
+    /// `backend`, assembling through the graph-rewrite pass so the
+    /// outcome carries the pass accounting (zero injected operators for
+    /// engine-native coordination). This is the single coordinated entry
+    /// point behind [`TopologyBuilder::build_coordinated`] and
+    /// [`TopologyBuilder::build_coordinated_parallel`].
+    ///
+    /// # Errors
+    /// See [`TopologyBuilder::apply_coordination`].
+    ///
+    /// # Panics
+    /// Panics on [`BackendSpec::Dist`]: a `TopologyBuilder` holds
+    /// component closures that cannot cross a process boundary, so
+    /// distributed runs instead name a deterministic assembly function in
+    /// a [`blazes_dataflow::dist::Registry`] (which may call
+    /// [`TopologyBuilder::assemble`] internally). Also panics when a
+    /// `Par` spec has zero workers or invalid tuning.
+    pub fn build_coordinated_on(
+        mut self,
+        spec: &CoordinationSpec,
+        ordering: &TransactionalConfig,
+        backend: &BackendSpec,
+    ) -> Result<(StormExecution, CoordinationOutcome), CoordinationError> {
         let mut outcome = self.apply_coordination(spec, ordering)?;
         let seed = self.seed;
-        let mut par = ParBuilder::new(seed)
-            .with_workers(workers)
-            .with_tuning(tuning)
-            .expect("valid parallel tuning");
-        let mut rb = RewritingBuilder::new(&mut par, NoopPass);
-        let (instances, name) = self.assemble(&mut rb);
-        let (_, stats) = rb.finish();
-        outcome.rewrite = stats;
-        Ok((
-            ParStormRun {
-                exec: Some(par.build()),
-                instances,
-                name,
-            },
-            outcome,
-        ))
+        let exec = match backend {
+            BackendSpec::Sim => {
+                let mut sim = SimBuilder::new(seed);
+                let mut rb = RewritingBuilder::new(&mut sim, NoopPass);
+                let (instances, name) = self.assemble(&mut rb);
+                let (_, stats) = rb.finish();
+                outcome.rewrite = stats;
+                StormExecution::Sim(StormRun {
+                    sim: sim.build(),
+                    instances,
+                    name,
+                })
+            }
+            BackendSpec::Par { workers, tuning } => {
+                assert!(*workers > 0, "need at least one worker");
+                let mut par = ParBuilder::new(seed)
+                    .with_workers(*workers)
+                    .with_tuning(*tuning)
+                    .expect("valid parallel tuning");
+                let mut rb = RewritingBuilder::new(&mut par, NoopPass);
+                let (instances, name) = self.assemble(&mut rb);
+                let (_, stats) = rb.finish();
+                outcome.rewrite = stats;
+                StormExecution::Par(ParStormRun {
+                    exec: Some(par.build()),
+                    instances,
+                    name,
+                })
+            }
+            BackendSpec::Dist(_) => panic!(
+                "TopologyBuilder cannot ship closures across processes; \
+                 register an assembly function in blazes_dataflow::dist::Registry \
+                 and run it with blazes_dataflow::dist::run_dist"
+            ),
+        };
+        Ok((exec, outcome))
     }
 
     /// Structure description for the grey-box Blazes adapter.
@@ -480,13 +522,9 @@ impl TopologyBuilder {
     /// Instantiate the topology into a runnable discrete-event simulation.
     #[must_use]
     pub fn build(self) -> StormRun {
-        let seed = self.seed;
-        let mut sim = SimBuilder::new(seed);
-        let (instances, name) = self.assemble(&mut sim);
-        StormRun {
-            sim: sim.build(),
-            instances,
-            name,
+        match self.build_on(&BackendSpec::Sim) {
+            StormExecution::Sim(run) => run,
+            StormExecution::Par(_) => unreachable!("Sim spec builds a Sim execution"),
         }
     }
 
@@ -498,7 +536,10 @@ impl TopologyBuilder {
     /// topologies are guaranteed to reproduce the simulator's final state.
     #[must_use]
     pub fn build_parallel(self, workers: usize) -> ParStormRun {
-        self.build_parallel_tuned(workers, ParTuning::default())
+        match self.build_on(&BackendSpec::par(workers)) {
+            StormExecution::Par(run) => run,
+            StormExecution::Sim(_) => unreachable!("Par spec builds a Par execution"),
+        }
     }
 
     /// Like [`TopologyBuilder::build_parallel`], with explicit scheduler
@@ -508,25 +549,70 @@ impl TopologyBuilder {
     /// # Panics
     /// Panics when `workers` is zero or `tuning` is invalid (zero batch
     /// size, capacity or spill threshold).
+    #[deprecated(note = "use TopologyBuilder::build_on with BackendSpec::Par")]
     #[must_use]
     pub fn build_parallel_tuned(self, workers: usize, tuning: ParTuning) -> ParStormRun {
-        assert!(workers > 0, "need at least one worker");
-        let seed = self.seed;
-        let mut par = ParBuilder::new(seed)
-            .with_workers(workers)
-            .with_tuning(tuning)
-            .expect("valid parallel tuning");
-        let (instances, name) = self.assemble(&mut par);
-        ParStormRun {
-            exec: Some(par.build()),
-            instances,
-            name,
+        match self.build_on(&BackendSpec::Par { workers, tuning }) {
+            StormExecution::Par(run) => run,
+            StormExecution::Sim(_) => unreachable!("Par spec builds a Par execution"),
         }
     }
 
-    /// Compile the node specs onto an execution backend. Shared by
+    /// Instantiate the topology onto the backend selected by `backend`.
+    /// This is the single uncoordinated entry point behind
     /// [`TopologyBuilder::build`] and [`TopologyBuilder::build_parallel`].
-    fn assemble<B: ExecutorBuilder>(mut self, backend: &mut B) -> (Vec<Vec<InstanceId>>, String) {
+    ///
+    /// # Panics
+    /// Panics on [`BackendSpec::Dist`] (see
+    /// [`TopologyBuilder::build_coordinated_on`] for why distributed runs
+    /// go through a named assembly registry instead), and when a `Par`
+    /// spec has zero workers or invalid tuning.
+    #[must_use]
+    pub fn build_on(self, backend: &BackendSpec) -> StormExecution {
+        let seed = self.seed;
+        match backend {
+            BackendSpec::Sim => {
+                let mut sim = SimBuilder::new(seed);
+                let (instances, name) = self.assemble(&mut sim);
+                StormExecution::Sim(StormRun {
+                    sim: sim.build(),
+                    instances,
+                    name,
+                })
+            }
+            BackendSpec::Par { workers, tuning } => {
+                assert!(*workers > 0, "need at least one worker");
+                let mut par = ParBuilder::new(seed)
+                    .with_workers(*workers)
+                    .with_tuning(*tuning)
+                    .expect("valid parallel tuning");
+                let (instances, name) = self.assemble(&mut par);
+                StormExecution::Par(ParStormRun {
+                    exec: Some(par.build()),
+                    instances,
+                    name,
+                })
+            }
+            BackendSpec::Dist(_) => panic!(
+                "TopologyBuilder cannot ship closures across processes; \
+                 register an assembly function in blazes_dataflow::dist::Registry \
+                 and run it with blazes_dataflow::dist::run_dist"
+            ),
+        }
+    }
+
+    /// Compile the node specs onto an execution backend, returning the
+    /// backend instance ids per topology node plus the topology name.
+    ///
+    /// Public so a [`blazes_dataflow::dist::Registry`] assembly function
+    /// can compile the same topology inside every process of a
+    /// distributed run (the builder itself cannot cross the byte
+    /// boundary; re-running this deterministic assembly is what keeps the
+    /// global instance numbering identical everywhere).
+    pub fn assemble<B: ExecutorBuilder>(
+        mut self,
+        backend: &mut B,
+    ) -> (Vec<Vec<InstanceId>>, String) {
         let n = self.nodes.len();
         // Downstream registration: for node i, the list of (consumer node,
         // grouping, channel).
@@ -681,9 +767,9 @@ impl TopologyBuilder {
                     for b in 0..fanout {
                         backend.connect(
                             instances[i][a],
-                            next_port + b,
+                            PortId(next_port + b),
                             instances[j][b],
-                            PORT_UPSTREAM,
+                            PortId(PORT_UPSTREAM),
                             ch,
                         );
                     }
@@ -703,20 +789,26 @@ impl TopologyBuilder {
                 let to_coord = backend.add_channel(cfg.channel.clone());
                 let grants = backend.add_channel(ChannelConfig::ordered(cfg.channel.base_latency));
                 for &inst in &instances[*node] {
-                    backend.connect(inst, *coord_port, coord, PORT_UPSTREAM, to_coord);
-                    backend.connect(coord, 0, inst, PORT_GRANT, grants);
+                    backend.connect(
+                        inst,
+                        PortId(*coord_port),
+                        coord,
+                        PortId(PORT_UPSTREAM),
+                        to_coord,
+                    );
+                    backend.connect(coord, PortId(0), inst, PortId(PORT_GRANT), grants);
                 }
                 // Gated spouts also listen for grants to advance their
                 // emission window.
                 for &spout in &gated_spouts {
-                    backend.connect(coord, 0, spout, PORT_GRANT, grants);
+                    backend.connect(coord, PortId(0), spout, PortId(PORT_GRANT), grants);
                 }
             }
         }
 
         // Inject spout schedules.
         for (at, node, k, msg) in injections {
-            backend.inject(at, instances[node][k], PORT_UPSTREAM, msg);
+            backend.inject(at, instances[node][k], PortId(PORT_UPSTREAM), msg);
         }
 
         (instances, self.name)
@@ -774,6 +866,50 @@ impl ParStormRun {
     #[must_use]
     pub fn instances(&self) -> &[Vec<InstanceId>] {
         &self.instances
+    }
+}
+
+/// A topology instantiated onto one of the in-process backends by
+/// [`TopologyBuilder::build_on`], ready to run. The variant mirrors the
+/// [`BackendSpec`] it was built from.
+pub enum StormExecution {
+    /// Built for the discrete-event simulator.
+    Sim(StormRun),
+    /// Built for the multi-worker parallel executor.
+    Par(ParStormRun),
+}
+
+impl StormExecution {
+    /// Execute to quiescence on whichever backend this was built for and
+    /// return the backend-tagged statistics. For the parallel variant
+    /// this may only be called once (see [`ParStormRun::run`]).
+    ///
+    /// # Panics
+    /// Re-raises component panics; the parallel variant panics when run
+    /// a second time.
+    pub fn run(&mut self) -> BackendRunStats {
+        match self {
+            StormExecution::Sim(run) => BackendRunStats::Sim(run.run(None)),
+            StormExecution::Par(run) => BackendRunStats::Par(run.run()),
+        }
+    }
+
+    /// Backend instance ids per topology node.
+    #[must_use]
+    pub fn instances(&self) -> &[Vec<InstanceId>] {
+        match self {
+            StormExecution::Sim(run) => run.instances(),
+            StormExecution::Par(run) => run.instances(),
+        }
+    }
+
+    /// Topology name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            StormExecution::Sim(run) => &run.name,
+            StormExecution::Par(run) => &run.name,
+        }
     }
 }
 
@@ -1048,7 +1184,7 @@ mod tests {
         ];
         for tuning in tunings {
             let (t, par_sink) = wordcount_topology(44, false);
-            let mut run = t.build_parallel_tuned(3, tuning);
+            let mut run = t.build_on(&BackendSpec::Par { workers: 3, tuning });
             let _ = run.run();
             assert_eq!(
                 counts_from(&par_sink),

@@ -14,9 +14,10 @@
 //! ```
 
 use blazes::apps::adreport::{run_scenario, AdScenario, StrategyKind};
-use blazes::apps::autocoord::{ad_network_spec, run_scenario_auto};
+use blazes::apps::autocoord::{ad_network_spec, run_ad_auto};
 use blazes::apps::queries::ReportQuery;
 use blazes::apps::workload::{CampaignPlacement, ClickWorkload};
+use blazes::dataflow::backend::BackendSpec;
 
 fn main() {
     let base = AdScenario {
@@ -67,10 +68,13 @@ fn main() {
     // spec falls back to an ordering service...
     let poor_spec = ad_network_spec(ReportQuery::Poor);
     println!("\nanalysis for POOR:\n  {}", poor_spec.render().trim_end());
-    let (auto, report) = run_scenario_auto(&AdScenario {
-        seed,
-        ..base.clone()
-    });
+    let (auto, report) = run_ad_auto(
+        &AdScenario {
+            seed,
+            ..base.clone()
+        },
+        &BackendSpec::Sim,
+    );
     println!(
         "seed {seed}: AUTO-COORDINATED replicas agree: {} (injected: {})",
         auto.responses_consistent(),
@@ -85,11 +89,14 @@ fn main() {
         "\nanalysis for CAMPAIGN:\n  {}",
         campaign_spec.render().trim_end()
     );
-    let (auto, report) = run_scenario_auto(&AdScenario {
-        query: ReportQuery::Campaign,
-        seed,
-        ..base
-    });
+    let (auto, report) = run_ad_auto(
+        &AdScenario {
+            query: ReportQuery::Campaign,
+            seed,
+            ..base
+        },
+        &BackendSpec::Sim,
+    );
     println!(
         "CAMPAIGN auto-coordinated replicas agree: {} (injected: {})",
         auto.responses_consistent(),

@@ -13,14 +13,12 @@
 //!   minimal coordination.
 
 use blazes::apps::adreport::{run_scenario_parallel, AdScenario, StrategyKind};
-use blazes::apps::autocoord::{
-    response_digests, run_scenario_auto, run_scenario_auto_parallel, run_wordcount_coordinated,
-    run_wordcount_coordinated_parallel, wordcount_spec,
-};
+use blazes::apps::autocoord::{response_digests, run_ad_auto, run_wordcount_auto, wordcount_spec};
 use blazes::apps::queries::ReportQuery;
 use blazes::apps::wordcount::{run_wordcount, run_wordcount_parallel, WordcountScenario};
 use blazes::apps::workload::{CampaignPlacement, ClickWorkload, TweetWorkload};
 use blazes::core::placement::CoordDirective;
+use blazes::dataflow::backend::BackendSpec;
 use blazes::dataflow::message::Message;
 use blazes::dataflow::par::ParTuning;
 
@@ -110,7 +108,7 @@ fn uncoordinated_adreport_diverges_across_schedulers() {
 #[test]
 fn autocoord_adreport_is_deterministic_across_schedulers_and_backends() {
     let sc = scenario(3);
-    let (sim_res, sim_report) = run_scenario_auto(&sc);
+    let (sim_res, sim_report) = run_ad_auto(&sc, &BackendSpec::Sim);
     assert!(
         matches!(
             sim_report.spec.directive_for("Report"),
@@ -125,7 +123,7 @@ fn autocoord_adreport_is_deterministic_across_schedulers_and_backends() {
     );
 
     for (workers, tuning) in configs() {
-        let (res, report) = run_scenario_auto_parallel(&sc, workers, tuning);
+        let (res, report) = run_ad_auto(&sc, &BackendSpec::Par { workers, tuning });
         assert_eq!(
             report.stats.injected_operators, sc.replicas,
             "one seal gate per replica ({workers} workers, {tuning:?})"
@@ -148,7 +146,7 @@ fn autocoord_adreport_is_deterministic_across_schedulers_and_backends() {
 /// real responses, computed from *final* partition contents only.
 #[test]
 fn autocoord_adreport_answers_from_sealed_partitions() {
-    let (res, _) = run_scenario_auto(&scenario(3));
+    let (res, _) = run_ad_auto(&scenario(3), &BackendSpec::Sim);
     assert!(res.responses_consistent(), "replicas agree");
     let any_response = res
         .responses
@@ -189,13 +187,13 @@ fn confluent_wordcount_is_left_rewrite_free_on_both_backends() {
     );
 
     let baseline = run_wordcount(&sc);
-    let (sim, outcome) = run_wordcount_coordinated(&sc, &spec);
+    let (sim, outcome) = run_wordcount_auto(&sc, true, &BackendSpec::Sim);
     assert!(outcome.is_rewrite_free(), "{outcome:?}");
     assert_eq!(outcome.rewrite.injected_operators, 0);
     assert_eq!(sim.counts(), baseline.counts());
 
     let par_baseline = run_wordcount_parallel(&sc, 4, ParTuning::default());
-    let (par, outcome) = run_wordcount_coordinated_parallel(&sc, &spec, 4, ParTuning::default());
+    let (par, outcome) = run_wordcount_auto(&sc, true, &BackendSpec::par(4));
     assert!(outcome.is_rewrite_free(), "{outcome:?}");
     assert_eq!(par.counts(), par_baseline.counts());
     assert_eq!(par.counts(), baseline.counts());
@@ -216,25 +214,28 @@ fn unsealed_wordcount_gets_ordered_and_stays_exact() {
         "{spec:?}"
     );
     let baseline = run_wordcount(&sc);
-    let (sim, outcome) = run_wordcount_coordinated(&sc, &spec);
+    let (sim, outcome) = run_wordcount_auto(&sc, false, &BackendSpec::Sim);
     assert_eq!(outcome.ordered, vec!["Count".to_string()]);
     assert_eq!(sim.counts(), baseline.counts());
+    // Transactional commits arrive in batch order. Checked on the
+    // deterministic simulator: commit *decisions* serialize on every
+    // backend, but on the threaded backend two committers' already-granted
+    // deliveries can interleave on the way into the shared sink, so sink
+    // arrival order is not the serialized quantity there.
+    let mut max_batch = i64::MIN;
+    for m in sim.committed.messages() {
+        let Some(t) = m.as_data() else { continue };
+        let b = t
+            .get(1)
+            .and_then(blazes::dataflow::value::Value::as_int)
+            .unwrap();
+        assert!(b >= max_batch, "batch order violated on the simulator");
+        max_batch = max_batch.max(b);
+    }
 
     for workers in [2usize, 4] {
-        let (par, _) =
-            run_wordcount_coordinated_parallel(&sc, &spec, workers, ParTuning::default());
+        let (par, _) = run_wordcount_auto(&sc, false, &BackendSpec::par(workers));
         assert_eq!(par.counts(), baseline.counts(), "{workers} workers");
-        // Transactional commits arrive in batch order even under threads.
-        let mut max_batch = i64::MIN;
-        for m in par.committed.messages() {
-            let Some(t) = m.as_data() else { continue };
-            let b = t
-                .get(1)
-                .and_then(blazes::dataflow::value::Value::as_int)
-                .unwrap();
-            assert!(b >= max_batch, "batch order violated at {workers} workers");
-            max_batch = max_batch.max(b);
-        }
     }
 }
 

@@ -3,6 +3,7 @@
 
 use blazes::apps::wordcount::{run_wordcount, WordcountScenario};
 use blazes::apps::workload::TweetWorkload;
+use blazes::dataflow::backend::PortId;
 use blazes::dataflow::channel::ChannelConfig;
 use blazes::dataflow::component::{Component, Context, FnComponent};
 use blazes::dataflow::message::Message;
@@ -27,9 +28,15 @@ fn duplication_overcounts_without_coordination() {
     let e = b.add_instance(echo());
     let sink = CollectorSink::new();
     let s = b.add_instance(Box::new(sink.clone()));
-    b.connect_with(e, 0, s, 0, ChannelConfig::lan().with_duplicates(0.3));
+    b.connect_with(
+        e,
+        PortId(0),
+        s,
+        PortId(0),
+        ChannelConfig::lan().with_duplicates(0.3),
+    );
     for i in 0..n {
-        b.inject(0, e, 0, Message::data([i as i64]));
+        b.inject(0, e, PortId(0), Message::data([i as i64]));
     }
     let stats = b.build().run(None);
     assert!(stats.duplicates > 0, "duplication must have occurred");
@@ -51,9 +58,15 @@ fn loss_is_masked_by_retransmission() {
     let e = b.add_instance(echo());
     let sink = CollectorSink::new();
     let s = b.add_instance(Box::new(sink.clone()));
-    b.connect_with(e, 0, s, 0, ChannelConfig::lan().with_loss(0.4));
+    b.connect_with(
+        e,
+        PortId(0),
+        s,
+        PortId(0),
+        ChannelConfig::lan().with_loss(0.4),
+    );
     for i in 0..n {
-        b.inject(0, e, 0, Message::data([i as i64]));
+        b.inject(0, e, PortId(0), Message::data([i as i64]));
     }
     let stats = b.build().run(None);
     assert!(stats.retransmits > 0);
@@ -192,14 +205,20 @@ fn parallel_fault_schedules_are_reproducible_across_schedulers() {
         let s = b.add_instance(Box::new(sink.clone()));
         b.connect_with(
             src,
-            0,
+            PortId(0),
             relay,
-            0,
+            PortId(0),
             ChannelConfig::lan().with_loss(0.25).with_duplicates(0.25),
         );
-        b.connect_with(relay, 0, s, 0, ChannelConfig::lan().with_duplicates(0.4));
+        b.connect_with(
+            relay,
+            PortId(0),
+            s,
+            PortId(0),
+            ChannelConfig::lan().with_duplicates(0.4),
+        );
         for i in 0..400i64 {
-            b.inject(0, src, 0, Message::data([i]));
+            b.inject(0, src, PortId(0), Message::data([i]));
         }
         let stats = b.build().run();
         (stats.duplicates, stats.retransmits, sink.messages())
@@ -257,19 +276,19 @@ fn sequencer_total_order_survives_faulty_inputs() {
     // Duplicates AND losses (retransmitted, hence delayed) on the way in.
     b.connect_with(
         client,
-        0,
+        PortId(0),
         seq,
-        0,
+        PortId(0),
         ChannelConfig::lan()
             .with_jitter(8_000)
             .with_duplicates(0.3)
             .with_loss(0.3),
     );
     let ordered = b.add_channel(ChannelConfig::ordered(1_000));
-    b.connect(seq, 0, i1, 0, ordered);
-    b.connect(seq, 0, i2, 0, ordered);
+    b.connect(seq, PortId(0), i1, PortId(0), ordered);
+    b.connect(seq, PortId(0), i2, PortId(0), ordered);
     for i in 0..n {
-        b.inject(i as u64 * 100, client, 0, Message::data([i as i64]));
+        b.inject(i as u64 * 100, client, PortId(0), Message::data([i as i64]));
     }
     let stats = b.build().run(None);
     assert!(
@@ -298,19 +317,19 @@ fn parallel_sequencer_replicas_agree_under_duplicates() {
         let i1 = b.add_instance(Box::new(r1.clone()));
         let i2 = b.add_instance(Box::new(r2.clone()));
         let ordered = b.add_channel(ChannelConfig::ordered(0));
-        b.connect(seq, 0, i1, 0, ordered);
-        b.connect(seq, 0, i2, 0, ordered);
+        b.connect(seq, PortId(0), i1, PortId(0), ordered);
+        b.connect(seq, PortId(0), i2, PortId(0), ordered);
         for k in 0..3 {
             let client = b.add_instance(echo());
             b.connect_with(
                 client,
-                0,
+                PortId(0),
                 seq,
-                0,
+                PortId(0),
                 ChannelConfig::lan().with_duplicates(0.35).with_loss(0.2),
             );
             for i in 0..80i64 {
-                b.inject(0, client, 0, Message::data([k * 1_000 + i]));
+                b.inject(0, client, PortId(0), Message::data([k * 1_000 + i]));
             }
         }
         let stats = b.build().run();
@@ -346,18 +365,18 @@ fn commit_coordinator_survives_faulty_control_messages() {
     // trail the stream position slightly.
     b.connect_with(
         coord,
-        0,
+        PortId(0),
         g,
-        0,
+        PortId(0),
         ChannelConfig::ordered(1_000).with_duplicates(0.5),
     );
     for c in 0..committers {
         let committer = b.add_instance(echo());
         b.connect_with(
             committer,
-            0,
+            PortId(0),
             coord,
-            0,
+            PortId(0),
             ChannelConfig::lan()
                 .with_jitter(20_000)
                 .with_duplicates(0.4)
@@ -369,7 +388,7 @@ fn commit_coordinator_survives_faulty_control_messages() {
             b.inject(
                 (batches - batch) as u64 * 50,
                 committer,
-                0,
+                PortId(0),
                 Message::data([batch, c as i64]),
             );
         }

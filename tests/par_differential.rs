@@ -8,7 +8,7 @@
 
 use blazes::coord::registry::ProducerRegistry;
 use blazes::coord::seal::{SealManager, SealOutcome};
-use blazes::dataflow::backend::ExecutorBuilder;
+use blazes::dataflow::backend::{ExecutorBuilder, PortId};
 use blazes::dataflow::channel::ChannelConfig;
 use blazes::dataflow::component::{Component, Context, FnComponent};
 use blazes::dataflow::message::{Message, SealKey};
@@ -69,9 +69,15 @@ fn fan_in<B: ExecutorBuilder>(b: &mut B, sink: CollectorSink) {
     let producers: Vec<_> = (0..3).map(|_| b.add_instance(echo())).collect();
     let s = b.add_instance(Box::new(sink));
     for (k, &p) in producers.iter().enumerate() {
-        b.connect_with(p, 0, s, 0, ChannelConfig::lan().with_jitter(20_000));
+        b.connect_with(
+            p,
+            PortId(0),
+            s,
+            PortId(0),
+            ChannelConfig::lan().with_jitter(20_000),
+        );
         for i in 0..40i64 {
-            b.inject(0, p, 0, Message::data([k as i64 * 1_000 + i]));
+            b.inject(0, p, PortId(0), Message::data([k as i64 * 1_000 + i]));
         }
     }
 }
@@ -91,10 +97,22 @@ fn pipeline<B: ExecutorBuilder>(b: &mut B, sink: CollectorSink) {
         },
     )));
     let s = b.add_instance(Box::new(sink));
-    b.connect_with(src, 0, doubler, 0, ChannelConfig::lan().with_jitter(5_000));
-    b.connect_with(doubler, 0, s, 0, ChannelConfig::lan().with_jitter(5_000));
+    b.connect_with(
+        src,
+        PortId(0),
+        doubler,
+        PortId(0),
+        ChannelConfig::lan().with_jitter(5_000),
+    );
+    b.connect_with(
+        doubler,
+        PortId(0),
+        s,
+        PortId(0),
+        ChannelConfig::lan().with_jitter(5_000),
+    );
     for i in 0..60i64 {
-        b.inject(0, src, 0, Message::data([i]));
+        b.inject(0, src, PortId(0), Message::data([i]));
     }
 }
 
@@ -139,17 +157,29 @@ fn diamond<B: ExecutorBuilder>(b: &mut B, sink: CollectorSink) {
         sum: 0,
     }));
     let s = b.add_instance(Box::new(sink));
-    b.connect_with(p1, 0, agg, 0, ChannelConfig::lan().with_jitter(10_000));
-    b.connect_with(p2, 0, agg, 0, ChannelConfig::lan().with_jitter(10_000));
-    b.connect_with(agg, 0, s, 0, ChannelConfig::instant());
+    b.connect_with(
+        p1,
+        PortId(0),
+        agg,
+        PortId(0),
+        ChannelConfig::lan().with_jitter(10_000),
+    );
+    b.connect_with(
+        p2,
+        PortId(0),
+        agg,
+        PortId(0),
+        ChannelConfig::lan().with_jitter(10_000),
+    );
+    b.connect_with(agg, PortId(0), s, PortId(0), ChannelConfig::instant());
     for i in 1..=30i64 {
-        b.inject(0, p1, 0, Message::data([i]));
-        b.inject(0, p2, 0, Message::data([100 + i]));
+        b.inject(0, p1, PortId(0), Message::data([i]));
+        b.inject(0, p2, PortId(0), Message::data([100 + i]));
     }
     // Punctuations close each producer's stream; per-wire FIFO guarantees
     // they arrive after the data they cover.
-    b.inject(1, p1, 0, Message::Eos);
-    b.inject(1, p2, 0, Message::Eos);
+    b.inject(1, p1, PortId(0), Message::Eos);
+    b.inject(1, p2, PortId(0), Message::Eos);
 }
 
 /// A hop in a cyclic topology: `[id, ttl]` tuples loop (port 0) until their
@@ -179,13 +209,25 @@ fn cyclic<B: ExecutorBuilder>(b: &mut B, sink: CollectorSink) {
     let a = b.add_instance(looper("loop-a"));
     let bb = b.add_instance(looper("loop-b"));
     let s = b.add_instance(Box::new(sink));
-    b.connect_with(a, 0, bb, 0, ChannelConfig::lan().with_jitter(3_000));
-    b.connect_with(bb, 0, a, 0, ChannelConfig::lan().with_jitter(3_000));
-    b.connect_with(a, 1, s, 0, ChannelConfig::instant());
-    b.connect_with(bb, 1, s, 0, ChannelConfig::instant());
+    b.connect_with(
+        a,
+        PortId(0),
+        bb,
+        PortId(0),
+        ChannelConfig::lan().with_jitter(3_000),
+    );
+    b.connect_with(
+        bb,
+        PortId(0),
+        a,
+        PortId(0),
+        ChannelConfig::lan().with_jitter(3_000),
+    );
+    b.connect_with(a, PortId(1), s, PortId(0), ChannelConfig::instant());
+    b.connect_with(bb, PortId(1), s, PortId(0), ChannelConfig::instant());
     for id in 0..24i64 {
         // Varied ttl so exits spread across both hops and loop depths.
-        b.inject(0, a, 0, Message::data([id, id % 7]));
+        b.inject(0, a, PortId(0), Message::data([id, id % 7]));
     }
 }
 
@@ -196,14 +238,20 @@ fn cyclic<B: ExecutorBuilder>(b: &mut B, sink: CollectorSink) {
 fn replicated_sinks<B: ExecutorBuilder>(b: &mut B, sinks: &[CollectorSink]) {
     let src = b.add_instance(echo());
     let relay = b.add_instance(echo());
-    b.connect_with(src, 0, relay, 0, ChannelConfig::lan().with_jitter(8_000));
+    b.connect_with(
+        src,
+        PortId(0),
+        relay,
+        PortId(0),
+        ChannelConfig::lan().with_jitter(8_000),
+    );
     let ch = b.add_channel(ChannelConfig::lan().with_jitter(8_000));
     for sink in sinks {
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect(relay, 0, s, 0, ch);
+        b.connect(relay, PortId(0), s, PortId(0), ch);
     }
     for i in 0..80i64 {
-        b.inject(0, src, 0, Message::data([i]));
+        b.inject(0, src, PortId(0), Message::data([i]));
     }
 }
 
@@ -351,16 +399,27 @@ fn sealed_topology<B: ExecutorBuilder>(
         mgr: SealManager::new(ProducerRegistry::all_produce(0..producers)),
     }));
     let s = b.add_instance(Box::new(sink));
-    b.connect_with(consumer, 0, s, 0, ChannelConfig::instant());
+    b.connect_with(consumer, PortId(0), s, PortId(0), ChannelConfig::instant());
     for k in 0..producers {
         let p = b.add_instance(echo());
-        b.connect_with(p, 0, consumer, k, ChannelConfig::lan().with_jitter(15_000));
+        b.connect_with(
+            p,
+            PortId(0),
+            consumer,
+            PortId(k),
+            ChannelConfig::lan().with_jitter(15_000),
+        );
         for c in 0..campaigns {
             for i in 0..records(c) {
-                b.inject(0, p, 0, Message::data([c, k as i64, i as i64]));
+                b.inject(0, p, PortId(0), Message::data([c, k as i64, i as i64]));
             }
             // Seal follows the partition's data on the same wire.
-            b.inject(1, p, 0, Message::Seal(SealKey::new([("campaign", c)])));
+            b.inject(
+                1,
+                p,
+                PortId(0),
+                Message::Seal(SealKey::new([("campaign", c)])),
+            );
         }
     }
 }
@@ -510,22 +569,38 @@ fn seals_before_covered_records_still_gate_the_release() {
             mgr: SealManager::new(ProducerRegistry::all_produce(0..PRODUCERS)),
         }));
         let s = b.add_instance(Box::new(sink));
-        b.connect_with(consumer, 0, s, 0, ChannelConfig::instant());
+        b.connect_with(consumer, PortId(0), s, PortId(0), ChannelConfig::instant());
         for k in 0..PRODUCERS {
             let p = b.add_instance(echo());
-            b.connect_with(p, 0, consumer, k, ChannelConfig::lan().with_jitter(15_000));
+            b.connect_with(
+                p,
+                PortId(0),
+                consumer,
+                PortId(k),
+                ChannelConfig::lan().with_jitter(15_000),
+            );
             if k == 0 {
                 // The empty stakeholder seals everything first, before any
                 // covered record exists anywhere.
                 for c in 0..CAMPAIGNS {
-                    b.inject(0, p, 0, Message::Seal(SealKey::new([("campaign", c)])));
+                    b.inject(
+                        0,
+                        p,
+                        PortId(0),
+                        Message::Seal(SealKey::new([("campaign", c)])),
+                    );
                 }
             } else {
                 for c in 0..CAMPAIGNS {
                     for i in 0..RECORDS {
-                        b.inject(1, p, 0, Message::data([c, k as i64, i as i64]));
+                        b.inject(1, p, PortId(0), Message::data([c, k as i64, i as i64]));
                     }
-                    b.inject(2, p, 0, Message::Seal(SealKey::new([("campaign", c)])));
+                    b.inject(
+                        2,
+                        p,
+                        PortId(0),
+                        Message::Seal(SealKey::new([("campaign", c)])),
+                    );
                 }
             }
         }
@@ -558,10 +633,16 @@ fn seals_interleaved_across_producers_release_exactly_once() {
                 mgr: SealManager::new(ProducerRegistry::all_produce(0..PRODUCERS)),
             }));
             let s = b.add_instance(Box::new(sink));
-            b.connect_with(consumer, 0, s, 0, ChannelConfig::instant());
+            b.connect_with(consumer, PortId(0), s, PortId(0), ChannelConfig::instant());
             for k in 0..PRODUCERS {
                 let p = b.add_instance(echo());
-                b.connect_with(p, 0, consumer, k, ChannelConfig::lan().with_jitter(15_000));
+                b.connect_with(
+                    p,
+                    PortId(0),
+                    consumer,
+                    PortId(k),
+                    ChannelConfig::lan().with_jitter(15_000),
+                );
                 // Rotated campaign order: producer k starts at campaign k.
                 for step in 0..CAMPAIGNS {
                     let c = (step + k as i64) % CAMPAIGNS;
@@ -569,14 +650,14 @@ fn seals_interleaved_across_producers_release_exactly_once() {
                         b.inject(
                             step as u64 * 10,
                             p,
-                            0,
+                            PortId(0),
                             Message::data([c, k as i64, i as i64]),
                         );
                     }
                     b.inject(
                         step as u64 * 10 + 5,
                         p,
-                        0,
+                        PortId(0),
                         Message::Seal(SealKey::new([("campaign", c)])),
                     );
                 }
@@ -609,9 +690,9 @@ fn duplicated_seals_and_records_release_exactly_once() {
         blazes::dataflow::backend::ExecutorBuilder::connect_with(
             &mut par,
             consumer,
-            0,
+            PortId(0),
             s,
-            0,
+            PortId(0),
             ChannelConfig::instant(),
         );
         for k in 0..PRODUCERS {
@@ -620,16 +701,21 @@ fn duplicated_seals_and_records_release_exactly_once() {
             blazes::dataflow::backend::ExecutorBuilder::connect_with(
                 &mut par,
                 p,
-                0,
+                PortId(0),
                 consumer,
-                k,
+                PortId(k),
                 ChannelConfig::lan().with_duplicates(0.4),
             );
             for c in 0..CAMPAIGNS {
                 for i in 0..RECORDS {
-                    par.inject(0, p, 0, Message::data([c, k as i64, i as i64]));
+                    par.inject(0, p, PortId(0), Message::data([c, k as i64, i as i64]));
                 }
-                par.inject(1, p, 0, Message::Seal(SealKey::new([("campaign", c)])));
+                par.inject(
+                    1,
+                    p,
+                    PortId(0),
+                    Message::Seal(SealKey::new([("campaign", c)])),
+                );
             }
         }
         let stats = par.build().run();

@@ -11,6 +11,7 @@
 //! CI runs this file in release mode, single-threaded, in a repeat loop,
 //! to shake out interleavings one run misses.
 
+use blazes::dataflow::backend::PortId;
 use blazes::dataflow::channel::ChannelConfig;
 use blazes::dataflow::component::{Component, Context, FnComponent};
 use blazes::dataflow::message::Message;
@@ -64,13 +65,13 @@ fn producers_hammer_one_bounded_consumer_without_loss_or_reorder() {
         let e = b.add_instance(echo());
         b.connect_with(
             e,
-            0,
+            PortId(0),
             s,
-            0,
+            PortId(0),
             ChannelConfig::lan().with_loss(0.2).with_duplicates(0.15),
         );
         for i in 0..per {
-            b.inject(0, e, 0, Message::data([p, i]));
+            b.inject(0, e, PortId(0), Message::data([p, i]));
         }
     }
     let stats = b.build().run();
@@ -119,11 +120,11 @@ fn digest_identity_across_worker_counts_schedulers_and_sim() {
             let e = b.add_instance(echo());
             let mid = b.add_instance(echo());
             let ch = b.add_channel(ChannelConfig::lan().with_loss(0.3).with_duplicates(0.2));
-            b.connect(e, 0, mid, 0, ch);
+            b.connect(e, PortId(0), mid, PortId(0), ch);
             let ch2 = b.add_channel(ChannelConfig::lan().with_duplicates(0.25));
-            b.connect(mid, 0, s, 0, ch2);
+            b.connect(mid, PortId(0), s, PortId(0), ch2);
             for i in 0..200i64 {
-                b.inject(0, e, 0, Message::data([p, i]));
+                b.inject(0, e, PortId(0), Message::data([p, i]));
             }
         }
         sink
@@ -217,14 +218,14 @@ fn bounded_cycles_quiesce_under_faults() {
         for h in 0..3 {
             b.connect_with(
                 hops[h],
-                0,
+                PortId(0),
                 hops[(h + 1) % 3],
-                0,
+                PortId(0),
                 ChannelConfig::lan().with_loss(0.3).with_duplicates(0.1),
             );
         }
         for t in 0..4i64 {
-            b.inject(0, hops[0], 0, Message::data([30 + t]));
+            b.inject(0, hops[0], PortId(0), Message::data([30 + t]));
         }
         let stats = b.build().run();
         // Termination IS the assertion; sanity-check volume: each token
@@ -259,9 +260,9 @@ fn contended_fanin_with_tiny_capacity_holds_the_bound() {
     let s = b.add_instance(Box::new(sink.clone()));
     for p in 0..12i64 {
         let e = b.add_instance(echo());
-        b.connect_with(e, 0, s, 0, ChannelConfig::lan());
+        b.connect_with(e, PortId(0), s, PortId(0), ChannelConfig::lan());
         for i in 0..250i64 {
-            b.inject(0, e, 0, Message::data([p, i]));
+            b.inject(0, e, PortId(0), Message::data([p, i]));
         }
     }
     let stats = b.build().run();

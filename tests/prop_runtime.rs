@@ -6,6 +6,7 @@ use blazes::bloom::interp::ModuleInstance;
 use blazes::bloom::parser::parse_module;
 use blazes::coord::registry::ProducerRegistry;
 use blazes::coord::seal::{SealManager, SealOutcome};
+use blazes::dataflow::backend::PortId;
 use blazes::dataflow::channel::ChannelConfig;
 use blazes::dataflow::component::{Component, Context, FnComponent};
 use blazes::dataflow::message::Message;
@@ -36,9 +37,9 @@ proptest! {
         let e = b.add_instance(echo());
         let sink = CollectorSink::new();
         let s = b.add_instance(Box::new(sink.clone()));
-        b.connect_with(e, 0, s, 0, ChannelConfig::lan().with_jitter(jitter));
+        b.connect_with(e, PortId(0), s, PortId(0), ChannelConfig::lan().with_jitter(jitter));
         for i in 0..n {
-            b.inject(0, e, 0, Message::data([i as i64]));
+            b.inject(0, e, PortId(0), Message::data([i as i64]));
         }
         b.build().run(None);
         prop_assert_eq!(sink.len(), n);
@@ -58,11 +59,11 @@ proptest! {
             let e2 = b.add_instance(echo());
             let sink = CollectorSink::new();
             let s = b.add_instance(Box::new(sink.clone()));
-            b.connect_with(e1, 0, s, 0, ChannelConfig::lan().with_jitter(20_000));
-            b.connect_with(e2, 0, s, 0, ChannelConfig::lan().with_jitter(20_000));
+            b.connect_with(e1, PortId(0), s, PortId(0), ChannelConfig::lan().with_jitter(20_000));
+            b.connect_with(e2, PortId(0), s, PortId(0), ChannelConfig::lan().with_jitter(20_000));
             for i in 0..n {
-                b.inject(0, e1, 0, Message::data([i as i64]));
-                b.inject(0, e2, 0, Message::data([1_000 + i as i64]));
+                b.inject(0, e1, PortId(0), Message::data([i as i64]));
+                b.inject(0, e2, PortId(0), Message::data([1_000 + i as i64]));
             }
             b.build().run(None);
             sink.messages()

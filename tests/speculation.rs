@@ -17,17 +17,14 @@
 //!   `(campaign, window)` gates each composite partition independently
 //!   through the full rewrite pass.
 
-use blazes::apps::autocoord::{
-    response_digests, run_scenario_auto, run_scenario_auto_parallel,
-    run_wordcount_coordinated_parallel, wordcount_spec,
-};
+use blazes::apps::autocoord::{response_digests, run_ad_auto, run_wordcount_auto};
 use blazes::apps::workload::{CampaignPlacement, ClickWorkload, TweetWorkload};
 use blazes::apps::{adreport::AdScenario, queries::ReportQuery, wordcount::WordcountScenario};
 use blazes::autocoord::{AutoCoordRules, SealBinding};
 use blazes::coord::registry::ProducerRegistry;
 use blazes::core::keys::KeySet;
 use blazes::core::placement::{CoordDirective, CoordinationSpec};
-use blazes::dataflow::backend::{ExecutorBuilder, RewritingBuilder};
+use blazes::dataflow::backend::{BackendSpec, ExecutorBuilder, PortId, RewritingBuilder};
 use blazes::dataflow::channel::ChannelConfig;
 use blazes::dataflow::component::{Component, Context, FnComponent};
 use blazes::dataflow::message::{Message, SealKey};
@@ -84,7 +81,7 @@ fn scenario(seed: u64) -> AdScenario {
 #[test]
 fn speculative_adreport_matches_blocking_and_simulator() {
     let sc = scenario(3);
-    let (sim_res, sim_report) = run_scenario_auto(&sc);
+    let (sim_res, sim_report) = run_ad_auto(&sc, &BackendSpec::Sim);
     assert!(matches!(
         sim_report.spec.directive_for("Report"),
         Some(CoordDirective::Seal { .. })
@@ -94,14 +91,20 @@ fn speculative_adreport_matches_blocking_and_simulator() {
 
     let mut speculated_anywhere = false;
     for (workers, tuning) in configs() {
-        let (blocking, _) = run_scenario_auto_parallel(&sc, workers, tuning);
+        let (blocking, _) = run_ad_auto(&sc, &BackendSpec::Par { workers, tuning });
         assert_eq!(
             response_digests(&blocking.responses),
             reference,
             "blocking digest diverged at {workers} workers, {tuning:?}"
         );
 
-        let (spec_res, _) = run_scenario_auto_parallel(&sc, workers, tuning.with_speculation(true));
+        let (spec_res, _) = run_ad_auto(
+            &sc,
+            &BackendSpec::Par {
+                workers,
+                tuning: tuning.with_speculation(true),
+            },
+        );
         for s in &spec_res.series {
             assert!(
                 s.total() >= spec_res.expected_records,
@@ -113,10 +116,11 @@ fn speculative_adreport_matches_blocking_and_simulator() {
             reference,
             "speculative digest diverged at {workers} workers, {tuning:?}"
         );
-        speculated_anywhere |= spec_res.stats.total_speculations() > 0;
+        let par_stats = spec_res.stats.as_par().expect("parallel run");
+        speculated_anywhere |= par_stats.total_speculations() > 0;
         assert_eq!(
-            spec_res.stats.epochs_committed + spec_res.stats.epochs_aborted,
-            spec_res.stats.epochs_opened,
+            par_stats.epochs_committed + par_stats.epochs_aborted,
+            par_stats.epochs_opened,
             "every epoch resolves ({workers} workers, {tuning:?})"
         );
     }
@@ -206,12 +210,24 @@ fn violation_run(speculation: bool) -> (CollectorSink, ParStats) {
         "straggler-producer",
         |_, msg, ctx: &mut Context| ctx.emit(0, msg),
     )));
-    rb.connect_with(fast, 0, consumer, 0, ChannelConfig::instant());
-    rb.connect_with(slow, 0, consumer, 0, ChannelConfig::instant());
-    rb.inject(0, fast, 0, click(1, 10));
-    rb.inject(1, fast, 0, Message::data([1i64])); // query for campaign 1
-    rb.inject(2, slow, 0, click(1, 11)); // the straggler: violates the answer
-    rb.inject(3, slow, 0, seal(1, 0));
+    rb.connect_with(
+        fast,
+        PortId(0),
+        consumer,
+        PortId(0),
+        ChannelConfig::instant(),
+    );
+    rb.connect_with(
+        slow,
+        PortId(0),
+        consumer,
+        PortId(0),
+        ChannelConfig::instant(),
+    );
+    rb.inject(0, fast, PortId(0), click(1, 10));
+    rb.inject(1, fast, PortId(0), Message::data([1i64])); // query for campaign 1
+    rb.inject(2, slow, PortId(0), click(1, 11)); // the straggler: violates the answer
+    rb.inject(3, slow, PortId(0), seal(1, 0));
     let (_, stats) = rb.finish();
     assert_eq!(stats.injected_operators, 1);
     (sink, par.build().run())
@@ -246,13 +262,107 @@ fn forced_violation_rolls_back_and_replays_blocking_output() {
     assert!(matches!(msgs[2], Message::Seal(_)));
 }
 
+/// A flagged sink that refuses to checkpoint: its speculative deliveries
+/// are deferred, so a never-resolving epoch wedges the run outright —
+/// the harder half of the never-sealed problem.
+struct NoSnapSink {
+    inner: CollectorSink,
+    name: String,
+}
+
+impl Component for NoSnapSink {
+    fn on_message(&mut self, port: usize, msg: Message, ctx: &mut Context) {
+        self.inner.on_message(port, msg, ctx);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Assemble producer → [gate] → sink where campaign 1 seals but campaign
+/// 2 never does, leaving the speculative gate's session open forever.
+fn never_sealed_run(speculation: bool, checkpointable: bool) -> (CollectorSink, ParStats) {
+    let binding = SealBinding::new(ProducerRegistry::all_produce(0..1), 1, 3)
+        .with_query_partition(Arc::new(|t: &Tuple| t.get(0).cloned()));
+    let rules = AutoCoordRules::new(&spec_seal("Report", KeySet::single("campaign")))
+        .bind_seal("Report", binding)
+        .with_speculation(speculation);
+    let mut par = ParBuilder::new(13)
+        .with_workers(2)
+        .with_speculation(speculation);
+    let mut rb = RewritingBuilder::new(&mut par, rules);
+    let sink = CollectorSink::new();
+    let consumer: Box<dyn Component> = if checkpointable {
+        Box::new(NamedSink {
+            inner: sink.clone(),
+            name: "Report[0]".to_string(),
+        })
+    } else {
+        Box::new(NoSnapSink {
+            inner: sink.clone(),
+            name: "Report[0]".to_string(),
+        })
+    };
+    let consumer = rb.add_instance(consumer);
+    let p = rb.add_instance(Box::new(FnComponent::new(
+        "producer",
+        |_, msg, ctx: &mut Context| ctx.emit(0, msg),
+    )));
+    rb.connect_with(p, PortId(0), consumer, PortId(0), ChannelConfig::instant());
+    rb.inject(0, p, PortId(0), click(1, 10));
+    rb.inject(1, p, PortId(0), click(2, 20));
+    rb.inject(2, p, PortId(0), Message::data([2i64])); // query: campaign 2
+    rb.inject(3, p, PortId(0), seal(1, 0)); // campaign 2 never seals
+    let (_, stats) = rb.finish();
+    assert_eq!(stats.injected_operators, 1);
+    (sink, par.build().run())
+}
+
+/// The never-sealed-session bugfix, end to end: a session held open by a
+/// partition whose seal never arrives is resolved at run end by the
+/// drain rescue — the run terminates (it used to wedge when the consumer
+/// could not checkpoint, or end with speculative state applied when it
+/// could), and the delivered output equals the blocking protocol's:
+/// sealed partitions released, unsealed ones withheld.
+#[test]
+fn never_sealed_session_resolves_at_run_end_to_blocking_output() {
+    for checkpointable in [true, false] {
+        let (blocking_sink, blocking_stats) = never_sealed_run(false, checkpointable);
+        assert_eq!(blocking_stats.rescue_passes, 0);
+        let msgs = blocking_sink.messages();
+        // Campaign 1's record and punctuation; campaign 2's record and
+        // the query stay withheld behind the missing vote.
+        assert_eq!(msgs.len(), 2, "checkpointable={checkpointable}: {msgs:?}");
+        assert!(matches!(msgs[1], Message::Seal(_)));
+
+        let (spec_sink, spec_stats) = never_sealed_run(true, checkpointable);
+        assert!(
+            spec_stats.rescue_passes >= 1,
+            "the wedged session must need a rescue (checkpointable={checkpointable}): \
+             {spec_stats:?}"
+        );
+        assert_eq!(
+            spec_stats.epochs_committed + spec_stats.epochs_aborted,
+            spec_stats.epochs_opened,
+            "every epoch resolves at run end (checkpointable={checkpointable})"
+        );
+        assert!(spec_stats.epochs_aborted >= 1, "{spec_stats:?}");
+        assert_eq!(
+            spec_sink.messages(),
+            blocking_sink.messages(),
+            "run-end resolution must equal the blocking protocol \
+             (checkpointable={checkpointable})"
+        );
+    }
+}
+
 /// The CALM property test: confluent components never speculate, never
 /// roll back — under any seed or worker count. Coordination (and therefore
 /// speculation) is priced per component by the analysis, and confluent
 /// ones get it for free.
 #[test]
 fn confluent_wordcount_never_rolls_back() {
-    let spec = wordcount_spec(true);
     for seed in [9u64, 29, 57] {
         let sc = WordcountScenario {
             workers: 3,
@@ -267,24 +377,27 @@ fn confluent_wordcount_never_rolls_back() {
         };
         let mut counts = Vec::new();
         for workers in [1usize, 2, 4] {
-            let (res, outcome) = run_wordcount_coordinated_parallel(
+            let (res, outcome) = run_wordcount_auto(
                 &sc,
-                &spec,
-                workers,
-                ParTuning::default().with_speculation(true),
+                true,
+                &BackendSpec::Par {
+                    workers,
+                    tuning: ParTuning::default().with_speculation(true),
+                },
             );
             assert!(outcome.is_rewrite_free(), "{outcome:?}");
+            let stats = res.stats.as_par().expect("parallel run");
             assert_eq!(
-                res.stats.total_speculations(),
+                stats.total_speculations(),
                 0,
                 "confluent components must not speculate (seed {seed}, {workers} workers)"
             );
             assert_eq!(
-                res.stats.total_rollbacks(),
+                stats.total_rollbacks(),
                 0,
                 "confluent components must not roll back (seed {seed}, {workers} workers)"
             );
-            assert_eq!(res.stats.epochs_opened, 0, "no epochs without gates");
+            assert_eq!(stats.epochs_opened, 0, "no epochs without gates");
             counts.push(res.counts());
         }
         assert!(
@@ -334,10 +447,10 @@ fn adreport_seals_on_campaign_and_window_composite() {
         "producer",
         |_, msg, ctx: &mut Context| ctx.emit(0, msg),
     )));
-    rb.connect_with(p, 0, consumer, 0, ChannelConfig::instant());
-    rb.inject(0, p, 0, multi_click(1, 0, 10));
-    rb.inject(1, p, 0, multi_click(1, 1, 11));
-    rb.inject(2, p, 0, multi_seal(1, 0)); // seals (campaign 1, window 0) only
+    rb.connect_with(p, PortId(0), consumer, PortId(0), ChannelConfig::instant());
+    rb.inject(0, p, PortId(0), multi_click(1, 0, 10));
+    rb.inject(1, p, PortId(0), multi_click(1, 1, 11));
+    rb.inject(2, p, PortId(0), multi_seal(1, 0)); // seals (campaign 1, window 0) only
     let (_, stats) = rb.finish();
     assert_eq!(stats.injected_operators, 1);
     let _ = par.build().run();
