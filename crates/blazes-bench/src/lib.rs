@@ -25,6 +25,7 @@ use blazes_dataflow::metrics::TimeSeries;
 use blazes_dataflow::par::ParTuning;
 use blazes_dataflow::sim::Time;
 
+pub mod bloom_scaling;
 pub mod scaling;
 
 /// Calibrated wordcount scenario for one Fig. 11 data point.

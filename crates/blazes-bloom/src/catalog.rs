@@ -171,6 +171,51 @@ pub fn stratify(m: &Module) -> Result<BTreeMap<String, usize>> {
     ))
 }
 
+/// A precomputed evaluation schedule derived from the catalog: the stratum
+/// assignment, the instantaneous rules grouped per stratum (program order
+/// preserved within a stratum), and the per-rule **read-set** — exactly the
+/// collections each rule's body scans.
+///
+/// The interpreter's semi-naive loop consults read-sets to skip rules none
+/// of whose sources gained tuples in the previous fixpoint iteration, so
+/// an unaffected rule costs a set lookup instead of a re-derivation.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Stratum of every collection.
+    pub strata: BTreeMap<String, usize>,
+    /// Highest assigned stratum.
+    pub max_stratum: usize,
+    /// Indices into `module.rules` of the instantaneous rules evaluated in
+    /// each stratum (outer index = stratum).
+    pub instant_by_stratum: Vec<Vec<usize>>,
+    /// Read-set of every rule, index-aligned with `module.rules`.
+    pub reads: Vec<Vec<String>>,
+}
+
+/// Build the evaluation [`Schedule`] for a module (validates
+/// stratifiability).
+pub fn schedule(m: &Module) -> Result<Schedule> {
+    let strata = stratify(m)?;
+    let max_stratum = strata.values().copied().max().unwrap_or(0);
+    let mut instant_by_stratum = vec![Vec::new(); max_stratum + 1];
+    let mut reads = Vec::with_capacity(m.rules.len());
+    for (i, r) in m.rules.iter().enumerate() {
+        if r.op == MergeOp::Instant {
+            let s = *strata.get(&r.head).ok_or_else(|| {
+                BloomError::Eval(format!("rule head {:?} is not declared", r.head))
+            })?;
+            instant_by_stratum[s].push(i);
+        }
+        reads.push(r.body.sources().into_iter().map(str::to_string).collect());
+    }
+    Ok(Schedule {
+        strata,
+        max_stratum,
+        instant_by_stratum,
+        reads,
+    })
+}
+
 /// Trace `(collection, column)` backward through identity projections to
 /// the input-interface columns it descends from.
 ///
@@ -307,6 +352,23 @@ module Report {
   response <~ (poor * request) on (poor.id = request.id) -> (poor.id, poor.n)
 }
 "#;
+
+    #[test]
+    fn schedule_groups_instant_rules_and_read_sets() {
+        let m = parse_module(REPORT).unwrap();
+        let sched = schedule(&m).unwrap();
+        assert_eq!(sched.max_stratum, 1);
+        // Only `log <= click` and `poor <= ...` are instant; the async
+        // response rule never joins the fixpoint.
+        assert_eq!(sched.instant_by_stratum[0], vec![0]);
+        assert_eq!(sched.instant_by_stratum[1], vec![1]);
+        assert_eq!(sched.reads[0], vec!["click".to_string()]);
+        assert_eq!(sched.reads[1], vec!["log".to_string()]);
+        assert_eq!(
+            sched.reads[2],
+            vec!["poor".to_string(), "request".to_string()]
+        );
+    }
 
     #[test]
     fn nonmonotonicity_detection() {

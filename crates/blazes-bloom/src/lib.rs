@@ -10,7 +10,10 @@
 //! * a textual syntax with a hand-written lexer/parser ([`parser`]);
 //! * a **timestep interpreter** ([`interp`]) with Bloom's merge operators —
 //!   instantaneous (`<=`), deferred (`<+`), deletion (`<-`) and
-//!   asynchronous (`<~`) — and stratified evaluation of nonmonotonic rules;
+//!   asynchronous (`<~`) — and stratified evaluation of nonmonotonic rules.
+//!   The fixpoint engine is semi-naive with hash-join indexes and optional
+//!   worker sharding ([`interp::EvalMode`]), with per-tick work counters
+//!   ([`interp::TickStats`]);
 //! * the **white-box static analyses** ([`analyze`]) the paper describes:
 //!   syntactic nonmonotonicity detection, persistent-state flow analysis,
 //!   partition-subscript inference from `group by` / `not in` clauses, and
@@ -61,5 +64,5 @@ pub use analyze::{annotate_module, PathAnnotation};
 pub use ast::{CollectionKind, MergeOp, Module, Rule};
 pub use component::BloomComponent;
 pub use error::{BloomError, Result};
-pub use interp::{ModuleInstance, TickOutput};
+pub use interp::{EvalMode, ModuleInstance, TickOutput, TickStats};
 pub use parser::parse_module;

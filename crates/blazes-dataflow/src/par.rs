@@ -257,9 +257,6 @@ impl EventCount {
     }
 }
 
-/// Default cap on worker threads when the builder does not pin a count.
-const DEFAULT_MAX_WORKERS: usize = 8;
-
 /// Default number of messages drained per instance activation.
 pub const DEFAULT_BATCH_SIZE: usize = 64;
 
@@ -995,12 +992,9 @@ impl ParBuilder {
     pub fn build(mut self) -> ParExecutor {
         // An explicitly pinned count is honored as-is; only the derived
         // default is capped and clamped to the instance count.
-        let workers = self.workers.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map_or(2, std::num::NonZeroUsize::get)
-                .min(DEFAULT_MAX_WORKERS)
-                .min(self.components.len().max(1))
-        });
+        let workers = self
+            .workers
+            .unwrap_or_else(|| crate::pool::default_workers().min(self.components.len().max(1)));
         // Dispatch order: ascending injection time, insertion order on ties
         // (stable sort), mirroring the simulator's opening event order.
         self.injected.sort_by_key(|&(at, _, _, _)| at);

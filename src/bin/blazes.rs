@@ -1,13 +1,20 @@
 //! `blazes` — the command-line analyzer.
 //!
-//! Reads a spec file in the paper's annotation format (with the `streams:`
-//! / `connections:` / `sinks:` topology extensions), runs the analysis, and
-//! prints the derivations, the synthesized coordination plan and placement
-//! advice.
+//! Reads either a spec file in the paper's annotation format (with the
+//! `streams:` / `connections:` / `sinks:` topology extensions) or a Bloom
+//! module (a `.blz` file whose first statement is `module ... { ... }`).
+//!
+//! For annotation specs it runs the analysis and prints the derivations,
+//! the synthesized coordination plan and placement advice. For Bloom
+//! modules it derives the C.O.W.R. annotations from the white-box
+//! analysis; with `--tick-stats` it additionally executes the module on a
+//! synthetic workload and prints per-stratum evaluation counters.
 //!
 //! ```text
 //! cargo run --bin blazes -- path/to/topology.blz [--static-order]
 //! cargo run --bin blazes -- --demo            # built-in wordcount demo
+//! cargo run --bin blazes -- module.blz --tick-stats [--ticks N] \
+//!     [--rows N] [--mode naive|semi|sharded[:W]]
 //! ```
 
 use blazes::core::advisor;
@@ -15,6 +22,10 @@ use blazes::core::analysis::Analyzer;
 use blazes::core::derivation;
 use blazes::core::spec::Spec;
 use blazes::core::strategy::{plan_for, residual_labels};
+use blazes_bloom::interp::{EvalMode, ModuleInstance};
+use blazes_bloom::{annotate_module, parse_module};
+use blazes_dataflow::value::{Tuple, Value};
+use std::collections::BTreeMap;
 
 const DEMO: &str = r#"
 Splitter:
@@ -34,10 +45,158 @@ sinks:
   - { name: store, from: Commit.db }
 "#;
 
+/// A file is a Bloom module when its first non-comment token is `module`.
+fn is_bloom_module(text: &str) -> bool {
+    text.lines()
+        .map(str::trim_start)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .is_some_and(|l| l.starts_with("module"))
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_mode(s: &str) -> Result<EvalMode, String> {
+    match s {
+        "naive" => Ok(EvalMode::Naive),
+        "semi" | "semi-naive" => Ok(EvalMode::SemiNaive),
+        "sharded" => Ok(EvalMode::sharded_auto()),
+        _ => {
+            if let Some(w) = s.strip_prefix("sharded:") {
+                let workers: usize = w
+                    .parse()
+                    .map_err(|_| format!("bad worker count in --mode {s:?}"))?;
+                Ok(EvalMode::Sharded { workers })
+            } else {
+                Err(format!(
+                    "unknown mode {s:?} (expected naive|semi|sharded[:W])"
+                ))
+            }
+        }
+    }
+}
+
+/// Deterministic synthetic workload: each input interface of arity `k`
+/// receives `rows` tuples where row `i` is `(i, i+1, …, i+k-1)` — for
+/// binary relations this forms a chain, which exercises recursive rules.
+fn synthetic_inputs(m: &blazes_bloom::Module, rows: usize) -> BTreeMap<String, Vec<Tuple>> {
+    m.inputs()
+        .iter()
+        .map(|iface| {
+            let arity = m
+                .collection(iface)
+                .map_or(1, blazes_bloom::ast::CollectionDecl::arity);
+            let tuples = (0..rows)
+                .map(|i| Tuple((0..arity).map(|j| Value::Int((i + j) as i64)).collect()))
+                .collect();
+            (iface.to_string(), tuples)
+        })
+        .collect()
+}
+
+fn run_bloom_module(name: &str, text: &str, args: &[String]) {
+    let module = match parse_module(text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("parse error in {name:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("module {} ({} rules)", module.name, module.rules.len());
+
+    println!("\n-- derived annotations (white-box analysis) --");
+    match annotate_module(&module) {
+        Ok(annotations) if annotations.is_empty() => println!("  (none)"),
+        Ok(annotations) => {
+            for a in &annotations {
+                println!("  {} -> {}  =>  {}", a.from, a.to, a.annotation);
+            }
+        }
+        Err(e) => eprintln!("  analysis error: {e}"),
+    }
+
+    if !args.iter().any(|a| a == "--tick-stats") {
+        return;
+    }
+
+    let mode = match parse_mode(&flag_value(args, "--mode").unwrap_or_else(|| "semi".into())) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let ticks: u64 =
+        flag_value(args, "--ticks").map_or(1, |v| v.parse().expect("--ticks expects an integer"));
+    let rows: usize =
+        flag_value(args, "--rows").map_or(32, |v| v.parse().expect("--rows expects an integer"));
+
+    let mut inst = match ModuleInstance::with_mode(module, mode) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("instantiation error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("\n-- tick stats ({mode:?}, {rows} rows/input, {ticks} tick(s)) --");
+    for tick in 1..=ticks {
+        let inputs = synthetic_inputs(inst.module(), rows);
+        match inst.tick(inputs) {
+            Ok(out) => {
+                let emitted: usize = out.outputs.values().map(Vec::len).sum();
+                println!("tick {tick}: {emitted} output tuple(s)");
+            }
+            Err(e) => {
+                eprintln!("tick {tick} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        for (stratum, s) in inst.last_stratum_stats().iter().enumerate() {
+            println!(
+                "  stratum {stratum}: {} iter(s), {} derivation(s), {} probe(s), {:.3} ms",
+                s.fixpoint_iters,
+                s.derivations,
+                s.join_probes,
+                s.wall_ns as f64 / 1e6
+            );
+        }
+        let t = inst.last_tick_stats();
+        println!(
+            "  total: {} iter(s), {} derivation(s), {} probe(s), {:.3} ms",
+            t.fixpoint_iters,
+            t.derivations,
+            t.join_probes,
+            t.wall_ns as f64 / 1e6
+        );
+    }
+    let c = inst.cumulative_stats();
+    println!(
+        "cumulative over {} tick(s): {} derivation(s), {} probe(s), {:.3} ms",
+        inst.ticks(),
+        c.derivations,
+        c.join_probes,
+        c.wall_ns as f64 / 1e6
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let dynamic = !args.iter().any(|a| a == "--static-order");
-    let path = args.iter().find(|a| !a.starts_with("--"));
+    let value_flags = ["--mode", "--ticks", "--rows"];
+    let path = args.iter().enumerate().find_map(|(i, a)| {
+        if a.starts_with("--") {
+            return None;
+        }
+        // Skip values consumed by flags like `--mode semi`.
+        if i > 0 && value_flags.contains(&args[i - 1].as_str()) {
+            return None;
+        }
+        Some(a)
+    });
 
     let (name, text) = match (path, args.iter().any(|a| a == "--demo")) {
         (Some(p), _) => match std::fs::read_to_string(p) {
@@ -49,10 +208,19 @@ fn main() {
         },
         (None, true) => ("wordcount-demo".to_string(), DEMO.to_string()),
         (None, false) => {
-            eprintln!("usage: blazes <spec-file> [--static-order] | blazes --demo");
+            eprintln!(
+                "usage: blazes <spec-file> [--static-order] | blazes --demo\n       \
+                 blazes <module.blz> [--tick-stats] [--ticks N] [--rows N] \
+                 [--mode naive|semi|sharded[:W]]"
+            );
             std::process::exit(2);
         }
     };
+
+    if is_bloom_module(&text) {
+        run_bloom_module(&name, &text, &args);
+        return;
+    }
 
     let spec = match Spec::parse(&text) {
         Ok(s) => s,

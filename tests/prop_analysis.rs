@@ -169,6 +169,157 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Bloom engine properties: the optimized evaluation modes must be
+// observationally identical to the naive oracle on arbitrary stratifiable
+// modules.
+// ---------------------------------------------------------------------
+
+mod bloom_engine {
+    use blazes_bloom::interp::{EvalMode, ModuleInstance};
+    use blazes_bloom::parse_module;
+    use blazes_dataflow::value::{Tuple, Value};
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    /// A random module plus the inputs fed on each tick.
+    #[derive(Debug, Clone)]
+    pub struct RandomModule {
+        pub text: String,
+        pub ticks: Vec<Vec<(i64, i64)>>,
+    }
+
+    /// Render a random layered module. Layer `i` derives scratch `c{i}`
+    /// from collections of lower (or, for monotonic bodies, equal) layers,
+    /// so the module is stratifiable **by construction**: nonmonotonic
+    /// bodies (group-by, antijoin) only ever read strictly lower layers.
+    /// Group values are clamped by a `having n < 3` bound so the value
+    /// domain stays small under recursion.
+    fn module_text(layers: &[(u8, u8, u8)]) -> String {
+        let mut s =
+            String::from("module P {\n  input inp(x, y)\n  output out(x, y)\n  table t(x, y)\n");
+        for i in 0..layers.len() {
+            let _ = writeln!(s, "  scratch c{i}(x, y)");
+        }
+        s.push_str("  t <= inp\n");
+        for (i, &(body, src_a, src_b)) in layers.iter().enumerate() {
+            // Monotonic bodies may read the layer itself (recursion);
+            // nonmonotonic bodies only strictly lower layers (or `t`).
+            let mono = |b: u8| match (b as usize) % (i + 2) {
+                0 => "t".to_string(),
+                k => format!("c{}", k - 1),
+            };
+            let lower = |b: u8| match (b as usize) % (i + 1) {
+                0 => "t".to_string(),
+                k => format!("c{}", k - 1),
+            };
+            let head = format!("c{i}");
+            match body % 6 {
+                0 => {
+                    let _ = writeln!(s, "  {head} <= {}", mono(src_a));
+                }
+                1 => {
+                    let _ = writeln!(s, "  {head} <= {} where {0}.x > 1", mono(src_a));
+                }
+                2 | 3 => {
+                    let (l, r) = (mono(src_a), mono(src_b));
+                    let _ = writeln!(
+                        s,
+                        "  {head} <= ({l} * {r}) on ({l}.y = {r}.x) -> ({l}.x, {r}.y)"
+                    );
+                }
+                4 => {
+                    let (src, neg) = (lower(src_a), lower(src_b));
+                    let _ = writeln!(s, "  {head} <= {src} not in {neg} on ({src}.x = {neg}.x)");
+                }
+                _ => {
+                    let src = lower(src_a);
+                    let _ = writeln!(
+                        s,
+                        "  {head} <= {src} group by ({src}.x) agg count(*) as n having n < 3"
+                    );
+                }
+            }
+        }
+        let last = layers.len() - 1;
+        let _ = writeln!(s, "  out <= c{last}");
+        // Feed one derived layer back into the table next tick, so the
+        // ticks exercise cross-timestep state too.
+        let _ = writeln!(s, "  t <+ c{last}");
+        s.push_str("}\n");
+        s
+    }
+
+    fn arb_module() -> impl Strategy<Value = RandomModule> {
+        (
+            proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..5),
+            proptest::collection::vec(proptest::collection::vec((0i64..6, 0i64..6), 0..6), 1..4),
+        )
+            .prop_map(|(layers, ticks)| RandomModule {
+                text: module_text(&layers),
+                ticks,
+            })
+    }
+
+    fn run(rm: &RandomModule, mode: EvalMode) -> (Vec<BTreeMap<String, Vec<Tuple>>>, Vec<Tuple>) {
+        let m = parse_module(&rm.text).expect("generated module must parse");
+        let mut inst = ModuleInstance::with_mode(m, mode).expect("stratifiable by construction");
+        let mut outs = Vec::new();
+        for tick in &rm.ticks {
+            let tuples: Vec<Tuple> = tick
+                .iter()
+                .map(|&(x, y)| Tuple(vec![Value::Int(x), Value::Int(y)]))
+                .collect();
+            let mut inputs = BTreeMap::new();
+            inputs.insert("inp".to_string(), tuples);
+            outs.push(inst.tick(inputs).expect("tick must succeed").outputs);
+        }
+        (outs, inst.table("t"))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Semi-naive and sharded evaluation are oracle-equivalent to
+        /// naive evaluation: bit-identical tick outputs and final table
+        /// state on arbitrary stratifiable modules.
+        #[test]
+        fn optimized_modes_match_naive_oracle(rm in arb_module()) {
+            let (naive_outs, naive_table) = run(&rm, EvalMode::Naive);
+            for mode in [EvalMode::SemiNaive, EvalMode::Sharded { workers: 2 }] {
+                let (outs, table) = run(&rm, mode);
+                prop_assert_eq!(&naive_outs, &outs, "outputs diverged in {:?}\n{}", mode, rm.text);
+                prop_assert_eq!(&naive_table, &table, "table diverged in {:?}\n{}", mode, rm.text);
+            }
+        }
+
+        /// Semi-naive evaluation never performs more derivations than the
+        /// naive oracle on the same module and inputs.
+        #[test]
+        fn semi_naive_never_rederives_more(rm in arb_module()) {
+            let m = parse_module(&rm.text).expect("generated module must parse");
+            let mut naive = ModuleInstance::with_mode(m.clone(), EvalMode::Naive).unwrap();
+            let mut semi = ModuleInstance::with_mode(m, EvalMode::SemiNaive).unwrap();
+            for tick in &rm.ticks {
+                let tuples: Vec<Tuple> = tick
+                    .iter()
+                    .map(|&(x, y)| Tuple(vec![Value::Int(x), Value::Int(y)]))
+                    .collect();
+                let mut inputs = BTreeMap::new();
+                inputs.insert("inp".to_string(), tuples);
+                naive.tick(inputs.clone()).unwrap();
+                semi.tick(inputs).unwrap();
+            }
+            prop_assert!(
+                semi.cumulative_stats().derivations <= naive.cumulative_stats().derivations,
+                "semi-naive derived more than naive on\n{}",
+                rm.text
+            );
+        }
+    }
+}
+
 /// Severity lattice laws for the full label set (exhaustive, not random).
 #[test]
 fn label_join_is_a_semilattice() {
