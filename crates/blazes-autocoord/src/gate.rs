@@ -210,6 +210,12 @@ impl Component for SealGate {
                     .value_of(&self.binding.producer_attr)
                     .and_then(Value::as_int)
                     .unwrap_or(0) as usize;
+                // `a` = voting producer, `b` = gate instance.
+                blazes_obs::record(
+                    blazes_obs::EventKind::SealVote,
+                    producer as u64,
+                    ctx.instance.0 as u64,
+                );
                 match self.mgr.on_seal(partition.clone(), producer) {
                     SealOutcome::Released(tuples) => {
                         self.pending_seals
@@ -622,6 +628,12 @@ impl Component for SpeculativeSealGate {
                     .value_of(&self.binding.producer_attr)
                     .and_then(Value::as_int)
                     .unwrap_or(0) as usize;
+                // `a` = voting producer, `b` = gate instance.
+                blazes_obs::record(
+                    blazes_obs::EventKind::SealVote,
+                    producer as u64,
+                    ctx.instance.0 as u64,
+                );
                 match self.mgr.on_seal(partition.clone(), producer) {
                     SealOutcome::Released(tuples) => {
                         self.pending_seals

@@ -16,8 +16,14 @@
 //! and a spawned copy takes the [`worker_main`] early exit.
 //!
 //! ```text
-//! cargo run -p blazes-bench --release --bin dist_differential
+//! cargo run -p blazes-bench --release --bin dist_differential [--trace FILE]
 //! ```
+//!
+//! `--trace FILE` switches to the traced smoke mode instead of the full
+//! differential: one coordinated 2-process ad-report run with time-warp
+//! speculation, tracing enabled end to end, exported as a single
+//! Chrome-trace JSON whose lanes cover the coordinator and every worker
+//! process (the workers ship their ring buffers back over the wire).
 
 use blazes_apps::adreport::{AdScenario, StrategyKind};
 use blazes_apps::autocoord::{response_digests, run_ad_auto, run_wordcount_auto};
@@ -198,10 +204,49 @@ fn confluent_minimality() -> Result<(), String> {
     Ok(())
 }
 
+/// The `--trace` smoke: one coordinated 2-process ad-report run with
+/// speculation on and tracing enabled end to end, merged into a single
+/// Chrome-trace file. Fails when no worker process shipped lanes back —
+/// the whole point is that one file shows every process.
+fn traced_smoke(path: &str) -> Result<(), String> {
+    let obs = blazes_obs::global();
+    obs.set_enabled(true);
+    let sc = ad_scenario(3);
+    let mut spec = dist_spec(2, true, sc.seed);
+    spec.speculation = true;
+    let (res, _) = run_ad_auto(&sc, &BackendSpec::Dist(spec));
+    if response_digests(&res.responses).iter().all(Vec::is_empty) {
+        return Err("traced run produced no answers".into());
+    }
+    let remote = obs.remote_lane_count();
+    if remote == 0 {
+        return Err("no worker process shipped trace lanes back".into());
+    }
+    obs.export_chrome(path)
+        .map_err(|e| format!("trace export failed for {path}: {e}"))?;
+    println!("  traced 2-process run: {remote} remote lanes merged, wrote {path}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     // Spawned copies of this binary serve as dist workers.
     if worker_main(&dist_registry()) {
         return ExitCode::SUCCESS;
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let path = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "dist_trace.json".to_string());
+        println!("dist-differential: traced 2-process smoke");
+        return match traced_smoke(&path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     println!("dist-differential: over-the-wire anomaly repro");
     if let Err(e) = anomaly_repro() {

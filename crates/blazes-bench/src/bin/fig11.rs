@@ -2,8 +2,12 @@
 //! sealed topologies.
 //!
 //! ```text
-//! cargo run -p blazes-bench --release --bin fig11 [runs] [--backend sim|par] [--virtual-time]
+//! cargo run -p blazes-bench --release --bin fig11 \
+//!     [runs] [--backend sim|par] [--virtual-time] [--trace FILE]
 //! ```
+//!
+//! `--trace FILE` enables the observability layer for the whole sweep and
+//! writes a Chrome-trace JSON (`chrome://tracing` / Perfetto) at exit.
 //!
 //! With `--backend par` the same topologies execute on the multi-worker
 //! parallel backend (threads capped at 8) and throughput is tweets per
@@ -24,12 +28,21 @@ fn main() {
     // The positional runs argument is any token that is neither a flag nor
     // a flag's value, whatever the ordering.
     let backend_pos = args.iter().position(|a| a == "--backend");
+    let trace_pos = args.iter().position(|a| a == "--trace");
     let runs: u64 = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| !a.starts_with("--") && backend_pos != Some(i.wrapping_sub(1)))
+        .filter(|&(i, a)| {
+            !a.starts_with("--")
+                && backend_pos != Some(i.wrapping_sub(1))
+                && trace_pos != Some(i.wrapping_sub(1))
+        })
         .find_map(|(_, s)| s.parse().ok())
         .unwrap_or(3);
+    let trace = trace_pos.and_then(|i| args.get(i + 1)).cloned();
+    if trace.is_some() {
+        blazes_obs::global().set_enabled(true);
+    }
     let backend = backend_pos
         .and_then(|i| args.get(i + 1))
         .map_or("sim", String::as_str);
@@ -73,4 +86,13 @@ fn main() {
         );
     }
     println!("# paper shape: sealed/transactional ratio ~1.8x at 5 nodes growing to ~3x at 20");
+    if let Some(path) = trace {
+        match blazes_obs::global().export_chrome(&path) {
+            Ok(()) => println!("# trace written to {path}"),
+            Err(e) => {
+                eprintln!("trace export failed for {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

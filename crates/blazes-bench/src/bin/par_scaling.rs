@@ -4,8 +4,14 @@
 //! ```text
 //! cargo run -p blazes-bench --release --bin par_scaling -- \
 //!     [--records N] [--rounds N] [--reps N] [--out FILE] [--check FLOOR] \
-//!     [--no-race] [--force] [--note TEXT]...
+//!     [--no-race] [--force] [--note TEXT]... [--trace FILE]
 //! ```
+//!
+//! `--trace FILE` enables the observability layer for the whole run and
+//! writes a Chrome-trace JSON (`chrome://tracing` / Perfetto) at exit.
+//! Note the timed repetitions then run traced, so wall-clock numbers
+//! carry the (small) tracing overhead; don't record floors from a traced
+//! run.
 //!
 //! `--note` (repeatable) appends free-form provenance to the emitted
 //! JSON's `notes` array — the place to record what a specific recorded
@@ -79,6 +85,10 @@ fn main() {
     }
     let out = parse_out(&args, "BENCH_par_scaling.json");
     let check: Option<f64> = parse_flag(&args, "--check");
+    let trace: Option<String> = parse_flag(&args, "--trace");
+    if trace.is_some() {
+        blazes_obs::global().set_enabled(true);
+    }
     let notes: Vec<String> = args
         .iter()
         .enumerate()
@@ -111,6 +121,15 @@ fn main() {
         } else {
             std::fs::write(&path, report.to_json()).expect("write bench JSON");
             println!("# wrote {path}");
+        }
+    }
+
+    // Export before the check gate: a failing gated run is exactly when
+    // the trace is worth having.
+    if let Some(path) = trace {
+        match blazes_obs::global().export_chrome(&path) {
+            Ok(()) => println!("# trace written to {path}"),
+            Err(e) => eprintln!("trace export failed for {path}: {e}"),
         }
     }
 
@@ -159,6 +178,24 @@ fn main() {
                 );
                 failed = true;
             }
+            // The contention gate likewise: producers time-sliced onto one
+            // core never collide on the mailbox tail CAS, so push_retries
+            // is legitimately 0 there and the microbench carries no signal.
+            let retries = report
+                .point("fanin", 4, "stealing")
+                .map_or(0, |p| p.push_retries);
+            if retries == 0 {
+                eprintln!(
+                    "FAIL: the 4-worker fan-in run recorded zero mailbox push \
+                     retries — the contention microbench measured nothing"
+                );
+                failed = true;
+            }
+        } else {
+            println!(
+                "# contention + skew assertions skipped: 1 core \
+                 (producers cannot collide, balancing cannot win wall clock)"
+            );
         }
         if failed {
             std::process::exit(1);

@@ -119,6 +119,10 @@ impl BloomScalingConfig {
 pub struct BloomPoint {
     /// `"tc"`, `"triangle"` or `"adreport"`.
     pub workload: &'static str,
+    /// Cores the machine that measured this point reported. Stamped into
+    /// every record so mixed-provenance files stay self-describing even
+    /// when points are spliced between JSON files.
+    pub cores: usize,
     /// Workload scale (chain length, vertices, or clicks).
     pub scale: usize,
     /// `"naive"`, `"semi-naive"` or `"sharded-N"`.
@@ -237,10 +241,11 @@ impl BloomScalingReport {
             let comma = if i + 1 == self.points.len() { "" } else { "," };
             let _ = writeln!(
                 s,
-                "    {{\"workload\": \"{}\", \"scale\": {}, \"mode\": \"{}\", \
+                "    {{\"workload\": \"{}\", \"cores\": {}, \"scale\": {}, \"mode\": \"{}\", \
                  \"millis\": {:.3}, \"derivations\": {}, \"join_probes\": {}, \
                  \"fixpoint_iters\": {}, \"correct\": {}}}{comma}",
                 p.workload,
+                p.cores,
                 p.scale,
                 p.mode,
                 p.millis,
@@ -358,7 +363,13 @@ fn run_once(w: &Workload, mode: EvalMode) -> (TickOutput, TickStats) {
 
 /// Time one point: best-of-`reps` wall clock, counters from the best
 /// repetition, output compared against the oracle on every repetition.
-fn timed_point(w: &Workload, mode: EvalMode, expected: &TickOutput, reps: u32) -> BloomPoint {
+fn timed_point(
+    w: &Workload,
+    mode: EvalMode,
+    expected: &TickOutput,
+    reps: u32,
+    cores: usize,
+) -> BloomPoint {
     let mut best = f64::INFINITY;
     let mut stats = TickStats::default();
     let mut correct = true;
@@ -374,6 +385,7 @@ fn timed_point(w: &Workload, mode: EvalMode, expected: &TickOutput, reps: u32) -
     }
     BloomPoint {
         workload: w.name,
+        cores,
         scale: w.scale,
         mode: mode_label(mode),
         millis: best,
@@ -396,14 +408,21 @@ pub fn run_bloom_scaling(cfg: &BloomScalingConfig) -> BloomScalingReport {
     for w in &workloads {
         // The naive run is both a measured point and the oracle digest.
         let (expected, _) = run_once(w, EvalMode::Naive);
-        points.push(timed_point(w, EvalMode::Naive, &expected, cfg.reps));
-        points.push(timed_point(w, EvalMode::SemiNaive, &expected, cfg.reps));
+        points.push(timed_point(w, EvalMode::Naive, &expected, cfg.reps, cores));
+        points.push(timed_point(
+            w,
+            EvalMode::SemiNaive,
+            &expected,
+            cfg.reps,
+            cores,
+        ));
         for &workers in &cfg.sharded_workers {
             points.push(timed_point(
                 w,
                 EvalMode::Sharded { workers },
                 &expected,
                 cfg.reps,
+                cores,
             ));
         }
     }
@@ -443,8 +462,16 @@ mod tests {
             "semi-naive re-derived on transitive closure"
         );
         assert!(report.headline_speedup() > 0.0);
+        assert!(
+            report.points.iter().all(|p| p.cores == report.cores),
+            "every record carries the measuring machine's core count"
+        );
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"bloom_scaling\""));
+        assert!(json.contains(&format!(
+            "\"workload\": \"tc\", \"cores\": {},",
+            report.cores
+        )));
         assert!(json.contains("\"workload\": \"tc\""));
         assert!(json.contains("\"workload\": \"triangle\""));
         assert!(json.contains("\"workload\": \"adreport\""));

@@ -90,8 +90,57 @@ pub struct ScalingPoint {
     /// Total mailbox tail-CAS retries — the producer-contention signal of
     /// the lock-free mailboxes (0 when producers never collide).
     pub push_retries: u64,
+    /// Median per-tuple source-to-sink latency, microseconds, from one
+    /// extra traced repetition (the timed reps run untraced).
+    pub lat_p50_us: f64,
+    /// 99th-percentile per-tuple latency, microseconds.
+    pub lat_p99_us: f64,
+    /// 99.9th-percentile per-tuple latency, microseconds.
+    pub lat_p999_us: f64,
+    /// Samples behind the latency percentiles (sink arrivals observed by
+    /// the traced repetition; 0 means the probe saw no sinks).
+    pub lat_samples: u64,
     /// Did the run produce exactly the expected digest?
     pub correct: bool,
+}
+
+/// Tuple-latency summary read out of the `latency.tuple_ns` histogram
+/// after one traced repetition.
+struct LatencyProbe {
+    samples: u64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+/// Serializes traced repetitions: the obs hub is process-wide, so
+/// concurrent sweeps (the test suite) must not interleave each other's
+/// enable/clear/snapshot windows.
+static OBS_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Run one extra repetition with tracing enabled and read the per-tuple
+/// source-to-sink latency histogram the sinks populate. The metrics
+/// registry is cleared first so each point reports its own distribution;
+/// trace rings are left alone so a `--trace` export still sees the whole
+/// bench run. The previous enablement state is restored afterwards, so
+/// the timed repetitions stay untraced unless the caller opted in.
+fn probe_latency(run: impl FnOnce() -> (BTreeSet<Message>, ParStats)) -> LatencyProbe {
+    let _gate = OBS_GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let obs = blazes_obs::global();
+    let was_enabled = obs.enabled();
+    obs.registry().clear();
+    obs.set_enabled(true);
+    let _ = run();
+    let snap = obs.registry().histogram("latency.tuple_ns").snapshot();
+    obs.set_enabled(was_enabled);
+    LatencyProbe {
+        samples: snap.count,
+        p50_us: snap.p50 as f64 / 1e3,
+        p99_us: snap.p99 as f64 / 1e3,
+        p999_us: snap.p999 as f64 / 1e3,
+    }
 }
 
 /// The full sweep result.
@@ -268,7 +317,8 @@ impl ScalingReport {
                 "    {{\"workload\": \"{}\", \"cores\": {}, \"workers\": {}, \"mode\": \"{}\", \
                  \"millis\": {:.3}, \"speedup_vs_sim\": {:.3}, \"balance\": {:.3}, \
                  \"steals\": {}, \"parks\": {}, \"wakeups\": {}, \
-                 \"push_retries\": {}, \"correct\": {}}}{comma}",
+                 \"push_retries\": {}, \"lat_p50_us\": {:.1}, \"lat_p99_us\": {:.1}, \
+                 \"lat_p999_us\": {:.1}, \"lat_samples\": {}, \"correct\": {}}}{comma}",
                 p.workload,
                 p.cores,
                 p.workers,
@@ -280,6 +330,10 @@ impl ScalingReport {
                 p.parks,
                 p.wakeups,
                 p.push_retries,
+                p.lat_p50_us,
+                p.lat_p99_us,
+                p.lat_p999_us,
+                p.lat_samples,
                 p.correct
             );
         }
@@ -304,12 +358,12 @@ impl ScalingReport {
         );
         let _ = writeln!(
             s,
-            "# workload  workers  mode      ms        vs-sim  balance  steals   parks  wakeups  push-retries"
+            "# workload  workers  mode      ms        vs-sim  balance  steals   parks  wakeups  push-retries  p50us    p99us   p999us"
         );
         for p in &self.points {
             let _ = writeln!(
                 s,
-                "{:9} {:8} {:9} {:9.1} {:7.2}x {:8.2} {:7} {:7} {:8} {:13}{}",
+                "{:9} {:8} {:9} {:9.1} {:7.2}x {:8.2} {:7} {:7} {:8} {:13} {:8.1} {:8.1} {:8.1}{}",
                 p.workload,
                 p.workers,
                 p.mode,
@@ -320,6 +374,9 @@ impl ScalingReport {
                 p.parks,
                 p.wakeups,
                 p.push_retries,
+                p.lat_p50_us,
+                p.lat_p99_us,
+                p.lat_p999_us,
                 if p.correct { "" } else { "  DIGEST MISMATCH" },
             );
         }
@@ -406,6 +463,7 @@ fn timed_par(
         }
         correct &= digest == *expected;
     }
+    let lat = probe_latency(&run);
     ScalingPoint {
         workload,
         cores,
@@ -418,6 +476,10 @@ fn timed_par(
         parks,
         wakeups,
         push_retries,
+        lat_p50_us: lat.p50_us,
+        lat_p99_us: lat.p99_us,
+        lat_p999_us: lat.p999_us,
+        lat_samples: lat.samples,
         correct,
     }
 }
@@ -660,11 +722,24 @@ mod tests {
             report.points.iter().all(|p| p.cores == report.cores),
             "every record carries the measuring machine's core count"
         );
+        assert!(
+            report.points.iter().all(|p| p.lat_samples > 0),
+            "every point's traced repetition observed sink arrivals"
+        );
+        assert!(
+            report
+                .points
+                .iter()
+                .all(|p| p.lat_p50_us <= p.lat_p99_us && p.lat_p99_us <= p.lat_p999_us),
+            "latency percentiles are monotone"
+        );
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"par_scaling\""));
         assert!(json.contains("\"workload\": \"skewed\""));
         assert!(json.contains("\"workload\": \"fanin\""));
         assert!(json.contains("\"fanin_contention_ms_4w\""));
+        assert!(json.contains("\"lat_p50_us\""));
+        assert!(json.contains("\"lat_p999_us\""));
         assert!(json.contains("\"speculation\": null"));
         assert!(json.contains(&format!(
             "\"workload\": \"uniform\", \"cores\": {},",

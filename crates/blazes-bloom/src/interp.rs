@@ -286,6 +286,14 @@ impl ModuleInstance {
         self.last_stats = total;
         self.last_stratum_stats = done.stratum_stats;
         self.total_stats.absorb(total);
+        if blazes_obs::enabled() {
+            let reg = blazes_obs::global().registry();
+            reg.counter("bloom.ticks").inc();
+            reg.counter("bloom.fixpoint_iters")
+                .add(total.fixpoint_iters);
+            reg.counter("bloom.derivations").add(total.derivations);
+            reg.counter("bloom.join_probes").add(total.join_probes);
+        }
         Ok(done.output)
     }
 }
@@ -473,6 +481,7 @@ fn naive_fixpoint(
 ) -> Result<()> {
     for (stratum, st) in stats.iter_mut().enumerate().take(sched.max_stratum + 1) {
         let started = Instant::now();
+        let span = blazes_obs::start();
         loop {
             st.fixpoint_iters += 1;
             let mut changed = false;
@@ -498,6 +507,13 @@ fn naive_fixpoint(
             }
         }
         st.wall_ns += started.elapsed().as_nanos() as u64;
+        // `a` = stratum, `b` = fixpoint iterations this tick so far.
+        blazes_obs::span(
+            span,
+            blazes_obs::EventKind::Stratum,
+            stratum as u64,
+            st.fixpoint_iters,
+        );
     }
     Ok(())
 }
@@ -523,6 +539,7 @@ fn semi_naive_fixpoint(
             continue;
         }
         let started = Instant::now();
+        let span = blazes_obs::start();
         st.fixpoint_iters += 1;
         let mut delta: BTreeMap<String, Rel> = BTreeMap::new();
         for &ri in rules {
@@ -566,6 +583,13 @@ fn semi_naive_fixpoint(
             }
         }
         st.wall_ns += started.elapsed().as_nanos() as u64;
+        // `a` = stratum, `b` = fixpoint iterations this tick so far.
+        blazes_obs::span(
+            span,
+            blazes_obs::EventKind::Stratum,
+            stratum as u64,
+            st.fixpoint_iters,
+        );
     }
     Ok(())
 }

@@ -44,6 +44,11 @@ pub struct SealManager {
     registry: ProducerRegistry,
     partitions: BTreeMap<Value, PartitionState>,
     released_count: u64,
+    /// Lazily bound `seal.votes` / `seal.releases` registry counters —
+    /// resolved on first use so the disabled path never touches the
+    /// metrics registry.
+    votes_metric: Option<std::sync::Arc<blazes_obs::Counter>>,
+    releases_metric: Option<std::sync::Arc<blazes_obs::Counter>>,
 }
 
 impl SealManager {
@@ -54,6 +59,8 @@ impl SealManager {
             registry,
             partitions: BTreeMap::new(),
             released_count: 0,
+            votes_metric: None,
+            releases_metric: None,
         }
     }
 
@@ -81,9 +88,24 @@ impl SealManager {
             return SealOutcome::LateArrival;
         }
         state.sealed_by.insert(producer);
+        if blazes_obs::enabled() {
+            self.votes_metric
+                .get_or_insert_with(|| blazes_obs::global().registry().counter("seal.votes"))
+                .inc();
+        }
         if !required.is_empty() && required.is_subset(&state.sealed_by) {
             state.released = true;
             self.released_count += 1;
+            if blazes_obs::enabled() {
+                blazes_obs::record(
+                    blazes_obs::EventKind::SealRelease,
+                    state.buffered.len() as u64,
+                    state.sealed_by.len() as u64,
+                );
+                self.releases_metric
+                    .get_or_insert_with(|| blazes_obs::global().registry().counter("seal.releases"))
+                    .inc();
+            }
             SealOutcome::Released(std::mem::take(&mut state.buffered))
         } else {
             SealOutcome::Buffered

@@ -330,6 +330,32 @@ pub struct DistStats {
     /// Egress frames produced after `Collect` (rescue-drain output that
     /// could no longer cross the wire) — see the module docs.
     pub late_egress_frames: u64,
+    /// Stall-recovery probe rounds the parent fired after a silence
+    /// timeout (0 on a healthy run; at most 1 — a second stall is fatal).
+    pub stall_retries: u64,
+}
+
+impl DistStats {
+    /// Publish this run's routing ledger into a metrics registry under
+    /// `dist.*` names. Call once per completed run.
+    pub fn export_metrics(&self, reg: &blazes_obs::Registry) {
+        reg.gauge("dist.processes").set(self.processes as i64);
+        reg.counter("dist.frames.sent").add(self.frames_routed);
+        reg.counter("dist.frames.retransmits")
+            .add(self.wire_retransmits);
+        reg.counter("dist.frames.duplicates")
+            .add(self.wire_duplicates);
+        reg.counter("dist.frames.reordered")
+            .add(self.reordered_frames);
+        reg.counter("dist.partition_windows")
+            .add(self.partition_windows);
+        reg.counter("dist.probe_rounds").add(self.probe_rounds);
+        reg.counter("dist.stall_retries").add(self.stall_retries);
+        reg.counter("dist.events").add(self.events_processed);
+        reg.counter("dist.deliveries").add(self.messages_delivered);
+        reg.counter("dist.late_egress_frames")
+            .add(self.late_egress_frames);
+    }
 }
 
 /// Result of [`run_dist`]: the topology's sinks — filled with the entries
@@ -785,6 +811,11 @@ impl Router {
         self.writers[dest].write_all(bytes)?;
         self.sent_to[dest] += 1;
         self.stats.frames_routed += 1;
+        blazes_obs::record(
+            blazes_obs::EventKind::FrameSend,
+            dest as u64,
+            self.sent_to[dest],
+        );
         Ok(())
     }
 
@@ -944,7 +975,10 @@ pub fn run_dist(spec: &DistSpec, registry: &Registry) -> Result<DistRun, DistErr
     }
     let streams: Vec<UnixStream> = streams.into_iter().map(Option::unwrap).collect();
 
-    // Ship the plan and start the reader threads.
+    // Ship the plan and start the reader threads. When tracing is on in
+    // this process, every worker records too and ships its lanes back
+    // during collection, so one export shows the whole fleet.
+    let trace = blazes_obs::enabled();
     let (tx, rx) = mpsc::channel::<Event>();
     let mut readers = Vec::with_capacity(processes);
     let mut writers = Vec::with_capacity(processes);
@@ -959,6 +993,7 @@ pub fn run_dist(spec: &DistSpec, registry: &Registry) -> Result<DistRun, DistErr
             workers: spec.workers_per_process as u32,
             stealing: spec.stealing,
             speculation: spec.speculation,
+            trace,
         }))?;
         writers.push(writer);
         let tx = tx.clone();
@@ -989,11 +1024,40 @@ pub fn run_dist(spec: &DistSpec, registry: &Registry) -> Result<DistRun, DistErr
     let mut acks: Vec<Option<bool>> = vec![None; processes];
     let mut awaiting_probe = false;
     let mut last_activity = Instant::now();
+    let mut last_frame: Vec<&'static str> = vec!["<none>"; processes];
+    let mut stalled_once = false;
     loop {
         let event = match rx.recv_timeout(Duration::from_millis(200)) {
             Ok(event) => event,
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if last_activity.elapsed() > STALL_TIMEOUT {
+                    if !stalled_once {
+                        // One bounded recovery round: a probe is answered
+                        // even by a worker whose Idle report was lost or
+                        // raced, so it un-wedges the known single-core
+                        // "everyone idle, nobody confirming" interleaving.
+                        stalled_once = true;
+                        router.stats.stall_retries += 1;
+                        router.flush()?;
+                        probe_nonce += 1;
+                        acks = vec![None; processes];
+                        awaiting_probe = true;
+                        router.stats.probe_rounds += 1;
+                        for w in 0..processes {
+                            router.control(w, &Frame::Probe { nonce: probe_nonce })?;
+                        }
+                        last_activity = Instant::now();
+                        continue;
+                    }
+                    dump_stall_forensics(
+                        &recv_from,
+                        &router.sent_to,
+                        &idle_report,
+                        &acks,
+                        &last_frame,
+                        awaiting_probe,
+                        router.drained(),
+                    );
                     return Err(DistError::Protocol("run stalled".to_string()));
                 }
                 continue;
@@ -1003,8 +1067,12 @@ pub fn run_dist(spec: &DistSpec, registry: &Registry) -> Result<DistRun, DistErr
             }
         };
         last_activity = Instant::now();
+        if let Event::Frame(i, frame) = &event {
+            last_frame[*i] = frame_name(frame);
+        }
         match event {
             Event::Frame(i, Frame::Data { wire, seq, msg }) => {
+                blazes_obs::record(blazes_obs::EventKind::FrameRecv, wire, seq);
                 recv_from[i] += 1;
                 idle_report[i] = None;
                 awaiting_probe = false;
@@ -1104,6 +1172,19 @@ pub fn run_dist(spec: &DistSpec, registry: &Registry) -> Result<DistRun, DistErr
                 router.stats.late_egress_frames += late;
                 done[i] = true;
             }
+            Event::Frame(_, Frame::Trace { pid, tid, events }) => {
+                // Unknown event kinds (version skew) drop here, at
+                // ingestion — the codec accepted them as raw words.
+                let events: Vec<blazes_obs::Event> = events
+                    .into_iter()
+                    .filter_map(blazes_obs::Event::from_words)
+                    .collect();
+                blazes_obs::global().ingest_remote(vec![blazes_obs::RemoteLane {
+                    pid,
+                    tid,
+                    events,
+                }]);
+            }
             Event::Frame(i, Frame::Error { message }) => {
                 return Err(DistError::Worker { index: i, message });
             }
@@ -1136,10 +1217,63 @@ pub fn run_dist(spec: &DistSpec, registry: &Registry) -> Result<DistRun, DistErr
     }
     children.0.clear();
 
+    if blazes_obs::enabled() {
+        router.stats.export_metrics(blazes_obs::global().registry());
+    }
     Ok(DistRun {
         sinks,
         stats: router.stats,
     })
+}
+
+/// Short display name of a frame, for the stall forensic dump.
+fn frame_name(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Hello { .. } => "hello",
+        Frame::Plan { .. } => "plan",
+        Frame::Data { .. } => "data",
+        Frame::Idle { .. } => "idle",
+        Frame::Probe { .. } => "probe",
+        Frame::ProbeAck { .. } => "probe-ack",
+        Frame::Collect => "collect",
+        Frame::SinkResult { .. } => "sink-result",
+        Frame::Done { .. } => "done",
+        Frame::Shutdown => "shutdown",
+        Frame::Error { .. } => "error",
+        Frame::Trace { .. } => "trace",
+    }
+}
+
+/// Print the coordinator's per-worker ledger to stderr before giving up
+/// on a stalled run — the difference between "flaked again" and a
+/// diagnosable interleaving in CI logs.
+fn dump_stall_forensics(
+    recv_from: &[u64],
+    sent_to: &[u64],
+    idle_report: &[Option<(u64, u64)>],
+    acks: &[Option<bool>],
+    last_frame: &[&'static str],
+    awaiting_probe: bool,
+    router_drained: bool,
+) {
+    eprintln!(
+        "dist coordinator stalled after {}s of silence (retry exhausted); \
+         awaiting_probe={awaiting_probe} router_drained={router_drained}",
+        STALL_TIMEOUT.as_secs()
+    );
+    for i in 0..recv_from.len() {
+        let idle =
+            idle_report[i].map_or("<none>".to_string(), |(s, r)| format!("sent={s} recv={r}"));
+        let ack = match acks[i] {
+            None => "<pending>",
+            Some(true) => "stable",
+            Some(false) => "unstable",
+        };
+        eprintln!(
+            "  worker {i}: routed_to={} recv_from={} last_frame={} idle_report={idle} probe_ack={ack}",
+            sent_to[i], recv_from[i], last_frame[i]
+        );
+    }
 }
 
 /// Read the `Hello` frame a freshly connected worker must send first.
@@ -1256,6 +1390,7 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
         workers,
         stealing,
         speculation,
+        trace,
     } = plan
     else {
         unreachable!("matched above");
@@ -1264,6 +1399,13 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
         return Err(DistError::Protocol(format!(
             "plan for worker {plan_index}, I am {index}"
         )));
+    }
+    if trace {
+        // Record under pid lane index+1 (0 is the coordinator) and ship
+        // the lanes back during collection.
+        let obs = blazes_obs::global();
+        obs.set_pid(index as u32 + 1);
+        obs.set_enabled(true);
     }
 
     // SPMD assembly of this partition.
@@ -1298,6 +1440,7 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
                             .map_err(|_| DistError::Protocol("pump writer poisoned".into()))?
                             .write_all(&bytes)?;
                         written.fetch_add(1, Ordering::SeqCst);
+                        blazes_obs::record(blazes_obs::EventKind::FrameSend, wire, seq);
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => {
                         if stop.load(Ordering::SeqCst) {
@@ -1336,6 +1479,7 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
                                 return Err(DistError::Protocol(m));
                             }
                             last_seq.insert(wire, seq.max(expected.saturating_sub(1)));
+                            blazes_obs::record(blazes_obs::EventKind::FrameRecv, wire, seq);
                             let (inst, port) = *wiring.ingress.get(&wire).ok_or_else(|| {
                                 DistError::Protocol(format!("no ingress for wire {wire}"))
                             })?;
@@ -1403,6 +1547,22 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
                     &Frame::SinkResult {
                         sink: pos as u32,
                         entries: sink.entries(),
+                    },
+                )?;
+            }
+        }
+        if trace {
+            for lane in blazes_obs::global().drain_lanes() {
+                send_control(
+                    &writer,
+                    &Frame::Trace {
+                        pid: lane.pid,
+                        tid: lane.tid,
+                        events: lane
+                            .events
+                            .into_iter()
+                            .map(blazes_obs::Event::to_words)
+                            .collect(),
                     },
                 )?;
             }

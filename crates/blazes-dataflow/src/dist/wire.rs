@@ -50,6 +50,8 @@ pub enum Frame {
         stealing: bool,
         /// Time-warp speculation?
         speculation: bool,
+        /// Should the worker record trace events and ship them back?
+        trace: bool,
     },
     /// A cross-partition message (either direction).
     Data {
@@ -114,6 +116,19 @@ pub enum Frame {
         /// Human-readable description.
         message: String,
     },
+    /// Worker → parent: one thread's drained trace events, shipped during
+    /// collection when the plan asked for tracing. Events travel as the
+    /// packed 5-word form of `blazes_obs::Event` so the codec stays
+    /// independent of the tracer's enum; unknown kinds are dropped at
+    /// ingestion, not at decode.
+    Trace {
+        /// Originating process index (Chrome `pid` lane).
+        pid: u32,
+        /// Originating thread (ring) index within that process.
+        tid: u32,
+        /// Packed events: `[ts_ns, dur_ns, kind, a, b]` each.
+        events: Vec<[u64; 5]>,
+    },
 }
 
 /// Decode-side failures. Each error consumes the offending bytes, so the
@@ -151,6 +166,7 @@ const TAG_SINK_RESULT: u8 = 8;
 const TAG_DONE: u8 = 9;
 const TAG_SHUTDOWN: u8 = 10;
 const TAG_ERROR: u8 = 11;
+const TAG_TRACE: u8 = 12;
 
 // ---------------------------------------------------------------------
 // Encoding
@@ -237,6 +253,7 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             workers,
             stealing,
             speculation,
+            trace,
         } => {
             put_str(&mut payload, topology);
             put_str(&mut payload, params);
@@ -246,6 +263,7 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             put_u32(&mut payload, *workers);
             put_bool(&mut payload, *stealing);
             put_bool(&mut payload, *speculation);
+            put_bool(&mut payload, *trace);
             TAG_PLAN
         }
         Frame::Data { wire, seq, msg } => {
@@ -305,6 +323,17 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
         Frame::Error { message } => {
             put_str(&mut payload, message);
             TAG_ERROR
+        }
+        Frame::Trace { pid, tid, events } => {
+            put_u32(&mut payload, *pid);
+            put_u32(&mut payload, *tid);
+            put_u32(&mut payload, events.len() as u32);
+            for words in events {
+                for w in words {
+                    put_u64(&mut payload, *w);
+                }
+            }
+            TAG_TRACE
         }
     };
     let mut out = Vec::with_capacity(9 + payload.len());
@@ -439,6 +468,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, WireError> {
             workers: c.u32()?,
             stealing: c.boolean()?,
             speculation: c.boolean()?,
+            trace: c.boolean()?,
         },
         TAG_DATA => Frame::Data {
             wire: c.u64()?,
@@ -480,6 +510,20 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, WireError> {
         TAG_ERROR => Frame::Error {
             message: c.string()?,
         },
+        TAG_TRACE => {
+            let pid = c.u32()?;
+            let tid = c.u32()?;
+            let n = c.count()?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut words = [0u64; 5];
+                for w in &mut words {
+                    *w = c.u64()?;
+                }
+                events.push(words);
+            }
+            Frame::Trace { pid, tid, events }
+        }
         other => return Err(WireError::BadTag(other)),
     };
     c.finish()?;
@@ -525,6 +569,10 @@ impl FrameDecoder {
             .windows(MAGIC.len())
             .position(|window| window == MAGIC)
         {
+            if pos > 0 {
+                // `a` = bytes of garbage skipped to reach the next magic.
+                blazes_obs::record(blazes_obs::EventKind::Resync, pos as u64, 0);
+            }
             self.buf.drain(..pos);
             true
         } else {
@@ -578,6 +626,7 @@ mod tests {
                 workers: 2,
                 stealing: true,
                 speculation: false,
+                trace: true,
             },
             Frame::Data {
                 wire: 17,
@@ -636,6 +685,16 @@ mod tests {
             Frame::Shutdown,
             Frame::Error {
                 message: "boom".to_string(),
+            },
+            Frame::Trace {
+                pid: 2,
+                tid: 1,
+                events: vec![[1, 0, 0, 7, 8], [u64::MAX, 5, 13, 0, 3]],
+            },
+            Frame::Trace {
+                pid: 1,
+                tid: 0,
+                events: vec![],
             },
         ]
     }

@@ -111,6 +111,22 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Publish this snapshot into a metrics registry under `sim.*` names.
+    ///
+    /// Everything is exported as gauges (levels, not increments), so a
+    /// paused-and-resumed simulation that exports after each `run()` call
+    /// stays idempotent: the registry always holds the latest totals.
+    pub fn export_metrics(&self, reg: &blazes_obs::Registry) {
+        reg.gauge("sim.end_time_us").set(self.end_time as i64);
+        reg.gauge("sim.events").set(self.events_processed as i64);
+        reg.gauge("sim.deliveries")
+            .set(self.messages_delivered as i64);
+        reg.gauge("sim.duplicates").set(self.duplicates as i64);
+        reg.gauge("sim.retransmits").set(self.retransmits as i64);
+        reg.gauge("sim.instances")
+            .set(self.per_instance.len() as i64);
+    }
+
     /// Throughput in messages per virtual second over the whole run.
     #[must_use]
     pub fn throughput_per_sec(&self) -> f64 {

@@ -152,6 +152,7 @@ use crate::component::{Component, Context};
 use crate::message::Message;
 use crate::metrics::{event_balance, InstanceStats, WorkerStats};
 use crate::sim::{InstanceId, Time};
+use blazes_obs::{EventKind, Histogram};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as TaskQueue};
 use mpsc_queue::MpscQueue;
 use rand::rngs::StdRng;
@@ -364,6 +365,11 @@ enum MailItem {
         port: usize,
         msg: Message,
         epoch: u64,
+        /// Tracer timestamp of the source injection this delivery descends
+        /// from (0 = tracing was off at injection): the source-to-sink
+        /// latency stamp. Emissions inherit the triggering delivery's
+        /// stamp, so the histogram sees the full pipeline latency.
+        born: u64,
     },
     Tick {
         epoch: u64,
@@ -1194,6 +1200,34 @@ impl ParStats {
     pub fn total_deferred_deliveries(&self) -> u64 {
         self.per_worker.iter().map(|w| w.deferred_deliveries).sum()
     }
+
+    /// Publish this run's totals into a metrics registry under the `par.`
+    /// prefix — the unified export path the scattered stats fields feed.
+    pub fn export_metrics(&self, reg: &blazes_obs::Registry) {
+        reg.counter("par.events").add(self.events_processed);
+        reg.counter("par.deliveries").add(self.messages_delivered);
+        reg.counter("par.duplicates").add(self.duplicates);
+        reg.counter("par.retransmits").add(self.retransmits);
+        reg.counter("par.steals").add(self.total_steals());
+        reg.counter("par.parks").add(self.total_parks());
+        reg.counter("par.wakeups").add(self.total_wakeups());
+        reg.counter("par.push_retries")
+            .add(self.total_push_retries());
+        reg.counter("par.slow_path_locks").add(self.slow_path_locks);
+        reg.counter("par.speculations")
+            .add(self.total_speculations());
+        reg.counter("par.rollbacks").add(self.total_rollbacks());
+        reg.counter("par.replayed_events")
+            .add(self.total_replayed_events());
+        reg.counter("par.epochs.opened").add(self.epochs_opened);
+        reg.counter("par.epochs.committed")
+            .add(self.epochs_committed);
+        reg.counter("par.epochs.aborted").add(self.epochs_aborted);
+        reg.counter("par.rescue_passes").add(self.rescue_passes);
+        reg.gauge("par.workers").set(self.workers as i64);
+        reg.gauge("par.max_mailbox_depth")
+            .set(self.max_mailbox_depth as i64);
+    }
 }
 
 /// A runnable parallel execution.
@@ -1276,6 +1310,7 @@ impl ParExecutor {
                 local_len: 0,
                 scratch: Vec::new(),
                 drain_buf: Vec::new(),
+                latency: None,
                 ws: WorkerStats {
                     worker: w,
                     ..WorkerStats::default()
@@ -1292,12 +1327,15 @@ impl ParExecutor {
         // Dispatch injections (workers are already listening). Pushing in
         // the sorted order preserves each instance's injection sequence.
         for (_, to, port, msg) in self.injected {
+            let born = blazes_obs::start();
+            blazes_obs::record(EventKind::Inject, to.0 as u64, 0);
             shared.external_push(
                 to.0,
                 MailItem::Deliver {
                     port,
                     msg,
                     epoch: 0,
+                    born,
                 },
             );
         }
@@ -1331,12 +1369,15 @@ impl RunningPar {
             .counters
             .in_flight
             .charge(self.shared.workers, 1);
+        let born = blazes_obs::start();
+        blazes_obs::record(EventKind::Inject, to.0 as u64, 0);
         self.shared.external_push(
             to.0,
             MailItem::Deliver {
                 port: port.0,
                 msg,
                 epoch: 0,
+                born,
             },
         );
     }
@@ -1425,7 +1466,7 @@ impl RunningPar {
                 )
             });
 
-        ParStats {
+        let stats = ParStats {
             events_processed: shared.counters.events.load(Ordering::SeqCst),
             messages_delivered: shared.counters.deliveries.load(Ordering::SeqCst),
             duplicates: shared.counters.duplicates.load(Ordering::SeqCst),
@@ -1442,7 +1483,13 @@ impl RunningPar {
             epochs_aborted,
             speculation_locks,
             rescue_passes,
+        };
+        // One registry pass per run, and only when observability is on —
+        // the disabled path never touches the registry mutex.
+        if blazes_obs::enabled() {
+            stats.export_metrics(blazes_obs::global().registry());
         }
+        stats
     }
 }
 
@@ -1485,6 +1532,11 @@ struct WorkerCtx {
     /// Reusable drain buffer: one activation's mailbox batch, so the
     /// queue's length counter settles once per batch.
     drain_buf: Vec<MailItem>,
+    /// Cached handle to the global `latency.tuple_ns` histogram, resolved
+    /// through the registry mutex at most once per worker — and only ever
+    /// when a latency-stamped delivery reaches a sink, which requires
+    /// tracing to have been enabled at injection time.
+    latency: Option<Arc<Histogram>>,
     ws: WorkerStats,
 }
 
@@ -1540,6 +1592,7 @@ impl WorkerCtx {
                 {
                     self.local_len = self.local.len();
                     self.ws.injector_pops += 1;
+                    blazes_obs::record(EventKind::InjectorPop, inst as u64, 0);
                     return Some(inst);
                 }
                 // Steal from siblings, starting just past ourselves so the
@@ -1550,6 +1603,7 @@ impl WorkerCtx {
                         Self::steal_until_settled(|| shared.stealers[victim].steal())
                     {
                         self.ws.steals += 1;
+                        blazes_obs::record(EventKind::Steal, victim as u64, inst as u64);
                         return Some(inst);
                     }
                 }
@@ -1584,6 +1638,7 @@ impl WorkerCtx {
         }
         let slot = &shared.slots[inst];
         self.ws.activations += 1;
+        let span = blazes_obs::start();
         // The scheduled flag makes us the exclusive owner of both the
         // mailbox's consumer side and the instance cell.
         slot.cell.claim();
@@ -1596,6 +1651,7 @@ impl WorkerCtx {
         }
         self.drain_buf = batch;
         slot.cell.release();
+        blazes_obs::span(span, EventKind::Activation, inst as u64, drained as u64);
         if drained > 0 {
             // Settle the whole batch against this worker's shard in one
             // RMW. Deferring decrements is safe (the sum only
@@ -1636,6 +1692,7 @@ impl WorkerCtx {
     fn run_instance_spec(&mut self, shared: &Shared, inst: usize) {
         let slot = &shared.slots[inst];
         self.ws.activations += 1;
+        let span = blazes_obs::start();
         slot.cell.claim();
         let cell = unsafe { &mut *slot.cell.cell.get() };
         // Clear the wake hint before acting on it: a resolution landing
@@ -1657,6 +1714,7 @@ impl WorkerCtx {
         self.spec_maintain(shared, inst, cell);
         self.drain_deferred(shared, inst, cell);
         slot.cell.release();
+        blazes_obs::span(span, EventKind::Activation, inst as u64, drained as u64);
         if drained > 0 {
             shared.counters.in_flight.settle(self.idx, drained as i64);
             slot.mailbox.notify_space();
@@ -1693,6 +1751,7 @@ impl WorkerCtx {
                 cell.component.restore(spec.snapshot);
                 self.ws.rollbacks += 1;
                 self.ws.replayed_events += spec.log.len() as u64;
+                blazes_obs::record(EventKind::Rollback, spec.epoch, inst as u64);
                 for item in spec.log {
                     // Untainted again: replay emissions go out committed
                     // (the originals carried the aborted epoch and were
@@ -1702,6 +1761,19 @@ impl WorkerCtx {
             }
             _ => {}
         }
+    }
+
+    /// A latency-stamped tuple reached a sink: record source-to-sink
+    /// nanoseconds into the global histogram and the trace. Reached only
+    /// when tracing was enabled at injection, so this is off the
+    /// disabled-mode path entirely.
+    fn note_sink_latency(&mut self, inst: usize, born: u64) {
+        let obs = blazes_obs::global();
+        let latency = obs.now_ns().saturating_sub(born);
+        self.latency
+            .get_or_insert_with(|| obs.registry().histogram("latency.tuple_ns"))
+            .record(latency);
+        obs.record(EventKind::SinkArrival, inst as u64, latency);
     }
 
     /// Retry deferred deliveries in arrival order, stopping at the first
@@ -1842,6 +1914,7 @@ impl WorkerCtx {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let entry = table.entry(epoch).or_insert_with(|| {
             spec.opened.fetch_add(1, Ordering::Relaxed);
+            blazes_obs::record(EventKind::EpochOpen, epoch, 0);
             EpochEntry::default()
         });
         let status = Arc::clone(&entry.status);
@@ -1863,6 +1936,7 @@ impl WorkerCtx {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let entry = table.entry(epoch).or_insert_with(|| {
             spec.opened.fetch_add(1, Ordering::Relaxed);
+            blazes_obs::record(EventKind::EpochOpen, epoch, 0);
             EpochEntry::default()
         });
         if entry.status.load(Ordering::SeqCst) == EPOCH_OPEN && !entry.participants.contains(&inst)
@@ -1889,6 +1963,7 @@ impl WorkerCtx {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             let entry = table.entry(epoch).or_insert_with(|| {
                 spec.opened.fetch_add(1, Ordering::Relaxed);
+                blazes_obs::record(EventKind::EpochOpen, epoch, 0);
                 EpochEntry::default()
             });
             entry.status.store(
@@ -1903,8 +1978,10 @@ impl WorkerCtx {
         };
         if commit {
             spec.committed.fetch_add(1, Ordering::Relaxed);
+            blazes_obs::record(EventKind::EpochCommit, epoch, 0);
         } else {
             spec.aborted.fetch_add(1, Ordering::Relaxed);
+            blazes_obs::record(EventKind::EpochAbort, epoch, 0);
         }
         // Any resolution is progress: restart the never-sealed rescue
         // ladder, so a later wedge gets the gentle drain pass first.
@@ -1937,9 +2014,24 @@ impl WorkerCtx {
         self.ws.events += 1;
         cell.now += 1;
         let mut ctx = Context::new(cell.now, InstanceId(inst));
+        let mut born = 0;
         match item {
-            MailItem::Deliver { port, msg, .. } => {
+            MailItem::Deliver {
+                port,
+                msg,
+                born: stamp,
+                ..
+            } => {
                 shared.counters.deliveries.fetch_add(1, Ordering::Relaxed);
+                born = stamp;
+                if stamp != 0 {
+                    // Tracing was on at injection: this delivery carries a
+                    // latency stamp. At a sink (no outgoing wires) the
+                    // tuple's journey ends — record source-to-sink latency.
+                    if cell.wires.iter().all(Vec::is_empty) {
+                        self.note_sink_latency(inst, stamp);
+                    }
+                }
                 cell.component.on_message(port, msg, &mut ctx);
                 cell.processed += 1;
             }
@@ -1981,7 +2073,15 @@ impl WorkerCtx {
             } else {
                 epochs.get(i).copied().unwrap_or(0)
             };
-            Self::stage(shared, out_port, msg, epoch, &mut cell.wires, &mut staged);
+            Self::stage(
+                shared,
+                out_port,
+                msg,
+                epoch,
+                born,
+                &mut cell.wires,
+                &mut staged,
+            );
         }
         while next_resolve < resolves.len() {
             let (epoch, commit, _) = resolves[next_resolve];
@@ -2016,6 +2116,7 @@ impl WorkerCtx {
         out_port: usize,
         msg: Message,
         epoch: u64,
+        born: u64,
         wires: &mut [Vec<WireRt>],
         staged: &mut Vec<(usize, MailItem)>,
     ) {
@@ -2040,6 +2141,7 @@ impl WorkerCtx {
                     port: dst_port,
                     msg: msg.clone(),
                     epoch,
+                    born,
                 },
             ));
             if duplicate {
@@ -2050,6 +2152,7 @@ impl WorkerCtx {
                         port: dst_port,
                         msg: msg.clone(),
                         epoch,
+                        born,
                     },
                 ));
             }
@@ -2132,6 +2235,7 @@ impl WorkerCtx {
         }
         if shared.wake() {
             self.ws.wakeups += 1;
+            blazes_obs::record(EventKind::Wakeup, self.idx as u64, inst as u64);
         }
     }
 
@@ -2182,6 +2286,7 @@ impl WorkerCtx {
             return true;
         }
         shared.rescue_passes.fetch_add(1, Ordering::Relaxed);
+        blazes_obs::record(EventKind::Rescue, u64::from(stage), open.len() as u64);
         if stage == 0 {
             // Drain pass. The sends are charged like any other emission
             // so the settled scan stays honest while the pass is in
@@ -2260,10 +2365,12 @@ impl WorkerCtx {
         // after the re-checks).
         shared.active.fetch_sub(1, Ordering::SeqCst);
         self.ws.parks += 1;
+        let span = blazes_obs::start();
         let parked = Instant::now();
         shared.idle.wait(ticket, PARK_TIMEOUT);
         shared.active.fetch_add(1, Ordering::SeqCst);
         self.ws.idle_park_time += parked.elapsed();
+        blazes_obs::span(span, EventKind::Park, self.idx as u64, 0);
         !shared.done.load(Ordering::SeqCst)
     }
 }

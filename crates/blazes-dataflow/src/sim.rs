@@ -265,11 +265,18 @@ impl Simulator {
                 }
             }
         }
-        self.stats()
+        let stats = self.stats();
+        if blazes_obs::enabled() {
+            stats.export_metrics(blazes_obs::global().registry());
+        }
+        stats
     }
 
     fn deliver(&mut self, instance: InstanceId, port: usize, msg: Message, at: Time) {
         self.messages_delivered += 1;
+        // `a` = instance, `b` = virtual delivery time: the trace keeps the
+        // simulator's own clock alongside the wall-clock timestamp.
+        blazes_obs::record(blazes_obs::EventKind::SimDelivery, instance.0 as u64, at);
         let start = self.instances[instance.0].busy_until.max(at);
         let mut ctx = Context::new(start, instance);
         self.instances[instance.0]

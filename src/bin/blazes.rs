@@ -16,6 +16,10 @@
 //! cargo run --bin blazes -- module.blz --tick-stats [--ticks N] \
 //!     [--rows N] [--mode naive|semi|sharded[:W]]
 //! ```
+//!
+//! Every form accepts `--trace FILE`: the observability layer records the
+//! run (Bloom stratum fixpoints, scheduler events when a runtime is
+//! involved) and a Chrome-trace JSON is written on exit.
 
 use blazes::core::advisor;
 use blazes::core::analysis::Analyzer;
@@ -183,10 +187,27 @@ fn run_bloom_module(name: &str, text: &str, args: &[String]) {
     );
 }
 
+/// Write the Chrome-trace JSON when `--trace` was given.
+fn export_trace(path: Option<&String>) {
+    if let Some(path) = path {
+        match blazes::obs::global().export_chrome(path) {
+            Ok(()) => println!("# trace written to {path}"),
+            Err(e) => {
+                eprintln!("trace export failed for {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let dynamic = !args.iter().any(|a| a == "--static-order");
-    let value_flags = ["--mode", "--ticks", "--rows"];
+    let trace = flag_value(&args, "--trace");
+    if trace.is_some() {
+        blazes::obs::global().set_enabled(true);
+    }
+    let value_flags = ["--mode", "--ticks", "--rows", "--trace"];
     let path = args.iter().enumerate().find_map(|(i, a)| {
         if a.starts_with("--") {
             return None;
@@ -219,6 +240,7 @@ fn main() {
 
     if is_bloom_module(&text) {
         run_bloom_module(&name, &text, &args);
+        export_trace(trace.as_ref());
         return;
     }
 
@@ -277,4 +299,5 @@ fn main() {
             println!("  {}", a.render(&graph));
         }
     }
+    export_trace(trace.as_ref());
 }

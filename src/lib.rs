@@ -27,4 +27,5 @@ pub use blazes_bloom as bloom;
 pub use blazes_coord as coord;
 pub use blazes_core as core;
 pub use blazes_dataflow as dataflow;
+pub use blazes_obs as obs;
 pub use blazes_storm as storm;

@@ -54,9 +54,14 @@ fn frame() -> impl Strategy<Value = Frame> {
         (
             (small_string(), small_string(), any::<u64>(), any::<u32>()),
             (any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>()),
+            any::<bool>(),
         )
             .prop_map(
-                |((topology, params, seed, processes), (index, workers, stealing, speculation))| {
+                |(
+                    (topology, params, seed, processes),
+                    (index, workers, stealing, speculation),
+                    trace,
+                )| {
                     Frame::Plan {
                         topology,
                         params,
@@ -66,6 +71,7 @@ fn frame() -> impl Strategy<Value = Frame> {
                         workers,
                         stealing,
                         speculation,
+                        trace,
                     }
                 }
             ),
@@ -108,6 +114,28 @@ fn frame() -> impl Strategy<Value = Frame> {
             ),
         Just(Frame::Shutdown),
         small_string().prop_map(|m| Frame::Error { message: m }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            collection::vec(
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                ),
+                0..5,
+            ),
+        )
+            .prop_map(|(pid, tid, events)| Frame::Trace {
+                pid,
+                tid,
+                events: events
+                    .into_iter()
+                    .map(|(ts, dur, kind, a, b)| [ts, dur, kind, a, b])
+                    .collect(),
+            }),
     ]
 }
 
