@@ -83,6 +83,9 @@ pub struct SealGateStats {
     pub late_forwards: u64,
     /// Queries that were delayed at least once.
     pub held_queries: u64,
+    /// Duplicate seal votes absorbed by the underlying manager — the
+    /// signature of a crash-recovered producer re-running its vote.
+    pub revotes: u64,
 }
 
 /// The injected seal-protocol operator (one per coordinated consumer
@@ -144,7 +147,10 @@ impl SealGate {
     /// Activity counters.
     #[must_use]
     pub fn stats(&self) -> SealGateStats {
-        self.stats
+        SealGateStats {
+            revotes: self.mgr.revotes(),
+            ..self.stats
+        }
     }
 
     fn release(&mut self, partition: Value, tuples: Vec<Tuple>, ctx: &mut Context) {

@@ -16,7 +16,8 @@
 //! and a spawned copy takes the [`worker_main`] early exit.
 //!
 //! ```text
-//! cargo run -p blazes-bench --release --bin dist_differential [--trace FILE]
+//! cargo run -p blazes-bench --release --bin dist_differential \
+//!     [--chaos] [--trace FILE]
 //! ```
 //!
 //! `--trace FILE` switches to the traced smoke mode instead of the full
@@ -24,6 +25,14 @@
 //! speculation, tracing enabled end to end, exported as a single
 //! Chrome-trace JSON whose lanes cover the coordinator and every worker
 //! process (the workers ship their ring buffers back over the wire).
+//!
+//! `--chaos` runs the crash-tolerance gate instead: the coordinated
+//! ad-report digests must stay bit-identical to the simulator across
+//! `{1,2,4}` processes × `{0,1,2}` seeded SIGKILLs, with the wire fault
+//! schedule still on. Combined with `--trace FILE` it adds one traced
+//! 2-process single-crash run whose Chrome export shows the respawned
+//! worker as its own pid lane plus the coordinator's respawn/replay
+//! marks.
 
 use blazes_apps::adreport::{AdScenario, StrategyKind};
 use blazes_apps::autocoord::{response_digests, run_ad_auto, run_wordcount_auto};
@@ -32,9 +41,12 @@ use blazes_apps::queries::ReportQuery;
 use blazes_apps::wordcount::{run_wordcount, WordcountScenario};
 use blazes_apps::workload::{CampaignPlacement, ClickWorkload, TweetWorkload};
 use blazes_dataflow::backend::BackendSpec;
-use blazes_dataflow::dist::{run_dist, worker_main, DistSpec};
+use blazes_dataflow::dist::{
+    run_dist, worker_main, ChaosSpec, DistSpec, DistTuning, Kill, KillPoint,
+};
 use blazes_dataflow::message::Message;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn ad_scenario(seed: u64) -> AdScenario {
     AdScenario {
@@ -204,6 +216,82 @@ fn confluent_minimality() -> Result<(), String> {
     Ok(())
 }
 
+/// The `--chaos` gate: coordinated ad-report digests must survive seeded
+/// SIGKILL schedules bit-identically. Crashed legs keep the full wire
+/// fault schedule (loss, duplicates, reorder, partition windows) on top
+/// of the kills, and multi-process crashed legs must actually observe a
+/// respawn — a schedule that never fires proves nothing.
+fn chaos_matrix(trace: Option<&str>) -> Result<(), String> {
+    let sc = ad_scenario(3);
+    let (sim_res, _) = run_ad_auto(&sc, &BackendSpec::Sim);
+    let reference = response_digests(&sim_res.responses);
+    if reference.iter().all(Vec::is_empty) {
+        return Err("chaos reference run produced no answers".into());
+    }
+    // Heartbeat fast enough that heartbeat-triggered kills land inside
+    // phase 1 even on the shortest legs.
+    let tuning = DistTuning::default().with_heartbeat_every(Duration::from_millis(5));
+    for processes in [1usize, 2, 4] {
+        for crashes in [0u32, 1, 2] {
+            let mut spec = dist_spec(processes, true, sc.seed);
+            spec.tuning = tuning.clone();
+            spec.chaos = ChaosSpec::seeded(
+                sc.seed ^ (u64::from(crashes) << 32),
+                crashes,
+                processes as u32,
+                8,
+            );
+            let (res, _) = run_ad_auto(&sc, &BackendSpec::Dist(spec));
+            let stats = res.stats.as_dist().ok_or("dist stats missing")?;
+            if response_digests(&res.responses) != reference {
+                return Err(format!(
+                    "chaos digest diverged at {processes} processes × {crashes} crashes \
+                     (reference {:#018x})",
+                    fingerprint(&reference)
+                ));
+            }
+            if crashes > 0 && processes > 1 && stats.respawns == 0 {
+                return Err(format!(
+                    "{crashes} scheduled kill(s) at {processes} processes never fired"
+                ));
+            }
+            println!(
+                "  chaos: {processes} procs × {crashes} crashes → {} respawns, \
+                 {} replayed, {} deduped, digest exact",
+                stats.respawns, stats.replayed_frames, stats.deduped_frames
+            );
+        }
+    }
+    if let Some(path) = trace {
+        let obs = blazes_obs::global();
+        obs.set_enabled(true);
+        let mut spec = dist_spec(2, true, sc.seed);
+        spec.tuning = tuning;
+        spec.chaos = ChaosSpec {
+            kills: vec![Kill {
+                worker: 1,
+                point: KillPoint::RoutedFrames(3),
+            }],
+        };
+        let (res, _) = run_ad_auto(&sc, &BackendSpec::Dist(spec));
+        if response_digests(&res.responses) != reference {
+            return Err("traced chaos run diverged from the reference".into());
+        }
+        let respawns = res.stats.as_dist().map_or(0, |s| s.respawns);
+        if respawns == 0 {
+            return Err("traced chaos run never fired its kill".into());
+        }
+        let remote = obs.remote_lane_count();
+        if remote == 0 {
+            return Err("no worker process shipped trace lanes back".into());
+        }
+        obs.export_chrome(path)
+            .map_err(|e| format!("chaos trace export failed for {path}: {e}"))?;
+        println!("  traced chaos run: {respawns} respawn(s), {remote} remote lanes, wrote {path}");
+    }
+    Ok(())
+}
+
 /// The `--trace` smoke: one coordinated 2-process ad-report run with
 /// speculation on and tracing enabled end to end, merged into a single
 /// Chrome-trace file. Fails when no worker process shipped lanes back —
@@ -234,6 +322,24 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--chaos") {
+        let trace = args.iter().position(|a| a == "--trace").map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| "chaos_trace.json".to_string())
+        });
+        println!("dist-differential: chaos matrix (processes × seeded crashes)");
+        return match chaos_matrix(trace.as_deref()) {
+            Ok(()) => {
+                println!("dist-differential: CHAOS PASS");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if let Some(i) = args.iter().position(|a| a == "--trace") {
         let path = args
             .get(i + 1)

@@ -44,11 +44,17 @@ pub struct SealManager {
     registry: ProducerRegistry,
     partitions: BTreeMap<Value, PartitionState>,
     released_count: u64,
-    /// Lazily bound `seal.votes` / `seal.releases` registry counters —
-    /// resolved on first use so the disabled path never touches the
-    /// metrics registry.
+    /// Votes that repeated an already-recorded (partition, producer)
+    /// pair. Benign by idempotence — and exactly what a crash-recovered
+    /// producer re-running its seal vote produces, so the dist chaos
+    /// suite asserts on it.
+    revotes: u64,
+    /// Lazily bound `seal.votes` / `seal.releases` / `seal.revotes`
+    /// registry counters — resolved on first use so the disabled path
+    /// never touches the metrics registry.
     votes_metric: Option<std::sync::Arc<blazes_obs::Counter>>,
     releases_metric: Option<std::sync::Arc<blazes_obs::Counter>>,
+    revotes_metric: Option<std::sync::Arc<blazes_obs::Counter>>,
 }
 
 impl SealManager {
@@ -59,8 +65,10 @@ impl SealManager {
             registry,
             partitions: BTreeMap::new(),
             released_count: 0,
+            revotes: 0,
             votes_metric: None,
             releases_metric: None,
+            revotes_metric: None,
         }
     }
 
@@ -87,7 +95,14 @@ impl SealManager {
         if state.released {
             return SealOutcome::LateArrival;
         }
-        state.sealed_by.insert(producer);
+        if !state.sealed_by.insert(producer) {
+            self.revotes += 1;
+            if blazes_obs::enabled() {
+                self.revotes_metric
+                    .get_or_insert_with(|| blazes_obs::global().registry().counter("seal.revotes"))
+                    .inc();
+            }
+        }
         if blazes_obs::enabled() {
             self.votes_metric
                 .get_or_insert_with(|| blazes_obs::global().registry().counter("seal.votes"))
@@ -116,6 +131,14 @@ impl SealManager {
     #[must_use]
     pub fn released_count(&self) -> u64 {
         self.released_count
+    }
+
+    /// Number of duplicate seal votes absorbed so far. Idempotence makes
+    /// them harmless; a crash-recovered producer re-running its vote is
+    /// the expected source.
+    #[must_use]
+    pub fn revotes(&self) -> u64 {
+        self.revotes
     }
 
     /// Number of partitions currently open (buffering).
@@ -205,11 +228,14 @@ mod tests {
         let reg = ProducerRegistry::all_produce(0..2);
         let mut mgr = SealManager::new(reg);
         assert_eq!(mgr.on_seal(Value::Int(1), 0), SealOutcome::Buffered);
+        assert_eq!(mgr.revotes(), 0);
         assert_eq!(mgr.on_seal(Value::Int(1), 0), SealOutcome::Buffered);
+        assert_eq!(mgr.revotes(), 1);
         assert!(matches!(
             mgr.on_seal(Value::Int(1), 1),
             SealOutcome::Released(_)
         ));
+        assert_eq!(mgr.revotes(), 1);
     }
 
     #[test]

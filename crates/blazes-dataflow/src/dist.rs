@@ -71,7 +71,45 @@
 //! no longer cross the wire; such frames are dropped and counted in
 //! [`DistStats::late_egress_frames`]. Coordinated topologies whose seals
 //! all arrive — everything the differential suite runs — never hit this.
+//!
+//! # Fault tolerance
+//!
+//! The crash model is *fail-stop during routing*: a worker process may be
+//! SIGKILL'd (or die any other way) at any point of phase 1, and the run
+//! still completes with the same sinks. Three mechanisms compose:
+//!
+//! * **Liveness.** Workers send [`wire::Frame::Heartbeat`] every
+//!   [`DistTuning::heartbeat_every`]; the coordinator keeps per-worker
+//!   deadlines, reaps child exits promptly, and converts every failure
+//!   into a forensic [`DistError::WorkerFailed`] verdict instead of the
+//!   old global stall timeout. Heartbeats also double as idle
+//!   keepalives, so a lost `Idle` frame self-heals on the next beat —
+//!   which is what fixed the historical 1-core "run stalled" flake.
+//! * **Recovery.** The coordinator logs the exact post-fault byte stream
+//!   it ships to each worker ([`recover::ReplayLog`]) and, on death,
+//!   respawns the worker (bounded exponential backoff, respawn budget)
+//!   with a bumped *epoch*; the fresh incarnation re-runs the identical
+//!   SPMD assembly and is rehydrated by replaying the log verbatim.
+//!   Output the dead incarnation had already delivered is suppressed on
+//!   its way back: per-wire sequence numbers catch reconnect resends,
+//!   and a content-multiset filter ([`recover::ReplayDedup`]) catches
+//!   recomputed frames whose interleaving permuted. Workers dually keep
+//!   an egress log trimmed by coordinator [`wire::Frame::Ack`]s, so
+//!   replay is exactly-once at the tuple level in both directions.
+//! * **Chaos.** [`ChaosSpec`] schedules seeded SIGKILLs (after N
+//!   heartbeats or N routed frames) so the differential suite can prove
+//!   digests bit-identical with and without crashes.
+//!
+//! The guarantee is deliberately CALM-shaped: replay restores the
+//! *multiset* of cross-partition messages, so confluent and coordinated
+//! topologies recover bit-identically, while an *uncoordinated*
+//! order-sensitive topology may still diverge under crashes — the same
+//! separation the paper draws for message-level disorder. Crashes during
+//! phase 2 (collection) are fatal: sink contents live only in their
+//! owning worker, and recomputing them mid-collection could tear the
+//! result set.
 
+pub mod recover;
 pub mod wire;
 
 use crate::backend::{ChannelId, ExecutorBuilder, PortId};
@@ -83,8 +121,11 @@ use crate::sim::{InstanceId, Time};
 use crate::sinks::CollectorSink;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+pub use recover::{ChaosSpec, DistTuning, FailureCause, Kill, KillPoint, Transport};
+use recover::{EgressLog, ReplayDedup, ReplayLog, SeqLedger, SeqVerdict};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -92,10 +133,14 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use wire::{Frame, FrameDecoder};
 
-/// Environment variable carrying the parent's socket path to a worker.
+/// Environment variable carrying the parent's endpoint to a worker: a
+/// Unix socket path, or `tcp:ADDR` for the TCP transport.
 pub const ENV_PARENT: &str = "BLAZES_DIST_PARENT";
 /// Environment variable carrying a worker's process index.
 pub const ENV_INDEX: &str = "BLAZES_DIST_INDEX";
+/// Environment variable carrying a worker's incarnation epoch (0 for the
+/// original spawn; bumped on every respawn).
+pub const ENV_EPOCH: &str = "BLAZES_DIST_EPOCH";
 
 /// Wire numbers for the local producer→egress hops, far above any global
 /// wire number. Egress hops use [`ChannelConfig::instant`] (no fault
@@ -203,6 +248,11 @@ pub struct DistSpec {
     /// program holding the same registry) such that it reaches
     /// [`worker_main`]; see [`libtest_worker_command`] for test binaries.
     pub worker_command: Vec<String>,
+    /// Supervision + recovery knobs (transport, heartbeats, respawn
+    /// budget).
+    pub tuning: DistTuning,
+    /// Seeded crash schedule for chaos runs (empty = no crashes).
+    pub chaos: ChaosSpec,
 }
 
 impl DistSpec {
@@ -225,6 +275,8 @@ impl DistSpec {
             reorder_prob: 0.0,
             partition: None,
             worker_command,
+            tuning: DistTuning::default(),
+            chaos: ChaosSpec::none(),
         }
     }
 }
@@ -259,12 +311,14 @@ pub enum DistError {
     Wire(wire::WireError),
     /// The topology name is not in the registry.
     UnknownTopology(String),
-    /// A worker reported an error or died before completing.
-    Worker {
+    /// A worker failed and the run could not (or was not allowed to)
+    /// recover it: the cause is non-recoverable, recovery is disabled, or
+    /// the respawn budget ran out.
+    WorkerFailed {
         /// Process index of the failing worker.
-        index: usize,
-        /// What it reported (or how it died).
-        message: String,
+        worker: usize,
+        /// Forensic verdict: how it died.
+        cause: FailureCause,
     },
     /// The coordination protocol was violated or stalled.
     Protocol(String),
@@ -276,8 +330,8 @@ impl std::fmt::Display for DistError {
             DistError::Io(e) => write!(f, "dist i/o error: {e}"),
             DistError::Wire(e) => write!(f, "dist wire error: {e}"),
             DistError::UnknownTopology(t) => write!(f, "unknown dist topology {t:?}"),
-            DistError::Worker { index, message } => {
-                write!(f, "dist worker {index} failed: {message}")
+            DistError::WorkerFailed { worker, cause } => {
+                write!(f, "dist worker {worker} failed: {cause}")
             }
             DistError::Protocol(m) => write!(f, "dist protocol error: {m}"),
         }
@@ -330,9 +384,17 @@ pub struct DistStats {
     /// Egress frames produced after `Collect` (rescue-drain output that
     /// could no longer cross the wire) — see the module docs.
     pub late_egress_frames: u64,
-    /// Stall-recovery probe rounds the parent fired after a silence
-    /// timeout (0 on a healthy run; at most 1 — a second stall is fatal).
-    pub stall_retries: u64,
+    /// Heartbeat frames the coordinator received.
+    pub heartbeats: u64,
+    /// Worker failures the coordinator detected (recovered or not).
+    pub worker_failures: u64,
+    /// Worker processes respawned after a failure.
+    pub respawns: u64,
+    /// Frames replayed from coordinator logs into (re)connected workers.
+    pub replayed_frames: u64,
+    /// Worker→coordinator frames suppressed as replay duplicates (by
+    /// sequence or by content).
+    pub deduped_frames: u64,
 }
 
 impl DistStats {
@@ -350,7 +412,13 @@ impl DistStats {
         reg.counter("dist.partition_windows")
             .add(self.partition_windows);
         reg.counter("dist.probe_rounds").add(self.probe_rounds);
-        reg.counter("dist.stall_retries").add(self.stall_retries);
+        reg.counter("dist.heartbeats").add(self.heartbeats);
+        reg.counter("dist.worker_failures")
+            .add(self.worker_failures);
+        reg.counter("dist.respawns").add(self.respawns);
+        reg.counter("dist.replayed_frames")
+            .add(self.replayed_frames);
+        reg.counter("dist.deduped_frames").add(self.deduped_frames);
         reg.counter("dist.events").add(self.events_processed);
         reg.counter("dist.deliveries").add(self.messages_delivered);
         reg.counter("dist.late_egress_frames")
@@ -698,10 +766,26 @@ struct WireRoute {
 /// frame-level reorder/partition perturbations, then writes frames to
 /// the destination worker's socket. Serial on purpose — one thread owns
 /// every draw, so fault schedules cannot race.
+///
+/// Sequence numbers on routed frames are the router's own *delivery
+/// ordinals* (per wire, from 0), not the producer's egress numbers: a
+/// respawned producer restarts its egress sequences and may permute its
+/// re-emissions, but consumers must still see a contiguous per-wire
+/// stream. Replay-suppressed frames consume neither an ordinal nor a
+/// fault draw, so crash-free and crashed runs route byte-identically.
 struct Router {
     routes: HashMap<u64, WireRoute>,
-    writers: Vec<UnixStream>,
+    writers: Vec<Option<Conn>>,
     sent_to: Vec<u64>,
+    /// Everything ever written toward each worker, in write order — the
+    /// exact post-fault stream, re-shipped verbatim on (re)connect.
+    logs: Vec<ReplayLog>,
+    /// Destinations whose socket write failed since the last sweep; the
+    /// coordinator turns these into failure verdicts (the frames
+    /// themselves are safe in the log).
+    write_failed: Vec<bool>,
+    /// Delivery ordinal per wire.
+    route_seq: HashMap<u64, u64>,
     /// Reorder hold slot per destination process.
     held: Vec<Option<(u64, Vec<u8>)>>,
     reorder_prob: f64,
@@ -716,12 +800,18 @@ struct Router {
 
 impl Router {
     /// Route one `Data` frame arriving from a worker.
-    fn route(&mut self, wire: u64, seq: u64, msg: &Message) -> Result<(), DistError> {
+    fn route(&mut self, wire: u64, msg: &Message) -> Result<(), DistError> {
         let route = self
             .routes
             .get_mut(&wire)
             .ok_or_else(|| DistError::Protocol(format!("data frame for unknown wire {wire}")))?;
         let dest = route.dest;
+        let seq = {
+            let s = self.route_seq.entry(wire).or_insert(0);
+            let seq = *s;
+            *s += 1;
+            seq
+        };
         let mut duplicate = false;
         if let Some(rng) = route.rng.as_mut() {
             // Mirror of the par backend's send path: loss first (counted
@@ -807,8 +897,13 @@ impl Router {
         Ok(())
     }
 
+    /// Log one post-fault frame for `dest` and attempt the socket write.
+    /// A failed (or absent) socket never loses the frame: it is in the
+    /// log, and the (re)connect path replays the log tail. The failure
+    /// is flagged for the supervisor instead of erroring, because a dead
+    /// worker mid-run is recoverable.
     fn write(&mut self, dest: usize, bytes: &[u8]) -> Result<(), DistError> {
-        self.writers[dest].write_all(bytes)?;
+        self.logs[dest].append(bytes.to_vec());
         self.sent_to[dest] += 1;
         self.stats.frames_routed += 1;
         blazes_obs::record(
@@ -816,6 +911,12 @@ impl Router {
             dest as u64,
             self.sent_to[dest],
         );
+        if let Some(writer) = self.writers[dest].as_mut() {
+            if writer.write_all(bytes).is_err() {
+                self.writers[dest] = None;
+                self.write_failed[dest] = true;
+            }
+        }
         Ok(())
     }
 
@@ -841,11 +942,17 @@ impl Router {
         self.window_buf.is_empty() && self.held.iter().all(Option::is_none)
     }
 
-    /// Send a control frame to one worker (bypasses the fault layers —
-    /// faults model the data plane, not the coordinator's own protocol).
-    fn control(&mut self, dest: usize, frame: &Frame) -> Result<(), DistError> {
-        self.writers[dest].write_all(&wire::encode(frame))?;
-        Ok(())
+    /// Send a control frame to one worker (bypasses the fault layers and
+    /// the replay log — faults and recovery model the data plane, not
+    /// the coordinator's own protocol). A down worker is skipped; a
+    /// failed write is flagged for the supervisor.
+    fn control(&mut self, dest: usize, frame: &Frame) {
+        if let Some(writer) = self.writers[dest].as_mut() {
+            if writer.write_all(&wire::encode(frame)).is_err() {
+                self.writers[dest] = None;
+                self.write_failed[dest] = true;
+            }
+        }
     }
 }
 
@@ -858,13 +965,163 @@ impl Drop for TempDir {
     }
 }
 
-/// Kills any still-running child on drop, so an error path can never leak
-/// worker processes.
-struct Children(Vec<std::process::Child>);
+// ---------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------
 
-impl Drop for Children {
+/// The coordinator's listening socket, over either transport.
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Conn::Unix(s))
+            }
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }
+        }
+    }
+}
+
+/// One coordinator↔worker byte stream, over either transport.
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(t),
+            Conn::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Sockets accepted from a non-blocking listener may inherit the
+    /// flag on some platforms; force blocking mode explicitly.
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_nonblocking(nb),
+            Conn::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Dial a coordinator endpoint as formatted for [`ENV_PARENT`]: a Unix
+/// socket path, or `tcp:ADDR`.
+fn connect_parent(endpoint: &str) -> std::io::Result<Conn> {
+    if let Some(addr) = endpoint.strip_prefix("tcp:") {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        Ok(Conn::Tcp(s))
+    } else {
+        Ok(Conn::Unix(UnixStream::connect(endpoint)?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+/// Coordinator-side state of one worker process. Kills the child on drop
+/// so no code path can leak a worker.
+struct WorkerSlot {
+    child: Option<std::process::Child>,
+    /// Incarnation number: 0 originally, bumped on every respawn.
+    epoch: u32,
+    /// Connection id of the live socket (0 = none) — the filter that
+    /// keeps a dead incarnation's buffered frames from being attributed
+    /// to its successor.
+    conn: u64,
+    /// Hello'd, planned and connected?
+    up: bool,
+    /// Spawned and awaiting its hello.
+    awaiting_hello: bool,
+    spawned_at: Instant,
+    /// Last frame of any kind on the live connection (liveness clock).
+    last_heard: Instant,
+    /// Heartbeats received across all incarnations (chaos triggers key
+    /// on this).
+    heartbeats: u64,
+    /// Respawns consumed against the budget.
+    respawns: u32,
+    /// When the scheduled respawn may fire (exponential backoff).
+    backoff_until: Option<Instant>,
+    /// Latest idle report of the live incarnation.
+    idle: Option<(u64, u64)>,
+    /// Name of the last frame received (stall forensics).
+    last_frame: &'static str,
+}
+
+impl WorkerSlot {
+    fn new() -> Self {
+        WorkerSlot {
+            child: None,
+            epoch: 0,
+            conn: 0,
+            up: false,
+            awaiting_hello: false,
+            spawned_at: Instant::now(),
+            last_heard: Instant::now(),
+            heartbeats: 0,
+            respawns: 0,
+            backoff_until: None,
+            idle: None,
+            last_frame: "<none>",
+        }
+    }
+}
+
+impl Drop for WorkerSlot {
     fn drop(&mut self) {
-        for child in &mut self.0 {
+        if let Some(child) = &mut self.child {
             if child.try_wait().ok().flatten().is_none() {
                 let _ = child.kill();
                 let _ = child.wait();
@@ -873,26 +1130,621 @@ impl Drop for Children {
     }
 }
 
-/// Events the parent's per-worker reader threads feed the main loop.
+/// Events fed to the coordinator's main loop by the accept thread and
+/// the per-connection reader threads. Every event is tagged with the
+/// connection id it arose on; the main loop drops events whose id does
+/// not match the worker's live connection.
 enum Event {
-    Frame(usize, Frame),
-    Decode(usize, wire::WireError),
-    Eof(usize),
+    /// A fresh connection completed its `Hello` handshake.
+    Hello {
+        index: usize,
+        epoch: u32,
+        resume_recv: u64,
+        conn_id: u64,
+        conn: Conn,
+        /// Bytes the hello reader slurped past the handshake frame.
+        leftover: Vec<u8>,
+    },
+    Frame(usize, u64, Frame),
+    Decode(usize, u64, wire::WireError),
+    Eof(usize, u64),
 }
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// How long the parent tolerates total silence before declaring the run
-/// stalled. Generous: CI machines stall on scheduling, not logic.
+/// How long the coordinator tolerates zero protocol *progress* (fresh
+/// data, idle reports, probe acks) before declaring the run stalled.
+/// Heartbeats deliberately do not feed this clock — they answer "is the
+/// worker alive?", not "is the run advancing?" — so a livelock among
+/// healthy workers still trips it, now with a per-worker verdict.
 const STALL_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// How long a (re)spawned worker may take to complete its hello.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Minimum interval between supervision liveness sweeps (child reaping,
+/// deadlines, pending respawns). Chaos triggers are checked every loop
+/// iteration regardless.
+const SUPERVISE_EVERY: Duration = Duration::from_millis(5);
+
+/// Sets the shared stop flag on drop, so the accept thread winds down on
+/// every exit path from [`run_dist`], including errors.
+struct StopFlag(Arc<AtomicBool>);
+
+impl Drop for StopFlag {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Accept-side thread: poll the listener and, for each connection, read
+/// its `Hello` on a helper thread (so one wedged dialer cannot block
+/// later connections) before handing it to the main loop.
+fn accept_loop(
+    listener: &Listener,
+    stop: &AtomicBool,
+    conn_seq: &AtomicU64,
+    tx: &mpsc::Sender<Event>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(conn) => {
+                let conn_id = conn_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let mut conn = conn;
+                    if conn.set_nonblocking(false).is_err()
+                        || conn.set_read_timeout(Some(HELLO_TIMEOUT)).is_err()
+                    {
+                        return;
+                    }
+                    if let Ok((index, epoch, resume_recv, leftover)) = read_hello(&mut conn) {
+                        let _ = conn.set_read_timeout(None);
+                        let _ = tx.send(Event::Hello {
+                            index: index as usize,
+                            epoch,
+                            resume_recv,
+                            conn_id,
+                            conn,
+                            leftover,
+                        });
+                    }
+                });
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// The coordinator: owns the router, the per-worker slots, and the
+/// ingest-side dedup state, and drives supervision + recovery.
+struct Coordinator<'a> {
+    spec: &'a DistSpec,
+    processes: usize,
+    endpoint: String,
+    trace: bool,
+    router: Router,
+    slots: Vec<WorkerSlot>,
+    /// Cross-process wires originating at each worker — the wires whose
+    /// egress that worker produces, and whose ingest filters must reset
+    /// when it respawns.
+    origin_wires: Vec<Vec<u64>>,
+    /// Ingest dedup, layer 1: per-wire producer egress sequencing.
+    /// Catches byte-identical reconnect resends.
+    seq: SeqLedger,
+    /// Ingest dedup, layer 2: content multisets armed at respawn.
+    /// Catches recomputed frames whose emission order permuted.
+    dedup: ReplayDedup,
+    /// Content hashes admitted per wire, in admission order — the data
+    /// that arms `dedup` when the wire's producer respawns.
+    routed_hashes: HashMap<u64, Vec<u64>>,
+    /// Seq-fresh frames received per worker: the coordinator-side mirror
+    /// of each worker's `sent` counter.
+    recv_from: Vec<u64>,
+    tx: mpsc::Sender<Event>,
+    readers: Vec<std::thread::JoinHandle<()>>,
+    chaos_fired: Vec<bool>,
+    probe_nonce: u64,
+    acks: Vec<Option<bool>>,
+    awaiting_probe: bool,
+    /// Protocol-progress clock: fresh data, idle reports, probe acks and
+    /// hellos feed it. Heartbeats deliberately do not — they answer "is
+    /// the worker alive?", not "is the run advancing?".
+    last_progress: Instant,
+    last_sweep: Instant,
+    phase_start: Instant,
+}
+
+impl Coordinator<'_> {
+    /// Spawn (or respawn) worker `i` at its slot's current epoch.
+    fn spawn_worker(&mut self, i: usize) -> Result<(), DistError> {
+        let epoch = self.slots[i].epoch;
+        let child = std::process::Command::new(&self.spec.worker_command[0])
+            .args(&self.spec.worker_command[1..])
+            .env(ENV_PARENT, &self.endpoint)
+            .env(ENV_INDEX, i.to_string())
+            .env(ENV_EPOCH, epoch.to_string())
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .map_err(|e| DistError::WorkerFailed {
+                worker: i,
+                cause: FailureCause::SpawnFailed(e.to_string()),
+            })?;
+        let slot = &mut self.slots[i];
+        slot.child = Some(child);
+        slot.awaiting_hello = true;
+        slot.spawned_at = Instant::now();
+        slot.backoff_until = None;
+        if epoch > 0 {
+            self.router.stats.respawns += 1;
+            blazes_obs::record(blazes_obs::EventKind::Respawn, i as u64, u64::from(epoch));
+        }
+        Ok(())
+    }
+
+    /// Fire any chaos kills whose trigger condition now holds. SIGKILL,
+    /// so the victim gets no chance to flush or clean up. The death is
+    /// declared via [`Self::worker_down`] in the same call: if the kill
+    /// only signalled and left discovery to the liveness sweep, the
+    /// stability protocol could converge on the victim's stale idle
+    /// report and phase 2 could begin while it dies — and phase-2
+    /// deaths are fatal by design.
+    fn fire_chaos(&mut self) -> Result<(), DistError> {
+        for k in 0..self.spec.chaos.kills.len() {
+            if self.chaos_fired[k] {
+                continue;
+            }
+            let kill = self.spec.chaos.kills[k];
+            if kill.worker >= self.processes {
+                self.chaos_fired[k] = true;
+                continue;
+            }
+            let due = match kill.point {
+                KillPoint::RoutedFrames(n) => self.router.sent_to[kill.worker] >= n,
+                KillPoint::Heartbeats(n) => self.slots[kill.worker].heartbeats >= n,
+                KillPoint::AfterMillis(ms) => {
+                    self.phase_start.elapsed() >= Duration::from_millis(ms)
+                }
+            };
+            if !due {
+                continue;
+            }
+            self.chaos_fired[k] = true;
+            self.worker_down(kill.worker, FailureCause::Exited(None))?;
+        }
+        Ok(())
+    }
+
+    /// One supervision pass: chaos triggers every call; liveness sweeps
+    /// (child reaping, hello/heartbeat deadlines, pending respawns)
+    /// throttled to [`SUPERVISE_EVERY`].
+    fn supervise(&mut self) -> Result<(), DistError> {
+        self.fire_chaos()?;
+        if self.last_sweep.elapsed() < SUPERVISE_EVERY {
+            return Ok(());
+        }
+        self.last_sweep = Instant::now();
+        self.sweep_write_failures()?;
+        for i in 0..self.processes {
+            // Reap exits first — the cheapest and most decisive signal.
+            let exited = self.slots[i]
+                .child
+                .as_mut()
+                .and_then(|c| c.try_wait().ok().flatten());
+            if let Some(status) = exited {
+                self.worker_down(i, FailureCause::Exited(status.code()))?;
+                continue;
+            }
+            if self.slots[i].awaiting_hello && self.slots[i].spawned_at.elapsed() > HELLO_TIMEOUT {
+                self.worker_down(i, FailureCause::HelloTimeout)?;
+                continue;
+            }
+            if self.slots[i].up
+                && self.slots[i].last_heard.elapsed() > self.spec.tuning.worker_deadline
+            {
+                let ms = self.slots[i].last_heard.elapsed().as_millis() as u64;
+                self.worker_down(i, FailureCause::HeartbeatTimeout(ms))?;
+                continue;
+            }
+            if let Some(due) = self.slots[i].backoff_until {
+                if Instant::now() >= due {
+                    self.spawn_worker(i)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every worker incarnation is live: no pending respawn,
+    /// no handshake in flight. Phase 1 may only end in this state.
+    fn all_up(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|s| s.up && !s.awaiting_hello && s.backoff_until.is_none())
+    }
+
+    /// Convert flagged socket-write failures into failure verdicts.
+    fn sweep_write_failures(&mut self) -> Result<(), DistError> {
+        for i in 0..self.processes {
+            if std::mem::take(&mut self.router.write_failed[i]) {
+                self.worker_down(i, FailureCause::Eof)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Declare worker `i` dead with `cause`: reap it, quarantine its
+    /// connection, and either schedule a respawn or convert the cause
+    /// into the run's failure verdict.
+    fn worker_down(&mut self, i: usize, cause: FailureCause) -> Result<(), DistError> {
+        {
+            let slot = &mut self.slots[i];
+            if slot.child.is_none() && !slot.up && !slot.awaiting_hello {
+                return Ok(()); // already down, respawn scheduled
+            }
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            slot.up = false;
+            slot.awaiting_hello = false;
+            slot.conn = 0;
+            slot.idle = None;
+        }
+        self.router.writers[i] = None;
+        self.router.write_failed[i] = false;
+        self.awaiting_probe = false;
+        self.last_progress = Instant::now();
+        self.router.stats.worker_failures += 1;
+        let recoverable = self.spec.tuning.recovery
+            && !matches!(cause, FailureCause::Reported(_) | FailureCause::Corrupt(_));
+        if !recoverable {
+            return Err(DistError::WorkerFailed { worker: i, cause });
+        }
+        let budget = self.spec.tuning.respawn_budget;
+        let slot = &mut self.slots[i];
+        if slot.respawns >= budget {
+            return Err(DistError::WorkerFailed {
+                worker: i,
+                cause: FailureCause::BudgetExhausted {
+                    respawns: slot.respawns,
+                    last: Box::new(cause),
+                },
+            });
+        }
+        slot.backoff_until = Some(Instant::now() + self.spec.tuning.backoff_for(slot.respawns));
+        slot.respawns += 1;
+        slot.epoch += 1;
+        Ok(())
+    }
+
+    /// Admit a completed hello: ship the plan (fresh incarnations only),
+    /// replay the log tail, re-arm the ingest filters, and start a
+    /// conn-tagged reader.
+    fn on_hello(
+        &mut self,
+        index: usize,
+        epoch: u32,
+        resume_recv: u64,
+        conn_id: u64,
+        conn: Conn,
+        leftover: Vec<u8>,
+    ) -> Result<(), DistError> {
+        if index >= self.processes {
+            return Err(DistError::Protocol(format!("bad hello index {index}")));
+        }
+        let (slot_epoch, awaiting, up) = {
+            let s = &self.slots[index];
+            (s.epoch, s.awaiting_hello, s.up)
+        };
+        if epoch != slot_epoch || (!awaiting && !up) {
+            // A stale incarnation (or an unsolicited dialer): drop it.
+            return Ok(());
+        }
+        let reconnect = up;
+        let Ok(mut writer) = conn.try_clone() else {
+            return Ok(());
+        };
+        let mut io_ok = true;
+        if !reconnect {
+            io_ok = writer
+                .write_all(&wire::encode(&Frame::Plan {
+                    topology: self.spec.topology.clone(),
+                    params: self.spec.params.clone(),
+                    seed: self.spec.seed,
+                    processes: self.processes as u32,
+                    index: index as u32,
+                    workers: self.spec.workers_per_process as u32,
+                    stealing: self.spec.stealing,
+                    speculation: self.spec.speculation,
+                    trace: self.trace,
+                    epoch,
+                    heartbeat_ms: u32::try_from(self.spec.tuning.heartbeat_every.as_millis())
+                        .unwrap_or(u32::MAX),
+                }))
+                .is_ok();
+        }
+        let mut replayed = 0u64;
+        if io_ok {
+            for bytes in self.router.logs[index].tail(resume_recv) {
+                if writer.write_all(bytes).is_err() {
+                    io_ok = false;
+                    break;
+                }
+                replayed += 1;
+            }
+        }
+        if !io_ok {
+            // The incarnation died during its own handshake; the
+            // supervisor will reap the corpse and schedule the next try.
+            return Ok(());
+        }
+        if !reconnect {
+            // A fresh incarnation restarts its egress from zero and will
+            // re-emit everything it computes. Reset the sequence ledger
+            // for its wires and arm the content filter with what those
+            // wires already delivered, so re-emissions are swallowed.
+            self.recv_from[index] = 0;
+            for &w in &self.origin_wires[index] {
+                self.dedup
+                    .arm(w, self.routed_hashes.get(&w).map_or(&[][..], Vec::as_slice));
+            }
+            self.seq.reset_wires(&self.origin_wires[index]);
+        }
+        if replayed > 0 {
+            self.router.stats.replayed_frames += replayed;
+            blazes_obs::record(blazes_obs::EventKind::Replay, index as u64, replayed);
+        }
+        let slot = &mut self.slots[index];
+        slot.up = true;
+        slot.awaiting_hello = false;
+        slot.conn = conn_id;
+        slot.last_heard = Instant::now();
+        slot.idle = None;
+        self.router.writers[index] = Some(writer);
+        self.last_progress = Instant::now();
+        let tx = self.tx.clone();
+        self.readers.push(std::thread::spawn(move || {
+            reader_loop(index, conn_id, conn, leftover, &tx);
+        }));
+        Ok(())
+    }
+
+    /// Handle one phase-1 event. Returns `Ok(true)` once the stability
+    /// protocol confirms global quiescence.
+    fn handle_event(&mut self, event: Event) -> Result<bool, DistError> {
+        match event {
+            Event::Hello {
+                index,
+                epoch,
+                resume_recv,
+                conn_id,
+                conn,
+                leftover,
+            } => {
+                self.on_hello(index, epoch, resume_recv, conn_id, conn, leftover)?;
+                Ok(false)
+            }
+            Event::Frame(i, conn_id, frame) => {
+                if self.slots[i].conn != conn_id {
+                    return Ok(false); // dead incarnation's buffered bytes
+                }
+                self.slots[i].last_frame = frame_name(&frame);
+                self.slots[i].last_heard = Instant::now();
+                self.on_frame(i, frame)
+            }
+            Event::Decode(i, conn_id, e) => {
+                if self.slots[i].conn == conn_id {
+                    self.worker_down(i, FailureCause::Corrupt(e.to_string()))?;
+                }
+                Ok(false)
+            }
+            Event::Eof(i, conn_id) => {
+                if self.slots[i].conn == conn_id {
+                    self.worker_down(i, FailureCause::Eof)?;
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Handle one phase-1 frame from live worker `i`.
+    fn on_frame(&mut self, i: usize, frame: Frame) -> Result<bool, DistError> {
+        match frame {
+            Frame::Data { wire, seq, msg } => {
+                blazes_obs::record(blazes_obs::EventKind::FrameRecv, wire, seq);
+                match self.seq.accept(wire, seq) {
+                    SeqVerdict::Duplicate => {
+                        self.router.stats.deduped_frames += 1;
+                    }
+                    SeqVerdict::Gap { expected } => {
+                        return Err(DistError::Protocol(format!(
+                            "wire {wire} skipped from seq {expected} to {seq} at the coordinator"
+                        )));
+                    }
+                    SeqVerdict::Fresh => {
+                        self.recv_from[i] += 1;
+                        self.slots[i].idle = None;
+                        self.awaiting_probe = false;
+                        self.last_progress = Instant::now();
+                        let hash = recover::fnv1a(&wire::message_bytes(&msg));
+                        if self.dedup.admit(wire, hash) {
+                            self.routed_hashes.entry(wire).or_default().push(hash);
+                            self.router.route(wire, &msg)?;
+                        } else {
+                            self.router.stats.deduped_frames += 1;
+                        }
+                    }
+                }
+                Ok(false)
+            }
+            Frame::Idle { sent, recv } => self.on_idle(i, sent, recv),
+            Frame::Heartbeat {
+                epoch,
+                sent,
+                recv,
+                idle,
+            } => {
+                if epoch != self.slots[i].epoch {
+                    return Ok(false);
+                }
+                self.slots[i].heartbeats += 1;
+                self.router.stats.heartbeats += 1;
+                let acks = self.acks_for(i);
+                if !acks.is_empty() {
+                    self.router.control(i, &Frame::Ack { acks });
+                }
+                if idle {
+                    // Idle keepalive: a re-announcement of quiescence,
+                    // healing a lost or raced `Idle` frame.
+                    return self.on_idle(i, sent, recv);
+                }
+                self.slots[i].idle = None;
+                Ok(false)
+            }
+            Frame::ProbeAck {
+                nonce,
+                sent,
+                recv,
+                idle,
+            } => {
+                // Deliberately not a `last_progress` refresh: failed probe
+                // rounds repeat on every idle keepalive, and their acks
+                // must not keep a livelocked run alive.
+                if self.awaiting_probe && nonce == self.probe_nonce {
+                    self.acks[i] =
+                        Some(idle && sent == self.recv_from[i] && recv == self.router.sent_to[i]);
+                    if self.acks.iter().all(|a| *a == Some(true)) {
+                        return Ok(true); // confirmed stable
+                    }
+                    if self.acks.iter().all(Option::is_some) {
+                        self.awaiting_probe = false; // retry on the next idle
+                    }
+                }
+                Ok(false)
+            }
+            Frame::Error { message } => {
+                self.worker_down(i, FailureCause::Reported(message))?;
+                Ok(false)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Traffic paused at worker `i`: release anything the fault layers
+    /// hold, then see whether the whole fleet has gone quiet.
+    fn on_idle(&mut self, i: usize, sent: u64, recv: u64) -> Result<bool, DistError> {
+        self.router.flush()?;
+        // Only a *changed* idle report counts as progress: idle keepalive
+        // heartbeats re-announce the same counters every interval, and
+        // letting them refresh the stall clock would mask a stability
+        // livelock forever.
+        if self.slots[i].idle != Some((sent, recv)) {
+            self.last_progress = Instant::now();
+        }
+        self.slots[i].idle = Some((sent, recv));
+        let stable = self.slots.iter().all(|s| s.up)
+            && self.router.drained()
+            && (0..self.processes)
+                .all(|w| self.slots[w].idle == Some((self.recv_from[w], self.router.sent_to[w])));
+        if stable && !self.awaiting_probe {
+            self.probe_nonce += 1;
+            self.acks = vec![None; self.processes];
+            self.awaiting_probe = true;
+            self.router.stats.probe_rounds += 1;
+            for w in 0..self.processes {
+                self.router.control(
+                    w,
+                    &Frame::Probe {
+                        nonce: self.probe_nonce,
+                    },
+                );
+            }
+        }
+        Ok(false)
+    }
+
+    /// Cumulative ack vector for worker `i`'s origin wires: the highest
+    /// egress sequence number the coordinator has accepted per wire.
+    fn acks_for(&self, i: usize) -> Vec<(u64, u64)> {
+        let mut acks: Vec<(u64, u64)> = self.origin_wires[i]
+            .iter()
+            .filter_map(|&w| self.seq.high(w).map(|h| (w, h)))
+            .collect();
+        acks.sort_unstable();
+        acks
+    }
+
+    /// One-line diagnosis of a stalled run: dead/silent workers are a
+    /// liveness bug; a fleet of heartbeating workers that never converges
+    /// is a scheduling stall or protocol livelock.
+    fn stall_verdict(&self) -> String {
+        let silent: Vec<usize> = (0..self.processes)
+            .filter(|&i| {
+                !self.slots[i].up
+                    || self.slots[i].last_heard.elapsed() > self.spec.tuning.heartbeat_every * 4
+            })
+            .collect();
+        if silent.is_empty() {
+            "run stalled: all workers alive and heartbeating, but the stability \
+             counters never converged (scheduling stall or protocol livelock)"
+                .to_string()
+        } else {
+            format!("run stalled: workers {silent:?} silent (dead or wedged)")
+        }
+    }
+
+    /// Print the per-worker ledger to stderr before giving up on a
+    /// stalled run — the difference between "flaked again" and a
+    /// diagnosable interleaving in CI logs.
+    fn dump_stall_forensics(&self) {
+        eprintln!(
+            "dist coordinator stalled after {}s without protocol progress; \
+             awaiting_probe={} router_drained={}",
+            STALL_TIMEOUT.as_secs(),
+            self.awaiting_probe,
+            self.router.drained()
+        );
+        for i in 0..self.processes {
+            let s = &self.slots[i];
+            let idle = s
+                .idle
+                .map_or("<none>".to_string(), |(a, b)| format!("sent={a} recv={b}"));
+            let ack = match self.acks.get(i).copied().flatten() {
+                None => "<pending>",
+                Some(true) => "stable",
+                Some(false) => "unstable",
+            };
+            eprintln!(
+                "  worker {i}: epoch={} up={} respawns={} heartbeats={} heard={}ms-ago \
+                 routed_to={} recv_from={} last_frame={} idle_report={idle} probe_ack={ack}",
+                s.epoch,
+                s.up,
+                s.respawns,
+                s.heartbeats,
+                s.last_heard.elapsed().as_millis(),
+                self.router.sent_to[i],
+                self.recv_from[i],
+                s.last_frame
+            );
+        }
+    }
+}
 
 /// Execute `spec` across real worker processes and collect the sinks.
 ///
-/// The parent probes the assembly for structure, binds a Unix socket in a
-/// fresh temp directory, spawns `spec.processes` workers with
-/// [`ENV_PARENT`]/[`ENV_INDEX`] set, ships each its plan, routes every
-/// cross-partition frame (applying the wire fault schedule), and — once
-/// the stability protocol holds — collects sink contents and statistics.
+/// The parent probes the assembly for structure, binds a listening
+/// socket (Unix by default, loopback TCP via
+/// [`DistTuning::with_transport`]), spawns `spec.processes` workers with
+/// [`ENV_PARENT`]/[`ENV_INDEX`]/[`ENV_EPOCH`] set, ships each its plan,
+/// routes every cross-partition frame (applying the wire fault
+/// schedule), and — once the stability protocol holds — collects sink
+/// contents and statistics. Workers that die during routing are
+/// respawned and rehydrated by deterministic replay (see the
+/// module-level *Fault tolerance* notes); workers that die during
+/// collection fail the run.
 ///
 /// # Errors
 /// Any I/O, decode, protocol or worker failure; see [`DistError`].
@@ -911,12 +1763,14 @@ pub fn run_dist(spec: &DistSpec, registry: &Registry) -> Result<DistRun, DistErr
     let sinks = registry.assemble(&spec.topology, &spec.params, &mut probe)?;
 
     let mut routes = HashMap::new();
+    let mut origin_wires: Vec<Vec<u64>> = vec![Vec::new(); processes];
     for (wire_id, w) in probe.wires().iter().enumerate() {
         if owner(w.from, processes) == owner(w.to, processes) {
             continue;
         }
         let cfg = &probe.channels()[w.channel];
         let wire_id = wire_id as u64;
+        origin_wires[owner(w.from, processes)].push(wire_id);
         let faulty = cfg.loss_prob > 0.0 || cfg.duplicate_prob > 0.0;
         routes.insert(
             wire_id,
@@ -936,75 +1790,54 @@ pub fn run_dist(spec: &DistSpec, registry: &Registry) -> Result<DistRun, DistErr
         );
     }
 
-    // Socket in a private temp dir; cleaned up whatever happens.
-    let dir = std::env::temp_dir().join(format!(
-        "blazes-dist-{}-{}",
-        std::process::id(),
-        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
-    ));
-    std::fs::create_dir_all(&dir)?;
-    let _dir_guard = TempDir(dir.clone());
-    let sock = dir.join("coord.sock");
-    let listener = UnixListener::bind(&sock)?;
-
-    // Spawn the fleet.
-    let mut children = Children(Vec::with_capacity(processes));
-    for i in 0..processes {
-        let child = std::process::Command::new(&spec.worker_command[0])
-            .args(&spec.worker_command[1..])
-            .env(ENV_PARENT, &sock)
-            .env(ENV_INDEX, i.to_string())
-            .stdin(std::process::Stdio::null())
-            .stdout(std::process::Stdio::null())
-            .stderr(std::process::Stdio::inherit())
-            .spawn()?;
-        children.0.push(child);
-    }
-
-    // Accept every worker; each introduces itself with `Hello{index}`.
-    let mut streams: Vec<Option<UnixStream>> = (0..processes).map(|_| None).collect();
-    for _ in 0..processes {
-        let (stream, _) = listener.accept()?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        let index = read_hello(&stream)?;
-        if index >= processes || streams[index].is_some() {
-            return Err(DistError::Protocol(format!("bad hello index {index}")));
+    // Bind the endpoint. Unix sockets live in a private temp dir that is
+    // cleaned up whatever happens; TCP binds an ephemeral loopback port.
+    let mut _dir_guard = None;
+    let (listener, endpoint) = match spec.tuning.transport {
+        Transport::Unix => {
+            let dir = std::env::temp_dir().join(format!(
+                "blazes-dist-{}-{}",
+                std::process::id(),
+                DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+            ));
+            std::fs::create_dir_all(&dir)?;
+            _dir_guard = Some(TempDir(dir.clone()));
+            let sock = dir.join("coord.sock");
+            let listener = UnixListener::bind(&sock)?;
+            (
+                Listener::Unix(listener),
+                sock.to_string_lossy().into_owned(),
+            )
         }
-        stream.set_read_timeout(None)?;
-        streams[index] = Some(stream);
-    }
-    let streams: Vec<UnixStream> = streams.into_iter().map(Option::unwrap).collect();
+        Transport::Tcp => {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let addr = listener.local_addr()?;
+            (Listener::Tcp(listener), format!("tcp:{addr}"))
+        }
+    };
+    listener.set_nonblocking(true)?;
 
-    // Ship the plan and start the reader threads. When tracing is on in
-    // this process, every worker records too and ships its lanes back
-    // during collection, so one export shows the whole fleet.
+    // Accept thread: hands completed hellos to the main loop. The stop
+    // flag is set on every exit path by the drop guard.
     let trace = blazes_obs::enabled();
     let (tx, rx) = mpsc::channel::<Event>();
-    let mut readers = Vec::with_capacity(processes);
-    let mut writers = Vec::with_capacity(processes);
-    for (i, stream) in streams.into_iter().enumerate() {
-        let mut writer = stream.try_clone()?;
-        writer.write_all(&wire::encode(&Frame::Plan {
-            topology: spec.topology.clone(),
-            params: spec.params.clone(),
-            seed: spec.seed,
-            processes: processes as u32,
-            index: i as u32,
-            workers: spec.workers_per_process as u32,
-            stealing: spec.stealing,
-            speculation: spec.speculation,
-            trace,
-        }))?;
-        writers.push(writer);
+    let stop = Arc::new(AtomicBool::new(false));
+    let _stop_guard = StopFlag(Arc::clone(&stop));
+    let conn_seq = Arc::new(AtomicU64::new(0));
+    let accept_handle = {
+        let stop = Arc::clone(&stop);
+        let conn_seq = Arc::clone(&conn_seq);
         let tx = tx.clone();
-        readers.push(std::thread::spawn(move || reader_loop(i, stream, &tx)));
-    }
-    drop(tx);
+        std::thread::spawn(move || accept_loop(&listener, &stop, &conn_seq, &tx))
+    };
 
-    let mut router = Router {
+    let router = Router {
         routes,
-        writers,
+        writers: (0..processes).map(|_| None).collect(),
         sent_to: vec![0; processes],
+        logs: (0..processes).map(|_| ReplayLog::new()).collect(),
+        write_failed: vec![false; processes],
+        route_seq: HashMap::new(),
         held: (0..processes).map(|_| None).collect(),
         reorder_prob: spec.reorder_prob,
         partition: spec.partition,
@@ -1016,213 +1849,178 @@ pub fn run_dist(spec: &DistSpec, registry: &Registry) -> Result<DistRun, DistErr
             ..DistStats::default()
         },
     };
+    let mut coord = Coordinator {
+        spec,
+        processes,
+        endpoint,
+        trace,
+        router,
+        slots: (0..processes).map(|_| WorkerSlot::new()).collect(),
+        origin_wires,
+        seq: SeqLedger::new(),
+        dedup: ReplayDedup::new(),
+        routed_hashes: HashMap::new(),
+        recv_from: vec![0; processes],
+        tx,
+        readers: Vec::new(),
+        chaos_fired: vec![false; spec.chaos.kills.len()],
+        probe_nonce: 0,
+        acks: vec![None; processes],
+        awaiting_probe: false,
+        last_progress: Instant::now(),
+        last_sweep: Instant::now(),
+        phase_start: Instant::now(),
+    };
+    for i in 0..processes {
+        coord.spawn_worker(i)?;
+    }
 
-    // Phase 1: route until stable.
-    let mut recv_from = vec![0u64; processes];
-    let mut idle_report: Vec<Option<(u64, u64)>> = vec![None; processes];
-    let mut probe_nonce = 0u64;
-    let mut acks: Vec<Option<bool>> = vec![None; processes];
-    let mut awaiting_probe = false;
-    let mut last_activity = Instant::now();
-    let mut last_frame: Vec<&'static str> = vec!["<none>"; processes];
-    let mut stalled_once = false;
+    // Phase 1: route until the stability protocol confirms quiescence,
+    // supervising liveness and firing chaos kills along the way.
     loop {
-        let event = match rx.recv_timeout(Duration::from_millis(200)) {
-            Ok(event) => event,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if last_activity.elapsed() > STALL_TIMEOUT {
-                    if !stalled_once {
-                        // One bounded recovery round: a probe is answered
-                        // even by a worker whose Idle report was lost or
-                        // raced, so it un-wedges the known single-core
-                        // "everyone idle, nobody confirming" interleaving.
-                        stalled_once = true;
-                        router.stats.stall_retries += 1;
-                        router.flush()?;
-                        probe_nonce += 1;
-                        acks = vec![None; processes];
-                        awaiting_probe = true;
-                        router.stats.probe_rounds += 1;
-                        for w in 0..processes {
-                            router.control(w, &Frame::Probe { nonce: probe_nonce })?;
-                        }
-                        last_activity = Instant::now();
-                        continue;
+        coord.supervise()?;
+        if coord.last_progress.elapsed() > STALL_TIMEOUT {
+            coord.dump_stall_forensics();
+            return Err(DistError::Protocol(coord.stall_verdict()));
+        }
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(event) => {
+                if coord.handle_event(event)? {
+                    // A chaos kill can become due on the very frame that
+                    // completed stability. Give supervision one final pass
+                    // and only leave phase 1 with every worker alive —
+                    // phase-2 deaths are fatal by design.
+                    coord.supervise()?;
+                    if coord.all_up() {
+                        break;
                     }
-                    dump_stall_forensics(
-                        &recv_from,
-                        &router.sent_to,
-                        &idle_report,
-                        &acks,
-                        &last_frame,
-                        awaiting_probe,
-                        router.drained(),
-                    );
-                    return Err(DistError::Protocol("run stalled".to_string()));
                 }
-                continue;
             }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(DistError::Protocol("all readers gone".to_string()));
+            }
+        }
+    }
+
+    // Phase 2: collect sinks and stats. No chaos, no respawns — sink
+    // contents live only in their owning worker, so a crash here is
+    // fatal by design.
+    for w in 0..processes {
+        coord.router.control(w, &Frame::Collect);
+    }
+    let mut done = vec![false; processes];
+    let collect_start = Instant::now();
+    while !done.iter().all(|d| *d) {
+        if collect_start.elapsed() > STALL_TIMEOUT {
+            return Err(DistError::Protocol("stalled during collection".to_string()));
+        }
+        let event = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(event) => event,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 return Err(DistError::Protocol("all readers gone".to_string()));
             }
         };
-        last_activity = Instant::now();
-        if let Event::Frame(i, frame) = &event {
-            last_frame[*i] = frame_name(frame);
-        }
         match event {
-            Event::Frame(i, Frame::Data { wire, seq, msg }) => {
-                blazes_obs::record(blazes_obs::EventKind::FrameRecv, wire, seq);
-                recv_from[i] += 1;
-                idle_report[i] = None;
-                awaiting_probe = false;
-                router.route(wire, seq, &msg)?;
-            }
-            Event::Frame(i, Frame::Idle { sent, recv }) => {
-                // Traffic paused at worker `i`: release anything the
-                // fault layers hold, then see whether the whole run has
-                // gone quiet.
-                router.flush()?;
-                idle_report[i] = Some((sent, recv));
-                let stable = router.drained()
-                    && idle_report
-                        .iter()
-                        .enumerate()
-                        .all(|(w, r)| *r == Some((recv_from[w], router.sent_to[w])));
-                if stable && !awaiting_probe {
-                    probe_nonce += 1;
-                    acks = vec![None; processes];
-                    awaiting_probe = true;
-                    router.stats.probe_rounds += 1;
-                    for w in 0..processes {
-                        router.control(w, &Frame::Probe { nonce: probe_nonce })?;
+            // A straggler connection (e.g. a worker-side reconnect that
+            // lost its race): nothing to collect from it.
+            Event::Hello { .. } => {}
+            Event::Frame(i, conn_id, frame) => {
+                if coord.slots[i].conn != conn_id {
+                    continue;
+                }
+                match frame {
+                    Frame::SinkResult { sink, entries } => {
+                        let (_, handle) = sinks
+                            .get(sink as usize)
+                            .ok_or_else(|| DistError::Protocol(format!("unknown sink {sink}")))?;
+                        handle.extend(entries);
                     }
+                    Frame::Done {
+                        events,
+                        delivered,
+                        duplicates,
+                        retransmits,
+                        rescue_passes,
+                        late,
+                    } => {
+                        coord.router.stats.events_processed += events;
+                        coord.router.stats.messages_delivered += delivered;
+                        coord.router.stats.duplicates += duplicates;
+                        coord.router.stats.retransmits += retransmits;
+                        coord.router.stats.rescue_passes += rescue_passes;
+                        coord.router.stats.late_egress_frames += late;
+                        done[i] = true;
+                    }
+                    Frame::Trace { pid, tid, events } => {
+                        // Unknown event kinds (version skew) drop here, at
+                        // ingestion — the codec accepted them as raw words.
+                        let events: Vec<blazes_obs::Event> = events
+                            .into_iter()
+                            .filter_map(blazes_obs::Event::from_words)
+                            .collect();
+                        blazes_obs::global().ingest_remote(vec![blazes_obs::RemoteLane {
+                            pid,
+                            tid,
+                            events,
+                        }]);
+                    }
+                    Frame::Error { message } => {
+                        return Err(DistError::WorkerFailed {
+                            worker: i,
+                            cause: FailureCause::Reported(message),
+                        });
+                    }
+                    _ => {}
                 }
             }
-            Event::Frame(
-                i,
-                Frame::ProbeAck {
-                    nonce,
-                    sent,
-                    recv,
-                    idle,
-                },
-            ) => {
-                if awaiting_probe && nonce == probe_nonce {
-                    acks[i] = Some(idle && sent == recv_from[i] && recv == router.sent_to[i]);
-                    if acks.iter().all(|a| *a == Some(true)) {
-                        break; // confirmed stable
-                    }
-                    if acks.iter().all(Option::is_some) {
-                        awaiting_probe = false; // retry on the next Idle
-                    }
+            Event::Decode(i, conn_id, e) => {
+                if coord.slots[i].conn == conn_id {
+                    return Err(DistError::WorkerFailed {
+                        worker: i,
+                        cause: FailureCause::Corrupt(e.to_string()),
+                    });
                 }
             }
-            Event::Frame(i, Frame::Error { message }) => {
-                return Err(DistError::Worker { index: i, message });
-            }
-            Event::Frame(_, _) => {}
-            Event::Decode(i, e) => {
-                return Err(DistError::Worker {
-                    index: i,
-                    message: format!("stream corrupt: {e}"),
-                });
-            }
-            Event::Eof(i) => {
-                return Err(DistError::Worker {
-                    index: i,
-                    message: "exited before collection".to_string(),
-                });
-            }
-        }
-    }
-
-    // Phase 2: collect sinks and stats, then shut the fleet down.
-    for w in 0..processes {
-        router.control(w, &Frame::Collect)?;
-    }
-    let mut done = vec![false; processes];
-    while !done.iter().all(|d| *d) {
-        let event = rx
-            .recv_timeout(STALL_TIMEOUT)
-            .map_err(|_| DistError::Protocol("stalled during collection".to_string()))?;
-        match event {
-            Event::Frame(_, Frame::SinkResult { sink, entries }) => {
-                let (_, handle) = sinks
-                    .get(sink as usize)
-                    .ok_or_else(|| DistError::Protocol(format!("unknown sink {sink}")))?;
-                handle.extend(entries);
-            }
-            Event::Frame(
-                i,
-                Frame::Done {
-                    events,
-                    delivered,
-                    duplicates,
-                    retransmits,
-                    rescue_passes,
-                    late,
-                },
-            ) => {
-                router.stats.events_processed += events;
-                router.stats.messages_delivered += delivered;
-                router.stats.duplicates += duplicates;
-                router.stats.retransmits += retransmits;
-                router.stats.rescue_passes += rescue_passes;
-                router.stats.late_egress_frames += late;
-                done[i] = true;
-            }
-            Event::Frame(_, Frame::Trace { pid, tid, events }) => {
-                // Unknown event kinds (version skew) drop here, at
-                // ingestion — the codec accepted them as raw words.
-                let events: Vec<blazes_obs::Event> = events
-                    .into_iter()
-                    .filter_map(blazes_obs::Event::from_words)
-                    .collect();
-                blazes_obs::global().ingest_remote(vec![blazes_obs::RemoteLane {
-                    pid,
-                    tid,
-                    events,
-                }]);
-            }
-            Event::Frame(i, Frame::Error { message }) => {
-                return Err(DistError::Worker { index: i, message });
-            }
-            Event::Frame(_, _) => {}
-            Event::Decode(i, e) => {
-                return Err(DistError::Worker {
-                    index: i,
-                    message: format!("stream corrupt: {e}"),
-                });
-            }
-            Event::Eof(i) => {
-                if !done[i] {
-                    return Err(DistError::Worker {
-                        index: i,
-                        message: "exited during collection".to_string(),
+            Event::Eof(i, conn_id) => {
+                if coord.slots[i].conn == conn_id && !done[i] {
+                    return Err(DistError::WorkerFailed {
+                        worker: i,
+                        cause: FailureCause::Eof,
                     });
                 }
             }
         }
     }
+
+    // Shut the fleet down and reap everything.
     for w in 0..processes {
-        router.control(w, &Frame::Shutdown)?;
+        coord.router.control(w, &Frame::Shutdown);
     }
-    drop(router.writers);
-    for reader in readers {
+    for writer in &mut coord.router.writers {
+        *writer = None;
+    }
+    stop.store(true, Ordering::SeqCst);
+    let _ = accept_handle.join();
+    for reader in coord.readers.drain(..) {
         let _ = reader.join();
     }
-    for child in &mut children.0 {
-        let _ = child.wait();
+    for slot in &mut coord.slots {
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.wait();
+        }
     }
-    children.0.clear();
 
     if blazes_obs::enabled() {
-        router.stats.export_metrics(blazes_obs::global().registry());
+        coord
+            .router
+            .stats
+            .export_metrics(blazes_obs::global().registry());
     }
     Ok(DistRun {
         sinks,
-        stats: router.stats,
+        stats: coord.router.stats,
     })
 }
 
@@ -1241,56 +2039,33 @@ fn frame_name(frame: &Frame) -> &'static str {
         Frame::Shutdown => "shutdown",
         Frame::Error { .. } => "error",
         Frame::Trace { .. } => "trace",
-    }
-}
-
-/// Print the coordinator's per-worker ledger to stderr before giving up
-/// on a stalled run — the difference between "flaked again" and a
-/// diagnosable interleaving in CI logs.
-fn dump_stall_forensics(
-    recv_from: &[u64],
-    sent_to: &[u64],
-    idle_report: &[Option<(u64, u64)>],
-    acks: &[Option<bool>],
-    last_frame: &[&'static str],
-    awaiting_probe: bool,
-    router_drained: bool,
-) {
-    eprintln!(
-        "dist coordinator stalled after {}s of silence (retry exhausted); \
-         awaiting_probe={awaiting_probe} router_drained={router_drained}",
-        STALL_TIMEOUT.as_secs()
-    );
-    for i in 0..recv_from.len() {
-        let idle =
-            idle_report[i].map_or("<none>".to_string(), |(s, r)| format!("sent={s} recv={r}"));
-        let ack = match acks[i] {
-            None => "<pending>",
-            Some(true) => "stable",
-            Some(false) => "unstable",
-        };
-        eprintln!(
-            "  worker {i}: routed_to={} recv_from={} last_frame={} idle_report={idle} probe_ack={ack}",
-            sent_to[i], recv_from[i], last_frame[i]
-        );
+        Frame::Heartbeat { .. } => "heartbeat",
+        Frame::Ack { .. } => "ack",
     }
 }
 
 /// Read the `Hello` frame a freshly connected worker must send first.
-fn read_hello(stream: &UnixStream) -> Result<usize, DistError> {
-    let mut stream = stream;
+fn read_hello(conn: &mut Conn) -> Result<(u32, u32, u64, Vec<u8>), DistError> {
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 256];
     loop {
         if let Some(frame) = decoder.next_frame()? {
             return match frame {
-                Frame::Hello { index } => Ok(index as usize),
+                // The residue matters: a reattaching worker sends its
+                // hello and unacked resends back-to-back, so the chunked
+                // read can slurp frames past the handshake. They belong
+                // to the reader that takes over this connection.
+                Frame::Hello {
+                    index,
+                    epoch,
+                    resume_recv,
+                } => Ok((index, epoch, resume_recv, decoder.take_buffered())),
                 other => Err(DistError::Protocol(format!(
                     "expected hello, got {other:?}"
                 ))),
             };
         }
-        let n = stream.read(&mut buf)?;
+        let n = conn.read(&mut buf)?;
         if n == 0 {
             return Err(DistError::Protocol("eof before hello".to_string()));
         }
@@ -1298,33 +2073,41 @@ fn read_hello(stream: &UnixStream) -> Result<usize, DistError> {
     }
 }
 
-/// Parent-side reader thread: decode one worker's stream into events.
-fn reader_loop(index: usize, mut stream: UnixStream, tx: &mpsc::Sender<Event>) {
+/// Coordinator-side reader thread: decode one connection's stream into
+/// conn-tagged events.
+fn reader_loop(
+    index: usize,
+    conn_id: u64,
+    mut conn: Conn,
+    leftover: Vec<u8>,
+    tx: &mpsc::Sender<Event>,
+) {
     let mut decoder = FrameDecoder::new();
+    decoder.push(&leftover);
     let mut buf = [0u8; 64 * 1024];
     loop {
-        match stream.read(&mut buf) {
-            Ok(0) | Err(_) => {
-                let _ = tx.send(Event::Eof(index));
-                return;
-            }
-            Ok(n) => {
-                decoder.push(&buf[..n]);
-                loop {
-                    match decoder.next_frame() {
-                        Ok(Some(frame)) => {
-                            if tx.send(Event::Frame(index, frame)).is_err() {
-                                return;
-                            }
-                        }
-                        Ok(None) => break,
-                        Err(e) => {
-                            let _ = tx.send(Event::Decode(index, e));
-                            return;
-                        }
+        // Drain before reading: the hello residue may already hold
+        // complete frames that no further bytes will ever flush out.
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    if tx.send(Event::Frame(index, conn_id, frame)).is_err() {
+                        return;
                     }
                 }
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = tx.send(Event::Decode(index, conn_id, e));
+                    return;
+                }
             }
+        }
+        match conn.read(&mut buf) {
+            Ok(0) | Err(_) => {
+                let _ = tx.send(Event::Eof(index, conn_id));
+                return;
+            }
+            Ok(n) => decoder.push(&buf[..n]),
         }
     }
 }
@@ -1340,16 +2123,21 @@ fn reader_loop(index: usize, mut stream: UnixStream, tx: &mpsc::Sender<Event>) {
 ///
 /// # Panics
 /// On any I/O or protocol failure — a worker dies loudly so the parent's
-/// reader sees EOF instead of a hang.
+/// supervisor sees the exit instead of a hang.
 pub fn worker_main(registry: &Registry) -> bool {
-    let Some(path) = std::env::var_os(ENV_PARENT) else {
+    let Some(endpoint) = std::env::var_os(ENV_PARENT) else {
         return false;
     };
+    let endpoint = endpoint.to_string_lossy().into_owned();
     let index: usize = std::env::var(ENV_INDEX)
         .expect("dist worker index")
         .parse()
         .expect("numeric dist worker index");
-    match worker_run(registry, &PathBuf::from(path), index) {
+    let epoch: u32 = std::env::var(ENV_EPOCH)
+        .ok()
+        .and_then(|e| e.parse().ok())
+        .unwrap_or(0);
+    match worker_run(registry, &endpoint, index, epoch) {
         Ok(()) => true,
         Err(e) => panic!("dist worker {index} failed: {e}"),
     }
@@ -1358,10 +2146,94 @@ pub fn worker_main(registry: &Registry) -> bool {
 /// One frame read tick on the worker's control loop.
 const WORKER_POLL: Duration = Duration::from_millis(2);
 
-fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Result<(), DistError> {
-    let mut stream = UnixStream::connect(path)?;
+/// Dial the parent, retrying briefly: the listener is bound before any
+/// spawn, but a TCP accept queue can refuse transiently under load.
+fn dial_parent(endpoint: &str) -> Result<Conn, DistError> {
+    let mut attempt = 0;
+    loop {
+        match connect_parent(endpoint) {
+            Ok(conn) => return Ok(conn),
+            Err(_) if attempt < 20 => {
+                attempt += 1;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(DistError::Io(e)),
+        }
+    }
+}
+
+/// Re-dial the parent after losing the control socket mid-run: send a
+/// resume hello, resend every unacked egress frame, and swap the shared
+/// writer onto the fresh socket. Gives up after a few attempts — by then
+/// the parent has almost certainly declared this incarnation dead and a
+/// replacement is coming.
+fn reattach(
+    endpoint: &str,
+    index: usize,
+    epoch: u32,
+    recv: u64,
+    writer: &Arc<Mutex<Conn>>,
+    elog: &Arc<Mutex<EgressLog>>,
+) -> Result<Conn, DistError> {
+    for attempt in 1..=3u32 {
+        std::thread::sleep(Duration::from_millis(25 * u64::from(attempt)));
+        let Ok(mut fresh) = connect_parent(endpoint) else {
+            continue;
+        };
+        if fresh
+            .write_all(&wire::encode(&Frame::Hello {
+                index: index as u32,
+                epoch,
+                resume_recv: recv,
+            }))
+            .is_err()
+        {
+            continue;
+        }
+        let Ok(reader) = fresh.try_clone() else {
+            continue;
+        };
+        if reader.set_read_timeout(Some(WORKER_POLL)).is_err() {
+            continue;
+        }
+        // Lock order: writer, then log — same as the pump. Holding the
+        // writer lock freezes the pump, so no frame can be appended (or
+        // sent) while the unacked backlog is resent.
+        let mut w = writer
+            .lock()
+            .map_err(|_| DistError::Protocol("writer poisoned".to_string()))?;
+        let log = elog
+            .lock()
+            .map_err(|_| DistError::Protocol("egress log poisoned".to_string()))?;
+        let mut resent_ok = true;
+        for frame in log.unacked() {
+            if fresh.write_all(&frame.bytes).is_err() {
+                resent_ok = false;
+                break;
+            }
+        }
+        if !resent_ok {
+            continue;
+        }
+        *w = fresh;
+        return Ok(reader);
+    }
+    Err(DistError::Protocol(
+        "lost the coordinator and could not reconnect".to_string(),
+    ))
+}
+
+fn worker_run(
+    registry: &Registry,
+    endpoint: &str,
+    index: usize,
+    epoch: u32,
+) -> Result<(), DistError> {
+    let mut stream = dial_parent(endpoint)?;
     stream.write_all(&wire::encode(&Frame::Hello {
         index: index as u32,
+        epoch,
+        resume_recv: 0,
     }))?;
 
     // Wait for the plan.
@@ -1391,6 +2263,8 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
         stealing,
         speculation,
         trace,
+        epoch: plan_epoch,
+        heartbeat_ms,
     } = plan
     else {
         unreachable!("matched above");
@@ -1400,13 +2274,20 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
             "plan for worker {plan_index}, I am {index}"
         )));
     }
+    if plan_epoch != epoch {
+        return Err(DistError::Protocol(format!(
+            "plan for epoch {plan_epoch}, I am epoch {epoch}"
+        )));
+    }
     if trace {
-        // Record under pid lane index+1 (0 is the coordinator) and ship
-        // the lanes back during collection.
+        // Record under a per-incarnation pid lane: index+1 (0 is the
+        // coordinator), shifted by 1000 per epoch so a respawned worker
+        // shows up as its own lane in the merged export.
         let obs = blazes_obs::global();
-        obs.set_pid(index as u32 + 1);
+        obs.set_pid(index as u32 + 1 + 1000 * epoch);
         obs.set_enabled(true);
     }
+    let heartbeat_every = Duration::from_millis(u64::from(heartbeat_ms.max(1)));
 
     // SPMD assembly of this partition.
     let mut pb = ParBuilder::new(seed)
@@ -1420,14 +2301,16 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
 
     let running = pb.build().start();
 
-    // Egress pump: encode and write cross-partition frames. Shares the
-    // socket with the control loop's replies through a mutex; the pump
-    // is the only high-volume writer.
+    // Egress pump: encode, log and write cross-partition frames. Shares
+    // the socket with the control loop's replies through a mutex; the
+    // pump is the only high-volume writer.
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let elog = Arc::new(Mutex::new(EgressLog::new()));
     let written = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(AtomicBool::new(false));
     let pump = {
         let writer = Arc::clone(&writer);
+        let elog = Arc::clone(&elog);
         let written = Arc::clone(&written);
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || -> Result<(), DistError> {
@@ -1435,10 +2318,21 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
                 match egress_rx.recv_timeout(WORKER_POLL) {
                     Ok((wire, seq, msg)) => {
                         let bytes = wire::encode(&Frame::Data { wire, seq, msg });
-                        writer
-                            .lock()
-                            .map_err(|_| DistError::Protocol("pump writer poisoned".into()))?
-                            .write_all(&bytes)?;
+                        {
+                            // Lock order everywhere: writer, then log.
+                            // The frame is logged before the write is
+                            // attempted, and a failed write is
+                            // survivable — the frame sits in the log for
+                            // the reconnect resend, and the parent's
+                            // dedup swallows any torn duplicate.
+                            let mut w = writer
+                                .lock()
+                                .map_err(|_| DistError::Protocol("pump writer poisoned".into()))?;
+                            elog.lock()
+                                .map_err(|_| DistError::Protocol("egress log poisoned".into()))?
+                                .append(wire, seq, bytes.clone());
+                            let _ = w.write_all(&bytes);
+                        }
                         written.fetch_add(1, Ordering::SeqCst);
                         blazes_obs::record(blazes_obs::EventKind::FrameSend, wire, seq);
                     }
@@ -1453,64 +2347,89 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
         })
     };
 
-    // Control loop: deliver ingress frames, answer probes, report idleness.
+    // Control loop: deliver ingress frames, answer probes, report
+    // idleness, heartbeat. Phase-1 control sends are best-effort: a dead
+    // socket is detected by the read path and reattached.
     stream.set_read_timeout(Some(WORKER_POLL))?;
     let mut recv = 0u64;
     let mut last_seq: HashMap<u64, u64> = HashMap::new();
     let mut last_idle: Option<(u64, u64)> = None;
+    let mut last_hb: Option<Instant> = None;
     let collect = 'control: loop {
-        match stream.read(&mut buf) {
-            Ok(0) => {
-                return Err(DistError::Protocol("parent closed early".to_string()));
-            }
-            Ok(n) => {
-                decoder.push(&buf[..n]);
-                while let Some(frame) = decoder.next_frame()? {
-                    match frame {
-                        Frame::Data { wire, seq, msg } => {
-                            // Per-wire FIFO assertion: sequence numbers
-                            // are contiguous, duplicates repeat one.
-                            let expected = last_seq.get(&wire).map_or(0, |s| s + 1);
-                            if seq != expected && Some(seq) != expected.checked_sub(1) {
-                                let m = format!(
-                                    "wire {wire} broke FIFO: seq {seq}, expected {expected}"
-                                );
-                                send_control(&writer, &Frame::Error { message: m.clone() })?;
-                                return Err(DistError::Protocol(m));
-                            }
-                            last_seq.insert(wire, seq.max(expected.saturating_sub(1)));
-                            blazes_obs::record(blazes_obs::EventKind::FrameRecv, wire, seq);
-                            let (inst, port) = *wiring.ingress.get(&wire).ok_or_else(|| {
-                                DistError::Protocol(format!("no ingress for wire {wire}"))
-                            })?;
-                            running.inject(inst, port, msg);
-                            recv += 1;
-                            last_idle = None;
-                        }
-                        Frame::Probe { nonce } => {
-                            let sent = written.load(Ordering::SeqCst);
-                            let idle =
-                                running.settled() && egress_queued.load(Ordering::SeqCst) == sent;
-                            send_control(
-                                &writer,
-                                &Frame::ProbeAck {
-                                    nonce,
-                                    sent,
-                                    recv,
-                                    idle,
-                                },
-                            )?;
-                        }
-                        Frame::Collect => break 'control true,
-                        Frame::Shutdown => break 'control false,
-                        other => {
-                            return Err(DistError::Protocol(format!(
-                                "unexpected frame in run phase: {other:?}"
-                            )))
-                        }
+        if last_hb.is_none_or(|t| t.elapsed() >= heartbeat_every) {
+            let sent = written.load(Ordering::SeqCst);
+            let idle = running.settled() && egress_queued.load(Ordering::SeqCst) == sent;
+            let _ = send_control(
+                &writer,
+                &Frame::Heartbeat {
+                    epoch,
+                    sent,
+                    recv,
+                    idle,
+                },
+            );
+            last_hb = Some(Instant::now());
+        }
+        // Drain frames already buffered *before* blocking on the socket:
+        // the plan read slurps whole chunks, so replayed frames can sit
+        // fully decoded in the buffer with no further bytes ever arriving
+        // to trigger a read-path drain.
+        while let Some(frame) = decoder.next_frame()? {
+            match frame {
+                Frame::Data { wire, seq, msg } => {
+                    // Per-wire FIFO assertion: sequence numbers
+                    // are contiguous, duplicates repeat one.
+                    let expected = last_seq.get(&wire).map_or(0, |s| s + 1);
+                    if seq != expected && Some(seq) != expected.checked_sub(1) {
+                        let m = format!("wire {wire} broke FIFO: seq {seq}, expected {expected}");
+                        let _ = send_control(&writer, &Frame::Error { message: m.clone() });
+                        return Err(DistError::Protocol(m));
+                    }
+                    last_seq.insert(wire, seq.max(expected.saturating_sub(1)));
+                    blazes_obs::record(blazes_obs::EventKind::FrameRecv, wire, seq);
+                    let (inst, port) = *wiring.ingress.get(&wire).ok_or_else(|| {
+                        DistError::Protocol(format!("no ingress for wire {wire}"))
+                    })?;
+                    running.inject(inst, port, msg);
+                    recv += 1;
+                    last_idle = None;
+                }
+                Frame::Probe { nonce } => {
+                    let sent = written.load(Ordering::SeqCst);
+                    let idle = running.settled() && egress_queued.load(Ordering::SeqCst) == sent;
+                    let _ = send_control(
+                        &writer,
+                        &Frame::ProbeAck {
+                            nonce,
+                            sent,
+                            recv,
+                            idle,
+                        },
+                    );
+                }
+                Frame::Ack { acks } => {
+                    let mut log = elog
+                        .lock()
+                        .map_err(|_| DistError::Protocol("egress log poisoned".into()))?;
+                    for (wire, upto) in acks {
+                        log.ack(wire, upto);
                     }
                 }
+                Frame::Collect => break 'control true,
+                Frame::Shutdown => break 'control false,
+                other => {
+                    return Err(DistError::Protocol(format!(
+                        "unexpected frame in run phase: {other:?}"
+                    )))
+                }
             }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                stream = reattach(endpoint, index, epoch, recv, &writer, &elog)?;
+                decoder = FrameDecoder::new();
+            }
+            Ok(n) => decoder.push(&buf[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -1522,11 +2441,14 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
                     && egress_queued.load(Ordering::SeqCst) == sent
                     && last_idle != Some((sent, recv))
                 {
-                    send_control(&writer, &Frame::Idle { sent, recv })?;
+                    let _ = send_control(&writer, &Frame::Idle { sent, recv });
                     last_idle = Some((sent, recv));
                 }
             }
-            Err(e) => return Err(DistError::Io(e)),
+            Err(_) => {
+                stream = reattach(endpoint, index, epoch, recv, &writer, &elog)?;
+                decoder = FrameDecoder::new();
+            }
         }
     };
 
@@ -1599,7 +2521,7 @@ fn worker_run(registry: &Registry, path: &std::path::Path, index: usize) -> Resu
 }
 
 /// Serialize one control frame onto the shared worker socket.
-fn send_control(writer: &Arc<Mutex<UnixStream>>, frame: &Frame) -> Result<(), DistError> {
+fn send_control(writer: &Arc<Mutex<Conn>>, frame: &Frame) -> Result<(), DistError> {
     writer
         .lock()
         .map_err(|_| DistError::Protocol("writer poisoned".to_string()))?

@@ -1,0 +1,582 @@
+//! Pure data structures for the dist backend's crash-recovery protocol.
+//!
+//! Everything here is deliberately free of I/O so the protocol invariants
+//! can be property-tested in isolation (see `tests/prop_recovery.rs`):
+//!
+//! * [`EgressLog`] — a sender-side log of encoded frames, trimmed by acks.
+//!   Invariant: trimming never drops a frame the receiver has not
+//!   acknowledged.
+//! * [`SeqLedger`] — receiver-side per-wire sequence tracking. Each
+//!   sequence number is accepted as [`SeqVerdict::Fresh`] exactly once.
+//! * [`ReplayDedup`] — content-level duplicate suppression for replayed
+//!   streams whose re-emission *order* may differ from the original run
+//!   (a respawned worker recomputes its outputs deterministically as a
+//!   multiset, but interleaving across wires can permute).
+//! * [`ReplayLog`] — the coordinator's post-fault frame history for one
+//!   worker, replayed verbatim into a respawned process.
+//! * [`ChaosSpec`] — seeded fail-stop (SIGKILL) crash schedules for the
+//!   chaos differential.
+//! * [`DistTuning`] / [`FailureCause`] — supervision knobs and forensic
+//!   failure verdicts.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Byte transport used between the coordinator and its workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Unix domain sockets under a per-run temp directory (default).
+    #[default]
+    Unix,
+    /// Loopback TCP — an addressable endpoint, so reconnect-with-backoff
+    /// works and workers could in principle span machines.
+    Tcp,
+}
+
+/// Supervision and recovery knobs for a distributed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistTuning {
+    /// Transport used for the coordinator↔worker byte streams.
+    pub transport: Transport,
+    /// How often workers emit [`Frame::Heartbeat`](super::wire::Frame).
+    pub heartbeat_every: Duration,
+    /// How long the coordinator tolerates silence from a worker before
+    /// declaring it dead ([`FailureCause::HeartbeatTimeout`]). Generous by
+    /// default: on a loaded 1-core box heartbeat threads can starve for
+    /// whole seconds, and crash detection is near-instant anyway via
+    /// reader EOF + child reaping.
+    pub worker_deadline: Duration,
+    /// Maximum respawns per worker before the run fails with
+    /// [`FailureCause::BudgetExhausted`].
+    pub respawn_budget: u32,
+    /// Base of the exponential respawn backoff (doubles per respawn).
+    pub respawn_backoff: Duration,
+    /// Master switch: when false, any worker failure is immediately fatal
+    /// (the pre-recovery behaviour, minus the better forensics).
+    pub recovery: bool,
+}
+
+impl Default for DistTuning {
+    fn default() -> Self {
+        DistTuning {
+            transport: Transport::Unix,
+            heartbeat_every: Duration::from_millis(25),
+            worker_deadline: Duration::from_secs(30),
+            respawn_budget: 3,
+            respawn_backoff: Duration::from_millis(40),
+            recovery: true,
+        }
+    }
+}
+
+impl DistTuning {
+    /// Select the byte transport.
+    #[must_use]
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Set the worker heartbeat interval.
+    #[must_use]
+    pub fn with_heartbeat_every(mut self, every: Duration) -> Self {
+        self.heartbeat_every = every;
+        self
+    }
+
+    /// Set the per-worker silence deadline.
+    #[must_use]
+    pub fn with_worker_deadline(mut self, deadline: Duration) -> Self {
+        self.worker_deadline = deadline;
+        self
+    }
+
+    /// Set the per-worker respawn budget.
+    #[must_use]
+    pub fn with_respawn_budget(mut self, budget: u32) -> Self {
+        self.respawn_budget = budget;
+        self
+    }
+
+    /// Set the base respawn backoff.
+    #[must_use]
+    pub fn with_respawn_backoff(mut self, backoff: Duration) -> Self {
+        self.respawn_backoff = backoff;
+        self
+    }
+
+    /// Enable or disable crash recovery entirely.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: bool) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Exponential backoff before the `used + 1`-th respawn of a worker:
+    /// `respawn_backoff · 2^used`, capped at 2 s.
+    #[must_use]
+    pub fn backoff_for(&self, used: u32) -> Duration {
+        let cap = Duration::from_secs(2);
+        let mult = 1u32 << used.min(16);
+        self.respawn_backoff
+            .checked_mul(mult)
+            .map_or(cap, |d| d.min(cap))
+    }
+}
+
+/// Why a worker was declared dead — carried in
+/// [`DistError::WorkerFailed`](super::DistError::WorkerFailed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The child process exited (status code, if one was reported). A
+    /// SIGKILL'd child reports `None`.
+    Exited(Option<i32>),
+    /// The worker's socket hit EOF while the child was still unreaped.
+    Eof,
+    /// No frame (not even a heartbeat) for this many milliseconds.
+    HeartbeatTimeout(u64),
+    /// A (re)spawned worker never completed the Hello handshake.
+    HelloTimeout,
+    /// Spawning the worker process itself failed.
+    SpawnFailed(String),
+    /// The worker's byte stream stopped decoding — non-recoverable,
+    /// since we cannot trust anything it sent.
+    Corrupt(String),
+    /// The worker reported a fatal error of its own — non-recoverable.
+    Reported(String),
+    /// The respawn budget ran out; `last` is the final failure.
+    BudgetExhausted {
+        /// Respawns consumed before giving up.
+        respawns: u32,
+        /// The failure that exhausted the budget.
+        last: Box<FailureCause>,
+    },
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::Exited(Some(code)) => write!(f, "exited with status {code}"),
+            FailureCause::Exited(None) => write!(f, "killed by signal"),
+            FailureCause::Eof => write!(f, "socket EOF"),
+            FailureCause::HeartbeatTimeout(ms) => {
+                write!(f, "no heartbeat for {ms} ms")
+            }
+            FailureCause::HelloTimeout => write!(f, "hello handshake timed out"),
+            FailureCause::SpawnFailed(e) => write!(f, "spawn failed: {e}"),
+            FailureCause::Corrupt(e) => write!(f, "wire corruption: {e}"),
+            FailureCause::Reported(e) => write!(f, "worker error: {e}"),
+            FailureCause::BudgetExhausted { respawns, last } => {
+                write!(
+                    f,
+                    "respawn budget exhausted after {respawns} respawns; last: {last}"
+                )
+            }
+        }
+    }
+}
+
+/// When, within a worker's lifetime, a chaos kill fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// After the coordinator has routed this many frames *to* the worker.
+    RoutedFrames(u64),
+    /// After the coordinator has received this many heartbeats from the
+    /// worker. Guaranteed to fire: the first heartbeat is sent
+    /// immediately after the Plan handshake.
+    Heartbeats(u64),
+    /// This long after the run's routing phase started. Not used by
+    /// [`ChaosSpec::seeded`] — firing is not guaranteed on a fast run.
+    AfterMillis(u64),
+}
+
+/// One scheduled SIGKILL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kill {
+    /// Worker index to kill.
+    pub worker: usize,
+    /// When to kill it.
+    pub point: KillPoint,
+}
+
+/// A seeded fail-stop crash schedule. Kills are SIGKILL — the victim
+/// gets no chance to flush, ack, or clean up.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// The scheduled kills. Each fires at most once.
+    pub kills: Vec<Kill>,
+}
+
+impl ChaosSpec {
+    /// No crashes.
+    #[must_use]
+    pub fn none() -> Self {
+        ChaosSpec::default()
+    }
+
+    /// Derive a deterministic schedule of `crashes` kills from `seed`.
+    ///
+    /// Kill points alternate between early heartbeats (guaranteed to
+    /// fire even on a run that routes few frames) and routed-frame
+    /// counts within `frame_span` (mid-stream kills). Wall-clock points
+    /// are never chosen — they might not fire before the run finishes,
+    /// which would make "the respawn actually happened" assertions flaky.
+    #[must_use]
+    pub fn seeded(seed: u64, crashes: u32, processes: u32, frame_span: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a5_0000_0000_0000);
+        let mut kills = Vec::new();
+        for n in 0..crashes {
+            let worker = (rng.next_u64() % u64::from(processes.max(1))) as usize;
+            let point = if frame_span == 0 || n % 2 == 0 {
+                KillPoint::Heartbeats(1 + rng.next_u64() % 3)
+            } else {
+                KillPoint::RoutedFrames(1 + rng.next_u64() % frame_span)
+            };
+            kills.push(Kill { worker, point });
+        }
+        ChaosSpec { kills }
+    }
+
+    /// True when the schedule contains no kills.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+}
+
+/// One logged egress frame awaiting acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedFrame {
+    /// Wire the frame was sent on.
+    pub wire: u64,
+    /// Per-wire sequence number.
+    pub seq: u64,
+    /// The full encoded frame bytes, resent verbatim on reconnect.
+    pub bytes: Vec<u8>,
+}
+
+/// Sender-side output log: every unacknowledged frame sent on any wire,
+/// in send order. Trimmed by [`Frame::Ack`](super::wire::Frame) so memory
+/// stays bounded; on reconnect the whole log is resent.
+#[derive(Debug, Default)]
+pub struct EgressLog {
+    frames: VecDeque<LoggedFrame>,
+}
+
+impl EgressLog {
+    /// Empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        EgressLog::default()
+    }
+
+    /// Record one sent frame.
+    pub fn append(&mut self, wire: u64, seq: u64, bytes: Vec<u8>) {
+        self.frames.push_back(LoggedFrame { wire, seq, bytes });
+    }
+
+    /// The receiver has acknowledged everything on `wire` up to and
+    /// including `upto`; drop those entries.
+    pub fn ack(&mut self, wire: u64, upto: u64) {
+        self.frames.retain(|f| f.wire != wire || f.seq > upto);
+    }
+
+    /// Frames not yet acknowledged, oldest first.
+    pub fn unacked(&self) -> impl Iterator<Item = &LoggedFrame> {
+        self.frames.iter()
+    }
+
+    /// Number of unacknowledged frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when every sent frame has been acknowledged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// Receiver-side verdict for one arriving sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqVerdict {
+    /// First sighting — deliver it.
+    Fresh,
+    /// Already delivered (a replay or wire-level duplicate) — drop it.
+    Duplicate,
+    /// Skipped ahead: `expected` is the sequence number we were owed.
+    Gap {
+        /// The next sequence number the ledger would have accepted.
+        expected: u64,
+    },
+}
+
+/// Per-wire expected-sequence tracking on the receiving side. FIFO
+/// transports plus replay-from-zero semantics mean a simple "next
+/// expected" counter per wire suffices: anything below is a duplicate,
+/// anything above is a protocol violation.
+#[derive(Debug, Default)]
+pub struct SeqLedger {
+    next: HashMap<u64, u64>,
+}
+
+impl SeqLedger {
+    /// Empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        SeqLedger::default()
+    }
+
+    /// Classify an arriving `(wire, seq)` and advance the ledger when it
+    /// is fresh.
+    pub fn accept(&mut self, wire: u64, seq: u64) -> SeqVerdict {
+        let next = self.next.entry(wire).or_insert(0);
+        if seq < *next {
+            SeqVerdict::Duplicate
+        } else if seq == *next {
+            *next += 1;
+            SeqVerdict::Fresh
+        } else {
+            SeqVerdict::Gap { expected: *next }
+        }
+    }
+
+    /// Highest sequence accepted on `wire` (i.e. acknowledgeable
+    /// watermark), or `None` when nothing has arrived yet.
+    #[must_use]
+    pub fn high(&self, wire: u64) -> Option<u64> {
+        self.next.get(&wire).and_then(|n| n.checked_sub(1))
+    }
+
+    /// Wires with at least one accepted frame.
+    pub fn wires(&self) -> impl Iterator<Item = u64> + '_ {
+        self.next.iter().filter(|(_, n)| **n > 0).map(|(w, _)| *w)
+    }
+
+    /// Forget the listed wires: a respawned producer restarts its
+    /// per-wire sequences from zero, and its re-emissions must be
+    /// classified fresh-by-sequence again (content dedup happens in
+    /// [`ReplayDedup`]).
+    pub fn reset_wires(&mut self, wires: &[u64]) {
+        for w in wires {
+            self.next.remove(w);
+        }
+    }
+}
+
+/// Content-level (hash multiset) duplicate suppression per wire.
+///
+/// A respawned worker recomputes deterministically, so the *multiset* of
+/// frames it re-emits on each wire matches the original run — but the
+/// interleaving may permute, so sequence numbers alone cannot pair a
+/// re-emission with its already-delivered original. Arming a wire with
+/// the hashes of already-delivered frames lets [`ReplayDedup::admit`]
+/// swallow exactly that multiset and pass everything beyond it through.
+#[derive(Debug, Default)]
+pub struct ReplayDedup {
+    pending: HashMap<u64, HashMap<u64, u64>>,
+}
+
+impl ReplayDedup {
+    /// Empty filter (admits everything).
+    #[must_use]
+    pub fn new() -> Self {
+        ReplayDedup::default()
+    }
+
+    /// Arm `wire` with the hashes of frames already delivered on it.
+    /// Replaces any previous arming for the wire.
+    pub fn arm(&mut self, wire: u64, delivered_hashes: &[u64]) {
+        let set = self.pending.entry(wire).or_default();
+        set.clear();
+        for h in delivered_hashes {
+            *set.entry(*h).or_insert(0) += 1;
+        }
+    }
+
+    /// Should a frame with `hash` on `wire` be delivered? Returns false
+    /// (and consumes one pending count) when it is a replay of an
+    /// already-delivered frame.
+    pub fn admit(&mut self, wire: u64, hash: u64) -> bool {
+        let Some(set) = self.pending.get_mut(&wire) else {
+            return true;
+        };
+        match set.get_mut(&hash) {
+            Some(count) => {
+                *count -= 1;
+                if *count == 0 {
+                    set.remove(&hash);
+                }
+                if set.is_empty() {
+                    self.pending.remove(&wire);
+                }
+                false
+            }
+            None => true,
+        }
+    }
+
+    /// Total replayed frames still awaiting suppression.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        self.pending.values().flat_map(|set| set.values()).sum()
+    }
+}
+
+/// Coordinator-side history of every encoded frame shipped to one worker
+/// after fault injection, in ship order. Replayed from an arbitrary
+/// offset to rehydrate a reconnecting or respawned worker.
+#[derive(Debug, Default)]
+pub struct ReplayLog {
+    frames: Vec<Vec<u8>>,
+}
+
+impl ReplayLog {
+    /// Empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        ReplayLog::default()
+    }
+
+    /// Record one shipped frame.
+    pub fn append(&mut self, bytes: Vec<u8>) {
+        self.frames.push(bytes);
+    }
+
+    /// Frames from position `from` onward (what a worker that confirmed
+    /// delivery of `from` frames still needs).
+    pub fn tail(&self, from: u64) -> impl Iterator<Item = &[u8]> {
+        let from = usize::try_from(from).unwrap_or(usize::MAX);
+        self.frames
+            .iter()
+            .skip(from.min(self.frames.len()))
+            .map(Vec::as_slice)
+    }
+
+    /// Total frames logged.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// True when nothing has been logged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// FNV-1a over `bytes` — the content hash used by [`ReplayDedup`].
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let t = DistTuning::default().with_respawn_backoff(Duration::from_millis(40));
+        assert_eq!(t.backoff_for(0), Duration::from_millis(40));
+        assert_eq!(t.backoff_for(1), Duration::from_millis(80));
+        assert_eq!(t.backoff_for(2), Duration::from_millis(160));
+        assert_eq!(t.backoff_for(20), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn seeded_chaos_is_deterministic_and_guaranteed_to_fire() {
+        let a = ChaosSpec::seeded(7, 2, 4, 100);
+        let b = ChaosSpec::seeded(7, 2, 4, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.kills.len(), 2);
+        for kill in &a.kills {
+            assert!(kill.worker < 4);
+            match kill.point {
+                KillPoint::Heartbeats(n) => assert!((1..=3).contains(&n)),
+                KillPoint::RoutedFrames(n) => assert!((1..=100).contains(&n)),
+                KillPoint::AfterMillis(_) => panic!("seeded schedules never use wall-clock"),
+            }
+        }
+        // Zero frame span forces heartbeat points only.
+        for kill in &ChaosSpec::seeded(9, 3, 1, 0).kills {
+            assert!(matches!(kill.point, KillPoint::Heartbeats(_)));
+        }
+    }
+
+    #[test]
+    fn egress_log_trims_only_acked() {
+        let mut log = EgressLog::new();
+        log.append(1, 0, vec![0]);
+        log.append(2, 0, vec![1]);
+        log.append(1, 1, vec![2]);
+        log.append(1, 2, vec![3]);
+        log.ack(1, 1);
+        let left: Vec<(u64, u64)> = log.unacked().map(|f| (f.wire, f.seq)).collect();
+        assert_eq!(left, vec![(2, 0), (1, 2)]);
+        log.ack(2, 0);
+        log.ack(1, 2);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn seq_ledger_fresh_exactly_once() {
+        let mut led = SeqLedger::new();
+        assert_eq!(led.accept(5, 0), SeqVerdict::Fresh);
+        assert_eq!(led.accept(5, 0), SeqVerdict::Duplicate);
+        assert_eq!(led.accept(5, 1), SeqVerdict::Fresh);
+        assert_eq!(led.accept(5, 3), SeqVerdict::Gap { expected: 2 });
+        assert_eq!(led.high(5), Some(1));
+        assert_eq!(led.high(6), None);
+        led.reset_wires(&[5]);
+        assert_eq!(led.accept(5, 0), SeqVerdict::Fresh);
+    }
+
+    #[test]
+    fn replay_dedup_swallows_exactly_the_armed_multiset() {
+        let mut dd = ReplayDedup::new();
+        dd.arm(1, &[10, 10, 20]);
+        assert_eq!(dd.pending(), 3);
+        assert!(!dd.admit(1, 10));
+        assert!(!dd.admit(1, 20));
+        assert!(!dd.admit(1, 10));
+        // The multiset is spent: same hashes now pass through.
+        assert!(dd.admit(1, 10));
+        assert!(dd.admit(1, 20));
+        // Unarmed wires always admit.
+        assert!(dd.admit(2, 10));
+        assert_eq!(dd.pending(), 0);
+    }
+
+    #[test]
+    fn replay_log_tail_is_exact() {
+        let mut log = ReplayLog::new();
+        log.append(vec![1]);
+        log.append(vec![2]);
+        log.append(vec![3]);
+        assert_eq!(log.len(), 3);
+        let tail: Vec<&[u8]> = log.tail(1).collect();
+        assert_eq!(tail, vec![&[2][..], &[3][..]]);
+        assert_eq!(log.tail(3).count(), 0);
+        assert_eq!(log.tail(99).count(), 0);
+    }
+
+    #[test]
+    fn fnv1a_distinguishes_and_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+    }
+}

@@ -31,6 +31,14 @@ pub enum Frame {
     Hello {
         /// The worker's process index.
         index: u32,
+        /// The worker's incarnation: 0 for the original spawn, bumped by
+        /// the coordinator on every respawn. Lets the coordinator drop
+        /// hellos from stale incarnations.
+        epoch: u32,
+        /// Frames from the coordinator this incarnation has already
+        /// consumed — nonzero only on a same-incarnation reconnect, where
+        /// it trims the coordinator's replay.
+        resume_recv: u64,
     },
     /// Parent → worker: the partition plan (SPMD assembly inputs).
     Plan {
@@ -52,6 +60,11 @@ pub enum Frame {
         speculation: bool,
         /// Should the worker record trace events and ship them back?
         trace: bool,
+        /// The incarnation this plan is addressed to (echo of the
+        /// worker's hello epoch; a respawned worker resumes here).
+        epoch: u32,
+        /// Heartbeat interval the worker should honor, in milliseconds.
+        heartbeat_ms: u32,
     },
     /// A cross-partition message (either direction).
     Data {
@@ -129,6 +142,28 @@ pub enum Frame {
         /// Packed events: `[ts_ns, dur_ns, kind, a, b]` each.
         events: Vec<[u64; 5]>,
     },
+    /// Worker → parent: liveness beacon, sent every `heartbeat_ms` even
+    /// while busy. Doubles as an idle keepalive: when `idle` is set the
+    /// counters are also a re-announcement of the worker's quiesced
+    /// state, self-healing a lost `Idle` frame.
+    Heartbeat {
+        /// The worker's incarnation.
+        epoch: u32,
+        /// Data frames written so far.
+        sent: u64,
+        /// Data frames received so far.
+        recv: u64,
+        /// Is the local runtime currently quiesced with a drained egress
+        /// queue?
+        idle: bool,
+    },
+    /// Parent → worker: cumulative delivery acknowledgements, one
+    /// `(wire, highest_seq_delivered)` pair per wire, letting the worker
+    /// trim its egress log.
+    Ack {
+        /// Acknowledged watermarks, sorted by wire for determinism.
+        acks: Vec<(u64, u64)>,
+    },
 }
 
 /// Decode-side failures. Each error consumes the offending bytes, so the
@@ -167,6 +202,8 @@ const TAG_DONE: u8 = 9;
 const TAG_SHUTDOWN: u8 = 10;
 const TAG_ERROR: u8 = 11;
 const TAG_TRACE: u8 = 12;
+const TAG_HEARTBEAT: u8 = 13;
+const TAG_ACK: u8 = 14;
 
 // ---------------------------------------------------------------------
 // Encoding
@@ -221,6 +258,16 @@ fn put_seal_key(out: &mut Vec<u8>, k: &SealKey) {
     }
 }
 
+/// The canonical encoded form of one message — the byte string hashed by
+/// the recovery layer's content dedup ([`super::recover::fnv1a`]), kept
+/// here so it is the codec (not the caller) that defines equality.
+#[must_use]
+pub fn message_bytes(m: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_message(&mut out, m);
+    out
+}
+
 fn put_message(out: &mut Vec<u8>, m: &Message) {
     match m {
         Message::Data(t) => {
@@ -240,8 +287,14 @@ fn put_message(out: &mut Vec<u8>, m: &Message) {
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let mut payload = Vec::new();
     let tag = match frame {
-        Frame::Hello { index } => {
+        Frame::Hello {
+            index,
+            epoch,
+            resume_recv,
+        } => {
             put_u32(&mut payload, *index);
+            put_u32(&mut payload, *epoch);
+            put_u64(&mut payload, *resume_recv);
             TAG_HELLO
         }
         Frame::Plan {
@@ -254,6 +307,8 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             stealing,
             speculation,
             trace,
+            epoch,
+            heartbeat_ms,
         } => {
             put_str(&mut payload, topology);
             put_str(&mut payload, params);
@@ -264,6 +319,8 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             put_bool(&mut payload, *stealing);
             put_bool(&mut payload, *speculation);
             put_bool(&mut payload, *trace);
+            put_u32(&mut payload, *epoch);
+            put_u32(&mut payload, *heartbeat_ms);
             TAG_PLAN
         }
         Frame::Data { wire, seq, msg } => {
@@ -334,6 +391,26 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
                 }
             }
             TAG_TRACE
+        }
+        Frame::Heartbeat {
+            epoch,
+            sent,
+            recv,
+            idle,
+        } => {
+            put_u32(&mut payload, *epoch);
+            put_u64(&mut payload, *sent);
+            put_u64(&mut payload, *recv);
+            put_bool(&mut payload, *idle);
+            TAG_HEARTBEAT
+        }
+        Frame::Ack { acks } => {
+            put_u32(&mut payload, acks.len() as u32);
+            for (wire, upto) in acks {
+                put_u64(&mut payload, *wire);
+                put_u64(&mut payload, *upto);
+            }
+            TAG_ACK
         }
     };
     let mut out = Vec::with_capacity(9 + payload.len());
@@ -458,7 +535,11 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, WireError> {
         pos: 0,
     };
     let frame = match tag {
-        TAG_HELLO => Frame::Hello { index: c.u32()? },
+        TAG_HELLO => Frame::Hello {
+            index: c.u32()?,
+            epoch: c.u32()?,
+            resume_recv: c.u64()?,
+        },
         TAG_PLAN => Frame::Plan {
             topology: c.string()?,
             params: c.string()?,
@@ -469,6 +550,8 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, WireError> {
             stealing: c.boolean()?,
             speculation: c.boolean()?,
             trace: c.boolean()?,
+            epoch: c.u32()?,
+            heartbeat_ms: c.u32()?,
         },
         TAG_DATA => Frame::Data {
             wire: c.u64()?,
@@ -524,6 +607,22 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, WireError> {
             }
             Frame::Trace { pid, tid, events }
         }
+        TAG_HEARTBEAT => Frame::Heartbeat {
+            epoch: c.u32()?,
+            sent: c.u64()?,
+            recv: c.u64()?,
+            idle: c.boolean()?,
+        },
+        TAG_ACK => {
+            let n = c.count()?;
+            let mut acks = Vec::with_capacity(n);
+            for _ in 0..n {
+                let wire = c.u64()?;
+                let upto = c.u64()?;
+                acks.push((wire, upto));
+            }
+            Frame::Ack { acks }
+        }
         other => return Err(WireError::BadTag(other)),
     };
     c.finish()?;
@@ -558,6 +657,14 @@ impl FrameDecoder {
     #[must_use]
     pub fn buffered(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Take the undecoded residue, leaving the decoder empty. Used to
+    /// hand off a stream mid-decode (e.g. bytes a hello reader slurped
+    /// past the handshake frame) without losing what follows.
+    #[must_use]
+    pub fn take_buffered(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
     }
 
     /// Scan to the next magic, dropping garbage. Keeps the last 3 bytes
@@ -616,7 +723,11 @@ mod tests {
 
     fn sample_frames() -> Vec<Frame> {
         vec![
-            Frame::Hello { index: 3 },
+            Frame::Hello {
+                index: 3,
+                epoch: 2,
+                resume_recv: 17,
+            },
             Frame::Plan {
                 topology: "ad-report".to_string(),
                 params: "seed=5\nreplicas=4".to_string(),
@@ -627,6 +738,8 @@ mod tests {
                 stealing: true,
                 speculation: false,
                 trace: true,
+                epoch: 1,
+                heartbeat_ms: 25,
             },
             Frame::Data {
                 wire: 17,
@@ -695,6 +808,22 @@ mod tests {
                 pid: 1,
                 tid: 0,
                 events: vec![],
+            },
+            Frame::Heartbeat {
+                epoch: 1,
+                sent: 12,
+                recv: 7,
+                idle: false,
+            },
+            Frame::Heartbeat {
+                epoch: 0,
+                sent: 0,
+                recv: 0,
+                idle: true,
+            },
+            Frame::Ack { acks: vec![] },
+            Frame::Ack {
+                acks: vec![(3, 0), (u64::MAX, 41)],
             },
         ]
     }
@@ -767,11 +896,16 @@ mod tests {
 
     #[test]
     fn garbage_prefix_is_skipped_to_the_next_magic() {
+        let hello = Frame::Hello {
+            index: 1,
+            epoch: 0,
+            resume_recv: 0,
+        };
         let mut bytes = vec![0xde, 0xad, 0xbe, 0xef, b'B', b'L'];
-        bytes.extend_from_slice(&encode(&Frame::Hello { index: 1 }));
+        bytes.extend_from_slice(&encode(&hello));
         let mut dec = FrameDecoder::new();
         dec.push(&bytes);
-        assert_eq!(dec.next_frame().unwrap(), Some(Frame::Hello { index: 1 }));
+        assert_eq!(dec.next_frame().unwrap(), Some(hello));
         assert_eq!(dec.next_frame().unwrap(), None);
     }
 
@@ -789,6 +923,20 @@ mod tests {
             dec.next_frame(),
             Err(WireError::Malformed("trailing payload bytes"))
         );
+    }
+
+    #[test]
+    fn message_bytes_matches_the_data_frame_payload_tail() {
+        // `message_bytes` must be exactly the encoding a Data frame
+        // carries after its wire+seq header, or the recovery layer's
+        // content hashes would disagree with what crossed the wire.
+        let msg = Message::Data(Tuple(vec![Value::Int(3), Value::Str("x".to_string())]));
+        let framed = encode(&Frame::Data {
+            wire: 1,
+            seq: 2,
+            msg: msg.clone(),
+        });
+        assert_eq!(&framed[9 + 16..], &message_bytes(&msg)[..]);
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub enum EventKind {
     /// One instance rolled back to its checkpoint (`a` = epoch, `b` =
     /// instance).
     Rollback = 19,
+    /// The dist coordinator respawned a dead worker (`a` = worker index,
+    /// `b` = new incarnation epoch).
+    Respawn = 20,
+    /// The dist coordinator replayed logged frames into a (re)connected
+    /// worker (`a` = worker index, `b` = frames replayed).
+    Replay = 21,
 }
 
 impl EventKind {
@@ -97,6 +103,8 @@ impl EventKind {
             EventKind::SinkArrival => "sink_arrival",
             EventKind::SimDelivery => "sim_delivery",
             EventKind::Rollback => "rollback",
+            EventKind::Respawn => "respawn",
+            EventKind::Replay => "replay",
         }
     }
 
@@ -124,6 +132,8 @@ impl EventKind {
             17 => EventKind::SinkArrival,
             18 => EventKind::SimDelivery,
             19 => EventKind::Rollback,
+            20 => EventKind::Respawn,
+            21 => EventKind::Replay,
             _ => return None,
         })
     }

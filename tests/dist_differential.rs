@@ -19,7 +19,10 @@ use blazes::apps::queries::ReportQuery;
 use blazes::apps::wordcount::{run_wordcount, WordcountScenario};
 use blazes::apps::workload::{CampaignPlacement, ClickWorkload, TweetWorkload};
 use blazes::dataflow::backend::BackendSpec;
-use blazes::dataflow::dist::{libtest_worker_command, run_dist, worker_main, DistSpec};
+use blazes::dataflow::dist::{
+    libtest_worker_command, run_dist, worker_main, ChaosSpec, DistError, DistSpec, DistTuning,
+    FailureCause, Kill, KillPoint, Transport,
+};
 
 /// Worker-process entry point. `run_dist` re-executes this test binary
 /// selecting exactly this test; without [`blazes::dataflow::dist::ENV_PARENT`]
@@ -144,6 +147,94 @@ fn autocoord_adreport_is_bit_identical_across_process_counts() {
                 "digest diverged at {processes} processes, stealing={stealing}"
             );
         }
+    }
+}
+
+/// Crash tolerance: SIGKILLing any single worker mid-run must leave the
+/// coordinated ad-report digests bit-identical to the crash-free
+/// simulator reference — respawn, deterministic replay, ingest dedup and
+/// seal revotes absorb the loss completely.
+#[test]
+fn chaos_kill_of_any_worker_keeps_coordinated_digests_bit_identical() {
+    let sc = scenario(3);
+    let (sim_res, _) = run_ad_auto(&sc, &BackendSpec::Sim);
+    let reference = response_digests(&sim_res.responses);
+
+    for processes in [2usize, 4] {
+        for victim in 0..processes {
+            let mut spec = dist_spec(processes, true, sc.seed);
+            // Fire once real traffic has reached the victim, so the
+            // respawned incarnation must be rehydrated by log replay.
+            spec.chaos = ChaosSpec {
+                kills: vec![Kill {
+                    worker: victim,
+                    point: KillPoint::RoutedFrames(3),
+                }],
+            };
+            let (res, _) = run_ad_auto(&sc, &BackendSpec::Dist(spec));
+            let stats = res.stats.as_dist().expect("dist stats");
+            assert!(
+                stats.respawns >= 1,
+                "the kill of worker {victim}/{processes} never fired"
+            );
+            assert_eq!(
+                response_digests(&res.responses),
+                reference,
+                "digest diverged after killing worker {victim} of {processes}"
+            );
+        }
+    }
+}
+
+/// The same differential over loopback TCP instead of Unix sockets: the
+/// transport is interchangeable, so the coordinated digests still match
+/// the simulator bit for bit.
+#[test]
+fn tcp_transport_carries_the_coordinated_differential() {
+    let sc = scenario(3);
+    let (sim_res, _) = run_ad_auto(&sc, &BackendSpec::Sim);
+    let reference = response_digests(&sim_res.responses);
+
+    let mut spec = dist_spec(2, true, sc.seed);
+    spec.tuning = DistTuning::default().with_transport(Transport::Tcp);
+    let (res, _) = run_ad_auto(&sc, &BackendSpec::Dist(spec));
+    let stats = res.stats.as_dist().expect("dist stats");
+    assert!(stats.frames_routed > 0, "frames must cross the TCP wire");
+    assert_eq!(
+        response_digests(&res.responses),
+        reference,
+        "digest diverged over loopback TCP"
+    );
+}
+
+/// Recovery is bounded: with a respawn budget of zero, the first kill
+/// becomes the run's verdict — a forensic `WorkerFailed` naming the
+/// worker and the exhausted budget, not a stall.
+#[test]
+fn exhausted_respawn_budget_fails_with_a_worker_verdict() {
+    let sc = AdScenario {
+        strategy: StrategyKind::Uncoordinated,
+        ..scenario(1)
+    };
+    let mut spec = dist_spec(2, true, sc.seed);
+    spec.topology = AD_TOPOLOGY.to_string();
+    spec.params = encode_ad_params(&sc, false, false);
+    spec.tuning = DistTuning::default().with_respawn_budget(0);
+    spec.chaos = ChaosSpec {
+        kills: vec![Kill {
+            worker: 1,
+            point: KillPoint::Heartbeats(1),
+        }],
+    };
+    match run_dist(&spec, &dist_registry()) {
+        Err(DistError::WorkerFailed { worker, cause }) => {
+            assert_eq!(worker, 1);
+            assert!(
+                matches!(cause, FailureCause::BudgetExhausted { respawns: 0, .. }),
+                "unexpected cause: {cause:?}"
+            );
+        }
+        other => panic!("expected a budget-exhausted worker verdict, got {other:?}"),
     }
 }
 

@@ -50,17 +50,23 @@ fn message() -> impl Strategy<Value = Message> {
 /// Any frame the protocol can carry, including deeply structured payloads.
 fn frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        any::<u32>().prop_map(|index| Frame::Hello { index }),
+        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(index, epoch, resume_recv)| {
+            Frame::Hello {
+                index,
+                epoch,
+                resume_recv,
+            }
+        }),
         (
             (small_string(), small_string(), any::<u64>(), any::<u32>()),
             (any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>()),
-            any::<bool>(),
+            (any::<bool>(), any::<u32>(), any::<u32>()),
         )
             .prop_map(
                 |(
                     (topology, params, seed, processes),
                     (index, workers, stealing, speculation),
-                    trace,
+                    (trace, epoch, heartbeat_ms),
                 )| {
                     Frame::Plan {
                         topology,
@@ -72,6 +78,8 @@ fn frame() -> impl Strategy<Value = Frame> {
                         stealing,
                         speculation,
                         trace,
+                        epoch,
+                        heartbeat_ms,
                     }
                 }
             ),
@@ -114,6 +122,15 @@ fn frame() -> impl Strategy<Value = Frame> {
             ),
         Just(Frame::Shutdown),
         small_string().prop_map(|m| Frame::Error { message: m }),
+        (any::<u32>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+            |(epoch, sent, recv, idle)| Frame::Heartbeat {
+                epoch,
+                sent,
+                recv,
+                idle,
+            }
+        ),
+        collection::vec((any::<u64>(), any::<u64>()), 0..5).prop_map(|acks| Frame::Ack { acks }),
         (
             any::<u32>(),
             any::<u32>(),
